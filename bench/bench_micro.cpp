@@ -1,0 +1,203 @@
+// Component microbenchmarks (google-benchmark): the sketch, executor,
+// prior sampling, MDP simulation and MCTS building blocks that the
+// table-reproduction benches are composed of.
+
+#include <benchmark/benchmark.h>
+
+#include "common/hash.h"
+#include "exec/executor.h"
+#include "mcts/mcts.h"
+#include "plan/logical_ops.h"
+#include "sketch/distinct_estimator.h"
+#include "sketch/hyperloglog.h"
+#include "sql/parser.h"
+
+namespace monsoon {
+namespace {
+
+void BM_HllAdd(benchmark::State& state) {
+  HyperLogLog hll(14);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    hll.AddHash(Mix64(++i));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HllAdd);
+
+void BM_HllEstimate(benchmark::State& state) {
+  HyperLogLog hll(static_cast<int>(state.range(0)));
+  for (uint64_t i = 0; i < 100000; ++i) hll.AddHash(Mix64(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hll.Estimate());
+  }
+}
+BENCHMARK(BM_HllEstimate)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_GeeEstimate(benchmark::State& state) {
+  Pcg32 rng(1);
+  std::vector<uint64_t> hashes;
+  for (int i = 0; i < 10000; ++i) hashes.push_back(Mix64(rng.NextBounded(1000)));
+  for (auto _ : state) {
+    SampleProfile profile = SampleProfile::FromHashes(hashes);
+    benchmark::DoNotOptimize(EstimateDistinctGee(profile, 1000000));
+  }
+}
+BENCHMARK(BM_GeeEstimate);
+
+void BM_PriorSample(benchmark::State& state) {
+  auto prior = MakePrior(static_cast<PriorKind>(state.range(0)));
+  Pcg32 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prior->Sample(rng, 1e6, 1e4));
+  }
+}
+BENCHMARK(BM_PriorSample)
+    ->Arg(static_cast<int>(PriorKind::kUniform))
+    ->Arg(static_cast<int>(PriorKind::kUShaped))
+    ->Arg(static_cast<int>(PriorKind::kSpikeAndSlab));
+
+// A reusable two-table join fixture.
+struct JoinFixture {
+  JoinFixture(size_t left_rows, size_t right_rows) {
+    auto left = std::make_shared<Table>(Schema({{"k", ValueType::kInt64}}));
+    for (size_t i = 0; i < left_rows; ++i) {
+      (void)left->AppendRow({Value(static_cast<int64_t>(i % 1000))});
+    }
+    auto right = std::make_shared<Table>(Schema({{"k", ValueType::kInt64}}));
+    for (size_t i = 0; i < right_rows; ++i) {
+      (void)right->AppendRow({Value(static_cast<int64_t>(i % 1000))});
+    }
+    (void)catalog.AddTable("l", left);
+    (void)catalog.AddTable("r", right);
+    auto parsed = SqlParser(&catalog).Parse(
+        "SELECT * FROM l a, r b WHERE a.k = b.k");
+    query = std::move(*parsed);
+  }
+  Catalog catalog;
+  QuerySpec query;
+};
+
+void BM_HashJoin(benchmark::State& state) {
+  JoinFixture fixture(static_cast<size_t>(state.range(0)),
+                      static_cast<size_t>(state.range(0)));
+  PlanNode::Ptr plan = PlanNode::Join(MakeLeaf(fixture.query, 0),
+                                      MakeLeaf(fixture.query, 1), {0});
+  Executor executor(fixture.query, &UdfRegistry::Global());
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    auto store = MaterializedStore::ForQuery(fixture.catalog, fixture.query);
+    ExecContext ctx;
+    auto result = executor.Execute(plan, &*store, &ctx);
+    rows = result->output.table->num_rows();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(10000);
+
+void BM_SortMergeJoin(benchmark::State& state) {
+  JoinFixture fixture(static_cast<size_t>(state.range(0)),
+                      static_cast<size_t>(state.range(0)));
+  PlanNode::Ptr plan = PlanNode::Join(MakeLeaf(fixture.query, 0),
+                                      MakeLeaf(fixture.query, 1), {0});
+  Executor::Options options;
+  options.join_algorithm = Executor::JoinAlgorithm::kSortMerge;
+  Executor executor(fixture.query, &UdfRegistry::Global(), options);
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    auto store = MaterializedStore::ForQuery(fixture.catalog, fixture.query);
+    ExecContext ctx;
+    auto result = executor.Execute(plan, &*store, &ctx);
+    rows = result->output.table->num_rows();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_SortMergeJoin)->Arg(1000)->Arg(10000);
+
+void BM_SigmaPass(benchmark::State& state) {
+  JoinFixture fixture(static_cast<size_t>(state.range(0)), 10);
+  PlanNode::Ptr plan = PlanNode::StatsCollect(MakeLeaf(fixture.query, 0));
+  Executor executor(fixture.query, &UdfRegistry::Global());
+  for (auto _ : state) {
+    auto store = MaterializedStore::ForQuery(fixture.catalog, fixture.query);
+    ExecContext ctx;
+    auto result = executor.Execute(plan, &*store, &ctx);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SigmaPass)->Arg(10000)->Arg(100000);
+
+// The Sec. 2.3 MDP, used for MCTS throughput.
+struct MdpFixture {
+  MdpFixture() : prior(MakePrior(PriorKind::kSpikeAndSlab)) {
+    (void)query.AddRelation("R", "r");
+    (void)query.AddRelation("S", "s");
+    (void)query.AddRelation("T", "t");
+    auto f1 = query.MakeTerm("f1", {"R.a"});
+    auto f2 = query.MakeTerm("f2", {"S.b"});
+    (void)query.AddJoinPredicate(std::move(*f1), std::move(*f2));
+    auto f3 = query.MakeTerm("f3", {"R.a"});
+    auto f4 = query.MakeTerm("f4", {"T.c"});
+    (void)query.AddJoinPredicate(std::move(*f3), std::move(*f4));
+    mdp = std::make_unique<QueryMdp>(query, prior.get(), QueryMdp::Options());
+    counts[ExprSig::Of(RelSet::Single(0), 0)] = 1e6;
+    counts[ExprSig::Of(RelSet::Single(1), 0)] = 1e4;
+    counts[ExprSig::Of(RelSet::Single(2), 0)] = 1e4;
+  }
+  QuerySpec query;
+  std::unique_ptr<Prior> prior;
+  std::unique_ptr<QueryMdp> mdp;
+  std::map<ExprSig, double> counts;
+};
+
+void BM_MdpSimulateExecute(benchmark::State& state) {
+  MdpFixture fixture;
+  MdpState root = fixture.mdp->InitialState(StatsStore(), fixture.counts);
+  auto actions = fixture.mdp->LegalActions(root);
+  const MdpAction* join = nullptr;
+  for (const auto& action : actions) {
+    if (action.type == MdpAction::Type::kJoinExecExec) join = &action;
+  }
+  MdpState planned = fixture.mdp->ApplyPlanAction(root, *join).value();
+  Pcg32 rng(3);
+  for (auto _ : state) {
+    auto result = fixture.mdp->SimulateExecute(planned, rng);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MdpSimulateExecute);
+
+void BM_MctsIterations(benchmark::State& state) {
+  MdpFixture fixture;
+  MdpState root = fixture.mdp->InitialState(StatsStore(), fixture.counts);
+  for (auto _ : state) {
+    MctsSearch::Options options;
+    options.iterations = static_cast<int>(state.range(0));
+    MctsSearch search(fixture.mdp.get(), options);
+    benchmark::DoNotOptimize(search.SearchBestAction(root).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MctsIterations)->Arg(100)->Arg(400);
+
+void BM_SqlParse(benchmark::State& state) {
+  JoinFixture fixture(10, 10);
+  SqlParser parser(&fixture.catalog);
+  const std::string sql =
+      "SELECT * FROM l a, r b WHERE bucket1000(a.k) = bucket1000(b.k) "
+      "AND a.k = 5";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.Parse(sql).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SqlParse);
+
+}  // namespace
+}  // namespace monsoon
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Reproduces Table 1 and the expected-cost analysis of Sec. 2.3: the R, S,
+// T example where d(F2,S) and d(F4,T) are each 1 or 10,000 with equal
+// probability. For each of the four scenarios the bench evaluates both
+// candidate join orders under the paper's cost model and reports the
+// optimal plan and the intermediate-object count, then compares the
+// expected cost of "guess a plan" against "scan S (or T) first".
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "cost/cardinality.h"
+#include "plan/logical_ops.h"
+
+using namespace monsoon;
+
+namespace {
+
+QuerySpec ExampleQuery() {
+  QuerySpec query;
+  (void)query.AddRelation("R", "r");
+  (void)query.AddRelation("S", "s");
+  (void)query.AddRelation("T", "t");
+  auto f1 = query.MakeTerm("f1", {"R.a"});
+  auto f2 = query.MakeTerm("f2", {"S.b"});
+  (void)query.AddJoinPredicate(std::move(*f1), std::move(*f2));
+  auto f3 = query.MakeTerm("f3", {"R.a"});
+  auto f4 = query.MakeTerm("f4", {"T.c"});
+  (void)query.AddJoinPredicate(std::move(*f3), std::move(*f4));
+  return query;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table 1: enumerating attribute cardinalities", "Table 1");
+
+  QuerySpec query = ExampleQuery();
+  ExprSig r{0b001, 0}, s{0b010, 0}, t{0b100, 0};
+
+  TablePrinter table({"d(F2,S)", "d(F4,T)", "Optimal Plan", "Int. Tuples"});
+  double expected_guess_rs = 0;  // E[intermediate] of ((R ⋈ S) ⋈ T)
+  double expected_informed = 0;  // E[intermediate] after scanning S
+
+  for (double d2 : {1.0, 10000.0}) {
+    for (double d4 : {1.0, 10000.0}) {
+      StatsStore stats;
+      stats.SetCount(r, 1e6);
+      stats.SetCount(s, 1e4);
+      stats.SetCount(t, 1e4);
+      stats.SetDistinctObserved(0, r, 1000);
+      stats.SetDistinctObserved(1, s, d2);
+      stats.SetDistinctObserved(2, r, 1000);
+      stats.SetDistinctObserved(3, t, d4);
+      CardinalityModel::Options options;
+      options.missing_policy = MissingStatPolicy::kError;
+      CardinalityModel model(query, &stats, options);
+
+      double c_rs = *model.JoinCardinality(r, 1e6, s, 1e4, {0});
+      double c_rt = *model.JoinCardinality(r, 1e6, t, 1e4, {1});
+      std::string optimal = c_rs < c_rt   ? "((R ⋈ S) ⋈ T)"
+                            : c_rt < c_rs ? "((R ⋈ T) ⋈ S)"
+                                          : "Both";
+      double intermediate = std::min(c_rs, c_rt);
+      table.AddRow({StrFormat("%.0f", d2), StrFormat("%.0f", d4), optimal,
+                    FormatWithCommas(static_cast<uint64_t>(intermediate))});
+
+      expected_guess_rs += 0.25 * c_rs;
+      expected_informed += 0.25 * intermediate;
+    }
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nExpected intermediate objects (paper, Sec. 2.3):\n";
+  std::cout << StrFormat(
+      "  guess ((R ⋈ S) ⋈ T) without statistics : %12s   (paper: 0.5*10^7 + "
+      "0.5*10^6 = 5,500,000)\n",
+      FormatWithCommas(static_cast<uint64_t>(expected_guess_rs)).c_str());
+  double informed_total = 1e4 + expected_informed;
+  std::cout << StrFormat(
+      "  scan S first (10^4) then pick optimally: %12s   (paper: 10^4 + "
+      "0.25*10^7 + 0.75*10^6 = 3,260,000)\n",
+      FormatWithCommas(static_cast<uint64_t>(informed_total)).c_str());
+  std::cout << (informed_total < expected_guess_rs
+                    ? "  -> statistics collection wins, as in the paper.\n"
+                    : "  -> UNEXPECTED: guessing won; check the cost model.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces Table 7 and Figure 3: the 25-query UDF benchmark. The
+// "Postgres" (full offline stats) and "On Demand" strategies are dropped,
+// exactly as in the paper: multi-table UDFs make offline or on-demand
+// single-pass statistics collection inapplicable. Figure 3's series is
+// printed as the per-query matrix sorted by Monsoon's time.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "workloads/udfbench.h"
+
+using namespace monsoon;
+
+int main() {
+  bench::PrintHeader("Table 7 + Figure 3: queries with UDFs", "Table 7 / Figure 3");
+
+  const uint64_t budget = bench::BenchBudget(900000);
+  UdfBenchOptions options;
+  options.scale = bench::BenchScale(1.0);
+  auto workload = MakeUdfBenchWorkload(options);
+  if (!workload.ok()) {
+    std::cerr << "generator failed: " << workload.status().ToString() << "\n";
+    return 1;
+  }
+
+  HarnessOptions harness;
+  harness.work_budget = budget;
+  BenchRunner runner(harness);
+  bench::AddBaseline(runner, MakeDefaultsStrategy(), budget);
+  bench::AddBaseline(runner, MakeGreedyStrategy(), budget);
+  bench::AddMonsoon(runner, budget);
+  bench::AddBaseline(runner, MakeSamplingStrategy(), budget);
+  bench::AddBaseline(runner, MakeSkinnerStrategy(), budget);
+  if (!runner.RunAll(*workload).ok()) return 1;
+
+  std::cout << "\n--- Table 7: performance on the UDF benchmark ("
+            << workload->queries.size() << " queries) ---\n";
+  runner.PrintSummaryTable(std::cout);
+
+  // Figure 3: per-query execution time, queries sorted by Monsoon's time.
+  std::vector<std::pair<double, std::string>> monsoon_times;
+  for (const QueryRecord& record : runner.records()) {
+    if (record.strategy == "Monsoon") {
+      monsoon_times.emplace_back(runner.DisplaySeconds(record.result),
+                                 record.query);
+    }
+  }
+  std::sort(monsoon_times.begin(), monsoon_times.end());
+
+  std::cout << "\n--- Figure 3: per-query time, sorted by Monsoon ---\n";
+  TablePrinter figure({"Query", "Defaults", "Greedy", "Monsoon", "Sampling",
+                       "SkinnerDB"});
+  for (const auto& [seconds, query_name] : monsoon_times) {
+    std::vector<std::string> row = {query_name};
+    for (const char* strategy :
+         {"Defaults", "Greedy", "Monsoon", "Sampling", "SkinnerDB"}) {
+      std::string cell = "-";
+      for (const QueryRecord& record : runner.records()) {
+        if (record.query == query_name && record.strategy == strategy) {
+          cell = record.result.timed_out()
+                     ? "TO"
+                     : StrFormat("%.3f", record.result.total_seconds);
+        }
+      }
+      row.push_back(std::move(cell));
+    }
+    figure.AddRow(std::move(row));
+  }
+  figure.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// The Sec. 2.3 R/S/T example materialized as real data: R joins a
+// dimension S whose join column has a single distinct value (joining S
+// early multiplies rows) and a dimension T whose join column is key-like.
+// The example runs Monsoon and every baseline side by side and prints the
+// exact object counts each one processed, plus Monsoon's action trace —
+// a compact way to see how join order, offline statistics, and
+// interleaved statistics collection trade off on one query.
+//
+// Run:  ./build/examples/adaptive_reoptimization
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/string_util.h"
+#include "harness/runner.h"
+#include "baselines/baselines.h"
+#include "monsoon/monsoon_optimizer.h"
+#include "sql/parser.h"
+
+using namespace monsoon;
+
+namespace {
+
+Status BuildDatabase(Catalog* catalog) {
+  // R: 200k rows, join columns with 1000 distinct values each.
+  auto r = std::make_shared<Table>(
+      Schema({{"x", ValueType::kInt64}, {"y", ValueType::kInt64}}));
+  r->Reserve(200000);
+  for (int64_t i = 0; i < 200000; ++i) {
+    MONSOON_RETURN_IF_ERROR(r->AppendRow({Value(i % 1000), Value(i % 1000)}));
+  }
+  MONSOON_RETURN_IF_ERROR(catalog->AddTable("r", r));
+
+  // S: 2000 rows but only ONE distinct join value -> R ⋈ S explodes to
+  // 200k * 2000 / 1000 = 400k rows.
+  auto s = std::make_shared<Table>(Schema({{"k", ValueType::kInt64}}));
+  for (int64_t i = 0; i < 2000; ++i) {
+    MONSOON_RETURN_IF_ERROR(s->AppendRow({Value(int64_t{7})}));
+  }
+  MONSOON_RETURN_IF_ERROR(catalog->AddTable("s", s));
+
+  // T: 2000 rows, all distinct -> R ⋈ T stays at ~400 rows per T key
+  // bucket: 200k * 2000 / max(1000, 2000) = 200k.
+  auto t = std::make_shared<Table>(Schema({{"k", ValueType::kInt64}}));
+  for (int64_t i = 0; i < 2000; ++i) {
+    MONSOON_RETURN_IF_ERROR(t->AppendRow({Value(i % 2000)}));
+  }
+  MONSOON_RETURN_IF_ERROR(catalog->AddTable("t", t));
+  return Status::OK();
+}
+
+Status RunDemo() {
+  Catalog catalog;
+  MONSOON_RETURN_IF_ERROR(BuildDatabase(&catalog));
+
+  SqlParser parser(&catalog);
+  MONSOON_ASSIGN_OR_RETURN(QuerySpec query,
+                           parser.Parse("SELECT * FROM r, s, t "
+                                        "WHERE r.x = s.k AND r.y = t.k"));
+  std::cout << "Query: " << query.ToString() << "\n";
+  std::cout << "Hidden truth: d(S.k) = 1 (early S-join explodes); "
+               "d(T.k) = 2000 (early T-join is safe)\n\n";
+
+  TablePrinter table({"Strategy", "Result rows", "Objects processed", "Seconds",
+                      "Stats collected"});
+  auto add_row = [&table](const std::string& name, const RunResult& result) {
+    table.AddRow({name, FormatWithCommas(result.result_rows),
+                  FormatWithCommas(result.objects_processed),
+                  StrFormat("%.3f", result.total_seconds),
+                  std::to_string(result.stats_collections)});
+  };
+
+  MonsoonOptimizer::Options options;
+  options.prior = PriorKind::kSpikeAndSlab;
+  options.mcts.iterations = 500;
+  MonsoonOptimizer monsoon(&catalog, options);
+  RunResult monsoon_result = monsoon.Run(query);
+  MONSOON_RETURN_IF_ERROR(monsoon_result.status);
+  add_row("Monsoon", monsoon_result);
+
+  for (auto& strategy :
+       {MakeFullStatsStrategy(), MakeDefaultsStrategy(), MakeGreedyStrategy(),
+        MakeOnDemandStrategy(), MakeSamplingStrategy()}) {
+    RunResult result = strategy->Run(catalog, query, 0);
+    MONSOON_RETURN_IF_ERROR(result.status);
+    add_row(strategy->name(), result);
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nMonsoon's decisions:\n";
+  for (const std::string& action : monsoon_result.action_log) {
+    std::cout << "  - " << action << "\n";
+  }
+  std::cout << "\nReading the table: every strategy computes the same 400,000\n"
+               "result rows; they differ in the objects processed getting\n"
+               "there. 'Postgres' has exact statistics up front (collected\n"
+               "offline, not charged); Monsoon starts from zero knowledge and\n"
+               "uses its prior — and, when the expected saving justifies it, a\n"
+               "charged Σ scan — to land near the informed plan.\n";
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Status status = RunDemo();
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,171 @@
+// A tiny interactive shell over the Monsoon stack: loads one of the
+// benchmark databases and runs SQL with a chosen strategy, printing the
+// optimizer's action trace, the result sample and the cost accounting.
+//
+// Usage:
+//   ./build/examples/sql_shell [tpch|imdb|ott|udf]
+//
+//   monsoon> .strategy monsoon          (or defaults/greedy/sampling/...)
+//   monsoon> .tables
+//   monsoon> SELECT * FROM orders o, customer c WHERE o.o_custkey = c.c_custkey
+//   monsoon> .quit
+//
+// Piped input works too:
+//   echo "SELECT * FROM region r, nation n WHERE n.n_regionkey = r.r_regionkey" \
+//     | ./build/examples/sql_shell tpch
+
+#include <unistd.h>
+
+#include <iostream>
+#include <string>
+
+#include "baselines/baselines.h"
+#include "common/string_util.h"
+#include "exec/executor.h"
+#include "exec/projection.h"
+#include "monsoon/monsoon_optimizer.h"
+#include "sql/parser.h"
+#include "workloads/imdb.h"
+#include "workloads/ott.h"
+#include "workloads/tpch.h"
+#include "workloads/udfbench.h"
+
+using namespace monsoon;
+
+namespace {
+
+StatusOr<Workload> LoadWorkload(const std::string& name) {
+  if (name == "tpch") {
+    TpchOptions options;
+    options.scale = 0.25;
+    return MakeTpchWorkload(options);
+  }
+  if (name == "imdb") {
+    ImdbOptions options;
+    options.scale = 0.5;
+    return MakeImdbWorkload(options);
+  }
+  if (name == "ott") return MakeOttWorkload(OttOptions{});
+  if (name == "udf") return MakeUdfBenchWorkload(UdfBenchOptions{});
+  return Status::InvalidArgument("unknown workload '" + name +
+                                 "' (expected tpch|imdb|ott|udf)");
+}
+
+StatusOr<std::unique_ptr<Strategy>> MakeStrategy(const std::string& name) {
+  if (name == "defaults") return MakeDefaultsStrategy();
+  if (name == "greedy") return MakeGreedyStrategy();
+  if (name == "postgres") return MakeFullStatsStrategy();
+  if (name == "ondemand") return MakeOnDemandStrategy();
+  if (name == "sampling") return MakeSamplingStrategy();
+  if (name == "skinner") return MakeSkinnerStrategy();
+  if (name == "lec") return MakeLecStrategy();
+  return Status::InvalidArgument("unknown strategy '" + name + "'");
+}
+
+void PrintResult(const QuerySpec& query, const RunResult& result) {
+  if (result.result_table == nullptr) return;
+  auto projected = ApplySelect(*result.result_table, query.select_items());
+  if (!projected.ok()) {
+    std::cout << "projection error: " << projected.status().ToString() << "\n";
+    return;
+  }
+  std::cout << (*projected)->ToString(/*limit=*/8);
+}
+
+void RunQuery(const Catalog& catalog, const std::string& strategy_name,
+              const QuerySpec& query) {
+  RunResult result;
+  if (strategy_name == "monsoon") {
+    MonsoonOptimizer::Options options;
+    options.mcts.iterations = 400;
+    MonsoonOptimizer monsoon(&catalog, options);
+    result = monsoon.Run(query);
+  } else {
+    auto strategy = MakeStrategy(strategy_name);
+    if (!strategy.ok()) {
+      std::cout << strategy.status().ToString() << "\n";
+      return;
+    }
+    result = (*strategy)->Run(catalog, query, 0);
+  }
+  if (!result.ok()) {
+    std::cout << "error: " << result.status.ToString() << "\n";
+    return;
+  }
+  if (!result.action_log.empty()) {
+    std::cout << "actions:\n";
+    for (const std::string& action : result.action_log) {
+      std::cout << "  - " << action << "\n";
+    }
+  }
+  PrintResult(query, result);
+  std::cout << StrFormat(
+      "%s rows  |  %s objects processed  |  %.3f s "
+      "(plan %.3f, stats %.3f, exec %.3f)\n",
+      FormatWithCommas(result.result_rows).c_str(),
+      FormatWithCommas(result.objects_processed).c_str(), result.total_seconds,
+      result.plan_seconds, result.stats_seconds, result.exec_seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload_name = argc > 1 ? argv[1] : "tpch";
+  auto workload = LoadWorkload(workload_name);
+  if (!workload.ok()) {
+    std::cerr << workload.status().ToString() << "\n";
+    return 1;
+  }
+  const Catalog& catalog = *workload->catalog;
+  std::string strategy = "monsoon";
+  bool interactive = isatty(0);
+
+  std::cout << "Monsoon SQL shell — workload '" << workload_name << "' ("
+            << catalog.TableNames().size()
+            << " tables). Commands: .tables, .schema <t>, .strategy <name>, "
+               ".queries, .quit\n";
+
+  std::string line;
+  while (true) {
+    if (interactive) std::cout << "monsoon> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(TrimString(line));
+    if (trimmed.empty()) continue;
+    if (trimmed == ".quit" || trimmed == ".exit") break;
+    if (trimmed == ".tables") {
+      for (const std::string& name : catalog.TableNames()) {
+        auto rows = catalog.RowCount(name);
+        std::cout << "  " << name << "  (" << (rows.ok() ? *rows : 0) << " rows)\n";
+      }
+      continue;
+    }
+    if (trimmed.rfind(".schema ", 0) == 0) {
+      auto table = catalog.GetTable(trimmed.substr(8));
+      if (!table.ok()) {
+        std::cout << table.status().ToString() << "\n";
+      } else {
+        std::cout << "  " << (*table)->schema().ToString() << "\n";
+      }
+      continue;
+    }
+    if (trimmed.rfind(".strategy ", 0) == 0) {
+      strategy = ToLower(trimmed.substr(10));
+      std::cout << "strategy = " << strategy << "\n";
+      continue;
+    }
+    if (trimmed == ".queries") {
+      for (const BenchQuery& query : workload->queries) {
+        std::cout << "  " << query.name << ": " << query.sql << "\n";
+      }
+      continue;
+    }
+    SqlParser parser(&catalog);
+    auto query = parser.Parse(trimmed);
+    if (!query.ok()) {
+      std::cout << "parse error: " << query.status().ToString() << "\n";
+      continue;
+    }
+    RunQuery(catalog, strategy, *query);
+  }
+  return 0;
+}

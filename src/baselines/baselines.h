@@ -1,0 +1,96 @@
+#ifndef MONSOON_BASELINES_BASELINES_H_
+#define MONSOON_BASELINES_BASELINES_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "exec/run_result.h"
+#include "plan/plan_node.h"
+#include "priors/prior.h"
+#include "query/query_spec.h"
+
+namespace monsoon {
+
+/// A complete optimize-and-execute strategy, comparable against Monsoon in
+/// the harness. Implementations are the paper's Sec. 6.2.2 alternatives.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  virtual std::string name() const = 0;
+  /// Optimizes and executes `query` against `catalog`, spending at most
+  /// `work_budget` physical work units (0 = unlimited).
+  virtual RunResult Run(const Catalog& catalog, const QuerySpec& query,
+                        uint64_t work_budget) const = 0;
+};
+
+/// "Postgres": full statistics collected offline (exact distinct counts
+/// for every single-relation UDF term; not charged to the query), then a
+/// Selinger DP plan. Refuses queries containing multi-relation UDF terms,
+/// matching the paper dropping this option on the UDF benchmark.
+std::unique_ptr<Strategy> MakeFullStatsStrategy();
+
+/// "Defaults": DP with the magic constant d = 10% of the row count.
+std::unique_ptr<Strategy> MakeDefaultsStrategy();
+
+/// "Greedy": left-deep plan from base-table sizes only.
+std::unique_ptr<Strategy> MakeGreedyStrategy();
+
+/// "On Demand": before optimization, one charged pass per base relation
+/// computing HLL distinct counts for every single-relation UDF term; then
+/// DP. Multi-relation terms fall back to the default fraction (the paper
+/// drops this option where they appear).
+std::unique_ptr<Strategy> MakeOnDemandStrategy();
+
+struct SamplingOptions {
+  double fraction = 0.02;          // 2% block sample
+  uint64_t max_rows = 200000;      // cap per relation
+  uint64_t block_size = 100;       // block-based access
+  uint64_t product_cap = 1000000;  // materialized pairs for multi-table UDFs
+  uint64_t seed = 0xabcd;
+};
+
+/// "Sampling": DYNO-style pilot runs — block samples per relation, the
+/// Charikar GEE estimator for single-relation terms, and up to
+/// `product_cap` materialized tuples from the product of subsamples for
+/// multi-relation terms; then DP.
+std::unique_ptr<Strategy> MakeSamplingStrategy(SamplingOptions options = {});
+
+struct SkinnerOptions {
+  /// Work units granted to the first episode; doubles every
+  /// `episodes_per_level` episodes.
+  uint64_t initial_slice = 20000;
+  int episodes_per_level = 4;
+  double uct_weight = 1.4142135623730951;
+  uint64_t seed = 0x5177;
+};
+
+/// "SkinnerDB" (Skinner-G proxy): regret-bounded learning of a left-deep
+/// join order via UCT over order prefixes, executed in time-sliced
+/// episodes whose partial work is discarded — reproducing the behaviour
+/// the paper observed for Skinner-G layered on a batch engine.
+std::unique_ptr<Strategy> MakeSkinnerStrategy(SkinnerOptions options = {});
+
+/// Wraps an externally supplied plan per query ("Hand-written" rows of the
+/// OTT table). The provider returns the plan to execute for a query.
+std::unique_ptr<Strategy> MakeHandPlanStrategy(
+    std::string name,
+    std::function<StatusOr<PlanNode::Ptr>(const QuerySpec&)> provider);
+
+struct LecOptions {
+  PriorKind prior = PriorKind::kSpikeAndSlab;
+  int scenarios = 32;
+  uint64_t seed = 0x1ec;
+};
+
+/// "LEC": least-expected-cost optimization (Chu et al., discussed in the
+/// paper's Sec. 2.3) — a single static plan minimizing average cost over
+/// worlds sampled from the prior; never collects statistics. Not part of
+/// the paper's Sec. 6 comparison, but the natural ablation between
+/// Defaults (one magic world) and Monsoon (explore + execute).
+std::unique_ptr<Strategy> MakeLecStrategy(LecOptions options = {});
+
+}  // namespace monsoon
+
+#endif  // MONSOON_BASELINES_BASELINES_H_

@@ -1,0 +1,61 @@
+#include "catalog/catalog.h"
+
+namespace monsoon {
+
+Status Catalog::AddTable(const std::string& name, TablePtr table) {
+  if (table == nullptr) return Status::InvalidArgument("table must not be null");
+  auto [it, inserted] = tables_.emplace(name, std::move(table));
+  if (!inserted) return Status::AlreadyExists("table '" + name + "' already exists");
+  return Status::OK();
+}
+
+void Catalog::PutTable(const std::string& name, TablePtr table) {
+  tables_[name] = std::move(table);
+}
+
+StatusOr<TablePtr> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named '" + name + "'");
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+StatusOr<uint64_t> Catalog::RowCount(const std::string& name) const {
+  MONSOON_ASSIGN_OR_RETURN(TablePtr table, GetTable(name));
+  return table->num_rows();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Catalog::ValidateQuery(const QuerySpec& query) const {
+  MONSOON_RETURN_IF_ERROR(query.Validate());
+  for (const auto& rel : query.relations()) {
+    MONSOON_ASSIGN_OR_RETURN(TablePtr table, GetTable(rel.table_name));
+    (void)table;
+  }
+  for (const UdfTerm* term : query.AllTerms()) {
+    for (const auto& arg : term->args) {
+      size_t dot = arg.find('.');
+      std::string alias = arg.substr(0, dot);
+      std::string column = arg.substr(dot + 1);
+      MONSOON_ASSIGN_OR_RETURN(int rel_idx, query.RelationIndex(alias));
+      MONSOON_ASSIGN_OR_RETURN(TablePtr table,
+                               GetTable(query.relation(rel_idx).table_name));
+      if (!table->schema().HasColumn(column)) {
+        return Status::NotFound("column '" + column + "' not in table '" +
+                                query.relation(rel_idx).table_name + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace monsoon

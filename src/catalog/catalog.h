@@ -1,0 +1,46 @@
+#ifndef MONSOON_CATALOG_CATALOG_H_
+#define MONSOON_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query_spec.h"
+#include "storage/table.h"
+
+namespace monsoon {
+
+/// Named base tables plus the statistics that are *always* assumed known
+/// (Sec. 4.1: "we assume that all input set sizes are available").
+/// Distinct-value statistics are deliberately NOT part of the catalog —
+/// they are the unknowns the whole paper is about, and live in a
+/// per-query StatsStore.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Status AddTable(const std::string& name, TablePtr table);
+
+  /// Replaces the table if present, else adds it.
+  void PutTable(const std::string& name, TablePtr table);
+
+  StatusOr<TablePtr> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+  /// c(R) for a base table.
+  StatusOr<uint64_t> RowCount(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  /// Resolves every relation in `query` and checks every UDF-term argument
+  /// names an existing column of the right table.
+  Status ValidateQuery(const QuerySpec& query) const;
+
+ private:
+  std::map<std::string, TablePtr> tables_;
+};
+
+}  // namespace monsoon
+
+#endif  // MONSOON_CATALOG_CATALOG_H_

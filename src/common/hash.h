@@ -1,0 +1,46 @@
+#ifndef MONSOON_COMMON_HASH_H_
+#define MONSOON_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace monsoon {
+
+/// 64-bit finalizer from MurmurHash3. Good avalanche behaviour; used to
+/// hash integer join keys and to mix composite hashes.
+inline uint64_t Mix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Combines two 64-bit hashes (boost::hash_combine style, 64-bit constant).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// FNV-1a over a byte string. Stable across platforms; used wherever we
+/// need a deterministic hash of string data (HLL inputs, join keys).
+inline uint64_t HashBytes(const void* data, size_t len,
+                          uint64_t seed = 0xcbf29ce484222325ULL) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  // FNV has weak low bits; finish with a mix.
+  return Mix64(h);
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+}  // namespace monsoon
+
+#endif  // MONSOON_COMMON_HASH_H_

@@ -1,0 +1,109 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace monsoon {
+
+Pcg32::Pcg32(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  Next();
+  state_ += seed;
+  Next();
+}
+
+uint32_t Pcg32::Next() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+}
+
+uint32_t Pcg32::NextBounded(uint32_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint32_t threshold = (-bound) % bound;
+  for (;;) {
+    uint32_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Pcg32::NextInt64(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    uint64_t r = (static_cast<uint64_t>(Next()) << 32) | Next();
+    return static_cast<int64_t>(r);
+  }
+  // 64-bit rejection sampling.
+  uint64_t threshold = (-range) % range;
+  for (;;) {
+    uint64_t r = (static_cast<uint64_t>(Next()) << 32) | Next();
+    if (r >= threshold) return lo + static_cast<int64_t>(r % range);
+  }
+}
+
+double Pcg32::NextDouble() {
+  // 53 random bits -> double in [0, 1).
+  uint64_t hi = Next();
+  uint64_t lo = Next();
+  uint64_t bits = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(bits) * (1.0 / 9007199254740992.0);
+}
+
+double SampleGamma(Pcg32& rng, double shape) {
+  assert(shape > 0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia–Tsang trick).
+    double u = rng.NextDouble();
+    while (u <= 0.0) u = rng.NextDouble();
+    return SampleGamma(rng, shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  double d = shape - 1.0 / 3.0;
+  double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    // Standard normal via Box–Muller.
+    double u1 = rng.NextDouble();
+    double u2 = rng.NextDouble();
+    while (u1 <= 1e-300) u1 = rng.NextDouble();
+    double x = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    double v = 1.0 + c * x;
+    if (v <= 0) continue;
+    v = v * v * v;
+    double u = rng.NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+double SampleBeta(Pcg32& rng, double alpha, double beta) {
+  double x = SampleGamma(rng, alpha);
+  double y = SampleGamma(rng, beta);
+  double denom = x + y;
+  if (denom <= 0) return 0.5;  // degenerate; both gammas underflowed
+  return x / denom;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double s) : n_(n), s_(s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_[k - 1] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+}
+
+uint64_t ZipfGenerator::Next(Pcg32& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_;
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace monsoon

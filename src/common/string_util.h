@@ -1,0 +1,30 @@
+#ifndef MONSOON_COMMON_STRING_UTIL_H_
+#define MONSOON_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace monsoon {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view TrimString(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable count with thousands separators ("1,234,567").
+std::string FormatWithCommas(uint64_t n);
+
+}  // namespace monsoon
+
+#endif  // MONSOON_COMMON_STRING_UTIL_H_

@@ -1,0 +1,422 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "sketch/hyperloglog.h"
+
+namespace monsoon {
+
+StatusOr<BoundTerm> BoundTerm::Bind(const UdfTerm& term, const Schema& schema,
+                                    const UdfRegistry& registry) {
+  BoundTerm bound;
+  MONSOON_ASSIGN_OR_RETURN(bound.fn_, registry.Lookup(term.function));
+  bound.arg_cols_.reserve(term.args.size());
+  for (const auto& arg : term.args) {
+    MONSOON_ASSIGN_OR_RETURN(size_t col, schema.ColumnIndex(arg));
+    bound.arg_cols_.push_back(col);
+  }
+  return bound;
+}
+
+namespace {
+
+/// A predicate bound against a single (possibly concatenated) schema,
+/// evaluated as a residual filter.
+struct BoundResidual {
+  enum class Kind { kJoinEq, kJoinNeq, kSelectionEq };
+  Kind kind;
+  BoundTerm left;
+  BoundTerm right;  // join kinds only
+  Value constant;   // selection only
+
+  bool Eval(const Table& table, size_t row) const {
+    Value l = left.Eval(table, row);
+    switch (kind) {
+      case Kind::kJoinEq:
+        return l == right.Eval(table, row);
+      case Kind::kJoinNeq:
+        return l != right.Eval(table, row);
+      case Kind::kSelectionEq:
+        return l == constant;
+    }
+    return false;
+  }
+};
+
+StatusOr<BoundResidual> BindResidual(const Predicate& pred, const Schema& schema,
+                                     const UdfRegistry& registry) {
+  BoundResidual residual;
+  MONSOON_ASSIGN_OR_RETURN(residual.left, BoundTerm::Bind(pred.left, schema, registry));
+  if (pred.kind == Predicate::Kind::kSelection) {
+    residual.kind = BoundResidual::Kind::kSelectionEq;
+    residual.constant = pred.constant;
+  } else {
+    residual.kind = pred.equality ? BoundResidual::Kind::kJoinEq
+                                  : BoundResidual::Kind::kJoinNeq;
+    MONSOON_ASSIGN_OR_RETURN(residual.right,
+                             BoundTerm::Bind(*pred.right, schema, registry));
+  }
+  return residual;
+}
+
+}  // namespace
+
+Executor::Executor(const QuerySpec& query, const UdfRegistry* registry,
+                   Options options)
+    : query_(query), registry_(registry), options_(options) {}
+
+StatusOr<ExecResult> Executor::Execute(const PlanNode::Ptr& plan,
+                                       MaterializedStore* store,
+                                       ExecContext* ctx) const {
+  ExecResult result;
+  MONSOON_ASSIGN_OR_RETURN(result.output, ExecuteNode(plan, store, ctx, &result));
+  store->Put(result.output);
+  return result;
+}
+
+StatusOr<MaterializedExpr> Executor::ExecuteNode(const PlanNode::Ptr& node,
+                                                 MaterializedStore* store,
+                                                 ExecContext* ctx,
+                                                 ExecResult* result) const {
+  switch (node->kind()) {
+    case PlanNode::Kind::kLeaf: {
+      MONSOON_ASSIGN_OR_RETURN(MaterializedExpr out, ExecuteLeaf(node, store, ctx));
+      result->observed_counts.emplace_back(out.sig, out.table->num_rows());
+      return out;
+    }
+    case PlanNode::Kind::kJoin: {
+      MONSOON_ASSIGN_OR_RETURN(MaterializedExpr left,
+                               ExecuteNode(node->left(), store, ctx, result));
+      MONSOON_ASSIGN_OR_RETURN(MaterializedExpr right,
+                               ExecuteNode(node->right(), store, ctx, result));
+      MONSOON_ASSIGN_OR_RETURN(
+          MaterializedExpr out,
+          ExecuteJoin(node, std::move(left), std::move(right), ctx));
+      result->observed_counts.emplace_back(out.sig, out.table->num_rows());
+      return out;
+    }
+    case PlanNode::Kind::kStatsCollect: {
+      MONSOON_ASSIGN_OR_RETURN(MaterializedExpr child,
+                               ExecuteNode(node->child(), store, ctx, result));
+      MONSOON_RETURN_IF_ERROR(CollectStats(child, ctx, &result->observed_distincts));
+      return child;
+    }
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+StatusOr<MaterializedExpr> Executor::ExecuteLeaf(const PlanNode::Ptr& node,
+                                                 MaterializedStore* store,
+                                                 ExecContext* ctx) const {
+  MONSOON_ASSIGN_OR_RETURN(const MaterializedExpr* source,
+                           store->Lookup(node->source()));
+  // Reading the materialized input costs c(source) objects (Sec. 4.4).
+  MONSOON_RETURN_IF_ERROR(ctx->Charge(source->table->num_rows()));
+  if (node->pred_ids().empty()) return *source;
+
+  std::vector<BoundResidual> filters;
+  filters.reserve(node->pred_ids().size());
+  for (int pred_id : node->pred_ids()) {
+    MONSOON_ASSIGN_OR_RETURN(
+        BoundResidual residual,
+        BindResidual(query_.predicate(pred_id), source->schema, *registry_));
+    filters.push_back(std::move(residual));
+  }
+
+  auto out = std::make_shared<Table>(source->schema);
+  const Table& in = *source->table;
+  for (size_t row = 0; row < in.num_rows(); ++row) {
+    bool keep = true;
+    for (const auto& filter : filters) {
+      if (!filter.Eval(in, row)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out->AppendRowFrom(in, row);
+  }
+
+  MaterializedExpr result;
+  result.sig = node->output_sig();
+  result.schema = source->schema;
+  result.table = std::move(out);
+  return result;
+}
+
+StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
+                                                 MaterializedExpr left,
+                                                 MaterializedExpr right,
+                                                 ExecContext* ctx) const {
+  RelSet left_rels(left.sig.rels);
+  RelSet right_rels(right.sig.rels);
+  Schema out_schema = Schema::Concat(left.schema, right.schema);
+
+  // Split node predicates into hash-joinable pairs and residual filters.
+  struct EquiPair {
+    BoundTerm left_key;   // bound against the LEFT child schema
+    BoundTerm right_key;  // bound against the RIGHT child schema
+  };
+  std::vector<EquiPair> equi;
+  std::vector<BoundResidual> residual;
+  for (int pred_id : node->pred_ids()) {
+    const Predicate& pred = query_.predicate(pred_id);
+    bool separable = false;
+    if (pred.IsEquiJoin()) {
+      const UdfTerm* lterm = nullptr;
+      const UdfTerm* rterm = nullptr;
+      if (left_rels.ContainsAll(pred.left.rels) &&
+          right_rels.ContainsAll(pred.right->rels)) {
+        lterm = &pred.left;
+        rterm = &*pred.right;
+      } else if (right_rels.ContainsAll(pred.left.rels) &&
+                 left_rels.ContainsAll(pred.right->rels)) {
+        lterm = &*pred.right;
+        rterm = &pred.left;
+      }
+      if (lterm != nullptr) {
+        EquiPair pair;
+        MONSOON_ASSIGN_OR_RETURN(pair.left_key,
+                                 BoundTerm::Bind(*lterm, left.schema, *registry_));
+        MONSOON_ASSIGN_OR_RETURN(pair.right_key,
+                                 BoundTerm::Bind(*rterm, right.schema, *registry_));
+        equi.push_back(std::move(pair));
+        separable = true;
+      }
+    }
+    if (!separable) {
+      MONSOON_ASSIGN_OR_RETURN(BoundResidual filter,
+                               BindResidual(pred, out_schema, *registry_));
+      residual.push_back(std::move(filter));
+    }
+  }
+
+  auto out = std::make_shared<Table>(out_schema);
+  const Table& lt = *left.table;
+  const Table& rt = *right.table;
+
+  auto passes_residual = [&](size_t out_row) {
+    for (const auto& filter : residual) {
+      if (!filter.Eval(*out, out_row)) return false;
+    }
+    return true;
+  };
+
+  if (equi.empty()) {
+    // Cross product with residual filters (multi-table UDF predicates and
+    // genuine cross products both land here).
+    for (size_t li = 0; li < lt.num_rows(); ++li) {
+      for (size_t ri = 0; ri < rt.num_rows(); ++ri) {
+        MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(1));
+        out->AppendConcatRow(lt, li, rt, ri);
+        if (!passes_residual(out->num_rows() - 1)) out->PopRow();
+      }
+    }
+  } else if (options_.join_algorithm == JoinAlgorithm::kSortMerge) {
+    // Sort-merge join: materialize composite keys, sort row ids on both
+    // sides, then merge runs of equal keys.
+    size_t nkeys = equi.size();
+    auto make_keys = [&](const Table& table, bool is_left,
+                         std::vector<Value>* keys, std::vector<size_t>* order) {
+      keys->reserve(table.num_rows() * nkeys);
+      for (size_t row = 0; row < table.num_rows(); ++row) {
+        for (const auto& pair : equi) {
+          const BoundTerm& key = is_left ? pair.left_key : pair.right_key;
+          keys->push_back(key.Eval(table, row));
+        }
+      }
+      order->resize(table.num_rows());
+      for (size_t i = 0; i < order->size(); ++i) (*order)[i] = i;
+      std::sort(order->begin(), order->end(), [&](size_t a, size_t b) {
+        for (size_t k = 0; k < nkeys; ++k) {
+          const Value& va = (*keys)[a * nkeys + k];
+          const Value& vb = (*keys)[b * nkeys + k];
+          if (va < vb) return true;
+          if (vb < va) return false;
+        }
+        return false;
+      });
+    };
+    std::vector<Value> lkeys, rkeys;
+    std::vector<size_t> lorder, rorder;
+    make_keys(lt, /*is_left=*/true, &lkeys, &lorder);
+    make_keys(rt, /*is_left=*/false, &rkeys, &rorder);
+    MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(lt.num_rows() + rt.num_rows()));
+
+    auto key_equal = [&](size_t li, size_t ri) {
+      for (size_t k = 0; k < nkeys; ++k) {
+        if (!(lkeys[li * nkeys + k] == rkeys[ri * nkeys + k])) return false;
+      }
+      return true;
+    };
+    // Lexicographic comparison of a left-side key against a right-side key.
+    auto key_less = [&](size_t li, size_t ri) {
+      for (size_t k = 0; k < nkeys; ++k) {
+        const Value& a = lkeys[li * nkeys + k];
+        const Value& b = rkeys[ri * nkeys + k];
+        if (a < b) return true;
+        if (b < a) return false;
+      }
+      return false;
+    };
+    auto key_greater = [&](size_t li, size_t ri) {
+      for (size_t k = 0; k < nkeys; ++k) {
+        const Value& a = lkeys[li * nkeys + k];
+        const Value& b = rkeys[ri * nkeys + k];
+        if (b < a) return true;
+        if (a < b) return false;
+      }
+      return false;
+    };
+    auto same_side_equal = [&](const std::vector<Value>& keys, size_t a, size_t b) {
+      for (size_t k = 0; k < nkeys; ++k) {
+        if (!(keys[a * nkeys + k] == keys[b * nkeys + k])) return false;
+      }
+      return true;
+    };
+
+    size_t li = 0, ri = 0;
+    while (li < lorder.size() && ri < rorder.size()) {
+      size_t lrow = lorder[li];
+      size_t rrow = rorder[ri];
+      if (key_less(lrow, rrow)) {
+        ++li;
+        continue;
+      }
+      if (key_greater(lrow, rrow)) {
+        ++ri;
+        continue;
+      }
+      if (!key_equal(lrow, rrow)) {
+        // Keys of different types compare unordered-equal; skip safely.
+        ++li;
+        continue;
+      }
+      // Extents of the equal run on both sides.
+      size_t lend = li + 1;
+      while (lend < lorder.size() && same_side_equal(lkeys, lorder[lend], lrow)) {
+        ++lend;
+      }
+      size_t rend = ri + 1;
+      while (rend < rorder.size() && same_side_equal(rkeys, rorder[rend], rrow)) {
+        ++rend;
+      }
+      for (size_t a = li; a < lend; ++a) {
+        for (size_t b = ri; b < rend; ++b) {
+          MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(1));
+          out->AppendConcatRow(lt, lorder[a], rt, rorder[b]);
+          if (!passes_residual(out->num_rows() - 1)) out->PopRow();
+        }
+      }
+      li = lend;
+      ri = rend;
+    }
+  } else {
+    // Hash join: build on the smaller input.
+    bool build_left = lt.num_rows() <= rt.num_rows();
+    const Table& build = build_left ? lt : rt;
+    const Table& probe = build_left ? rt : lt;
+
+    // Evaluate the composite key for every build row.
+    size_t nkeys = equi.size();
+    std::vector<Value> build_keys;
+    build_keys.reserve(build.num_rows() * nkeys);
+    std::unordered_multimap<uint64_t, size_t> index;
+    index.reserve(build.num_rows() * 2);
+    for (size_t row = 0; row < build.num_rows(); ++row) {
+      uint64_t h = 0xabcdef0123456789ULL;
+      for (const auto& pair : equi) {
+        const BoundTerm& key = build_left ? pair.left_key : pair.right_key;
+        Value v = key.Eval(build, row);
+        h = HashCombine(h, v.Hash());
+        build_keys.push_back(std::move(v));
+      }
+      index.emplace(h, row);
+    }
+    MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(build.num_rows()));
+
+    std::vector<Value> probe_key(nkeys);
+    for (size_t row = 0; row < probe.num_rows(); ++row) {
+      MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(1));
+      uint64_t h = 0xabcdef0123456789ULL;
+      for (size_t k = 0; k < nkeys; ++k) {
+        const auto& pair = equi[k];
+        const BoundTerm& key = build_left ? pair.right_key : pair.left_key;
+        probe_key[k] = key.Eval(probe, row);
+        h = HashCombine(h, probe_key[k].Hash());
+      }
+      auto [begin, end] = index.equal_range(h);
+      for (auto it = begin; it != end; ++it) {
+        size_t build_row = it->second;
+        MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(1));
+        bool match = true;
+        for (size_t k = 0; k < nkeys; ++k) {
+          if (!(build_keys[build_row * nkeys + k] == probe_key[k])) {
+            match = false;
+            break;
+          }
+        }
+        if (!match) continue;
+        size_t li = build_left ? build_row : row;
+        size_t ri = build_left ? row : build_row;
+        out->AppendConcatRow(lt, li, rt, ri);
+        if (!passes_residual(out->num_rows() - 1)) out->PopRow();
+      }
+    }
+  }
+
+  // The join's output objects are the paper's cost for this node.
+  MONSOON_RETURN_IF_ERROR(ctx->Charge(out->num_rows()));
+
+  MaterializedExpr result;
+  result.sig = node->output_sig();
+  result.schema = std::move(out_schema);
+  result.table = std::move(out);
+  return result;
+}
+
+Status Executor::CollectStats(const MaterializedExpr& expr, ExecContext* ctx,
+                              std::vector<DistinctObservation>* obs) const {
+  WallTimer timer;
+  RelSet expr_rels(expr.sig.rels);
+
+  // One HLL pass per UDF term evaluable over this expression (the paper's
+  // Σ computes "the number of distinct values returned by r for all UDFs
+  // that are referenced in the query").
+  std::vector<std::pair<int, BoundTerm>> terms;
+  std::vector<int> seen;
+  for (const UdfTerm* term : query_.AllTerms()) {
+    if (!expr_rels.ContainsAll(term->rels)) continue;
+    if (std::find(seen.begin(), seen.end(), term->term_id) != seen.end()) continue;
+    seen.push_back(term->term_id);
+    MONSOON_ASSIGN_OR_RETURN(BoundTerm bound,
+                             BoundTerm::Bind(*term, expr.schema, *registry_));
+    terms.emplace_back(term->term_id, std::move(bound));
+  }
+  if (terms.empty()) return Status::OK();
+
+  std::vector<HyperLogLog> sketches(terms.size(),
+                                    HyperLogLog(options_.hll_precision));
+  const Table& table = *expr.table;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    for (size_t t = 0; t < terms.size(); ++t) {
+      sketches[t].AddHash(terms[t].second.Eval(table, row).Hash());
+    }
+  }
+  // Statistics collection is another pass over the data (Sec. 4.4).
+  MONSOON_RETURN_IF_ERROR(ctx->Charge(table.num_rows()));
+
+  for (size_t t = 0; t < terms.size(); ++t) {
+    DistinctObservation observation;
+    observation.term_id = terms[t].first;
+    observation.expr = expr.sig;
+    observation.distinct_count = std::max(0.0, std::round(sketches[t].Estimate()));
+    obs->push_back(observation);
+  }
+  ctx->AddStatsCollectSeconds(timer.Seconds());
+  return Status::OK();
+}
+
+}  // namespace monsoon

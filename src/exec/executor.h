@@ -1,0 +1,115 @@
+#ifndef MONSOON_EXEC_EXECUTOR_H_
+#define MONSOON_EXEC_EXECUTOR_H_
+
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/exec_context.h"
+#include "exec/materialized_store.h"
+#include "expr/udf.h"
+#include "plan/plan_node.h"
+#include "query/query_spec.h"
+
+namespace monsoon {
+
+/// A UDF term resolved against a concrete schema: function pointer plus
+/// argument column indices. Binding happens once per operator, evaluation
+/// once per row.
+class BoundTerm {
+ public:
+  static StatusOr<BoundTerm> Bind(const UdfTerm& term, const Schema& schema,
+                                  const UdfRegistry& registry);
+
+  Value Eval(const Table& table, size_t row) const {
+    return fn_->fn(RowRef(&table, row), arg_cols_);
+  }
+
+  ValueType result_type() const { return fn_->result_type; }
+
+ private:
+  const UdfFunction* fn_ = nullptr;
+  std::vector<size_t> arg_cols_;
+};
+
+/// One distinct-count observation produced by a Σ operator:
+/// d(term_id, expr) estimated by HyperLogLog over the materialized result.
+struct DistinctObservation {
+  int term_id;
+  ExprSig expr;
+  double distinct_count;
+};
+
+/// Result of executing one plan tree.
+struct ExecResult {
+  MaterializedExpr output;
+  std::vector<DistinctObservation> observed_distincts;  // from Σ nodes
+  /// Exact cardinality observed for every node of the executed tree
+  /// (interior temporaries included); these harden c(r) entries in S.
+  std::vector<std::pair<ExprSig, uint64_t>> observed_counts;
+};
+
+/// The mini relational engine. Executes logical plan trees against a
+/// MaterializedStore:
+///  * leaves scan an already-materialized expression, applying selection
+///    predicates inline;
+///  * joins hash-join on every equi predicate whose sides separate across
+///    the two inputs, and apply the remaining predicates (multi-table-UDF
+///    terms, '<>', cycle-closing filters) as residual filters — falling
+///    back to a nested-loop cross product when no equi predicate exists;
+///  * Σ nodes materialize their child, then take one more pass computing
+///    an HLL distinct count for every UDF term evaluable over the result.
+///
+/// Every table an interior node produces is materialized (this repo
+/// reproduces logical optimization; pipelining is out of scope, exactly as
+/// in the paper's object-count cost model).
+class Executor {
+ public:
+  /// Physical join algorithm for equi predicates. The paper leaves
+  /// physical optimization to future work; both implementations are
+  /// provided so the choice can be ablated (bench_micro compares them).
+  /// Joins with no separable equi predicate always run as filtered cross
+  /// products regardless of this setting.
+  enum class JoinAlgorithm {
+    kHash,       // build/probe on the composite key hash (default)
+    kSortMerge,  // sort both inputs by key, merge matching runs
+  };
+
+  struct Options {
+    int hll_precision = 14;
+    JoinAlgorithm join_algorithm = JoinAlgorithm::kHash;
+  };
+
+  Executor(const QuerySpec& query, const UdfRegistry* registry)
+      : Executor(query, registry, Options()) {}
+  Executor(const QuerySpec& query, const UdfRegistry* registry, Options options);
+
+  /// Executes `plan`, charging `ctx`. On success the output expression is
+  /// also Put() into `store`.
+  StatusOr<ExecResult> Execute(const PlanNode::Ptr& plan, MaterializedStore* store,
+                               ExecContext* ctx) const;
+
+ private:
+  StatusOr<MaterializedExpr> ExecuteNode(const PlanNode::Ptr& node,
+                                         MaterializedStore* store, ExecContext* ctx,
+                                         ExecResult* result) const;
+
+  StatusOr<MaterializedExpr> ExecuteLeaf(const PlanNode::Ptr& node,
+                                         MaterializedStore* store,
+                                         ExecContext* ctx) const;
+
+  StatusOr<MaterializedExpr> ExecuteJoin(const PlanNode::Ptr& node,
+                                         MaterializedExpr left, MaterializedExpr right,
+                                         ExecContext* ctx) const;
+
+  Status CollectStats(const MaterializedExpr& expr, ExecContext* ctx,
+                      std::vector<DistinctObservation>* obs) const;
+
+  const QuerySpec& query_;
+  const UdfRegistry* registry_;
+  Options options_;
+};
+
+}  // namespace monsoon
+
+#endif  // MONSOON_EXEC_EXECUTOR_H_

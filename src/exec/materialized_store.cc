@@ -1,0 +1,39 @@
+#include "exec/materialized_store.h"
+
+namespace monsoon {
+
+StatusOr<MaterializedStore> MaterializedStore::ForQuery(const Catalog& catalog,
+                                                        const QuerySpec& query) {
+  MaterializedStore store;
+  for (int i = 0; i < query.num_relations(); ++i) {
+    const RelationRef& rel = query.relation(i);
+    MONSOON_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(rel.table_name));
+    MaterializedExpr expr;
+    expr.sig = ExprSig::Of(RelSet::Single(i), 0);
+    expr.table = table;
+    expr.schema = table->schema().Qualify(rel.alias);
+    store.Put(std::move(expr));
+  }
+  return store;
+}
+
+StatusOr<const MaterializedExpr*> MaterializedStore::Lookup(const ExprSig& sig) const {
+  auto it = exprs_.find(sig);
+  if (it == exprs_.end()) {
+    return Status::NotFound("expression not materialized: " + sig.ToString());
+  }
+  return &it->second;
+}
+
+void MaterializedStore::Put(MaterializedExpr expr) {
+  exprs_[expr.sig] = std::move(expr);
+}
+
+std::vector<ExprSig> MaterializedStore::Signatures() const {
+  std::vector<ExprSig> sigs;
+  sigs.reserve(exprs_.size());
+  for (const auto& [sig, expr] : exprs_) sigs.push_back(sig);
+  return sigs;
+}
+
+}  // namespace monsoon

@@ -1,0 +1,52 @@
+#ifndef MONSOON_EXEC_MATERIALIZED_STORE_H_
+#define MONSOON_EXEC_MATERIALIZED_STORE_H_
+
+#include <map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/plan_node.h"
+#include "query/query_spec.h"
+#include "storage/table.h"
+
+namespace monsoon {
+
+/// A materialized RA expression: data plus the alias-qualified schema used
+/// to resolve UDF arguments against it. The table's own schema carries the
+/// same column order; only the names differ (qualified per query alias).
+struct MaterializedExpr {
+  ExprSig sig;
+  TablePtr table;
+  Schema schema;
+};
+
+/// The R_e of the MDP state, with actual data attached: every expression
+/// that has been executed and materialized so far, keyed by signature.
+/// Initialized with the query's base relations.
+class MaterializedStore {
+ public:
+  MaterializedStore() = default;
+
+  /// Loads each relation referenced by `query` from the catalog. The same
+  /// base table may back several aliases; data is shared, schemas are
+  /// qualified per alias.
+  static StatusOr<MaterializedStore> ForQuery(const Catalog& catalog,
+                                              const QuerySpec& query);
+
+  StatusOr<const MaterializedExpr*> Lookup(const ExprSig& sig) const;
+  bool Contains(const ExprSig& sig) const { return exprs_.count(sig) > 0; }
+
+  void Put(MaterializedExpr expr);
+
+  /// All signatures currently materialized, in deterministic order.
+  std::vector<ExprSig> Signatures() const;
+
+  size_t size() const { return exprs_.size(); }
+
+ private:
+  std::map<ExprSig, MaterializedExpr> exprs_;
+};
+
+}  // namespace monsoon
+
+#endif  // MONSOON_EXEC_MATERIALIZED_STORE_H_

@@ -1,0 +1,113 @@
+#include "exec/projection.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace monsoon {
+
+namespace {
+
+StatusOr<double> NumericAt(const Table& table, size_t col, size_t row) {
+  switch (table.schema().column(col).type) {
+    case ValueType::kInt64:
+      return static_cast<double>(table.Int64At(col, row));
+    case ValueType::kDouble:
+      return table.DoubleAt(col, row);
+    case ValueType::kString:
+      return Status::InvalidArgument("column '" + table.schema().column(col).name +
+                                     "' is not numeric");
+  }
+  return Status::Internal("unknown column type");
+}
+
+StatusOr<Value> EvalAggregate(const Table& input, const SelectItem& item) {
+  size_t rows = input.num_rows();
+  if (item.kind == SelectItem::Kind::kCount) {
+    return Value(static_cast<int64_t>(rows));
+  }
+  MONSOON_ASSIGN_OR_RETURN(size_t col, input.schema().ColumnIndex(item.attribute));
+
+  if (item.kind == SelectItem::Kind::kMin || item.kind == SelectItem::Kind::kMax) {
+    if (rows == 0) {
+      return Status::InvalidArgument("MIN/MAX over an empty result");
+    }
+    Value best = input.ValueAt(col, 0);
+    for (size_t r = 1; r < rows; ++r) {
+      Value v = input.ValueAt(col, r);
+      bool better = item.kind == SelectItem::Kind::kMin ? v < best : best < v;
+      if (better) best = v;
+    }
+    return best;
+  }
+
+  double sum = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    MONSOON_ASSIGN_OR_RETURN(double v, NumericAt(input, col, r));
+    sum += v;
+  }
+  if (item.kind == SelectItem::Kind::kSum) return Value(sum);
+  // AVG
+  if (rows == 0) return Status::InvalidArgument("AVG over an empty result");
+  return Value(sum / static_cast<double>(rows));
+}
+
+}  // namespace
+
+StatusOr<TablePtr> ApplySelect(const Table& input,
+                               const std::vector<SelectItem>& items) {
+  if (items.empty()) {
+    return Status::InvalidArgument("empty select list");
+  }
+  bool any_aggregate = false;
+  for (const SelectItem& item : items) {
+    if (item.IsAggregate()) any_aggregate = true;
+  }
+
+  if (any_aggregate) {
+    for (const SelectItem& item : items) {
+      if (!item.IsAggregate()) {
+        return Status::Unimplemented(
+            "mixing aggregates with plain attributes requires GROUP BY, "
+            "which is out of scope");
+      }
+    }
+    std::vector<ColumnDef> columns;
+    std::vector<Value> row;
+    for (const SelectItem& item : items) {
+      MONSOON_ASSIGN_OR_RETURN(Value v, EvalAggregate(input, item));
+      columns.push_back({item.ToString(), v.type()});
+      row.push_back(std::move(v));
+    }
+    auto out = std::make_shared<Table>(Schema(columns));
+    MONSOON_RETURN_IF_ERROR(out->AppendRow(row));
+    return TablePtr(out);
+  }
+
+  // Plain projection; '*' expands to every input column in order.
+  std::vector<size_t> source_cols;
+  std::vector<ColumnDef> columns;
+  for (const SelectItem& item : items) {
+    if (item.kind == SelectItem::Kind::kStar) {
+      for (size_t c = 0; c < input.num_columns(); ++c) {
+        source_cols.push_back(c);
+        columns.push_back(input.schema().column(c));
+      }
+      continue;
+    }
+    MONSOON_ASSIGN_OR_RETURN(size_t col, input.schema().ColumnIndex(item.attribute));
+    source_cols.push_back(col);
+    columns.push_back(input.schema().column(col));
+  }
+  auto out = std::make_shared<Table>(Schema(columns));
+  out->Reserve(input.num_rows());
+  std::vector<Value> row(source_cols.size());
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    for (size_t c = 0; c < source_cols.size(); ++c) {
+      row[c] = input.ValueAt(source_cols[c], r);
+    }
+    MONSOON_RETURN_IF_ERROR(out->AppendRow(row));
+  }
+  return TablePtr(out);
+}
+
+}  // namespace monsoon

@@ -1,0 +1,23 @@
+#ifndef MONSOON_EXEC_PROJECTION_H_
+#define MONSOON_EXEC_PROJECTION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "query/select_item.h"
+#include "storage/table.h"
+
+namespace monsoon {
+
+/// Applies a SELECT list to a (joined) result table:
+///  * no aggregates -> column projection (a `*` expands in place);
+///  * any aggregate -> every item must be an aggregate (no GROUP BY in
+///    this reproduction) and the output is a single row.
+/// COUNT accepts `*` or an attribute; SUM/AVG require a numeric column;
+/// MIN/MAX work on any type (string minimum is lexicographic).
+StatusOr<TablePtr> ApplySelect(const Table& input,
+                               const std::vector<SelectItem>& items);
+
+}  // namespace monsoon
+
+#endif  // MONSOON_EXEC_PROJECTION_H_

@@ -1,0 +1,37 @@
+#ifndef MONSOON_EXEC_RUN_RESULT_H_
+#define MONSOON_EXEC_RUN_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace monsoon {
+
+/// Everything a strategy run reports; shared by Monsoon and the baselines
+/// so the harness can tabulate them uniformly.
+struct RunResult {
+  Status status;                   // OK, or ResourceExhausted on timeout
+  uint64_t result_rows = 0;
+  TablePtr result_table;           // the joined result (null on failure)
+  uint64_t objects_processed = 0;  // the paper's cost metric
+  uint64_t work_units = 0;         // physical work incl. NL candidates
+  double total_seconds = 0;
+  // Component breakdown (Table 8): planning / statistics collection /
+  // relational execution.
+  double plan_seconds = 0;   // MCTS for Monsoon, optimize() for baselines
+  double stats_seconds = 0;  // Σ passes, HLL scans, sampling pilot runs
+  double exec_seconds = 0;
+  int execute_rounds = 0;
+  int stats_collections = 0;
+  std::vector<std::string> action_log;
+
+  bool ok() const { return status.ok(); }
+  bool timed_out() const { return status.code() == StatusCode::kResourceExhausted; }
+};
+
+}  // namespace monsoon
+
+#endif  // MONSOON_EXEC_RUN_RESULT_H_

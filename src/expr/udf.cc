@@ -1,0 +1,151 @@
+#include "expr/udf.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace monsoon {
+
+UdfRegistry& UdfRegistry::Global() {
+  static UdfRegistry* registry = [] {
+    auto* r = new UdfRegistry();
+    RegisterBuiltinUdfs(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status UdfRegistry::Register(UdfFunction fn) {
+  if (fn.name.empty()) return Status::InvalidArgument("UDF name must be non-empty");
+  auto [it, inserted] = fns_.emplace(fn.name, std::move(fn));
+  if (!inserted) return Status::AlreadyExists("UDF '" + it->first + "' already registered");
+  return Status::OK();
+}
+
+void UdfRegistry::RegisterOrReplace(UdfFunction fn) {
+  fns_[fn.name] = std::move(fn);
+}
+
+StatusOr<const UdfFunction*> UdfRegistry::Lookup(const std::string& name) const {
+  auto it = fns_.find(name);
+  if (it == fns_.end()) return Status::NotFound("no UDF named '" + name + "'");
+  return &it->second;
+}
+
+bool UdfRegistry::Contains(const std::string& name) const {
+  return fns_.count(name) > 0;
+}
+
+std::vector<std::string> UdfRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(fns_.size());
+  for (const auto& [name, fn] : fns_) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+// Extracts the substring between `tag="` and the following '"'.
+std::string ExtractField(const std::string& text, const std::string& tag) {
+  std::string marker = tag + "=\"";
+  size_t pos = text.find(marker);
+  if (pos == std::string::npos) return "";
+  size_t begin = pos + marker.size();
+  size_t end = text.find('"', begin);
+  if (end == std::string::npos) return text.substr(begin);
+  return text.substr(begin, end - begin);
+}
+
+// Canonical form of a comma-separated set: sorted, deduplicated.
+std::string CanonicalSet(const std::string& items) {
+  std::vector<std::string> parts = SplitString(items, ',');
+  for (auto& p : parts) p = std::string(TrimString(p));
+  std::sort(parts.begin(), parts.end());
+  parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ",";
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+void RegisterBuiltinUdfs(UdfRegistry& registry) {
+  registry.RegisterOrReplace(UdfFunction{
+      "identity", ValueType::kInt64,
+      [](const RowRef& row, const std::vector<size_t>& cols) {
+        return Value(row.GetInt64(cols[0]));
+      }});
+
+  registry.RegisterOrReplace(UdfFunction{
+      "identity_str", ValueType::kString,
+      [](const RowRef& row, const std::vector<size_t>& cols) {
+        return Value(row.GetString(cols[0]));
+      }});
+
+  for (int64_t buckets : {10, 100, 1000, 10000}) {
+    registry.RegisterOrReplace(UdfFunction{
+        "bucket" + std::to_string(buckets), ValueType::kInt64,
+        [buckets](const RowRef& row, const std::vector<size_t>& cols) {
+          uint64_t h = Mix64(static_cast<uint64_t>(row.GetInt64(cols[0])));
+          return Value(static_cast<int64_t>(h % static_cast<uint64_t>(buckets)));
+        }});
+  }
+
+  registry.RegisterOrReplace(UdfFunction{
+      "extract_id", ValueType::kString,
+      [](const RowRef& row, const std::vector<size_t>& cols) {
+        return Value(ExtractField(row.GetString(cols[0]), "id"));
+      }});
+
+  registry.RegisterOrReplace(UdfFunction{
+      "extract_author", ValueType::kString,
+      [](const RowRef& row, const std::vector<size_t>& cols) {
+        return Value(ExtractField(row.GetString(cols[0]), "author"));
+      }});
+
+  registry.RegisterOrReplace(UdfFunction{
+      "extract_date", ValueType::kString,
+      [](const RowRef& row, const std::vector<size_t>& cols) {
+        const std::string& ts = row.GetString(cols[0]);
+        return Value(ts.substr(0, std::min<size_t>(10, ts.size())));
+      }});
+
+  registry.RegisterOrReplace(UdfFunction{
+      "city_from_ip", ValueType::kInt64,
+      [](const RowRef& row, const std::vector<size_t>& cols) {
+        // Deterministic "geo lookup": the first two octets pick the city.
+        const std::string& ip = row.GetString(cols[0]);
+        size_t first_dot = ip.find('.');
+        size_t second_dot =
+            first_dot == std::string::npos ? std::string::npos : ip.find('.', first_dot + 1);
+        std::string prefix =
+            second_dot == std::string::npos ? ip : ip.substr(0, second_dot);
+        return Value(static_cast<int64_t>(HashString(prefix) % 4096));
+      }});
+
+  registry.RegisterOrReplace(UdfFunction{
+      "canonical_set", ValueType::kString,
+      [](const RowRef& row, const std::vector<size_t>& cols) {
+        return Value(CanonicalSet(row.GetString(cols[0])));
+      }});
+
+  registry.RegisterOrReplace(UdfFunction{
+      "pair_key", ValueType::kInt64,
+      [](const RowRef& row, const std::vector<size_t>& cols) {
+        uint64_t h = Mix64(static_cast<uint64_t>(row.GetInt64(cols[0])));
+        h = HashCombine(h, Mix64(static_cast<uint64_t>(row.GetInt64(cols[1]))));
+        return Value(static_cast<int64_t>(h & 0x7fffffffffffffffULL));
+      }});
+
+  registry.RegisterOrReplace(UdfFunction{
+      "concat2", ValueType::kString,
+      [](const RowRef& row, const std::vector<size_t>& cols) {
+        return Value(row.GetString(cols[0]) + "|" + row.GetString(cols[1]));
+      }});
+}
+
+}  // namespace monsoon

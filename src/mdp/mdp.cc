@@ -1,0 +1,429 @@
+#include "mdp/mdp.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cost/cardinality.h"
+#include "plan/logical_ops.h"
+
+namespace monsoon {
+
+std::string MdpAction::ToString(const QuerySpec& query) const {
+  auto rels_name = [&](const ExprSig& sig) {
+    std::string out;
+    for (int idx : RelSet(sig.rels).Indices()) {
+      if (!out.empty()) out += "⋈";
+      out += query.relation(idx).alias;
+    }
+    return out;
+  };
+  switch (type) {
+    case Type::kAddStatsPlan:
+      return "plan Σ(" + rels_name(exec_a) + ")";
+    case Type::kTopWithStats:
+      return "top plan #" + std::to_string(plan_a) + " with Σ";
+    case Type::kJoinExecExec:
+      return "plan (" + rels_name(exec_a) + " ⋈ " + rels_name(exec_b) + ")";
+    case Type::kJoinPlanPlan:
+      return "join plans #" + std::to_string(plan_a) + ", #" + std::to_string(plan_b);
+    case Type::kJoinExecPlan:
+      return "join " + rels_name(exec_a) + " into plan #" + std::to_string(plan_a);
+    case Type::kExecute:
+      return "EXECUTE";
+  }
+  return "?";
+}
+
+std::string MdpState::ToString(const QuerySpec& query) const {
+  std::ostringstream out;
+  out << "R_p = {";
+  for (size_t i = 0; i < planned.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << planned[i]->ToString(query);
+  }
+  out << "}  R_e = {";
+  bool first = true;
+  for (const auto& [sig, count] : executed) {
+    if (!first) out << ", ";
+    first = false;
+    out << sig.ToString() << ":" << count;
+  }
+  out << "}  |S| = " << stats.num_counts() << "+" << stats.num_distincts();
+  return out.str();
+}
+
+QueryMdp::QueryMdp(const QuerySpec& query, const Prior* prior, Options options)
+    : query_(query), prior_(prior), options_(options) {
+  selection_masks_.resize(query.num_relations(), 0);
+  for (int rel = 0; rel < query.num_relations(); ++rel) {
+    for (int pred_id : query.SelectionPredicatesOn(rel)) {
+      selection_masks_[rel] |= uint64_t{1} << pred_id;
+    }
+  }
+}
+
+MdpState QueryMdp::InitialState(const StatsStore& initial_stats,
+                                const std::map<ExprSig, double>& base_counts) const {
+  MdpState state;
+  state.stats = initial_stats;
+  for (const auto& [sig, count] : base_counts) {
+    state.executed[sig] = count;
+    state.stats.SetCount(sig, count);
+  }
+  return state;
+}
+
+ExprSig QueryMdp::GoalSig() const {
+  return ExprSig::Of(query_.AllRelations(), query_.AllPredicatesMask());
+}
+
+bool QueryMdp::IsTerminal(const MdpState& state) const {
+  return state.executed.count(GoalSig()) > 0;
+}
+
+PlanNode::Ptr QueryMdp::LeafFor(const ExprSig& sig) const {
+  std::vector<int> unapplied;
+  for (int rel : RelSet(sig.rels).Indices()) {
+    for (int pred_id : query_.SelectionPredicatesOn(rel)) {
+      if (((sig.preds >> pred_id) & 1) == 0) unapplied.push_back(pred_id);
+    }
+  }
+  return PlanNode::Leaf(sig, std::move(unapplied));
+}
+
+ExprSig QueryMdp::LeafSigFor(const ExprSig& sig) const {
+  uint64_t preds = sig.preds;
+  uint64_t rels = sig.rels;
+  while (rels != 0) {
+    int rel = __builtin_ctzll(rels);
+    rels &= rels - 1;
+    preds |= selection_masks_[rel];
+  }
+  return ExprSig{sig.rels, preds};
+}
+
+ExprSig QueryMdp::JoinSigFor(const ExprSig& a, const ExprSig& b) const {
+  ExprSig la = LeafSigFor(a);
+  ExprSig lb = LeafSigFor(b);
+  uint64_t preds = la.preds | lb.preds;
+  preds |= PredMask(ApplicableJoinPreds(query_, la, lb));
+  return ExprSig{la.rels | lb.rels, preds};
+}
+
+bool QueryMdp::JoinProposalOk(const MdpState& state, const ExprSig& a,
+                              const ExprSig& b) const {
+  (void)state;
+  if (RelSet(a.rels).Intersects(RelSet(b.rels))) return false;
+  if (AreConnected(query_, a, b)) return true;
+  if (options_.allow_unconstrained_cross_products) return true;
+  // A cross product is still proposed when the query graph itself leaves
+  // the two sides disconnected (it has to happen eventually).
+  return CrossProductUnavoidable(query_, RelSet(a.rels), RelSet(b.rels));
+}
+
+std::vector<MdpAction> QueryMdp::LegalActions(const MdpState& state) const {
+  std::vector<MdpAction> actions;
+  if (IsTerminal(state)) return actions;
+
+  int max_planned = options_.max_planned;
+  bool planned_full = static_cast<int>(state.planned.size()) >= max_planned;
+
+  // Signatures already scheduled, to avoid duplicate plans.
+  auto planned_dup = [&](const ExprSig& out_sig) {
+    for (const auto& tree : state.planned) {
+      if (tree->output_sig() == out_sig) return true;
+    }
+    return state.executed.count(out_sig) > 0;
+  };
+
+  // Terms grouped once: does expression `rels` have an evaluable term with
+  // unknown statistics? (Σ pruning.)
+  auto stats_unknown_for = [&](RelSet rels) {
+    for (const UdfTerm* term : query_.AllTerms()) {
+      if (!rels.ContainsAll(term->rels)) continue;
+      if (!state.stats.HasDistinctInfo(term->term_id, rels)) return true;
+    }
+    return false;
+  };
+
+  // Two Σ-less planned trees with overlapping relation sets can never
+  // both feed the final expression (joins require disjoint inputs), so
+  // one of them would be wasted work. Join proposals whose result would
+  // overlap another Σ-less planned tree are dominated and pruned.
+  // Σ-topped trees are exempt: they exist to gather statistics.
+  auto overlaps_planned = [&](RelSet rels, int exclude_idx) {
+    for (size_t i = 0; i < state.planned.size(); ++i) {
+      if (static_cast<int>(i) == exclude_idx) continue;
+      if (state.planned[i]->HasStatsCollect()) continue;
+      if (RelSet(state.planned[i]->output_sig().rels).Intersects(rels)) return true;
+    }
+    return false;
+  };
+
+  // A Σ plan creates statistics, not a new expression, so its duplicate
+  // check only looks for an identical Σ already planned (its output
+  // signature may legitimately already be materialized).
+  auto sigma_dup = [&](const ExprSig& out_sig) {
+    for (const auto& tree : state.planned) {
+      if (tree->kind() == PlanNode::Kind::kStatsCollect &&
+          tree->output_sig() == out_sig) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // (1) Copy r ∈ R_e topped with Σ.
+  if (!planned_full && options_.enable_stats_actions) {
+    for (const auto& [sig, count] : state.executed) {
+      if (!stats_unknown_for(RelSet(sig.rels))) continue;
+      if (sigma_dup(LeafSigFor(sig))) continue;
+      MdpAction action;
+      action.type = MdpAction::Type::kAddStatsPlan;
+      action.exec_a = sig;
+      actions.push_back(action);
+    }
+  }
+
+  // (2) Top a planned expression with Σ.
+  for (size_t i = 0; options_.enable_stats_actions && i < state.planned.size();
+       ++i) {
+    const PlanNode::Ptr& tree = state.planned[i];
+    if (tree->HasStatsCollect()) continue;
+    if (!stats_unknown_for(RelSet(tree->output_sig().rels))) continue;
+    MdpAction action;
+    action.type = MdpAction::Type::kTopWithStats;
+    action.plan_a = static_cast<int>(i);
+    actions.push_back(action);
+  }
+
+  // (3) Join two materialized expressions.
+  if (!planned_full) {
+    for (auto it_a = state.executed.begin(); it_a != state.executed.end(); ++it_a) {
+      for (auto it_b = std::next(it_a); it_b != state.executed.end(); ++it_b) {
+        const ExprSig& a = it_a->first;
+        const ExprSig& b = it_b->first;
+        if (!JoinProposalOk(state, a, b)) continue;
+        if (overlaps_planned(RelSet(a.rels).Union(RelSet(b.rels)), -1)) continue;
+        if (planned_dup(JoinSigFor(a, b))) continue;
+        MdpAction action;
+        action.type = MdpAction::Type::kJoinExecExec;
+        action.exec_a = a;
+        action.exec_b = b;
+        actions.push_back(action);
+      }
+    }
+  }
+
+  // (4) Join two planned expressions (neither contains Σ).
+  for (size_t i = 0; i < state.planned.size(); ++i) {
+    if (state.planned[i]->HasStatsCollect()) continue;
+    for (size_t j = i + 1; j < state.planned.size(); ++j) {
+      if (state.planned[j]->HasStatsCollect()) continue;
+      const ExprSig& a = state.planned[i]->output_sig();
+      const ExprSig& b = state.planned[j]->output_sig();
+      if (!JoinProposalOk(state, a, b)) continue;
+      MdpAction action;
+      action.type = MdpAction::Type::kJoinPlanPlan;
+      action.plan_a = static_cast<int>(i);
+      action.plan_b = static_cast<int>(j);
+      actions.push_back(action);
+    }
+  }
+
+  // (5) Join a materialized expression into a planned one.
+  for (size_t j = 0; j < state.planned.size(); ++j) {
+    if (state.planned[j]->HasStatsCollect()) continue;
+    for (const auto& [sig, count] : state.executed) {
+      ExprSig leaf_sig = LeafSigFor(sig);
+      const ExprSig& b = state.planned[j]->output_sig();
+      if (!JoinProposalOk(state, leaf_sig, b)) continue;
+      if (overlaps_planned(RelSet(sig.rels).Union(RelSet(b.rels)),
+                           static_cast<int>(j))) {
+        continue;
+      }
+      ExprSig join_sig{leaf_sig.rels | b.rels,
+                       leaf_sig.preds | b.preds |
+                           PredMask(ApplicableJoinPreds(query_, leaf_sig, b))};
+      if (state.executed.count(join_sig) > 0) continue;
+      bool dup = false;
+      for (size_t k = 0; k < state.planned.size(); ++k) {
+        if (k != j && state.planned[k]->output_sig() == join_sig) dup = true;
+      }
+      if (dup) continue;
+      MdpAction action;
+      action.type = MdpAction::Type::kJoinExecPlan;
+      action.exec_a = sig;
+      action.plan_a = static_cast<int>(j);
+      actions.push_back(action);
+    }
+  }
+
+  // (6) EXECUTE.
+  if (!state.planned.empty()) {
+    MdpAction action;
+    action.type = MdpAction::Type::kExecute;
+    actions.push_back(action);
+  }
+
+  return actions;
+}
+
+StatusOr<MdpState> QueryMdp::ApplyPlanAction(const MdpState& state,
+                                             const MdpAction& action) const {
+  MdpState next = state;
+  switch (action.type) {
+    case MdpAction::Type::kAddStatsPlan: {
+      next.planned.push_back(PlanNode::StatsCollect(LeafFor(action.exec_a)));
+      return next;
+    }
+    case MdpAction::Type::kTopWithStats: {
+      if (action.plan_a < 0 || action.plan_a >= static_cast<int>(next.planned.size())) {
+        return Status::InvalidArgument("bad plan index in kTopWithStats");
+      }
+      next.planned[action.plan_a] =
+          PlanNode::StatsCollect(next.planned[action.plan_a]);
+      return next;
+    }
+    case MdpAction::Type::kJoinExecExec: {
+      PlanNode::Ptr la = LeafFor(action.exec_a);
+      PlanNode::Ptr lb = LeafFor(action.exec_b);
+      std::vector<int> preds =
+          ApplicableJoinPreds(query_, la->output_sig(), lb->output_sig());
+      next.planned.push_back(PlanNode::Join(la, lb, std::move(preds)));
+      return next;
+    }
+    case MdpAction::Type::kJoinPlanPlan: {
+      int i = action.plan_a;
+      int j = action.plan_b;
+      if (i < 0 || j <= i || j >= static_cast<int>(next.planned.size())) {
+        return Status::InvalidArgument("bad plan indices in kJoinPlanPlan");
+      }
+      PlanNode::Ptr a = next.planned[i];
+      PlanNode::Ptr b = next.planned[j];
+      std::vector<int> preds =
+          ApplicableJoinPreds(query_, a->output_sig(), b->output_sig());
+      next.planned.erase(next.planned.begin() + j);
+      next.planned.erase(next.planned.begin() + i);
+      next.planned.push_back(PlanNode::Join(a, b, std::move(preds)));
+      return next;
+    }
+    case MdpAction::Type::kJoinExecPlan: {
+      int j = action.plan_a;
+      if (j < 0 || j >= static_cast<int>(next.planned.size())) {
+        return Status::InvalidArgument("bad plan index in kJoinExecPlan");
+      }
+      PlanNode::Ptr leaf = LeafFor(action.exec_a);
+      PlanNode::Ptr b = next.planned[j];
+      std::vector<int> preds =
+          ApplicableJoinPreds(query_, leaf->output_sig(), b->output_sig());
+      next.planned[j] = PlanNode::Join(leaf, b, std::move(preds));
+      return next;
+    }
+    case MdpAction::Type::kExecute:
+      return Status::InvalidArgument("kExecute is not a planning action");
+  }
+  return Status::Internal("unknown action type");
+}
+
+namespace {
+
+// After a simulated Σ over `expr` (cardinality c_expr), harden a distinct
+// count for every UDF term evaluable over it, against every "useful"
+// partner: the relation set on the other side of each predicate the term
+// participates in (Sec. 4.3).
+void SimulateStatsCollection(const QuerySpec& query, const ExprSig& expr,
+                             double c_expr, const Prior& prior, Pcg32& rng,
+                             StatsStore* stats) {
+  RelSet expr_rels(expr.rels);
+  std::vector<int> seen_terms;
+  for (const Predicate& pred : query.predicates()) {
+    const UdfTerm* terms[2] = {&pred.left,
+                               pred.right.has_value() ? &*pred.right : nullptr};
+    for (int side = 0; side < 2; ++side) {
+      const UdfTerm* term = terms[side];
+      if (term == nullptr) continue;
+      if (!expr_rels.ContainsAll(term->rels)) continue;
+      const UdfTerm* other = terms[1 - side];
+      if (other != nullptr && !expr_rels.ContainsAll(other->rels)) {
+        // Join predicate with an external partner.
+        ExprSig partner = ExprSig::Of(other->rels, 0);
+        if (stats->LookupDistinct(term->term_id, expr, partner).has_value()) continue;
+        double c_partner;
+        if (auto known = stats->LookupCountByRels(other->rels)) {
+          c_partner = *known;
+        } else {
+          // Partner not materialized: bound by the product of its base
+          // relation sizes.
+          c_partner = 1;
+          for (int rel : other->rels.Indices()) {
+            auto base = stats->LookupCount(ExprSig::Of(RelSet::Single(rel), 0));
+            c_partner *= base.value_or(1.0);
+          }
+        }
+        double d = prior.Sample(rng, c_expr, c_partner);
+        stats->SetDistinct(term->term_id, expr, partner, d);
+      } else {
+        // Selection predicate, or a join predicate fully inside the
+        // expression: harden a partner-independent value once.
+        if (std::find(seen_terms.begin(), seen_terms.end(), term->term_id) !=
+            seen_terms.end()) {
+          continue;
+        }
+        seen_terms.push_back(term->term_id);
+        if (stats->LookupDistinct(term->term_id, expr, ExprSig::Any()).has_value()) {
+          continue;
+        }
+        double d = prior.Sample(rng, c_expr, c_expr);
+        stats->SetDistinctObserved(term->term_id, expr, d);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<QueryMdp::TransitionResult> QueryMdp::SimulateExecute(const MdpState& state,
+                                                               Pcg32& rng) const {
+  if (state.planned.empty()) {
+    return Status::InvalidArgument("EXECUTE with empty R_p");
+  }
+  TransitionResult result;
+  result.state = state;
+
+  CardinalityModel::Options model_options;
+  model_options.missing_policy = MissingStatPolicy::kSampleFromPrior;
+  model_options.prior = prior_;
+  model_options.rng = &rng;
+  model_options.record_counts = true;
+  CardinalityModel model(query_, &result.state.stats, model_options);
+
+  double total_cost = 0;
+  for (const PlanNode::Ptr& tree : state.planned) {
+    MONSOON_ASSIGN_OR_RETURN(CardinalityModel::PlanEstimate est,
+                             model.EstimatePlan(tree));
+    total_cost += est.cost;
+    ExprSig sig = tree->output_sig();
+    result.state.executed[sig] = est.cardinality;
+    result.state.stats.SetCount(sig, est.cardinality);
+    if (tree->kind() == PlanNode::Kind::kStatsCollect) {
+      SimulateStatsCollection(query_, sig, est.cardinality, *prior_, rng,
+                              &result.state.stats);
+    }
+  }
+  result.state.planned.clear();
+  result.cost = total_cost;
+  return result;
+}
+
+StatusOr<QueryMdp::TransitionResult> QueryMdp::Step(const MdpState& state,
+                                                    const MdpAction& action,
+                                                    Pcg32& rng) const {
+  if (action.IsExecute()) return SimulateExecute(state, rng);
+  TransitionResult result;
+  MONSOON_ASSIGN_OR_RETURN(result.state, ApplyPlanAction(state, action));
+  result.cost = 0;
+  return result;
+}
+
+}  // namespace monsoon

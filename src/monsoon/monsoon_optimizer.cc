@@ -1,0 +1,122 @@
+#include "monsoon/monsoon_optimizer.h"
+
+#include <map>
+
+namespace monsoon {
+
+MonsoonOptimizer::MonsoonOptimizer(const Catalog* catalog, Options options)
+    : catalog_(catalog), options_(options) {}
+
+RunResult MonsoonOptimizer::Run(const QuerySpec& query) const {
+  RunResult result;
+  WallTimer total;
+  result.status = RunImpl(query, &result);
+  result.total_seconds = total.Seconds();
+  return result;
+}
+
+Status MonsoonOptimizer::RunImpl(const QuerySpec& query, RunResult* result) const {
+  MONSOON_RETURN_IF_ERROR(catalog_->ValidateQuery(query));
+  MONSOON_ASSIGN_OR_RETURN(MaterializedStore store,
+                           MaterializedStore::ForQuery(*catalog_, query));
+
+  std::unique_ptr<Prior> prior = MakePrior(options_.prior);
+  QueryMdp mdp(query, prior.get(), options_.mdp);
+
+  // Base relation sizes are always known (Sec. 4.1).
+  std::map<ExprSig, double> base_counts;
+  for (int i = 0; i < query.num_relations(); ++i) {
+    MONSOON_ASSIGN_OR_RETURN(uint64_t rows,
+                             catalog_->RowCount(query.relation(i).table_name));
+    base_counts[ExprSig::Of(RelSet::Single(i), 0)] = static_cast<double>(rows);
+  }
+  MdpState state = mdp.InitialState(StatsStore(), base_counts);
+
+  Executor executor(query, &UdfRegistry::Global());
+  ExecContext ctx(options_.work_budget);
+
+  auto run_execute = [&](const std::vector<PlanNode::Ptr>& planned) -> Status {
+    WallTimer exec_timer;
+    double stats_before = ctx.stats_collect_seconds();
+    for (const PlanNode::Ptr& tree : planned) {
+      StatusOr<ExecResult> exec_or = executor.Execute(tree, &store, &ctx);
+      if (!exec_or.ok()) {
+        // Keep the accounting that accumulated up to the failure
+        // (timeouts report partial work).
+        result->objects_processed = ctx.objects_processed();
+        result->work_units = ctx.work_units();
+        result->exec_seconds += exec_timer.Seconds();
+        return exec_or.status();
+      }
+      ExecResult exec = std::move(exec_or).value();
+      // Harden observed statistics into S, mirroring the simulated
+      // transition: every node cardinality, plus Σ distinct counts as
+      // partner-independent observations.
+      for (const auto& [sig, rows] : exec.observed_counts) {
+        state.stats.SetCount(sig, static_cast<double>(rows));
+      }
+      for (const DistinctObservation& obs : exec.observed_distincts) {
+        state.stats.SetDistinctObserved(obs.term_id, obs.expr, obs.distinct_count);
+        ++result->stats_collections;
+      }
+      ExprSig sig = tree->output_sig();
+      state.executed[sig] = static_cast<double>(exec.output.table->num_rows());
+      state.stats.SetCount(sig, static_cast<double>(exec.output.table->num_rows()));
+    }
+    double elapsed = exec_timer.Seconds();
+    double stats_delta = ctx.stats_collect_seconds() - stats_before;
+    result->stats_seconds += stats_delta;
+    result->exec_seconds += elapsed - stats_delta;
+    ++result->execute_rounds;
+    return Status::OK();
+  };
+
+  int decision = 0;
+  while (!mdp.IsTerminal(state)) {
+    if (decision++ >= options_.max_decisions) {
+      return Status::Internal("exceeded the decision cap without finishing");
+    }
+    std::vector<MdpAction> legal = mdp.LegalActions(state);
+    if (legal.empty()) {
+      // Degenerate query (e.g. single relation with only selections):
+      // execute the goal expression directly.
+      std::vector<PlanNode::Ptr> direct;
+      if (query.num_relations() == 1) {
+        direct.push_back(mdp.LeafFor(ExprSig::Of(RelSet::Single(0), 0)));
+        MONSOON_RETURN_IF_ERROR(run_execute(direct));
+        continue;
+      }
+      return Status::Internal("no legal action from a non-terminal state");
+    }
+
+    MdpAction action;
+    if (legal.size() == 1) {
+      action = legal[0];
+    } else {
+      WallTimer mcts_timer;
+      MctsSearch::Options mcts_options = options_.mcts;
+      mcts_options.seed = options_.seed + 0x9e37 * static_cast<uint64_t>(decision);
+      MctsSearch search(&mdp, mcts_options);
+      MONSOON_ASSIGN_OR_RETURN(action, search.SearchBestAction(state));
+      result->plan_seconds += mcts_timer.Seconds();
+    }
+    result->action_log.push_back(action.ToString(query));
+
+    if (action.IsExecute()) {
+      MONSOON_RETURN_IF_ERROR(run_execute(state.planned));
+      state.planned.clear();
+    } else {
+      MONSOON_ASSIGN_OR_RETURN(state, mdp.ApplyPlanAction(state, action));
+    }
+  }
+
+  MONSOON_ASSIGN_OR_RETURN(const MaterializedExpr* final_expr,
+                           store.Lookup(mdp.GoalSig()));
+  result->result_rows = final_expr->table->num_rows();
+  result->result_table = final_expr->table;
+  result->objects_processed = ctx.objects_processed();
+  result->work_units = ctx.work_units();
+  return Status::OK();
+}
+
+}  // namespace monsoon

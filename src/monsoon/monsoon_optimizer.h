@@ -1,0 +1,51 @@
+#ifndef MONSOON_MONSOON_MONSOON_OPTIMIZER_H_
+#define MONSOON_MONSOON_MONSOON_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+#include "exec/run_result.h"
+#include "mcts/mcts.h"
+#include "mdp/mdp.h"
+#include "priors/prior.h"
+
+namespace monsoon {
+
+/// The Monsoon optimizer (Sec. 5): interleaved MCTS planning and real
+/// execution. Before every real-world action an MCTS search runs from the
+/// current state; planning actions mutate R_p, and EXECUTE hands every
+/// planned tree to the engine, feeding observed cardinalities and Σ
+/// distinct counts back into the statistics store before planning resumes.
+class MonsoonOptimizer {
+ public:
+  struct Options {
+    PriorKind prior = PriorKind::kSpikeAndSlab;
+    MctsSearch::Options mcts;
+    QueryMdp::Options mdp;
+    /// Physical work budget per query; 0 = unlimited. Exceeding it aborts
+    /// the query with ResourceExhausted ("timeout").
+    uint64_t work_budget = 0;
+    /// Safety cap on real-world decisions.
+    int max_decisions = 128;
+    uint64_t seed = 0x5eed;
+  };
+
+  MonsoonOptimizer(const Catalog* catalog, Options options);
+
+  /// Optimizes and executes `query`, returning the run's accounting. On
+  /// timeout the result carries status ResourceExhausted and whatever
+  /// accounting accumulated.
+  RunResult Run(const QuerySpec& query) const;
+
+ private:
+  Status RunImpl(const QuerySpec& query, RunResult* result) const;
+
+  const Catalog* catalog_;
+  Options options_;
+};
+
+}  // namespace monsoon
+
+#endif  // MONSOON_MONSOON_MONSOON_OPTIMIZER_H_

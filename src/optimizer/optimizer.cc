@@ -1,0 +1,234 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+
+namespace monsoon {
+
+StatusOr<PlanNode::Ptr> DpOptimizer::Optimize(const QuerySpec& query,
+                                              CardinalityModel* model) const {
+  int n = query.num_relations();
+  if (n == 0) return Status::InvalidArgument("query has no relations");
+  if (n > options_.max_relations) {
+    return Status::OutOfRange("too many relations for DP enumeration");
+  }
+
+  struct Entry {
+    PlanNode::Ptr plan;
+    double cost = std::numeric_limits<double>::infinity();
+    double cardinality = 0;
+  };
+  std::vector<Entry> best(size_t{1} << n);
+
+  // Singletons: leaf scans with selections applied.
+  for (int i = 0; i < n; ++i) {
+    PlanNode::Ptr leaf = MakeLeaf(query, i);
+    MONSOON_ASSIGN_OR_RETURN(double card,
+                             model->LeafCardinality(leaf->source(), leaf->pred_ids()));
+    auto base_count = model->stats().LookupCount(leaf->source());
+    if (!base_count.has_value()) {
+      return Status::NotFound("no row count for base relation " +
+                              query.relation(i).alias);
+    }
+    Entry& entry = best[size_t{1} << i];
+    entry.plan = leaf;
+    entry.cost = *base_count;  // scanning the input
+    entry.cardinality = card;
+  }
+
+  uint64_t full = (n == 64) ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+  for (uint64_t mask = 1; mask <= full; ++mask) {
+    if (__builtin_popcountll(mask) < 2) continue;
+    Entry& target = best[mask];
+    // Two passes: connected splits first; bare cross products only if no
+    // connected split exists for this subset.
+    for (int pass = 0; pass < 2 && !target.plan; ++pass) {
+      bool allow_cross = pass == 1;
+      // Enumerate proper sub-splits; canonical form visits each pair once.
+      for (uint64_t sub = (mask - 1) & mask; sub != 0; sub = (sub - 1) & mask) {
+        uint64_t other = mask & ~sub;
+        if (sub < other) continue;  // symmetric; skip the mirror
+        const Entry& a = best[sub];
+        const Entry& b = best[other];
+        if (!a.plan || !b.plan) continue;
+        std::vector<int> preds = ApplicableJoinPreds(query, a.plan->output_sig(),
+                                                     b.plan->output_sig());
+        if (preds.empty() && !allow_cross) continue;
+        MONSOON_ASSIGN_OR_RETURN(
+            double card, model->JoinCardinality(a.plan->output_sig(), a.cardinality,
+                                                b.plan->output_sig(), b.cardinality,
+                                                preds));
+        double cost = card + a.cost + b.cost;
+        if (cost < target.cost) {
+          target.plan = PlanNode::Join(a.plan, b.plan, preds);
+          target.cost = cost;
+          target.cardinality = card;
+        }
+      }
+      if (target.plan) break;
+    }
+    // Second chance: even with a connected plan found in pass 0 we keep
+    // it; cross-product pass only runs when nothing connected existed.
+  }
+
+  if (!best[full].plan) {
+    return Status::Internal("DP failed to build a complete plan");
+  }
+  return best[full].plan;
+}
+
+StatusOr<PlanNode::Ptr> LecOptimizer::Optimize(const QuerySpec& query,
+                                               const StatsStore& stats) const {
+  int n = query.num_relations();
+  if (n == 0) return Status::InvalidArgument("query has no relations");
+  if (n > 16) return Status::OutOfRange("too many relations for DP enumeration");
+  if (prior_ == nullptr) return Status::InvalidArgument("LEC requires a prior");
+
+  // Sample `scenarios` complete worlds: one StatsStore each, with a joint
+  // draw for every term whose statistics are unknown.
+  Pcg32 rng(options_.seed);
+  std::vector<StatsStore> worlds(options_.scenarios, stats);
+  for (StatsStore& world : worlds) {
+    std::vector<int> seen;
+    for (const UdfTerm* term : query.AllTerms()) {
+      if (std::find(seen.begin(), seen.end(), term->term_id) != seen.end()) continue;
+      seen.push_back(term->term_id);
+      ExprSig home = ExprSig::Of(term->rels, 0);
+      if (world.LookupDistinct(term->term_id, home, ExprSig::Any()).has_value()) {
+        continue;  // actually known
+      }
+      double c_home = 1;
+      for (int rel : term->rels.Indices()) {
+        c_home *= stats.LookupCount(ExprSig::Of(RelSet::Single(rel), 0)).value_or(1);
+      }
+      world.SetDistinctObserved(term->term_id, home,
+                                prior_->Sample(rng, c_home, c_home));
+    }
+  }
+
+  // Per-scenario cardinality models (kError: every statistic exists now).
+  std::vector<std::unique_ptr<CardinalityModel>> models;
+  for (StatsStore& world : worlds) {
+    CardinalityModel::Options options;
+    options.missing_policy = MissingStatPolicy::kError;
+    models.push_back(std::make_unique<CardinalityModel>(query, &world, options));
+  }
+
+  struct Entry {
+    PlanNode::Ptr plan;
+    std::vector<double> cost;  // per scenario
+    std::vector<double> card;  // per scenario
+    double mean_cost = std::numeric_limits<double>::infinity();
+  };
+  std::vector<Entry> best(size_t{1} << n);
+
+  for (int i = 0; i < n; ++i) {
+    PlanNode::Ptr leaf = MakeLeaf(query, i);
+    auto base = stats.LookupCount(leaf->source());
+    if (!base.has_value()) {
+      return Status::NotFound("no row count for base relation " +
+                              query.relation(i).alias);
+    }
+    Entry& entry = best[size_t{1} << i];
+    entry.plan = leaf;
+    entry.cost.assign(worlds.size(), *base);
+    entry.card.resize(worlds.size());
+    for (size_t w = 0; w < worlds.size(); ++w) {
+      MONSOON_ASSIGN_OR_RETURN(
+          entry.card[w], models[w]->LeafCardinality(leaf->source(), leaf->pred_ids()));
+    }
+    entry.mean_cost = *base;
+  }
+
+  uint64_t full = (uint64_t{1} << n) - 1;
+  for (uint64_t mask = 1; mask <= full; ++mask) {
+    if (__builtin_popcountll(mask) < 2) continue;
+    Entry& target = best[mask];
+    for (int pass = 0; pass < 2 && !target.plan; ++pass) {
+      bool allow_cross = pass == 1;
+      for (uint64_t sub = (mask - 1) & mask; sub != 0; sub = (sub - 1) & mask) {
+        uint64_t other = mask & ~sub;
+        if (sub < other) continue;
+        const Entry& a = best[sub];
+        const Entry& b = best[other];
+        if (!a.plan || !b.plan) continue;
+        std::vector<int> preds =
+            ApplicableJoinPreds(query, a.plan->output_sig(), b.plan->output_sig());
+        if (preds.empty() && !allow_cross) continue;
+        std::vector<double> cost(worlds.size());
+        std::vector<double> card(worlds.size());
+        double mean = 0;
+        for (size_t w = 0; w < worlds.size(); ++w) {
+          MONSOON_ASSIGN_OR_RETURN(
+              card[w],
+              models[w]->JoinCardinality(a.plan->output_sig(), a.card[w],
+                                         b.plan->output_sig(), b.card[w], preds));
+          cost[w] = card[w] + a.cost[w] + b.cost[w];
+          mean += cost[w];
+        }
+        mean /= static_cast<double>(worlds.size());
+        if (mean < target.mean_cost) {
+          target.plan = PlanNode::Join(a.plan, b.plan, preds);
+          target.cost = std::move(cost);
+          target.card = std::move(card);
+          target.mean_cost = mean;
+        }
+      }
+      if (target.plan) break;
+    }
+  }
+
+  if (!best[full].plan) return Status::Internal("LEC DP failed to build a plan");
+  return best[full].plan;
+}
+
+StatusOr<PlanNode::Ptr> GreedyOptimizer::Optimize(const QuerySpec& query,
+                                                  const StatsStore& stats) const {
+  int n = query.num_relations();
+  if (n == 0) return Status::InvalidArgument("query has no relations");
+
+  // Base-table sizes only — the Greedy baseline uses no other statistics.
+  std::vector<double> size(n);
+  for (int i = 0; i < n; ++i) {
+    auto c = stats.LookupCount(ExprSig::Of(RelSet::Single(i), 0));
+    if (!c.has_value()) {
+      return Status::NotFound("no row count for base relation " +
+                              query.relation(i).alias);
+    }
+    size[i] = *c;
+  }
+
+  int start = 0;
+  for (int i = 1; i < n; ++i) {
+    if (size[i] < size[start]) start = i;
+  }
+
+  PlanNode::Ptr plan = MakeLeaf(query, start);
+  std::vector<bool> joined(n, false);
+  joined[start] = true;
+  for (int step = 1; step < n; ++step) {
+    int next = -1;
+    bool next_connected = false;
+    for (int i = 0; i < n; ++i) {
+      if (joined[i]) continue;
+      bool connected =
+          AreConnected(query, plan->output_sig(), ExprSig::Of(RelSet::Single(i), 0));
+      // Prefer connected relations; among equals, the smallest table.
+      if (next == -1 || (connected && !next_connected) ||
+          (connected == next_connected && size[i] < size[next])) {
+        next = i;
+        next_connected = connected;
+      }
+    }
+    PlanNode::Ptr leaf = MakeLeaf(query, next);
+    std::vector<int> preds =
+        ApplicableJoinPreds(query, plan->output_sig(), leaf->output_sig());
+    plan = PlanNode::Join(plan, leaf, preds);
+    joined[next] = true;
+  }
+  return plan;
+}
+
+}  // namespace monsoon

@@ -1,0 +1,82 @@
+#ifndef MONSOON_OPTIMIZER_OPTIMIZER_H_
+#define MONSOON_OPTIMIZER_OPTIMIZER_H_
+
+#include <vector>
+
+#include "cost/cardinality.h"
+#include "plan/logical_ops.h"
+#include "plan/plan_node.h"
+#include "query/query_spec.h"
+
+namespace monsoon {
+
+/// Classical Selinger-style dynamic-programming join-order optimizer over
+/// bushy plans. Distinct-value statistics are resolved through the given
+/// CardinalityModel, so the same enumerator serves:
+///   * the FullStats ("Postgres") baseline — exact stats, kError policy;
+///   * the Defaults baseline — 10% magic fraction;
+///   * On-Demand / Sampling — estimates previously written to the store.
+/// Cross products are admitted only when a relation subset has no
+/// connected split (disconnected queries).
+class DpOptimizer {
+ public:
+  struct Options {
+    /// Upper bound on relations (DP is exponential in this).
+    int max_relations = 16;
+  };
+
+  DpOptimizer() : options_(Options()) {}
+  explicit DpOptimizer(Options options) : options_(options) {}
+
+  StatusOr<PlanNode::Ptr> Optimize(const QuerySpec& query,
+                                   CardinalityModel* model) const;
+
+ private:
+  Options options_;
+};
+
+/// The paper's Greedy baseline: a left-deep plan built from base-table
+/// sizes only. Start from the smallest relation; repeatedly join the
+/// smallest not-yet-joined relation that does not introduce a cross
+/// product (unless one is unavoidable).
+class GreedyOptimizer {
+ public:
+  StatusOr<PlanNode::Ptr> Optimize(const QuerySpec& query,
+                                   const StatsStore& stats) const;
+};
+
+/// Least-expected-cost optimization (Chu, Halpern, Gehrke — discussed and
+/// argued against in the paper's Sec. 2.3): unknown distinct counts are
+/// modeled by the prior, `scenarios` complete worlds are sampled jointly,
+/// and a single static plan minimizing the *average* cost across worlds is
+/// chosen — no statistics are ever collected. Implemented with the same
+/// subset DP as DpOptimizer, but carrying per-scenario cardinalities.
+///
+/// The paper's point (reproduced by bench_ablation_monsoon): on the
+/// Sec. 2.3 example both candidate orders have identical expected cost, so
+/// LEC is indifferent exactly where statistics collection guarantees the
+/// optimal plan.
+class LecOptimizer {
+ public:
+  struct Options {
+    int scenarios = 32;
+    uint64_t seed = 0x1ec;
+  };
+
+  LecOptimizer(const Prior* prior, Options options)
+      : prior_(prior), options_(options) {}
+
+  /// `stats` supplies whatever is known (at least base-table counts);
+  /// every UDF term with no recorded distinct count gets a fresh sample
+  /// per scenario.
+  StatusOr<PlanNode::Ptr> Optimize(const QuerySpec& query,
+                                   const StatsStore& stats) const;
+
+ private:
+  const Prior* prior_;
+  Options options_;
+};
+
+}  // namespace monsoon
+
+#endif  // MONSOON_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,61 @@
+#include "plan/logical_ops.h"
+
+namespace monsoon {
+
+PlanNode::Ptr MakeLeaf(const QuerySpec& query, int rel) {
+  return PlanNode::Leaf(ExprSig::Of(RelSet::Single(rel), 0),
+                        query.SelectionPredicatesOn(rel));
+}
+
+std::vector<int> ApplicableJoinPreds(const QuerySpec& query, const ExprSig& left,
+                                     const ExprSig& right) {
+  std::vector<int> out;
+  RelSet lrels(left.rels);
+  RelSet rrels(right.rels);
+  RelSet union_rels = lrels.Union(rrels);
+  uint64_t applied = left.preds | right.preds;
+  for (const Predicate& pred : query.predicates()) {
+    if ((applied >> pred.pred_id) & 1) continue;
+    RelSet prels = pred.rels();
+    if (!union_rels.ContainsAll(prels)) continue;
+    if (lrels.ContainsAll(prels) || rrels.ContainsAll(prels)) continue;
+    out.push_back(pred.pred_id);
+  }
+  return out;
+}
+
+bool AreConnected(const QuerySpec& query, const ExprSig& left, const ExprSig& right) {
+  return !ApplicableJoinPreds(query, left, right).empty();
+}
+
+bool CrossProductUnavoidable(const QuerySpec& query, RelSet a, RelSet b) {
+  // Union-find over relations through all predicates.
+  int n = query.num_relations();
+  std::vector<int> parent(n);
+  for (int i = 0; i < n; ++i) parent[i] = i;
+  auto find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Predicate& pred : query.predicates()) {
+    auto indices = pred.rels().Indices();
+    for (size_t i = 1; i < indices.size(); ++i) {
+      int ra = find(indices[0]);
+      int rb = find(indices[i]);
+      if (ra != rb) parent[ra] = rb;
+    }
+  }
+  // If any relation of `a` shares a component with any relation of `b`,
+  // a predicate path exists and the cross product is avoidable.
+  for (int ia : a.Indices()) {
+    for (int ib : b.Indices()) {
+      if (find(ia) == find(ib)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace monsoon

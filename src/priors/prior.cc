@@ -1,0 +1,127 @@
+#include "priors/prior.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace monsoon {
+
+const std::vector<PriorKind>& AllPriorKinds() {
+  static const std::vector<PriorKind>* kinds = new std::vector<PriorKind>{
+      PriorKind::kUniform,    PriorKind::kIncreasing,   PriorKind::kDecreasing,
+      PriorKind::kUShaped,    PriorKind::kLowBiased,    PriorKind::kSpikeAndSlab,
+      PriorKind::kDiscrete,
+  };
+  return *kinds;
+}
+
+const char* PriorKindToString(PriorKind kind) {
+  switch (kind) {
+    case PriorKind::kUniform:
+      return "Uniform";
+    case PriorKind::kIncreasing:
+      return "Increasing";
+    case PriorKind::kDecreasing:
+      return "Decreasing";
+    case PriorKind::kUShaped:
+      return "U-Shaped";
+    case PriorKind::kLowBiased:
+      return "Low Biased";
+    case PriorKind::kSpikeAndSlab:
+      return "Spike and Slab";
+    case PriorKind::kDiscrete:
+      return "Discrete";
+  }
+  return "Unknown";
+}
+
+double BetaPdf(double x, double a, double b) {
+  if (x <= 0.0 || x >= 1.0) return 0.0;
+  double log_beta = std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+  return std::exp((a - 1.0) * std::log(x) + (b - 1.0) * std::log(1.0 - x) - log_beta);
+}
+
+std::optional<double> Prior::DensityAt(double) const { return std::nullopt; }
+
+namespace {
+
+double Clamp(double d, double c_r) {
+  return std::min(std::max(d, 1.0), std::max(c_r, 1.0));
+}
+
+class UniformPrior : public Prior {
+ public:
+  PriorKind kind() const override { return PriorKind::kUniform; }
+  double Sample(Pcg32& rng, double c_r, double /*c_s*/) const override {
+    return Clamp(std::ceil(rng.NextDouble() * c_r), c_r);
+  }
+  std::optional<double> DensityAt(double x) const override {
+    return (x > 0.0 && x < 1.0) ? std::optional<double>(1.0) : std::optional<double>(0.0);
+  }
+};
+
+class BetaPrior : public Prior {
+ public:
+  BetaPrior(PriorKind kind, double a, double b) : kind_(kind), a_(a), b_(b) {}
+  PriorKind kind() const override { return kind_; }
+  double Sample(Pcg32& rng, double c_r, double /*c_s*/) const override {
+    return Clamp(std::ceil(SampleBeta(rng, a_, b_) * c_r), c_r);
+  }
+  std::optional<double> DensityAt(double x) const override {
+    return BetaPdf(x, a_, b_);
+  }
+
+ private:
+  PriorKind kind_;
+  double a_;
+  double b_;
+};
+
+class SpikeAndSlabPrior : public Prior {
+ public:
+  PriorKind kind() const override { return PriorKind::kSpikeAndSlab; }
+  double Sample(Pcg32& rng, double c_r, double c_s) const override {
+    double u = rng.NextDouble();
+    if (u < 0.8) {
+      // Slab: uniform over [1, c(r)].
+      return Clamp(std::ceil(rng.NextDouble() * c_r), c_r);
+    }
+    if (u < 0.9) {
+      // Spike at c(r): F is a key of r (foreign-key join from s into r).
+      return Clamp(c_r, c_r);
+    }
+    // Spike at c(s): F is a foreign key of r referencing s.
+    return Clamp(c_s, c_r);
+  }
+};
+
+class DiscretePrior : public Prior {
+ public:
+  PriorKind kind() const override { return PriorKind::kDiscrete; }
+  double Sample(Pcg32& /*rng*/, double c_r, double /*c_s*/) const override {
+    return Clamp(0.1 * c_r, c_r);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Prior> MakePrior(PriorKind kind) {
+  switch (kind) {
+    case PriorKind::kUniform:
+      return std::make_unique<UniformPrior>();
+    case PriorKind::kIncreasing:
+      return std::make_unique<BetaPrior>(PriorKind::kIncreasing, 3.0, 1.0);
+    case PriorKind::kDecreasing:
+      return std::make_unique<BetaPrior>(PriorKind::kDecreasing, 1.0, 3.0);
+    case PriorKind::kUShaped:
+      return std::make_unique<BetaPrior>(PriorKind::kUShaped, 0.5, 0.5);
+    case PriorKind::kLowBiased:
+      return std::make_unique<BetaPrior>(PriorKind::kLowBiased, 2.0, 10.0);
+    case PriorKind::kSpikeAndSlab:
+      return std::make_unique<SpikeAndSlabPrior>();
+    case PriorKind::kDiscrete:
+      return std::make_unique<DiscretePrior>();
+  }
+  return nullptr;
+}
+
+}  // namespace monsoon

@@ -1,0 +1,59 @@
+#ifndef MONSOON_PRIORS_PRIOR_H_
+#define MONSOON_PRIORS_PRIOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace monsoon {
+
+/// The seven candidate priors of Sec. 5.2. All model
+/// f(d(F, r|_s) | c(r), c(s)) — the number of distinct values a UDF term
+/// produces over expression r, in the context of a join with s.
+enum class PriorKind {
+  kUniform,
+  kIncreasing,    // Beta(3, 1) scaled by c(r): optimistic, many distincts
+  kDecreasing,    // Beta(1, 3): pessimistic, few distincts
+  kUShaped,       // Beta(0.5, 0.5)
+  kLowBiased,     // Beta(2, 10)
+  kSpikeAndSlab,  // 80% uniform + 10% spike at c(r) + 10% spike at c(s)
+  kDiscrete,      // always 0.1 * c(r)
+};
+
+/// All seven kinds, in the paper's Table 2 order.
+const std::vector<PriorKind>& AllPriorKinds();
+
+const char* PriorKindToString(PriorKind kind);
+
+/// A prior over unknown distinct-value counts. Stateless and thread-
+/// compatible; randomness comes from the caller's RNG.
+class Prior {
+ public:
+  virtual ~Prior() = default;
+
+  virtual PriorKind kind() const = 0;
+  std::string name() const { return PriorKindToString(kind()); }
+
+  /// Draws d ~ f(d | c(r), c(s)). The result is clamped to [1, c(r)]
+  /// (a distinct count is at least 1 and at most the row count).
+  /// Selection predicates use c_s == c_r (the prior on d(F, R) | c(R)).
+  virtual double Sample(Pcg32& rng, double c_r, double c_s) const = 0;
+
+  /// Density of the *fraction* d / c(r) at x in (0, 1), for the five
+  /// continuous priors plotted in Figure 2. nullopt for priors with point
+  /// masses (spike-and-slab's spikes, discrete).
+  virtual std::optional<double> DensityAt(double x) const;
+};
+
+/// Factory for a prior of the given kind.
+std::unique_ptr<Prior> MakePrior(PriorKind kind);
+
+/// Beta(a, b) probability density at x in (0, 1).
+double BetaPdf(double x, double a, double b);
+
+}  // namespace monsoon
+
+#endif  // MONSOON_PRIORS_PRIOR_H_

@@ -1,0 +1,28 @@
+#include "query/relset.h"
+
+namespace monsoon {
+
+std::vector<int> RelSet::Indices() const {
+  std::vector<int> out;
+  uint64_t m = mask_;
+  while (m != 0) {
+    int idx = __builtin_ctzll(m);
+    out.push_back(idx);
+    m &= m - 1;
+  }
+  return out;
+}
+
+std::string RelSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (int idx : Indices()) {
+    if (!first) out += ",";
+    out += std::to_string(idx);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace monsoon

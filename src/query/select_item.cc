@@ -1,0 +1,25 @@
+#include "query/select_item.h"
+
+namespace monsoon {
+
+std::string SelectItem::ToString() const {
+  switch (kind) {
+    case Kind::kStar:
+      return "*";
+    case Kind::kAttribute:
+      return attribute;
+    case Kind::kCount:
+      return "COUNT(" + (attribute.empty() ? "*" : attribute) + ")";
+    case Kind::kSum:
+      return "SUM(" + attribute + ")";
+    case Kind::kMin:
+      return "MIN(" + attribute + ")";
+    case Kind::kMax:
+      return "MAX(" + attribute + ")";
+    case Kind::kAvg:
+      return "AVG(" + attribute + ")";
+  }
+  return "?";
+}
+
+}  // namespace monsoon

@@ -1,0 +1,35 @@
+#ifndef MONSOON_QUERY_SELECT_ITEM_H_
+#define MONSOON_QUERY_SELECT_ITEM_H_
+
+#include <string>
+
+namespace monsoon {
+
+/// One item of a SELECT list: a bare qualified attribute, `*`, or an
+/// aggregate over an attribute / `*`. The paper's system is a join-order
+/// optimizer, so projection and aggregation are applied as a final pass
+/// over the joined relation — they never participate in plan search.
+struct SelectItem {
+  enum class Kind { kStar, kAttribute, kCount, kSum, kMin, kMax, kAvg };
+
+  Kind kind = Kind::kStar;
+  std::string attribute;  // qualified "alias.column"; empty for kStar/COUNT(*)
+
+  static SelectItem Star() { return SelectItem{}; }
+  static SelectItem Attribute(std::string attr) {
+    return SelectItem{Kind::kAttribute, std::move(attr)};
+  }
+  static SelectItem Aggregate(Kind kind, std::string attr) {
+    return SelectItem{kind, std::move(attr)};
+  }
+
+  bool IsAggregate() const {
+    return kind != Kind::kStar && kind != Kind::kAttribute;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace monsoon
+
+#endif  // MONSOON_QUERY_SELECT_ITEM_H_

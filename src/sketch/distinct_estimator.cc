@@ -1,0 +1,48 @@
+#include "sketch/distinct_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace monsoon {
+
+SampleProfile SampleProfile::FromHashes(const std::vector<uint64_t>& hashes) {
+  SampleProfile profile;
+  profile.sample_size = hashes.size();
+  std::unordered_map<uint64_t, uint64_t> counts;
+  counts.reserve(hashes.size() * 2);
+  for (uint64_t h : hashes) ++counts[h];
+  profile.sample_distinct = counts.size();
+  uint64_t max_count = 0;
+  for (const auto& [value, count] : counts) max_count = std::max(max_count, count);
+  profile.freq_of_freq.assign(max_count + 1, 0);
+  for (const auto& [value, count] : counts) ++profile.freq_of_freq[count];
+  return profile;
+}
+
+double EstimateDistinctGee(const SampleProfile& profile, uint64_t population_size) {
+  if (profile.sample_size == 0) return 0.0;
+  uint64_t f1 = profile.freq_of_freq.size() > 1 ? profile.freq_of_freq[1] : 0;
+  double rest = static_cast<double>(profile.sample_distinct) - static_cast<double>(f1);
+  double scale = std::sqrt(static_cast<double>(population_size) /
+                           static_cast<double>(profile.sample_size));
+  double estimate = scale * static_cast<double>(f1) + rest;
+  // A distinct count can be neither below what we saw nor above N.
+  estimate = std::max(estimate, static_cast<double>(profile.sample_distinct));
+  estimate = std::min(estimate, static_cast<double>(population_size));
+  return estimate;
+}
+
+double EstimateDistinctChaoLee(const SampleProfile& profile,
+                               uint64_t population_size) {
+  if (profile.sample_size == 0) return 0.0;
+  uint64_t f1 = profile.freq_of_freq.size() > 1 ? profile.freq_of_freq[1] : 0;
+  double coverage =
+      1.0 - static_cast<double>(f1) / static_cast<double>(profile.sample_size);
+  if (coverage <= 0.0) return EstimateDistinctGee(profile, population_size);
+  double estimate = static_cast<double>(profile.sample_distinct) / coverage;
+  estimate = std::max(estimate, static_cast<double>(profile.sample_distinct));
+  estimate = std::min(estimate, static_cast<double>(population_size));
+  return estimate;
+}
+
+}  // namespace monsoon

@@ -1,0 +1,48 @@
+#ifndef MONSOON_SKETCH_DISTINCT_ESTIMATOR_H_
+#define MONSOON_SKETCH_DISTINCT_ESTIMATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace monsoon {
+
+/// Frequency profile of a sample: f[i] = number of values appearing exactly
+/// i times (f_1 = singletons). d = number of distinct values in the sample,
+/// n = sample size.
+struct SampleProfile {
+  std::vector<uint64_t> freq_of_freq;  // 1-indexed conceptually; [0] unused
+  uint64_t sample_size = 0;
+  uint64_t sample_distinct = 0;
+
+  /// Builds the profile from a vector of pre-hashed sample values.
+  static SampleProfile FromHashes(const std::vector<uint64_t>& hashes);
+};
+
+/// Guaranteed-Error Estimator of Charikar et al. [8]:
+///   D_GEE = sqrt(N / n) * f_1 + sum_{i >= 2} f_i
+/// where N is the population size and n the sample size. This is the
+/// estimator the paper's Sampling baseline uses on 2% block samples.
+double EstimateDistinctGee(const SampleProfile& profile, uint64_t population_size);
+
+/// Chao–Lee style smoothed estimator (coverage-based):
+///   C = 1 - f_1 / n,  D ≈ d / C   (falls back to GEE when C == 0)
+/// Provided as a cross-check; tests compare both against ground truth.
+double EstimateDistinctChaoLee(const SampleProfile& profile, uint64_t population_size);
+
+/// Exact distinct counter over pre-hashed values (hash-set based). The
+/// engine uses this for small results and for ground truth in tests.
+class ExactDistinctCounter {
+ public:
+  void AddHash(uint64_t hash) { values_.insert(hash); }
+  uint64_t Count() const { return values_.size(); }
+  void Clear() { values_.clear(); }
+
+ private:
+  std::unordered_set<uint64_t> values_;
+};
+
+}  // namespace monsoon
+
+#endif  // MONSOON_SKETCH_DISTINCT_ESTIMATOR_H_

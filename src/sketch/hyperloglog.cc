@@ -1,0 +1,75 @@
+#include "sketch/hyperloglog.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace monsoon {
+
+namespace {
+
+// Bias-correction constant alpha_m for m registers.
+double AlphaM(size_t m) {
+  switch (m) {
+    case 16:
+      return 0.673;
+    case 32:
+      return 0.697;
+    case 64:
+      return 0.709;
+    default:
+      return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+}
+
+}  // namespace
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  assert(precision >= 4 && precision <= 18);
+  registers_.assign(size_t{1} << precision, 0);
+}
+
+StatusOr<HyperLogLog> HyperLogLog::Create(int precision) {
+  if (precision < 4 || precision > 18) {
+    return Status::InvalidArgument("HLL precision must be in [4, 18]");
+  }
+  return HyperLogLog(precision);
+}
+
+void HyperLogLog::AddHash(uint64_t hash) {
+  // First p bits pick the register; the rank of the remaining bits updates it.
+  size_t index = hash >> (64 - precision_);
+  uint64_t rest = (hash << precision_) | (uint64_t{1} << (precision_ - 1));
+  uint8_t rank = static_cast<uint8_t>(__builtin_clzll(rest) + 1);
+  if (rank > registers_[index]) registers_[index] = rank;
+}
+
+double HyperLogLog::Estimate() const {
+  size_t m = registers_.size();
+  double sum = 0.0;
+  size_t zeros = 0;
+  for (uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  double raw = AlphaM(m) * static_cast<double>(m) * static_cast<double>(m) / sum;
+  // Small-range correction: linear counting while registers are sparse.
+  if (raw <= 2.5 * static_cast<double>(m) && zeros > 0) {
+    return static_cast<double>(m) *
+           std::log(static_cast<double>(m) / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+Status HyperLogLog::Merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_) {
+    return Status::InvalidArgument("cannot merge HLLs of different precision");
+  }
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    if (other.registers_[i] > registers_[i]) registers_[i] = other.registers_[i];
+  }
+  return Status::OK();
+}
+
+void HyperLogLog::Clear() { registers_.assign(registers_.size(), 0); }
+
+}  // namespace monsoon

@@ -1,0 +1,53 @@
+#include "sketch/sampling.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace monsoon {
+
+ReservoirSampler::ReservoirSampler(size_t capacity, uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  sample_.reserve(capacity);
+}
+
+void ReservoirSampler::Add(uint64_t item) {
+  ++seen_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(item);
+    return;
+  }
+  // Replace a random slot with probability capacity / seen.
+  uint64_t j = static_cast<uint64_t>(rng_.NextInt64(0, static_cast<int64_t>(seen_) - 1));
+  if (j < capacity_) sample_[j] = item;
+}
+
+std::vector<uint64_t> BlockSample(uint64_t num_rows, double fraction,
+                                  uint64_t max_rows, uint64_t block_size,
+                                  Pcg32& rng) {
+  assert(block_size > 0);
+  std::vector<uint64_t> out;
+  if (num_rows == 0) return out;
+  uint64_t target = static_cast<uint64_t>(static_cast<double>(num_rows) * fraction);
+  target = std::max<uint64_t>(target, std::min<uint64_t>(num_rows, block_size));
+  target = std::min(target, max_rows);
+  target = std::min(target, num_rows);
+
+  uint64_t num_blocks = (num_rows + block_size - 1) / block_size;
+  // Shuffle block ids and take blocks until the target row count is met.
+  std::vector<uint64_t> blocks(num_blocks);
+  for (uint64_t i = 0; i < num_blocks; ++i) blocks[i] = i;
+  for (uint64_t i = num_blocks; i > 1; --i) {
+    uint64_t j = static_cast<uint64_t>(rng.NextInt64(0, static_cast<int64_t>(i) - 1));
+    std::swap(blocks[i - 1], blocks[j]);
+  }
+  out.reserve(target);
+  for (uint64_t b : blocks) {
+    uint64_t begin = b * block_size;
+    uint64_t end = std::min(begin + block_size, num_rows);
+    for (uint64_t r = begin; r < end && out.size() < target; ++r) out.push_back(r);
+    if (out.size() >= target) break;
+  }
+  return out;
+}
+
+}  // namespace monsoon

@@ -1,0 +1,45 @@
+#ifndef MONSOON_SKETCH_SAMPLING_H_
+#define MONSOON_SKETCH_SAMPLING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace monsoon {
+
+/// Vitter's Algorithm R reservoir sampler over row indices [43]. Yields a
+/// uniform sample of size <= capacity after a single pass; used when the
+/// Sampling baseline cannot do block access (e.g. streams).
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t capacity, uint64_t seed);
+
+  /// Offers one item (by index). Call once per row in stream order.
+  void Add(uint64_t item);
+
+  /// Sampled items (unordered). Size is min(capacity, items seen).
+  const std::vector<uint64_t>& sample() const { return sample_; }
+  uint64_t items_seen() const { return seen_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  uint64_t seen_ = 0;
+  std::vector<uint64_t> sample_;
+  Pcg32 rng_;
+};
+
+/// Block-based sampling of row indices, as used by the paper's Sampling
+/// baseline ("we use block-based sampling to sample 2% of each base
+/// table, up to a maximum of 200,000 tuples"). Rows are grouped into
+/// fixed-size blocks; whole blocks are chosen uniformly without
+/// replacement until the target fraction (capped) is covered.
+std::vector<uint64_t> BlockSample(uint64_t num_rows, double fraction,
+                                  uint64_t max_rows, uint64_t block_size,
+                                  Pcg32& rng);
+
+}  // namespace monsoon
+
+#endif  // MONSOON_SKETCH_SAMPLING_H_

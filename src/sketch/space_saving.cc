@@ -1,0 +1,55 @@
+#include "sketch/space_saving.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace monsoon {
+
+SpaceSaving::SpaceSaving(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  counters_.reserve(capacity_ * 2);
+}
+
+void SpaceSaving::AddHash(uint64_t hash) {
+  ++items_seen_;
+  auto it = counters_.find(hash);
+  if (it != counters_.end()) {
+    ++it->second.count;
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_.emplace(hash, Counter{1, 0});
+    return;
+  }
+  // Evict the minimum counter; the newcomer inherits its count as error.
+  auto min_it = counters_.begin();
+  for (auto candidate = counters_.begin(); candidate != counters_.end();
+       ++candidate) {
+    if (candidate->second.count < min_it->second.count) min_it = candidate;
+  }
+  Counter replacement{min_it->second.count + 1, min_it->second.count};
+  counters_.erase(min_it);
+  counters_.emplace(hash, replacement);
+}
+
+std::vector<SpaceSaving::HeavyHitter> SpaceSaving::Counters() const {
+  std::vector<HeavyHitter> out;
+  out.reserve(counters_.size());
+  for (const auto& [hash, counter] : counters_) {
+    out.push_back(HeavyHitter{hash, counter.count, counter.error});
+  }
+  std::sort(out.begin(), out.end(), [](const HeavyHitter& a, const HeavyHitter& b) {
+    return a.count > b.count;
+  });
+  return out;
+}
+
+std::vector<SpaceSaving::HeavyHitter> SpaceSaving::HittersAbove(
+    uint64_t threshold) const {
+  std::vector<HeavyHitter> out;
+  for (const HeavyHitter& hitter : Counters()) {
+    if (hitter.count - hitter.error >= threshold) out.push_back(hitter);
+  }
+  return out;
+}
+
+}  // namespace monsoon

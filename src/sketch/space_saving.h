@@ -1,0 +1,54 @@
+#ifndef MONSOON_SKETCH_SPACE_SAVING_H_
+#define MONSOON_SKETCH_SPACE_SAVING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace monsoon {
+
+/// SpaceSaving heavy-hitter sketch (Metwally et al.). The paper notes that
+/// beyond distinct counts, "the heavy hitters, i.e., most common values
+/// with their frequencies" [2] may be collected by a statistics pass; this
+/// sketch provides that in bounded memory: with `capacity` counters every
+/// value occurring more than N/capacity times is guaranteed to be
+/// reported, and reported counts overestimate true counts by at most the
+/// smallest counter.
+class SpaceSaving {
+ public:
+  struct HeavyHitter {
+    uint64_t value_hash;
+    uint64_t count;  // upper bound on the true frequency
+    uint64_t error;  // count - error is a lower bound
+  };
+
+  explicit SpaceSaving(size_t capacity);
+
+  /// Offers one (pre-hashed) item.
+  void AddHash(uint64_t hash);
+
+  /// Items whose guaranteed lower bound (count - error) is at least
+  /// `threshold`, sorted by count descending.
+  std::vector<HeavyHitter> HittersAbove(uint64_t threshold) const;
+
+  /// All tracked counters, sorted by count descending.
+  std::vector<HeavyHitter> Counters() const;
+
+  uint64_t items_seen() const { return items_seen_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Counter {
+    uint64_t count = 0;
+    uint64_t error = 0;
+  };
+
+  size_t capacity_;
+  uint64_t items_seen_ = 0;
+  std::unordered_map<uint64_t, Counter> counters_;
+};
+
+}  // namespace monsoon
+
+#endif  // MONSOON_SKETCH_SPACE_SAVING_H_

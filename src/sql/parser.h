@@ -1,0 +1,66 @@
+#ifndef MONSOON_SQL_PARSER_H_
+#define MONSOON_SQL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "query/query_spec.h"
+
+namespace monsoon {
+
+/// Parses the paper's restricted SQL dialect (Sec. 3.1) into a QuerySpec:
+///
+///   SELECT select_list
+///   FROM   table [alias] (',' table [alias])*
+///   WHERE  pred (AND pred)*
+///
+///   pred := term ('=' | '<>') term
+///   term := func '(' attr (',' attr)* ')' | alias.column | literal
+///
+/// A bare attribute reference is wrapped in the `identity` /
+/// `identity_str` UDF according to its column type (the paper assumes
+/// w.l.o.g. that all referenced values come through UDFs). `term = literal`
+/// becomes a selection predicate; `term (=|<>) term` a join predicate.
+/// The SELECT list is validated but not otherwise used — this repo
+/// reproduces join-order optimization, so query results are the joined
+/// relation.
+///
+/// The catalog is consulted for table existence and column types.
+class SqlParser {
+ public:
+  explicit SqlParser(const Catalog* catalog) : catalog_(catalog) {}
+
+  StatusOr<QuerySpec> Parse(std::string_view sql) const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+namespace sql_internal {
+
+/// Token kinds for the lexer (exposed for tests).
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kString,
+  kSymbol,  // one of ( ) , . * = and the two-char <>
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t position;
+};
+
+/// Tokenizes SQL text; fails on unterminated strings or stray characters.
+StatusOr<std::vector<Token>> Lex(std::string_view sql);
+
+}  // namespace sql_internal
+
+}  // namespace monsoon
+
+#endif  // MONSOON_SQL_PARSER_H_

@@ -1,0 +1,182 @@
+#include "storage/csv.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace monsoon {
+
+namespace {
+
+bool NeedsQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+void WriteCell(const std::string& cell, std::ostream& out) {
+  if (!NeedsQuoting(cell)) {
+    out << cell;
+    return;
+  }
+  out << '"';
+  for (char c : cell) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+// Splits one CSV line, honouring quoted cells. `line` must contain a
+// complete record (embedded newlines are not supported by the reader).
+StatusOr<std::vector<std::string>> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell.push_back(c);
+    }
+  }
+  if (quoted) return Status::InvalidArgument("unterminated quote in CSV line");
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+StatusOr<ValueType> ParseType(const std::string& name) {
+  if (name == "INT64") return ValueType::kInt64;
+  if (name == "DOUBLE") return ValueType::kDouble;
+  if (name == "STRING") return ValueType::kString;
+  return Status::InvalidArgument("unknown CSV column type '" + name + "'");
+}
+
+}  // namespace
+
+Status WriteCsvTable(const Table& table, std::ostream& out) {
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out << ',';
+    WriteCell(schema.column(c).name, out);
+    out << ':' << ValueTypeToString(schema.column(c).type);
+  }
+  out << '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out << ',';
+      switch (schema.column(c).type) {
+        case ValueType::kInt64:
+          out << table.Int64At(c, r);
+          break;
+        case ValueType::kDouble:
+          out << StrFormat("%.17g", table.DoubleAt(c, r));
+          break;
+        case ValueType::kString:
+          WriteCell(table.StringAt(c, r), out);
+          break;
+      }
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::Internal("CSV write failed");
+  return Status::OK();
+}
+
+StatusOr<TablePtr> ReadCsvTable(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::InvalidArgument("empty CSV input (no header)");
+  }
+  MONSOON_ASSIGN_OR_RETURN(std::vector<std::string> header_cells,
+                           SplitCsvLine(header));
+  std::vector<ColumnDef> columns;
+  for (const std::string& cell : header_cells) {
+    size_t colon = cell.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("CSV header cell '" + cell +
+                                     "' is missing its :TYPE suffix");
+    }
+    MONSOON_ASSIGN_OR_RETURN(ValueType type, ParseType(cell.substr(colon + 1)));
+    columns.push_back({cell.substr(0, colon), type});
+  }
+  auto table = std::make_shared<Table>(Schema(columns));
+
+  std::string line;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    MONSOON_ASSIGN_OR_RETURN(std::vector<std::string> cells, SplitCsvLine(line));
+    if (cells.size() != columns.size()) {
+      return Status::InvalidArgument(
+          StrFormat("CSV line %zu has %zu cells, expected %zu", line_no,
+                    cells.size(), columns.size()));
+    }
+    std::vector<Value> row;
+    row.reserve(cells.size());
+    for (size_t c = 0; c < cells.size(); ++c) {
+      switch (columns[c].type) {
+        case ValueType::kInt64: {
+          int64_t v = 0;
+          auto [ptr, ec] = std::from_chars(
+              cells[c].data(), cells[c].data() + cells[c].size(), v);
+          if (ec != std::errc() || ptr != cells[c].data() + cells[c].size()) {
+            return Status::InvalidArgument(
+                StrFormat("CSV line %zu: '%s' is not an INT64", line_no,
+                          cells[c].c_str()));
+          }
+          row.push_back(Value(v));
+          break;
+        }
+        case ValueType::kDouble: {
+          char* end = nullptr;
+          double v = std::strtod(cells[c].c_str(), &end);
+          if (end == cells[c].c_str() || *end != '\0') {
+            return Status::InvalidArgument(
+                StrFormat("CSV line %zu: '%s' is not a DOUBLE", line_no,
+                          cells[c].c_str()));
+          }
+          row.push_back(Value(v));
+          break;
+        }
+        case ValueType::kString:
+          row.push_back(Value(cells[c]));
+          break;
+      }
+    }
+    MONSOON_RETURN_IF_ERROR(table->AppendRow(row));
+  }
+  return TablePtr(table);
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::NotFound("cannot open '" + path + "'");
+  return WriteCsvTable(table, out);
+}
+
+StatusOr<TablePtr> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open '" + path + "'");
+  return ReadCsvTable(in);
+}
+
+}  // namespace monsoon

@@ -1,0 +1,31 @@
+#ifndef MONSOON_STORAGE_CSV_H_
+#define MONSOON_STORAGE_CSV_H_
+
+#include <iostream>
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace monsoon {
+
+/// CSV round-tripping for Tables, so users can bring their own data into
+/// the shell/examples and export query results.
+///
+/// Format: a typed header line `name:INT64,name:DOUBLE,name:STRING`, then
+/// one line per row. String cells are double-quoted when they contain a
+/// comma, quote or newline; embedded quotes are doubled ("" style).
+
+/// Writes `table` (header + rows) to `out`.
+Status WriteCsvTable(const Table& table, std::ostream& out);
+
+/// Parses a typed-header CSV stream back into a table.
+StatusOr<TablePtr> ReadCsvTable(std::istream& in);
+
+/// Convenience file wrappers.
+Status WriteCsvFile(const Table& table, const std::string& path);
+StatusOr<TablePtr> ReadCsvFile(const std::string& path);
+
+}  // namespace monsoon
+
+#endif  // MONSOON_STORAGE_CSV_H_

@@ -1,0 +1,47 @@
+#include "storage/schema.h"
+
+namespace monsoon {
+
+StatusOr<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+bool Schema::HasColumn(const std::string& name) const {
+  for (const auto& c : columns_) {
+    if (c.name == name) return true;
+  }
+  return false;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<ColumnDef> cols = left.columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Qualify(const std::string& alias) const {
+  std::vector<ColumnDef> cols = columns_;
+  for (auto& c : cols) {
+    if (c.name.find('.') == std::string::npos) {
+      c.name = alias + "." + c.name;
+    }
+  }
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace monsoon

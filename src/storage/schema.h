@@ -1,0 +1,51 @@
+#ifndef MONSOON_STORAGE_SCHEMA_H_
+#define MONSOON_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace monsoon {
+
+/// A named, typed column. Column names are qualified ("orders.o_custkey")
+/// once tables enter a query so joined intermediates keep unambiguous
+/// names.
+struct ColumnDef {
+  std::string name;
+  ValueType type;
+};
+
+/// Ordered list of column definitions. Immutable after construction.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column with the given (exact) name, or error.
+  StatusOr<size_t> ColumnIndex(const std::string& name) const;
+
+  /// True if a column with the given name exists.
+  bool HasColumn(const std::string& name) const;
+
+  /// Schema for the concatenation of two row types (join output).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// Returns a copy with every column name prefixed "alias.name".
+  /// Columns already containing '.' are left untouched.
+  Schema Qualify(const std::string& alias) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace monsoon
+
+#endif  // MONSOON_STORAGE_SCHEMA_H_

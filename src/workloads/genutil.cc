@@ -1,0 +1,67 @@
+#include "workloads/genutil.h"
+
+namespace monsoon {
+
+SkewedColumn::SkewedColumn(uint64_t domain, SkewProfile profile, Pcg32& rng)
+    : domain_(domain == 0 ? 1 : domain) {
+  double z = 0;
+  switch (profile) {
+    case SkewProfile::kNone:
+      z = 0;
+      break;
+    case SkewProfile::kLow:
+      z = 1;
+      break;
+    case SkewProfile::kHigh:
+      z = 4;
+      break;
+    case SkewProfile::kMixed:
+      z = rng.NextDouble() * 4.0;
+      break;
+  }
+  if (z > 0) zipf_.emplace(domain_, z);
+}
+
+uint64_t SkewedColumn::Next(Pcg32& rng) const {
+  if (zipf_.has_value()) return zipf_->Next(rng) - 1;
+  return static_cast<uint64_t>(rng.NextInt64(0, static_cast<int64_t>(domain_) - 1));
+}
+
+Status AddSqlQueries(const std::string& prefix,
+                     const std::vector<std::string>& sqls, Workload* workload) {
+  SqlParser parser(workload->catalog.get());
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    MONSOON_ASSIGN_OR_RETURN(QuerySpec spec, parser.Parse(sqls[i]));
+    BenchQuery query;
+    query.name = prefix + std::to_string(i + 1);
+    query.sql = sqls[i];
+    query.spec = std::move(spec);
+    workload->queries.push_back(std::move(query));
+  }
+  return Status::OK();
+}
+
+std::string TpchDate(int days_since_epoch) {
+  static const int kDaysPerMonth[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  int year = 1992;
+  int days = days_since_epoch;
+  for (;;) {
+    bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    int in_year = leap ? 366 : 365;
+    if (days < in_year) break;
+    days -= in_year;
+    ++year;
+  }
+  bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+  int month = 0;
+  for (; month < 12; ++month) {
+    int dim = kDaysPerMonth[month] + (month == 1 && leap ? 1 : 0);
+    if (days < dim) break;
+    days -= dim;
+  }
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02d", year, month + 1, days + 1);
+  return buffer;
+}
+
+}  // namespace monsoon

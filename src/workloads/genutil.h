@@ -1,0 +1,40 @@
+#ifndef MONSOON_WORKLOADS_GENUTIL_H_
+#define MONSOON_WORKLOADS_GENUTIL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "sql/parser.h"
+#include "workloads/workload.h"
+
+namespace monsoon {
+
+/// Draws values in [0, domain) with a per-column skew profile: uniform for
+/// kNone, Zipf(1) / Zipf(4) for kLow / kHigh, and a per-column z drawn
+/// uniformly from [0, 4] for kMixed (matching Sec. 6.2.1).
+class SkewedColumn {
+ public:
+  SkewedColumn(uint64_t domain, SkewProfile profile, Pcg32& rng);
+
+  uint64_t Next(Pcg32& rng) const;
+  uint64_t domain() const { return domain_; }
+
+ private:
+  uint64_t domain_;
+  std::optional<ZipfGenerator> zipf_;
+};
+
+/// Parses each SQL string against the workload's catalog and appends the
+/// resulting BenchQuery entries. Query names are "<prefix><index+1>".
+Status AddSqlQueries(const std::string& prefix,
+                     const std::vector<std::string>& sqls, Workload* workload);
+
+/// "1992-01-01" + days, Gregorian-correct within 1992–1998.
+std::string TpchDate(int days_since_epoch);
+
+}  // namespace monsoon
+
+#endif  // MONSOON_WORKLOADS_GENUTIL_H_

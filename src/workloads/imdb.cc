@@ -1,0 +1,298 @@
+#include "workloads/imdb.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "workloads/genutil.h"
+
+namespace monsoon {
+
+namespace {
+
+uint64_t Scaled(double base, double scale) {
+  return static_cast<uint64_t>(std::max(1.0, base * scale));
+}
+
+Status BuildTables(const ImdbOptions& options, Catalog* catalog) {
+  Pcg32 rng(options.seed);
+  double s = options.scale;
+
+  const uint64_t n_title = Scaled(10000, s);
+  const uint64_t n_company = Scaled(500, s);
+  const uint64_t n_movie_companies = Scaled(20000, s);
+  const uint64_t n_info_type = 20;
+  const uint64_t n_movie_info = Scaled(30000, s);
+  const uint64_t n_name = Scaled(8000, s);
+  const uint64_t n_cast = Scaled(40000, s);
+  const uint64_t n_keyword = Scaled(1500, s);
+  const uint64_t n_movie_keyword = Scaled(25000, s);
+  const int n_kinds = 7;
+
+  // Blockbuster effect: a few movies soak up most of the fan-out rows.
+  // Fan-outs are capped per movie (as in real data: cast sizes are
+  // bounded) so that star joins blow up through *bad plans*, not through
+  // an intrinsically huge result.
+  std::map<std::pair<int, int64_t>, int> fanout;  // (table id, movie) -> rows
+  auto draw_movie = [&fanout](ZipfGenerator& zipf, Pcg32& rng, int table_id,
+                              int cap) {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      int64_t movie = static_cast<int64_t>(zipf.Next(rng) - 1);
+      int& count = fanout[{table_id, movie}];
+      if (count < cap) {
+        ++count;
+        return movie;
+      }
+    }
+    // Fall back to a uniform pick (caps only bind for the hottest ids).
+    return static_cast<int64_t>(zipf.Next(rng) - 1);
+  };
+  ZipfGenerator movie_zipf(n_title, 1.1);
+  ZipfGenerator company_zipf(n_company, 1.2);
+  ZipfGenerator person_zipf(n_name, 1.05);
+  ZipfGenerator keyword_zipf(n_keyword, 1.3);
+  ZipfGenerator country_zipf(30, 1.5);
+  ZipfGenerator info_val_zipf(200, 1.4);
+
+  {
+    auto t = std::make_shared<Table>(Schema({{"t_id", ValueType::kInt64},
+                                             {"t_kind", ValueType::kInt64},
+                                             {"t_year", ValueType::kInt64},
+                                             {"t_votes", ValueType::kInt64}}));
+    for (uint64_t i = 0; i < n_title; ++i) {
+      int64_t kind = static_cast<int64_t>(i % n_kinds);
+      // Correlation: production year depends on kind (different media
+      // kinds have different eras), plus noise — breaks independence
+      // between t_kind and t_year selections.
+      int64_t year = 1950 + (kind * 10 + static_cast<int64_t>(rng.NextBounded(15))) % 70;
+      int64_t votes = static_cast<int64_t>(
+          std::pow(10.0, rng.NextDouble() * 5.0));  // log-uniform popularity
+      MONSOON_RETURN_IF_ERROR(t->AppendRow({Value(static_cast<int64_t>(i)),
+                                            Value(kind), Value(year), Value(votes)}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("title", t));
+  }
+
+  {
+    auto t = std::make_shared<Table>(Schema(
+        {{"cn_id", ValueType::kInt64}, {"cn_country", ValueType::kString}}));
+    for (uint64_t i = 0; i < n_company; ++i) {
+      MONSOON_RETURN_IF_ERROR(t->AppendRow(
+          {Value(static_cast<int64_t>(i)),
+           Value("COUNTRY" + std::to_string(country_zipf.Next(rng) - 1))}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("company_name", t));
+  }
+
+  {
+    auto t = std::make_shared<Table>(Schema({{"mc_movie", ValueType::kInt64},
+                                             {"mc_company", ValueType::kInt64},
+                                             {"mc_note", ValueType::kString}}));
+    for (uint64_t i = 0; i < n_movie_companies; ++i) {
+      int64_t movie = draw_movie(movie_zipf, rng, /*table_id=*/1, /*cap=*/20);
+      // Correlation: big studios (low company ids) attach to popular
+      // (low-id) movies more often.
+      int64_t company = static_cast<int64_t>(
+          (company_zipf.Next(rng) - 1 + static_cast<uint64_t>(movie) % 7) % n_company);
+      MONSOON_RETURN_IF_ERROR(t->AppendRow(
+          {Value(movie), Value(company),
+           Value(std::string(i % 3 == 0 ? "(production)" : "(distribution)"))}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("movie_companies", t));
+  }
+
+  {
+    auto t = std::make_shared<Table>(
+        Schema({{"it_id", ValueType::kInt64}, {"it_info", ValueType::kString}}));
+    for (uint64_t i = 0; i < n_info_type; ++i) {
+      MONSOON_RETURN_IF_ERROR(t->AppendRow(
+          {Value(static_cast<int64_t>(i)), Value("type" + std::to_string(i))}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("info_type", t));
+  }
+
+  {
+    auto t = std::make_shared<Table>(Schema({{"mi_movie", ValueType::kInt64},
+                                             {"mi_type", ValueType::kInt64},
+                                             {"mi_info", ValueType::kString}}));
+    for (uint64_t i = 0; i < n_movie_info; ++i) {
+      int64_t movie = draw_movie(movie_zipf, rng, /*table_id=*/2, /*cap=*/30);
+      // Correlation: info type clusters by movie kind (movie % kinds).
+      int64_t type = (movie % n_kinds * 3 + static_cast<int64_t>(rng.NextBounded(3))) %
+                     static_cast<int64_t>(n_info_type);
+      MONSOON_RETURN_IF_ERROR(t->AppendRow(
+          {Value(movie), Value(type),
+           Value("info" + std::to_string(info_val_zipf.Next(rng) - 1))}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("movie_info", t));
+  }
+
+  {
+    auto t = std::make_shared<Table>(
+        Schema({{"n_id", ValueType::kInt64}, {"n_gender", ValueType::kString}}));
+    for (uint64_t i = 0; i < n_name; ++i) {
+      MONSOON_RETURN_IF_ERROR(
+          t->AppendRow({Value(static_cast<int64_t>(i)),
+                        Value(std::string(rng.NextBounded(3) == 0 ? "f" : "m"))}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("name", t));
+  }
+
+  {
+    auto t = std::make_shared<Table>(Schema({{"ci_movie", ValueType::kInt64},
+                                             {"ci_person", ValueType::kInt64},
+                                             {"ci_role", ValueType::kInt64}}));
+    for (uint64_t i = 0; i < n_cast; ++i) {
+      MONSOON_RETURN_IF_ERROR(
+          t->AppendRow({Value(draw_movie(movie_zipf, rng, /*table_id=*/3, /*cap=*/50)),
+                        Value(static_cast<int64_t>(person_zipf.Next(rng) - 1)),
+                        Value(static_cast<int64_t>(rng.NextBounded(10)))}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("cast_info", t));
+  }
+
+  {
+    auto t = std::make_shared<Table>(
+        Schema({{"k_id", ValueType::kInt64}, {"k_keyword", ValueType::kString}}));
+    for (uint64_t i = 0; i < n_keyword; ++i) {
+      MONSOON_RETURN_IF_ERROR(t->AppendRow(
+          {Value(static_cast<int64_t>(i)), Value("kw" + std::to_string(i))}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("keyword", t));
+  }
+
+  {
+    auto t = std::make_shared<Table>(Schema(
+        {{"mk_movie", ValueType::kInt64}, {"mk_keyword", ValueType::kInt64}}));
+    for (uint64_t i = 0; i < n_movie_keyword; ++i) {
+      MONSOON_RETURN_IF_ERROR(
+          t->AppendRow({Value(draw_movie(movie_zipf, rng, /*table_id=*/4, /*cap=*/30)),
+                        Value(static_cast<int64_t>(keyword_zipf.Next(rng) - 1))}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("movie_keyword", t));
+  }
+
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Workload> MakeImdbWorkload(const ImdbOptions& options) {
+  Workload workload;
+  workload.name = "imdb";
+  workload.catalog = std::make_shared<Catalog>();
+  MONSOON_RETURN_IF_ERROR(BuildTables(options, workload.catalog.get()));
+
+  // JOB-style query families: chains, stars and cycles over 3–8
+  // relations, with selections spanning four orders of magnitude of
+  // selectivity. Constants vary per family instance.
+  std::vector<std::string> sqls;
+  // Family A: movie -> companies -> company_name (3-way chain).
+  for (int v : {0, 3, 11}) {
+    sqls.push_back(
+        "SELECT * FROM title t, movie_companies mc, company_name cn "
+        "WHERE t.t_id = mc.mc_movie AND mc.mc_company = cn.cn_id "
+        "AND cn.cn_country = 'COUNTRY" + std::to_string(v) + "'");
+  }
+  // Family B: movie info typed lookups (3-way).
+  for (int v : {1, 7, 15}) {
+    sqls.push_back(
+        "SELECT * FROM title t, movie_info mi, info_type it "
+        "WHERE t.t_id = mi.mi_movie AND mi.mi_type = it.it_id "
+        "AND it.it_info = 'type" + std::to_string(v) + "'");
+  }
+  // Family C: cast chains (4-way).
+  for (int kind : {0, 2, 5}) {
+    sqls.push_back(
+        "SELECT * FROM title t, cast_info ci, name n, movie_companies mc "
+        "WHERE t.t_id = ci.ci_movie AND ci.ci_person = n.n_id "
+        "AND mc.mc_movie = t.t_id AND t.t_kind = " + std::to_string(kind));
+  }
+  // Family D: keyword star (4-way).
+  for (int v : {2, 9, 40}) {
+    sqls.push_back(
+        "SELECT * FROM title t, movie_keyword mk, keyword k, movie_info mi "
+        "WHERE t.t_id = mk.mk_movie AND mk.mk_keyword = k.k_id "
+        "AND mi.mi_movie = t.t_id AND k.k_keyword = 'kw" + std::to_string(v) + "'");
+  }
+  // Family E: five-way star around title.
+  for (int kind : {1, 4}) {
+    sqls.push_back(
+        "SELECT * FROM title t, cast_info ci, movie_info mi, movie_companies mc, "
+        "company_name cn "
+        "WHERE t.t_id = ci.ci_movie AND t.t_id = mi.mi_movie "
+        "AND t.t_id = mc.mc_movie AND mc.mc_company = cn.cn_id "
+        "AND t.t_kind = " + std::to_string(kind));
+  }
+  // Family F: year-range style selections (equality on a correlated
+  // attribute — the correlation with t_kind misleads estimators).
+  for (int year : {1965, 1988, 2004}) {
+    sqls.push_back(
+        "SELECT * FROM title t, movie_info mi, cast_info ci "
+        "WHERE t.t_id = mi.mi_movie AND t.t_id = ci.ci_movie "
+        "AND t.t_year = " + std::to_string(year));
+  }
+  // Family G: six-way with two dimension filters.
+  for (int v : {0, 5}) {
+    sqls.push_back(
+        "SELECT * FROM title t, movie_companies mc, company_name cn, "
+        "movie_info mi, info_type it, cast_info ci "
+        "WHERE t.t_id = mc.mc_movie AND mc.mc_company = cn.cn_id "
+        "AND t.t_id = mi.mi_movie AND mi.mi_type = it.it_id "
+        "AND t.t_id = ci.ci_movie "
+        "AND cn.cn_country = 'COUNTRY" + std::to_string(v) + "' "
+        "AND it.it_info = 'type3'");
+  }
+  // Family H: person-centric cycles.
+  for (int role : {0, 4, 8}) {
+    sqls.push_back(
+        "SELECT * FROM name n, cast_info ci, title t, movie_keyword mk "
+        "WHERE n.n_id = ci.ci_person AND ci.ci_movie = t.t_id "
+        "AND mk.mk_movie = t.t_id AND ci.ci_role = " + std::to_string(role) +
+        " AND n.n_gender = 'f'");
+  }
+  // Family I: bucketed (obscured) join keys.
+  for (int b : {100, 1000}) {
+    sqls.push_back(
+        "SELECT * FROM title t, cast_info ci, movie_info mi "
+        "WHERE bucket" + std::to_string(b) + "(t.t_id) = bucket" +
+        std::to_string(b) + "(ci.ci_movie) AND mi.mi_movie = t.t_id "
+        "AND t.t_kind = 2");
+  }
+  // Family J: seven- and eight-way monsters.
+  sqls.push_back(
+      "SELECT * FROM title t, cast_info ci, name n, movie_info mi, info_type it, "
+      "movie_companies mc, company_name cn "
+      "WHERE t.t_id = ci.ci_movie AND ci.ci_person = n.n_id "
+      "AND t.t_id = mi.mi_movie AND mi.mi_type = it.it_id "
+      "AND t.t_id = mc.mc_movie AND mc.mc_company = cn.cn_id "
+      "AND it.it_info = 'type5' AND n.n_gender = 'f'");
+  sqls.push_back(
+      "SELECT * FROM title t, cast_info ci, name n, movie_info mi, info_type it, "
+      "movie_companies mc, company_name cn, movie_keyword mk "
+      "WHERE t.t_id = ci.ci_movie AND ci.ci_person = n.n_id "
+      "AND t.t_id = mi.mi_movie AND mi.mi_type = it.it_id "
+      "AND t.t_id = mc.mc_movie AND mc.mc_company = cn.cn_id "
+      "AND t.t_id = mk.mk_movie "
+      "AND cn.cn_country = 'COUNTRY1' AND t.t_kind = 3");
+  // Family K: highly selective point lookups chained wide.
+  for (int votes : {10, 1000}) {
+    sqls.push_back(
+        "SELECT * FROM title t, movie_keyword mk, keyword k "
+        "WHERE t.t_id = mk.mk_movie AND mk.mk_keyword = k.k_id "
+        "AND t.t_votes = " + std::to_string(votes));
+  }
+  // Family L: company-centric reverse chains.
+  for (int v : {0, 2}) {
+    sqls.push_back(
+        "SELECT * FROM company_name cn, movie_companies mc, title t, movie_info mi "
+        "WHERE cn.cn_id = mc.mc_company AND mc.mc_movie = t.t_id "
+        "AND t.t_id = mi.mi_movie AND cn.cn_country = 'COUNTRY" +
+        std::to_string(v) + "' AND t.t_kind = " + std::to_string(v + 1));
+  }
+
+  MONSOON_RETURN_IF_ERROR(AddSqlQueries("imdb-q", sqls, &workload));
+  return workload;
+}
+
+}  // namespace monsoon

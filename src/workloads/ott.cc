@@ -1,0 +1,124 @@
+#include "workloads/ott.h"
+
+#include "plan/logical_ops.h"
+#include "workloads/genutil.h"
+
+namespace monsoon {
+
+namespace {
+
+Status BuildTables(const OttOptions& options, Catalog* catalog) {
+  uint64_t n = options.rows_per_table;
+  uint64_t K = options.key_cardinality;
+  for (int table = 1; table <= 5; ++table) {
+    auto t = std::make_shared<Table>(Schema({{"id", ValueType::kInt64},
+                                             {"a", ValueType::kInt64},
+                                             {"b", ValueType::kInt64},
+                                             {"c", ValueType::kInt64}}));
+    t->Reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      int64_t a = static_cast<int64_t>(i % K);
+      // b is a perfect copy of a: the correlation trap.
+      int64_t b = a;
+      // c domains are disjoint across tables: cross-table c-joins are empty.
+      int64_t c = static_cast<int64_t>(static_cast<uint64_t>(table) * n + i);
+      MONSOON_RETURN_IF_ERROR(t->AppendRow(
+          {Value(static_cast<int64_t>(i)), Value(a), Value(b), Value(c)}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("ott" + std::to_string(table), t));
+  }
+  return Status::OK();
+}
+
+// A chain query over `num_tables` relations; edges[i] connects t(i), t(i+1)
+// and is one of:
+//   'T' — correlation trap:  a = a AND b = b  (estimated tiny, truly huge)
+//   'C' — empty join:        c = c            (estimated ~n, truly empty)
+//   'A' — plain join:        a = a            (estimated and truly n²/K)
+struct ChainSpec {
+  int num_tables;
+  const char* edges;  // length num_tables - 1
+};
+
+std::string ChainSql(const ChainSpec& spec) {
+  std::string sql = "SELECT * FROM ";
+  for (int i = 0; i < spec.num_tables; ++i) {
+    if (i > 0) sql += ", ";
+    sql += "ott" + std::to_string(i + 1) + " t" + std::to_string(i + 1);
+  }
+  sql += " WHERE ";
+  for (int e = 0; e < spec.num_tables - 1; ++e) {
+    std::string l = "t" + std::to_string(e + 1);
+    std::string r = "t" + std::to_string(e + 2);
+    if (e > 0) sql += " AND ";
+    switch (spec.edges[e]) {
+      case 'T':
+        sql += l + ".a = " + r + ".a AND " + l + ".b = " + r + ".b";
+        break;
+      case 'C':
+        sql += l + ".c = " + r + ".c";
+        break;
+      case 'A':
+        sql += l + ".a = " + r + ".a";
+        break;
+    }
+  }
+  return sql;
+}
+
+// Hand-written plan: evaluate the (only) empty c-edge first; the rest of
+// the chain folds onto an empty intermediate for free.
+PlanNode::Ptr HandPlan(const QuerySpec& query, const ChainSpec& spec) {
+  int empty_edge = 0;
+  for (int e = 0; e < spec.num_tables - 1; ++e) {
+    if (spec.edges[e] == 'C') empty_edge = e;
+  }
+  std::vector<int> order = {empty_edge, empty_edge + 1};
+  for (int i = empty_edge + 2; i < spec.num_tables; ++i) order.push_back(i);
+  for (int i = empty_edge - 1; i >= 0; --i) order.push_back(i);
+
+  PlanNode::Ptr plan = MakeLeaf(query, order[0]);
+  for (size_t i = 1; i < order.size(); ++i) {
+    PlanNode::Ptr leaf = MakeLeaf(query, order[i]);
+    std::vector<int> preds =
+        ApplicableJoinPreds(query, plan->output_sig(), leaf->output_sig());
+    plan = PlanNode::Join(plan, leaf, std::move(preds));
+  }
+  return plan;
+}
+
+}  // namespace
+
+StatusOr<Workload> MakeOttWorkload(const OttOptions& options) {
+  Workload workload;
+  workload.name = "ott";
+  workload.catalog = std::make_shared<Catalog>();
+  MONSOON_RETURN_IF_ERROR(BuildTables(options, workload.catalog.get()));
+
+  // Twenty chain queries mixing trap counts (difficulty) and the position
+  // of the empty edge. Every final result is empty.
+  static const ChainSpec kSpecs[] = {
+      {3, "TC"}, {3, "CT"}, {3, "AC"}, {3, "CA"},
+      {4, "TCA"}, {4, "TCT"}, {4, "CTT"}, {4, "TTC"},
+      {4, "ACT"}, {4, "CAT"}, {4, "TAC"},
+      {5, "TCTA"}, {5, "TTCA"}, {5, "CTTA"}, {5, "ATCT"},
+      {5, "TTTC"}, {5, "CATT"}, {5, "ACTT"}, {5, "TCAT"}, {5, "ATCA"},
+  };
+
+  SqlParser parser(workload.catalog.get());
+  int index = 0;
+  for (const ChainSpec& spec : kSpecs) {
+    ++index;
+    std::string sql = ChainSql(spec);
+    MONSOON_ASSIGN_OR_RETURN(QuerySpec parsed, parser.Parse(sql));
+    BenchQuery query;
+    query.name = "ott-q" + std::to_string(index);
+    query.sql = sql;
+    query.spec = std::move(parsed);
+    query.hand_plan = HandPlan(query.spec, spec);
+    workload.queries.push_back(std::move(query));
+  }
+  return workload;
+}
+
+}  // namespace monsoon

@@ -1,0 +1,40 @@
+#ifndef MONSOON_WORKLOADS_OTT_H_
+#define MONSOON_WORKLOADS_OTT_H_
+
+#include "common/status.h"
+#include "workloads/workload.h"
+
+namespace monsoon {
+
+/// Correlated Optimizer Torture Tests, after Wu et al. [45] Sec. 5.3.
+///
+/// Five tables ott1..ott5, n rows each, with three columns designed to
+/// defeat cardinality estimation built on per-column statistics and the
+/// independence assumption:
+///
+///   a = id mod K    — low-cardinality join column (joins blow up: n²/K);
+///   b = a           — perfect copy of `a`. A conjunction
+///                     "ti.a = tj.a AND ti.b = tj.b" is estimated as
+///                     sel(a)·sel(b) = 1/K² (tiny) but its true size is
+///                     n²/K (huge): the correlation trap.
+///   c               — per-table disjoint domains, so every cross-table
+///                     "ti.c = tj.c" join is EMPTY, while per-column
+///                     statistics (d = n) estimate it at size ~n.
+///
+/// Every query's final result is empty; each contains exactly one empty
+/// c-join plus one or more correlation traps. The hand-written plan
+/// (paper baseline) evaluates the empty join first, so everything
+/// downstream is free; estimator-driven plans are lured into the trap
+/// joins first. K is chosen with K² > n so even exact per-column
+/// statistics rank the trap "cheaper" than the empty join.
+struct OttOptions {
+  uint64_t rows_per_table = 8000;
+  uint64_t key_cardinality = 200;  // K; keep K² > rows_per_table
+  uint64_t seed = 45;
+};
+
+StatusOr<Workload> MakeOttWorkload(const OttOptions& options);
+
+}  // namespace monsoon
+
+#endif  // MONSOON_WORKLOADS_OTT_H_

@@ -1,0 +1,229 @@
+#include "workloads/tpch.h"
+
+#include <cmath>
+
+#include "workloads/genutil.h"
+
+namespace monsoon {
+
+namespace {
+
+uint64_t Scaled(double base, double scale) {
+  return static_cast<uint64_t>(std::max(1.0, base * scale));
+}
+
+Status BuildTables(const TpchOptions& options, Catalog* catalog) {
+  Pcg32 rng(options.seed);
+  SkewProfile skew = options.skew;
+  double s = options.scale;
+
+  const uint64_t n_region = 5;
+  const uint64_t n_nation = 25;
+  const uint64_t n_supplier = Scaled(200, s);
+  const uint64_t n_customer = Scaled(3000, s);
+  const uint64_t n_part = Scaled(4000, s);
+  const uint64_t n_partsupp = Scaled(16000, s);
+  const uint64_t n_orders = Scaled(30000, s);
+  const uint64_t n_lineitem = Scaled(60000, s);
+  const int n_dates = 2500;
+
+  {
+    auto t = std::make_shared<Table>(Schema({{"r_regionkey", ValueType::kInt64},
+                                             {"r_name", ValueType::kString}}));
+    for (uint64_t i = 0; i < n_region; ++i) {
+      MONSOON_RETURN_IF_ERROR(t->AppendRow(
+          {Value(static_cast<int64_t>(i)), Value("REGION" + std::to_string(i))}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("region", t));
+  }
+
+  {
+    SkewedColumn region_of(n_region, skew, rng);
+    auto t = std::make_shared<Table>(Schema({{"n_nationkey", ValueType::kInt64},
+                                             {"n_name", ValueType::kString},
+                                             {"n_regionkey", ValueType::kInt64}}));
+    for (uint64_t i = 0; i < n_nation; ++i) {
+      MONSOON_RETURN_IF_ERROR(
+          t->AppendRow({Value(static_cast<int64_t>(i)),
+                        Value("NATION" + std::to_string(i)),
+                        Value(static_cast<int64_t>(region_of.Next(rng)))}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("nation", t));
+  }
+
+  {
+    SkewedColumn nation_of(n_nation, skew, rng);
+    auto t = std::make_shared<Table>(Schema({{"s_suppkey", ValueType::kInt64},
+                                             {"s_name", ValueType::kString},
+                                             {"s_nationkey", ValueType::kInt64},
+                                             {"s_acctbal", ValueType::kDouble}}));
+    for (uint64_t i = 0; i < n_supplier; ++i) {
+      MONSOON_RETURN_IF_ERROR(
+          t->AppendRow({Value(static_cast<int64_t>(i)),
+                        Value("Supplier#" + std::to_string(i)),
+                        Value(static_cast<int64_t>(nation_of.Next(rng))),
+                        Value(rng.NextDouble() * 10000.0)}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("supplier", t));
+  }
+
+  {
+    SkewedColumn nation_of(n_nation, skew, rng);
+    SkewedColumn segment_of(5, skew, rng);
+    auto t = std::make_shared<Table>(Schema({{"c_custkey", ValueType::kInt64},
+                                             {"c_name", ValueType::kString},
+                                             {"c_nationkey", ValueType::kInt64},
+                                             {"c_mktsegment", ValueType::kString}}));
+    for (uint64_t i = 0; i < n_customer; ++i) {
+      MONSOON_RETURN_IF_ERROR(t->AppendRow(
+          {Value(static_cast<int64_t>(i)), Value("Customer#" + std::to_string(i)),
+           Value(static_cast<int64_t>(nation_of.Next(rng))),
+           Value("SEG" + std::to_string(segment_of.Next(rng)))}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("customer", t));
+  }
+
+  {
+    SkewedColumn brand_of(25, skew, rng);
+    SkewedColumn size_of(50, skew, rng);
+    auto t = std::make_shared<Table>(Schema({{"p_partkey", ValueType::kInt64},
+                                             {"p_name", ValueType::kString},
+                                             {"p_brand", ValueType::kString},
+                                             {"p_size", ValueType::kInt64}}));
+    for (uint64_t i = 0; i < n_part; ++i) {
+      MONSOON_RETURN_IF_ERROR(t->AppendRow(
+          {Value(static_cast<int64_t>(i)), Value("Part#" + std::to_string(i)),
+           Value("BRAND" + std::to_string(brand_of.Next(rng))),
+           Value(static_cast<int64_t>(size_of.Next(rng) + 1))}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("part", t));
+  }
+
+  {
+    SkewedColumn part_of(n_part, skew, rng);
+    SkewedColumn supp_of(n_supplier, skew, rng);
+    auto t = std::make_shared<Table>(Schema({{"ps_partkey", ValueType::kInt64},
+                                             {"ps_suppkey", ValueType::kInt64},
+                                             {"ps_supplycost", ValueType::kDouble}}));
+    for (uint64_t i = 0; i < n_partsupp; ++i) {
+      MONSOON_RETURN_IF_ERROR(
+          t->AppendRow({Value(static_cast<int64_t>(part_of.Next(rng))),
+                        Value(static_cast<int64_t>(supp_of.Next(rng))),
+                        Value(rng.NextDouble() * 1000.0)}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("partsupp", t));
+  }
+
+  {
+    SkewedColumn cust_of(n_customer, skew, rng);
+    SkewedColumn date_of(n_dates, skew, rng);
+    SkewedColumn prio_of(5, skew, rng);
+    auto t = std::make_shared<Table>(Schema({{"o_orderkey", ValueType::kInt64},
+                                             {"o_custkey", ValueType::kInt64},
+                                             {"o_orderdate", ValueType::kString},
+                                             {"o_orderpriority", ValueType::kString}}));
+    for (uint64_t i = 0; i < n_orders; ++i) {
+      MONSOON_RETURN_IF_ERROR(t->AppendRow(
+          {Value(static_cast<int64_t>(i)),
+           Value(static_cast<int64_t>(cust_of.Next(rng))),
+           Value(TpchDate(static_cast<int>(date_of.Next(rng)))),
+           Value("P" + std::to_string(prio_of.Next(rng)))}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("orders", t));
+  }
+
+  {
+    SkewedColumn order_of(n_orders, skew, rng);
+    SkewedColumn part_of(n_part, skew, rng);
+    SkewedColumn supp_of(n_supplier, skew, rng);
+    SkewedColumn date_of(n_dates, skew, rng);
+    auto t = std::make_shared<Table>(Schema({{"l_orderkey", ValueType::kInt64},
+                                             {"l_partkey", ValueType::kInt64},
+                                             {"l_suppkey", ValueType::kInt64},
+                                             {"l_quantity", ValueType::kDouble},
+                                             {"l_shipdate", ValueType::kString}}));
+    for (uint64_t i = 0; i < n_lineitem; ++i) {
+      MONSOON_RETURN_IF_ERROR(
+          t->AppendRow({Value(static_cast<int64_t>(order_of.Next(rng))),
+                        Value(static_cast<int64_t>(part_of.Next(rng))),
+                        Value(static_cast<int64_t>(supp_of.Next(rng))),
+                        Value(1.0 + std::floor(rng.NextDouble() * 50.0)),
+                        Value(TpchDate(static_cast<int>(date_of.Next(rng))))}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("lineitem", t));
+  }
+
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AddTpchTables(const TpchOptions& options, Catalog* catalog) {
+  return BuildTables(options, catalog);
+}
+
+StatusOr<Workload> MakeTpchWorkload(const TpchOptions& options) {
+  Workload workload;
+  workload.name = std::string("tpch-") + SkewProfileToString(options.skew);
+  workload.catalog = std::make_shared<Catalog>();
+  MONSOON_RETURN_IF_ERROR(BuildTables(options, workload.catalog.get()));
+
+  // Join-order-heavy query shapes (>= 3 relations), every predicate
+  // obscured behind a UDF (bare attributes are wrapped in `identity` by
+  // the parser; bucket UDFs obscure further).
+  std::vector<std::string> sqls = {
+      // Q1: the classic customer-orders-lineitem chain.
+      "SELECT * FROM lineitem l, orders o, customer c "
+      "WHERE l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey "
+      "AND c.c_mktsegment = 'SEG2'",
+      // Q2: part/supplier procurement chain.
+      "SELECT * FROM partsupp ps, part p, supplier s "
+      "WHERE ps.ps_partkey = p.p_partkey AND ps.ps_suppkey = s.s_suppkey "
+      "AND p.p_brand = 'BRAND7'",
+      // Q3: four-way chain with a nation filter.
+      "SELECT * FROM lineitem l, orders o, customer c, nation n "
+      "WHERE l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey "
+      "AND c.c_nationkey = n.n_nationkey AND o.o_orderpriority = 'P1'",
+      // Q4: supplier geography.
+      "SELECT * FROM partsupp ps, supplier s, nation n, region r "
+      "WHERE ps.ps_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey "
+      "AND n.n_regionkey = r.r_regionkey AND r.r_name = 'REGION2'",
+      // Q5: five-way with a cycle (customer and supplier in one nation).
+      "SELECT * FROM customer c, orders o, lineitem l, supplier s, nation n "
+      "WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey "
+      "AND l.l_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey "
+      "AND c.c_nationkey = n.n_nationkey AND n.n_name = 'NATION3'",
+      // Q6: bucketed join keys obscure the key-foreign-key structure.
+      "SELECT * FROM orders o, lineitem l, part p "
+      "WHERE bucket1000(o.o_orderkey) = bucket1000(l.l_orderkey) "
+      "AND l.l_partkey = p.p_partkey AND p.p_brand = 'BRAND3'",
+      // Q7: star around nation.
+      "SELECT * FROM supplier s, nation n, region r, customer c "
+      "WHERE s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey "
+      "AND c.c_nationkey = n.n_nationkey AND r.r_name = 'REGION1'",
+      // Q8: six-way join.
+      "SELECT * FROM customer c, orders o, lineitem l, part p, supplier s, nation n "
+      "WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey "
+      "AND l.l_partkey = p.p_partkey AND l.l_suppkey = s.s_suppkey "
+      "AND s.s_nationkey = n.n_nationkey AND p.p_brand = 'BRAND11' "
+      "AND o.o_orderpriority = 'P2'",
+  };
+  MONSOON_RETURN_IF_ERROR(AddSqlQueries("tpch-q", sqls, &workload));
+  return workload;
+}
+
+const char* SkewProfileToString(SkewProfile profile) {
+  switch (profile) {
+    case SkewProfile::kNone:
+      return "uniform";
+    case SkewProfile::kLow:
+      return "low";
+    case SkewProfile::kHigh:
+      return "high";
+    case SkewProfile::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+}  // namespace monsoon

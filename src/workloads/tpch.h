@@ -1,0 +1,37 @@
+#ifndef MONSOON_WORKLOADS_TPCH_H_
+#define MONSOON_WORKLOADS_TPCH_H_
+
+#include "common/status.h"
+#include "workloads/workload.h"
+
+namespace monsoon {
+
+/// Scaled-down TPC-H-like database and query suite.
+///
+/// The paper uses scale-factor 100 (≈100 GB) plus three skewed variants
+/// produced by the Chaudhuri–Narasayya generator; neither fits this
+/// environment, so the generator reproduces the *schema and distribution
+/// structure* at laptop scale: eight tables with the standard key /
+/// foreign-key relationships, and a Zipf(z) knob applied to every
+/// foreign-key and attribute distribution for the skewed variants
+/// (z = 1 low, z = 4 high, mixed = per-column random z ∈ [0, 4]).
+///
+/// `scale` multiplies all table sizes (scale 1 ≈ 100k rows total).
+/// The suite contains the join-order-heavy query shapes (3–6 relations)
+/// the paper restricts its TPC-H experiments to; every join and selection
+/// predicate goes through a UDF, so no statistics are available up front.
+struct TpchOptions {
+  double scale = 1.0;
+  SkewProfile skew = SkewProfile::kNone;
+  uint64_t seed = 2020;
+};
+
+StatusOr<Workload> MakeTpchWorkload(const TpchOptions& options);
+
+/// Adds just the eight TPC-H-like tables to an existing catalog (used by
+/// the UDF benchmark, whose suite spans both its own tables and TPC-H).
+Status AddTpchTables(const TpchOptions& options, Catalog* catalog);
+
+}  // namespace monsoon
+
+#endif  // MONSOON_WORKLOADS_TPCH_H_

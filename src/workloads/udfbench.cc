@@ -1,0 +1,299 @@
+#include "workloads/udfbench.h"
+
+#include <cmath>
+
+#include "workloads/genutil.h"
+#include "workloads/tpch.h"
+
+namespace monsoon {
+
+namespace {
+
+uint64_t Scaled(double base, double scale) {
+  return static_cast<uint64_t>(std::max(1.0, base * scale));
+}
+
+// Comma-separated item set; popular baskets recur so that set-equality
+// self-joins have matches.
+std::string MakeItems(Pcg32& rng, std::vector<std::string>* basket_pool) {
+  if (!basket_pool->empty() && rng.NextDouble() < 0.35) {
+    return (*basket_pool)[rng.NextBounded(
+        static_cast<uint32_t>(basket_pool->size()))];
+  }
+  int size = 1 + static_cast<int>(rng.NextBounded(4));
+  std::string items;
+  for (int i = 0; i < size; ++i) {
+    if (i > 0) items += ",";
+    items += "i" + std::to_string(rng.NextBounded(200));
+  }
+  if (basket_pool->size() < 100) basket_pool->push_back(items);
+  return items;
+}
+
+std::string MakeWhen(Pcg32& rng) {
+  int day = static_cast<int>(rng.NextBounded(60));
+  int month = 1 + day / 30;
+  int dom = 1 + day % 30;
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "2019-%02d-%02d %02d:%02d", month, dom,
+                static_cast<int>(rng.NextBounded(24)),
+                static_cast<int>(rng.NextBounded(60)));
+  return buffer;
+}
+
+std::string MakeIp(Pcg32& rng) {
+  // ~300 distinct /16 prefixes -> city_from_ip yields ~300 cities.
+  uint32_t prefix = rng.NextBounded(300);
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%u.%u.%u.%u", 10 + prefix / 50,
+                prefix % 250, rng.NextBounded(256), rng.NextBounded(256));
+  return buffer;
+}
+
+Status BuildTables(const UdfBenchOptions& options, Catalog* catalog) {
+  Pcg32 rng(options.seed);
+  double s = options.scale;
+
+  const uint64_t n_docs = Scaled(8000, s);
+  const uint64_t n_docinfo = Scaled(3000, s);
+  const uint64_t n_authorinfo = Scaled(500, s);
+  const uint64_t n_sess = Scaled(10000, s);
+  const uint64_t n_orders = Scaled(6000, s);
+  const uint64_t n_doc_keys = Scaled(4000, s);
+  const uint64_t n_customers = Scaled(2500, s);
+
+  std::vector<std::string> basket_pool;
+
+  {
+    auto t = std::make_shared<Table>(Schema({{"d_text", ValueType::kString},
+                                             {"d_when", ValueType::kString},
+                                             {"d_items", ValueType::kString},
+                                             {"d_cust", ValueType::kInt64}}));
+    ZipfGenerator key_zipf(n_doc_keys, 0.8);
+    for (uint64_t i = 0; i < n_docs; ++i) {
+      std::string text = "id=\"D" + std::to_string(key_zipf.Next(rng) - 1) +
+                         "\" url=\"http://example.com/" + std::to_string(i) +
+                         "\" author=\"A" + std::to_string(rng.NextBounded(
+                             static_cast<uint32_t>(n_authorinfo))) +
+                         "\" body=\"lorem ipsum\"";
+      MONSOON_RETURN_IF_ERROR(t->AppendRow(
+          {Value(std::move(text)), Value(MakeWhen(rng)),
+           Value(MakeItems(rng, &basket_pool)),
+           Value(static_cast<int64_t>(rng.NextBounded(
+               static_cast<uint32_t>(n_customers))))}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("docs", t));
+  }
+
+  {
+    auto t = std::make_shared<Table>(
+        Schema({{"di_key", ValueType::kString}, {"di_info", ValueType::kString}}));
+    for (uint64_t i = 0; i < n_docinfo; ++i) {
+      MONSOON_RETURN_IF_ERROR(t->AppendRow(
+          {Value("D" + std::to_string(i % n_doc_keys)),
+           Value("docmeta" + std::to_string(i))}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("docinfo", t));
+  }
+
+  {
+    auto t = std::make_shared<Table>(
+        Schema({{"ai_key", ValueType::kString}, {"ai_info", ValueType::kString}}));
+    for (uint64_t i = 0; i < n_authorinfo; ++i) {
+      MONSOON_RETURN_IF_ERROR(t->AppendRow(
+          {Value("A" + std::to_string(i)), Value("bio" + std::to_string(i))}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("authorinfo", t));
+  }
+
+  {
+    auto t = std::make_shared<Table>(
+        Schema({{"se_cust", ValueType::kInt64}, {"se_ip", ValueType::kString}}));
+    ZipfGenerator cust_zipf(n_customers, 1.0);  // heavy sessioners
+    for (uint64_t i = 0; i < n_sess; ++i) {
+      MONSOON_RETURN_IF_ERROR(
+          t->AppendRow({Value(static_cast<int64_t>(cust_zipf.Next(rng) - 1)),
+                        Value(MakeIp(rng))}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("sess", t));
+  }
+
+  {
+    auto t = std::make_shared<Table>(Schema({{"ou_items", ValueType::kString},
+                                             {"ou_when", ValueType::kString},
+                                             {"ou_cust", ValueType::kInt64}}));
+    for (uint64_t i = 0; i < n_orders; ++i) {
+      MONSOON_RETURN_IF_ERROR(t->AppendRow(
+          {Value(MakeItems(rng, &basket_pool)), Value(MakeWhen(rng)),
+           Value(static_cast<int64_t>(
+               rng.NextBounded(static_cast<uint32_t>(n_customers))))}));
+    }
+    MONSOON_RETURN_IF_ERROR(catalog->AddTable("orders_u", t));
+  }
+
+  // The 10 TPC-H-style queries run over a small uniform TPC-H instance in
+  // the same catalog.
+  TpchOptions tpch;
+  tpch.scale = 0.5 * s;
+  tpch.skew = SkewProfile::kNone;
+  tpch.seed = options.seed + 7;
+  MONSOON_RETURN_IF_ERROR(AddTpchTables(tpch, catalog));
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Workload> MakeUdfBenchWorkload(const UdfBenchOptions& options) {
+  Workload workload;
+  workload.name = "udf";
+  workload.catalog = std::make_shared<Catalog>();
+  MONSOON_RETURN_IF_ERROR(BuildTables(options, workload.catalog.get()));
+
+  std::vector<std::string> sqls;
+
+  // ---- 15 document/session-style queries ("IMDB-translated") ----
+  // U1: the paper's introduction pipeline — extract doc id and author,
+  // join with docinfo and authorinfo.
+  sqls.push_back(
+      "SELECT * FROM docs d, docinfo di, authorinfo ai "
+      "WHERE extract_id(d.d_text) = di.di_key "
+      "AND extract_author(d.d_text) = ai.ai_key");
+  // U2: add a date filter.
+  for (const char* date : {"2019-01-11", "2019-02-03"}) {
+    sqls.push_back(
+        "SELECT * FROM docs d, docinfo di, authorinfo ai "
+        "WHERE extract_id(d.d_text) = di.di_key "
+        "AND extract_author(d.d_text) = ai.ai_key "
+        "AND extract_date(d.d_when) = '" + std::string(date) + "'");
+  }
+  // U4: documents joined to the sessions of their customers by city.
+  sqls.push_back(
+      "SELECT * FROM docs d, sess s1, sess s2 "
+      "WHERE d.d_cust = s1.se_cust "
+      "AND city_from_ip(s1.se_ip) = city_from_ip(s2.se_ip) "
+      "AND extract_date(d.d_when) = '2019-01-05'");
+  // U5: the Sec. 2.1 fraudulent-orders query (set equality + same city).
+  sqls.push_back(
+      "SELECT * FROM orders_u o1, orders_u o2, sess s1, sess s2 "
+      "WHERE canonical_set(o1.ou_items) = canonical_set(o2.ou_items) "
+      "AND extract_date(o1.ou_when) = '2019-01-11' "
+      "AND extract_date(o2.ou_when) = '2019-01-11' "
+      "AND o1.ou_cust = s1.se_cust AND o2.ou_cust = s2.se_cust "
+      "AND o1.ou_cust <> o2.ou_cust "
+      "AND city_from_ip(s1.se_ip) = city_from_ip(s2.se_ip)");
+  // U6: fraud variant on a different day without the city filter.
+  sqls.push_back(
+      "SELECT * FROM orders_u o1, orders_u o2, sess s1 "
+      "WHERE canonical_set(o1.ou_items) = canonical_set(o2.ou_items) "
+      "AND extract_date(o1.ou_when) = '2019-02-07' "
+      "AND o1.ou_cust = s1.se_cust AND o1.ou_cust <> o2.ou_cust");
+  // U7: orders matched to documents with identical item sets.
+  for (const char* date : {"2019-01-20", "2019-02-14"}) {
+    sqls.push_back(
+        "SELECT * FROM orders_u o, docs d, sess s "
+        "WHERE canonical_set(o.ou_items) = canonical_set(d.d_items) "
+        "AND d.d_cust = s.se_cust "
+        "AND extract_date(o.ou_when) = '" + std::string(date) + "'");
+  }
+  // U9: author-centric chain through docs to sessions.
+  sqls.push_back(
+      "SELECT * FROM authorinfo ai, docs d, sess s "
+      "WHERE extract_author(d.d_text) = ai.ai_key "
+      "AND d.d_cust = s.se_cust");
+  // U10: four-way document chain.
+  sqls.push_back(
+      "SELECT * FROM docs d, docinfo di, authorinfo ai, sess s "
+      "WHERE extract_id(d.d_text) = di.di_key "
+      "AND extract_author(d.d_text) = ai.ai_key "
+      "AND d.d_cust = s.se_cust "
+      "AND extract_date(d.d_when) = '2019-01-30'");
+  // U11: same-city session pairs for order customers.
+  sqls.push_back(
+      "SELECT * FROM orders_u o, sess s1, sess s2 "
+      "WHERE o.ou_cust = s1.se_cust "
+      "AND city_from_ip(s1.se_ip) = city_from_ip(s2.se_ip) "
+      "AND extract_date(o.ou_when) = '2019-01-02'");
+  // U12: doc pairs by identical item sets (self-join on canonical_set).
+  sqls.push_back(
+      "SELECT * FROM docs d1, docs d2, docinfo di "
+      "WHERE canonical_set(d1.d_items) = canonical_set(d2.d_items) "
+      "AND extract_id(d1.d_text) = di.di_key "
+      "AND extract_date(d1.d_when) = '2019-01-09' "
+      "AND extract_date(d2.d_when) = '2019-01-09'");
+  // U13: multi-table UDF — a (doc customer, session customer) pair key
+  // matched against bucketed order customers; statistics for the pair
+  // term exist only after docs ⋈ sess.
+  sqls.push_back(
+      "SELECT * FROM docs d, sess s, orders_u o "
+      "WHERE d.d_cust = s.se_cust "
+      "AND pair_key(d.d_cust, s.se_cust) = bucket10000(o.ou_cust) "
+      "AND extract_date(d.d_when) = '2019-01-03'");
+  // U14: multi-table UDF over the two order instances of a fraud pair.
+  sqls.push_back(
+      "SELECT * FROM orders_u o1, orders_u o2, sess s "
+      "WHERE canonical_set(o1.ou_items) = canonical_set(o2.ou_items) "
+      "AND pair_key(o1.ou_cust, o2.ou_cust) = bucket10000(s.se_cust) "
+      "AND extract_date(o1.ou_when) = '2019-01-11'");
+  // U15: wide five-way.
+  sqls.push_back(
+      "SELECT * FROM docs d, docinfo di, authorinfo ai, sess s1, sess s2 "
+      "WHERE extract_id(d.d_text) = di.di_key "
+      "AND extract_author(d.d_text) = ai.ai_key "
+      "AND d.d_cust = s1.se_cust "
+      "AND city_from_ip(s1.se_ip) = city_from_ip(s2.se_ip) "
+      "AND extract_date(d.d_when) = '2019-02-01'");
+
+  // ---- 10 TPC-H-style queries with obscured keys ----
+  sqls.push_back(
+      "SELECT * FROM orders o, lineitem l, customer c "
+      "WHERE bucket10000(o.o_orderkey) = bucket10000(l.l_orderkey) "
+      "AND o.o_custkey = c.c_custkey AND o.o_orderpriority = 'P1'");
+  sqls.push_back(
+      "SELECT * FROM lineitem l, part p, supplier s "
+      "WHERE bucket10000(l.l_partkey) = bucket10000(p.p_partkey) "
+      "AND l.l_suppkey = s.s_suppkey AND p.p_brand = 'BRAND5'");
+  sqls.push_back(
+      "SELECT * FROM customer c, orders o, lineitem l, supplier s "
+      "WHERE c.c_custkey = o.o_custkey "
+      "AND bucket10000(o.o_orderkey) = bucket10000(l.l_orderkey) "
+      "AND l.l_suppkey = s.s_suppkey AND c.c_mktsegment = 'SEG1'");
+  sqls.push_back(
+      "SELECT * FROM partsupp ps, part p, supplier s, nation n "
+      "WHERE bucket10000(ps.ps_partkey) = bucket10000(p.p_partkey) "
+      "AND ps.ps_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey "
+      "AND n.n_name = 'NATION7'");
+  sqls.push_back(
+      "SELECT * FROM orders o, lineitem l, part p "
+      "WHERE bucket1000(o.o_orderkey) = bucket1000(l.l_orderkey) "
+      "AND bucket1000(l.l_partkey) = bucket1000(p.p_partkey) "
+      "AND extract_date(o.o_orderdate) = '1994-03-15'");
+  sqls.push_back(
+      "SELECT * FROM customer c, orders o, nation n, region r "
+      "WHERE c.c_custkey = o.o_custkey AND c.c_nationkey = n.n_nationkey "
+      "AND n.n_regionkey = r.r_regionkey AND r.r_name = 'REGION3' "
+      "AND o.o_orderpriority = 'P4'");
+  // Multi-table UDF: (customer nation, order key) pair vs lineitem.
+  sqls.push_back(
+      "SELECT * FROM customer c, orders o, lineitem l "
+      "WHERE c.c_custkey = o.o_custkey "
+      "AND pair_key(c.c_nationkey, o.o_orderkey) = bucket10000(l.l_orderkey)");
+  // Multi-table UDF: (supplier, part) pair from partsupp vs lineitem.
+  sqls.push_back(
+      "SELECT * FROM partsupp ps, supplier s, lineitem l "
+      "WHERE ps.ps_suppkey = s.s_suppkey "
+      "AND pair_key(ps.ps_partkey, ps.ps_suppkey) = bucket10000(l.l_orderkey)");
+  sqls.push_back(
+      "SELECT * FROM supplier s, nation n, customer c, orders o "
+      "WHERE s.s_nationkey = n.n_nationkey AND c.c_nationkey = n.n_nationkey "
+      "AND c.c_custkey = o.o_custkey AND n.n_name = 'NATION2'");
+  sqls.push_back(
+      "SELECT * FROM lineitem l, orders o, customer c, nation n, supplier s "
+      "WHERE bucket10000(l.l_orderkey) = bucket10000(o.o_orderkey) "
+      "AND o.o_custkey = c.c_custkey AND c.c_nationkey = n.n_nationkey "
+      "AND l.l_suppkey = s.s_suppkey AND o.o_orderpriority = 'P3'");
+
+  MONSOON_RETURN_IF_ERROR(AddSqlQueries("udf-q", sqls, &workload));
+  return workload;
+}
+
+}  // namespace monsoon

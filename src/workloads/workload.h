@@ -1,0 +1,43 @@
+#ifndef MONSOON_WORKLOADS_WORKLOAD_H_
+#define MONSOON_WORKLOADS_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/plan_node.h"
+#include "query/query_spec.h"
+
+namespace monsoon {
+
+/// One benchmark query: a parsed spec plus, where the benchmark defines
+/// one (OTT), a hand-written plan.
+struct BenchQuery {
+  std::string name;
+  std::string sql;  // source text (documentation / debugging)
+  QuerySpec spec;
+  PlanNode::Ptr hand_plan;  // may be null
+};
+
+/// A generated benchmark: data + query suite. All generators are
+/// deterministic given their seed so experiment tables are reproducible.
+struct Workload {
+  std::string name;
+  std::shared_ptr<Catalog> catalog;
+  std::vector<BenchQuery> queries;
+};
+
+/// Degree of Zipfian skew for the skewed TPC-H variants (Sec. 6.2.1).
+enum class SkewProfile {
+  kNone,   // classic uniform TPC-H
+  kLow,    // z = 1
+  kHigh,   // z = 4
+  kMixed,  // per-column z drawn uniformly from [0, 4]
+};
+
+const char* SkewProfileToString(SkewProfile profile);
+
+}  // namespace monsoon
+
+#endif  // MONSOON_WORKLOADS_WORKLOAD_H_

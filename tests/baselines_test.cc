@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "plan/logical_ops.h"
+#include "sql/parser.h"
+
+namespace monsoon {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fact = std::make_shared<Table>(
+        Schema({{"x", ValueType::kInt64}, {"y", ValueType::kInt64}}));
+    for (int64_t i = 0; i < 5000; ++i) {
+      ASSERT_TRUE(fact->AppendRow({Value(i % 50), Value(i % 80)}).ok());
+    }
+    ASSERT_TRUE(catalog_.AddTable("fact", fact).ok());
+
+    auto d1 = std::make_shared<Table>(
+        Schema({{"k", ValueType::kInt64}, {"s", ValueType::kString}}));
+    for (int64_t i = 0; i < 200; ++i) {
+      ASSERT_TRUE(d1->AppendRow({Value(i % 50), Value("d1")}).ok());
+    }
+    ASSERT_TRUE(catalog_.AddTable("d1", d1).ok());
+
+    auto d2 = std::make_shared<Table>(
+        Schema({{"k", ValueType::kInt64}, {"s", ValueType::kString}}));
+    for (int64_t i = 0; i < 200; ++i) {
+      ASSERT_TRUE(d2->AppendRow({Value(i % 80), Value("d2")}).ok());
+    }
+    ASSERT_TRUE(catalog_.AddTable("d2", d2).ok());
+
+    auto query = SqlParser(&catalog_).Parse(
+        "SELECT * FROM fact f, d1 a, d2 b WHERE f.x = a.k AND f.y = b.k");
+    ASSERT_TRUE(query.ok());
+    query_ = std::move(*query);
+
+    RunResult reference = MakeDefaultsStrategy()->Run(catalog_, query_, 0);
+    ASSERT_TRUE(reference.ok());
+    expected_rows_ = reference.result_rows;
+    ASSERT_GT(expected_rows_, 0u);
+  }
+
+  Catalog catalog_;
+  QuerySpec query_;
+  uint64_t expected_rows_ = 0;
+};
+
+TEST_F(BaselinesTest, AllPlanExecStrategiesAgreeOnTheResult) {
+  for (auto& strategy :
+       {MakeFullStatsStrategy(), MakeDefaultsStrategy(), MakeGreedyStrategy(),
+        MakeOnDemandStrategy(), MakeSamplingStrategy()}) {
+    RunResult result = strategy->Run(catalog_, query_, 0);
+    ASSERT_TRUE(result.ok()) << strategy->name() << ": "
+                             << result.status.ToString();
+    EXPECT_EQ(result.result_rows, expected_rows_) << strategy->name();
+    EXPECT_GT(result.objects_processed, 0u) << strategy->name();
+  }
+}
+
+TEST_F(BaselinesTest, FullStatsDoesNotChargeStatistics) {
+  RunResult full = MakeFullStatsStrategy()->Run(catalog_, query_, 0);
+  RunResult demand = MakeOnDemandStrategy()->Run(catalog_, query_, 0);
+  ASSERT_TRUE(full.ok() && demand.ok());
+  // On-Demand pays a charged pass over each base table; FullStats is
+  // offline, so its object count must be strictly smaller.
+  EXPECT_LT(full.objects_processed, demand.objects_processed);
+  EXPECT_GT(full.stats_collections, 0);
+}
+
+TEST_F(BaselinesTest, OnDemandChargesOnePassPerRelation) {
+  RunResult demand = MakeOnDemandStrategy()->Run(catalog_, query_, 0);
+  RunResult defaults = MakeDefaultsStrategy()->Run(catalog_, query_, 0);
+  ASSERT_TRUE(demand.ok() && defaults.ok());
+  // The charged difference is at least the sum of the base-table sizes
+  // (5000 + 200 + 200), assuming both picked the same (optimal) plan.
+  EXPECT_GE(demand.objects_processed, defaults.objects_processed);
+  EXPECT_EQ(demand.stats_collections, 4);  // 4 single-relation UDF terms
+}
+
+TEST_F(BaselinesTest, SamplingEstimatesAreReasonable) {
+  RunResult sampling = MakeSamplingStrategy()->Run(catalog_, query_, 0);
+  ASSERT_TRUE(sampling.ok());
+  EXPECT_EQ(sampling.result_rows, expected_rows_);
+  EXPECT_EQ(sampling.stats_collections, 4);
+  EXPECT_GT(sampling.stats_seconds, 0.0);
+}
+
+TEST_F(BaselinesTest, FullStatsRefusesMultiTableUdfs) {
+  auto query = SqlParser(&catalog_).Parse(
+      "SELECT * FROM fact f, d1 a, d2 b "
+      "WHERE f.x = a.k AND pair_key(f.y, a.k) = identity(b.k)");
+  ASSERT_TRUE(query.ok());
+  RunResult result = MakeFullStatsStrategy()->Run(catalog_, *query, 0);
+  EXPECT_EQ(result.status.code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(BaselinesTest, SamplingHandlesMultiTableUdfs) {
+  auto query = SqlParser(&catalog_).Parse(
+      "SELECT * FROM fact f, d1 a, d2 b "
+      "WHERE f.x = a.k AND pair_key(f.y, a.k) = identity(b.k)");
+  ASSERT_TRUE(query.ok());
+  RunResult reference = MakeDefaultsStrategy()->Run(catalog_, *query, 0);
+  ASSERT_TRUE(reference.ok());
+  RunResult result = MakeSamplingStrategy()->Run(catalog_, *query, 0);
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  EXPECT_EQ(result.result_rows, reference.result_rows);
+  // Pilot runs over the subsample product count as statistics work.
+  EXPECT_GT(result.stats_collections, 0);
+}
+
+TEST_F(BaselinesTest, SkinnerCompletesEasyQuery) {
+  RunResult result = MakeSkinnerStrategy()->Run(catalog_, query_, 0);
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  EXPECT_EQ(result.result_rows, expected_rows_);
+  EXPECT_GE(result.execute_rounds, 1);
+}
+
+TEST_F(BaselinesTest, SkinnerTimesOutUnderTightBudget) {
+  SkinnerOptions options;
+  options.initial_slice = 100;
+  options.episodes_per_level = 1000;  // never grows enough
+  RunResult result = MakeSkinnerStrategy(options)->Run(catalog_, query_, 2000);
+  EXPECT_TRUE(result.timed_out());
+  EXPECT_GT(result.execute_rounds, 1) << "episodes must have been retried";
+}
+
+TEST_F(BaselinesTest, BudgetsProduceTimeouts) {
+  RunResult result = MakeDefaultsStrategy()->Run(catalog_, query_, 100);
+  EXPECT_TRUE(result.timed_out());
+}
+
+TEST_F(BaselinesTest, HandPlanStrategyExecutesTheGivenPlan) {
+  auto provider = [this](const QuerySpec& query) -> StatusOr<PlanNode::Ptr> {
+    // Left-deep f ⋈ a ⋈ b.
+    PlanNode::Ptr plan = MakeLeaf(query, 0);
+    for (int rel : {1, 2}) {
+      PlanNode::Ptr leaf = MakeLeaf(query, rel);
+      plan = PlanNode::Join(
+          plan, leaf,
+          ApplicableJoinPreds(query, plan->output_sig(), leaf->output_sig()));
+    }
+    return plan;
+  };
+  auto strategy = MakeHandPlanStrategy("Hand-written", provider);
+  EXPECT_EQ(strategy->name(), "Hand-written");
+  RunResult result = strategy->Run(catalog_, query_, 0);
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  EXPECT_EQ(result.result_rows, expected_rows_);
+}
+
+TEST_F(BaselinesTest, StrategyNamesMatchThePaper) {
+  EXPECT_EQ(MakeFullStatsStrategy()->name(), "Postgres");
+  EXPECT_EQ(MakeDefaultsStrategy()->name(), "Defaults");
+  EXPECT_EQ(MakeGreedyStrategy()->name(), "Greedy");
+  EXPECT_EQ(MakeOnDemandStrategy()->name(), "On Demand");
+  EXPECT_EQ(MakeSamplingStrategy()->name(), "Sampling");
+  EXPECT_EQ(MakeSkinnerStrategy()->name(), "SkinnerDB");
+}
+
+}  // namespace
+}  // namespace monsoon

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "cost/cardinality.h"
+#include "plan/logical_ops.h"
+
+namespace monsoon {
+namespace {
+
+// The Sec. 2.3 example: R(1M) joins S(10k) through F1(R)=F2(S) and
+// T(10k) through F3(R)=F4(T).
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(query_.AddRelation("r", "rt").ok());
+    ASSERT_TRUE(query_.AddRelation("s", "st").ok());
+    ASSERT_TRUE(query_.AddRelation("t", "tt").ok());
+    auto f1 = query_.MakeTerm("f1", {"r.a"});  // term 0
+    auto f2 = query_.MakeTerm("f2", {"s.b"});  // term 1
+    ASSERT_TRUE(query_.AddJoinPredicate(std::move(*f1), std::move(*f2)).ok());
+    auto f3 = query_.MakeTerm("f3", {"r.a"});  // term 2
+    auto f4 = query_.MakeTerm("f4", {"t.c"});  // term 3
+    ASSERT_TRUE(query_.AddJoinPredicate(std::move(*f3), std::move(*f4)).ok());
+
+    stats_.SetCount(r_, 1e6);
+    stats_.SetCount(s_, 1e4);
+    stats_.SetCount(t_, 1e4);
+  }
+
+  CardinalityModel MakeModel(MissingStatPolicy policy,
+                             double default_fraction = 0.1) {
+    CardinalityModel::Options options;
+    options.missing_policy = policy;
+    options.default_fraction = default_fraction;
+    return CardinalityModel(query_, &stats_, options);
+  }
+
+  const UdfTerm& Term(int pred, bool left) const {
+    return left ? query_.predicate(pred).left : *query_.predicate(pred).right;
+  }
+
+  QuerySpec query_;
+  StatsStore stats_;
+  ExprSig r_{0b001, 0};
+  ExprSig s_{0b010, 0};
+  ExprSig t_{0b100, 0};
+};
+
+TEST_F(CostModelTest, Equation2JoinSize) {
+  stats_.SetDistinctObserved(0, r_, 1000);  // d(F1, R)
+  stats_.SetDistinctObserved(1, s_, 10000);  // d(F2, S)
+  CardinalityModel model = MakeModel(MissingStatPolicy::kError);
+  auto card = model.JoinCardinality(r_, 1e6, s_, 1e4, {0});
+  ASSERT_TRUE(card.ok());
+  // c(R)c(S)/max(d1, d2) = 1e10 / 1e4.
+  EXPECT_DOUBLE_EQ(*card, 1e6);
+}
+
+TEST_F(CostModelTest, Equation2UsesMaxOfSides) {
+  stats_.SetDistinctObserved(0, r_, 1000);
+  stats_.SetDistinctObserved(1, s_, 1);  // tiny domain -> max is 1000
+  CardinalityModel model = MakeModel(MissingStatPolicy::kError);
+  auto card = model.JoinCardinality(r_, 1e6, s_, 1e4, {0});
+  ASSERT_TRUE(card.ok());
+  EXPECT_DOUBLE_EQ(*card, 1e7);  // Table 1, row 2: 10 million
+}
+
+TEST_F(CostModelTest, DistinctClampedByRowCount) {
+  stats_.SetDistinctObserved(0, r_, 5000);
+  CardinalityModel model = MakeModel(MissingStatPolicy::kError);
+  // Asking for d over an expression with only 10 rows: clamp to 10.
+  auto d = model.ResolveDistinct(Term(0, true), r_, 10, s_, 1e4);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 10);
+}
+
+TEST_F(CostModelTest, ErrorPolicyFailsOnMissing) {
+  CardinalityModel model = MakeModel(MissingStatPolicy::kError);
+  EXPECT_EQ(model.JoinCardinality(r_, 1e6, s_, 1e4, {0}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CostModelTest, DefaultFractionPolicy) {
+  CardinalityModel model = MakeModel(MissingStatPolicy::kDefaultFraction, 0.1);
+  auto card = model.JoinCardinality(r_, 1e6, s_, 1e4, {0});
+  ASSERT_TRUE(card.ok());
+  // d_l = 1e5, d_r = 1e3 -> max 1e5.
+  EXPECT_DOUBLE_EQ(*card, 1e10 / 1e5);
+}
+
+TEST_F(CostModelTest, SampledValuesAreRecordedAndReused) {
+  Pcg32 rng(7);
+  auto prior = MakePrior(PriorKind::kUniform);
+  CardinalityModel::Options options;
+  options.missing_policy = MissingStatPolicy::kSampleFromPrior;
+  options.prior = prior.get();
+  options.rng = &rng;
+  CardinalityModel model(query_, &stats_, options);
+
+  auto d1 = model.ResolveDistinct(Term(0, true), r_, 1e6, s_, 1e4);
+  ASSERT_TRUE(d1.ok());
+  auto d2 = model.ResolveDistinct(Term(0, true), r_, 1e6, s_, 1e4);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_DOUBLE_EQ(*d1, *d2) << "second lookup must reuse the recorded sample";
+  EXPECT_GE(*d1, 1.0);
+  EXPECT_LE(*d1, 1e6);
+}
+
+TEST_F(CostModelTest, SelectionSelectivity) {
+  QuerySpec query;
+  ASSERT_TRUE(query.AddRelation("r", "rt").ok());
+  auto f = query.MakeTerm("f", {"r.a"});
+  ASSERT_TRUE(query.AddSelectionPredicate(std::move(*f), Value(int64_t{12})).ok());
+  StatsStore stats;
+  ExprSig r{0b1, 0};
+  stats.SetCount(r, 1000);
+  stats.SetDistinctObserved(0, r, 50);
+  CardinalityModel::Options options;
+  options.missing_policy = MissingStatPolicy::kError;
+  CardinalityModel model(query, &stats, options);
+  auto card = model.LeafCardinality(r, {0});
+  ASSERT_TRUE(card.ok());
+  EXPECT_DOUBLE_EQ(*card, 1000.0 / 50.0);  // c(F(R)=12) = c/d
+}
+
+TEST_F(CostModelTest, InequalitySelectivityIsComplement) {
+  QuerySpec query;
+  ASSERT_TRUE(query.AddRelation("r", "rt").ok());
+  ASSERT_TRUE(query.AddRelation("s", "st").ok());
+  auto l = query.MakeTerm("f1", {"r.a"});
+  auto r_term = query.MakeTerm("f2", {"s.b"});
+  ASSERT_TRUE(query.AddJoinPredicate(std::move(*l), std::move(*r_term),
+                                     /*equality=*/false).ok());
+  StatsStore stats;
+  ExprSig r{0b01, 0}, s{0b10, 0};
+  stats.SetCount(r, 100);
+  stats.SetCount(s, 100);
+  stats.SetDistinctObserved(0, r, 10);
+  stats.SetDistinctObserved(1, s, 4);
+  CardinalityModel::Options options;
+  options.missing_policy = MissingStatPolicy::kError;
+  CardinalityModel model(query, &stats, options);
+  auto card = model.JoinCardinality(r, 100, s, 100, {0});
+  ASSERT_TRUE(card.ok());
+  EXPECT_DOUBLE_EQ(*card, 100.0 * 100.0 * (1.0 - 1.0 / 10.0));
+}
+
+TEST_F(CostModelTest, PlanCostRecursion) {
+  // Plan ((R ⋈ S) ⋈ T) with all statistics known; Sec. 4.4 recursion:
+  //   cost = c(R) + c(S) + c(RS) + c(T) + c(RST).
+  stats_.SetDistinctObserved(0, r_, 1000);
+  stats_.SetDistinctObserved(1, s_, 10000);
+  stats_.SetDistinctObserved(2, r_, 1000);
+  stats_.SetDistinctObserved(3, t_, 10000);
+  CardinalityModel model = MakeModel(MissingStatPolicy::kError);
+
+  PlanNode::Ptr rs = PlanNode::Join(MakeLeaf(query_, 0), MakeLeaf(query_, 1), {0});
+  PlanNode::Ptr rst = PlanNode::Join(rs, MakeLeaf(query_, 2), {1});
+
+  // c(RS) = 1e10/1e4 = 1e6; c(RST) = 1e6*1e4/max(1000,1e4) = 1e6.
+  auto card = model.PlanCardinality(rst);
+  ASSERT_TRUE(card.ok());
+  EXPECT_DOUBLE_EQ(*card, 1e6);
+  auto cost = model.PlanCost(rst);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(*cost, 1e6 + 1e4 + 1e6 + 1e4 + 1e6);
+}
+
+TEST_F(CostModelTest, StatsCollectAddsOnePass) {
+  stats_.SetDistinctObserved(0, r_, 1000);
+  stats_.SetDistinctObserved(1, s_, 10000);
+  CardinalityModel model = MakeModel(MissingStatPolicy::kError);
+  PlanNode::Ptr rs = PlanNode::Join(MakeLeaf(query_, 0), MakeLeaf(query_, 1), {0});
+  double base_cost = *model.PlanCost(rs);
+  double sigma_cost = *model.PlanCost(PlanNode::StatsCollect(rs));
+  EXPECT_DOUBLE_EQ(sigma_cost, base_cost + 1e6);  // + c(RS)
+}
+
+TEST_F(CostModelTest, RecordCountsStoresInteriorCardinalities) {
+  Pcg32 rng(11);
+  auto prior = MakePrior(PriorKind::kUniform);
+  CardinalityModel::Options options;
+  options.missing_policy = MissingStatPolicy::kSampleFromPrior;
+  options.prior = prior.get();
+  options.rng = &rng;
+  options.record_counts = true;
+  CardinalityModel model(query_, &stats_, options);
+
+  PlanNode::Ptr rs = PlanNode::Join(MakeLeaf(query_, 0), MakeLeaf(query_, 1), {0});
+  ASSERT_TRUE(model.PlanCardinality(rs).ok());
+  EXPECT_TRUE(stats_.LookupCount(rs->output_sig()).has_value());
+}
+
+TEST_F(CostModelTest, KnownCountShortCircuitsEstimation) {
+  // Sec. 4.3 step 1: an already-known c(r) is used as-is.
+  PlanNode::Ptr rs = PlanNode::Join(MakeLeaf(query_, 0), MakeLeaf(query_, 1), {0});
+  stats_.SetCount(rs->output_sig(), 777);
+  CardinalityModel model = MakeModel(MissingStatPolicy::kError);
+  auto card = model.PlanCardinality(rs);
+  ASSERT_TRUE(card.ok());
+  EXPECT_DOUBLE_EQ(*card, 777);
+}
+
+TEST_F(CostModelTest, MultiTableTermUsesCombinedExpression) {
+  // A predicate whose left term spans both inputs is evaluated over the
+  // combined expression (cross size parameterizes the prior).
+  QuerySpec query;
+  ASSERT_TRUE(query.AddRelation("a", "at").ok());
+  ASSERT_TRUE(query.AddRelation("b", "bt").ok());
+  ASSERT_TRUE(query.AddRelation("c", "ct").ok());
+  auto span = query.MakeTerm("pair", {"a.x", "b.y"});
+  auto rhs = query.MakeTerm("f", {"c.z"});
+  ASSERT_TRUE(query.AddJoinPredicate(std::move(*span), std::move(*rhs)).ok());
+
+  StatsStore stats;
+  ExprSig ab{0b011, 0};
+  ExprSig c{0b100, 0};
+  stats.SetCount(ab, 5000);
+  stats.SetCount(c, 100);
+  // Term 0 spans {a,b}: keyed over the combined expression.
+  stats.SetDistinctObserved(0, ab, 500);
+  stats.SetDistinctObserved(1, c, 100);
+  CardinalityModel::Options options;
+  options.missing_policy = MissingStatPolicy::kError;
+  CardinalityModel model(query, &stats, options);
+  auto card = model.JoinCardinality(ab, 5000, c, 100, {0});
+  ASSERT_TRUE(card.ok());
+  EXPECT_DOUBLE_EQ(*card, 5000.0 * 100.0 / 500.0);
+}
+
+}  // namespace
+}  // namespace monsoon

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "plan/logical_ops.h"
+#include "sql/parser.h"
+
+namespace monsoon {
+namespace {
+
+// A small orders/customers/items database with known join results.
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto customers = std::make_shared<Table>(
+        Schema({{"id", ValueType::kInt64}, {"city", ValueType::kString}}));
+    for (int64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(customers
+                      ->AppendRow({Value(i), Value("city" + std::to_string(i % 3))})
+                      .ok());
+    }
+    ASSERT_TRUE(catalog_.AddTable("customers", customers).ok());
+
+    auto orders = std::make_shared<Table>(
+        Schema({{"cust", ValueType::kInt64}, {"amount", ValueType::kInt64}}));
+    // Customer i has i orders (0 has none): 45 orders total.
+    for (int64_t i = 0; i < 10; ++i) {
+      for (int64_t j = 0; j < i; ++j) {
+        ASSERT_TRUE(orders->AppendRow({Value(i), Value(j * 10)}).ok());
+      }
+    }
+    ASSERT_TRUE(catalog_.AddTable("orders", orders).ok());
+  }
+
+  StatusOr<QuerySpec> Parse(const std::string& sql) {
+    return SqlParser(&catalog_).Parse(sql);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ExecutorTest, HashJoinMatchesExpectedCardinality) {
+  auto query = Parse(
+      "SELECT * FROM customers c, orders o WHERE c.id = o.cust");
+  ASSERT_TRUE(query.ok());
+  auto store = MaterializedStore::ForQuery(catalog_, *query);
+  ASSERT_TRUE(store.ok());
+
+  PlanNode::Ptr plan =
+      PlanNode::Join(MakeLeaf(*query, 0), MakeLeaf(*query, 1), {0});
+  Executor executor(*query, &UdfRegistry::Global());
+  ExecContext ctx;
+  auto result = executor.Execute(plan, &*store, &ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output.table->num_rows(), 45u);
+  // Output schema is the concatenation of both qualified schemas.
+  EXPECT_TRUE(result->output.schema.HasColumn("c.city"));
+  EXPECT_TRUE(result->output.schema.HasColumn("o.amount"));
+  // The result is registered in the store under its signature.
+  EXPECT_TRUE(store->Contains(plan->output_sig()));
+}
+
+TEST_F(ExecutorTest, ObjectAccountingFollowsCostModel) {
+  auto query = Parse("SELECT * FROM customers c, orders o WHERE c.id = o.cust");
+  ASSERT_TRUE(query.ok());
+  auto store = MaterializedStore::ForQuery(catalog_, *query);
+  PlanNode::Ptr plan =
+      PlanNode::Join(MakeLeaf(*query, 0), MakeLeaf(*query, 1), {0});
+  Executor executor(*query, &UdfRegistry::Global());
+  ExecContext ctx;
+  ASSERT_TRUE(executor.Execute(plan, &*store, &ctx).ok());
+  // Sec. 4.4: c(customers) + c(orders) + c(join) = 10 + 45 + 45.
+  EXPECT_EQ(ctx.objects_processed(), 10u + 45u + 45u);
+}
+
+TEST_F(ExecutorTest, SelectionsAppliedAtLeaf) {
+  auto query = Parse(
+      "SELECT * FROM customers c, orders o "
+      "WHERE c.id = o.cust AND c.city = 'city1'");
+  ASSERT_TRUE(query.ok());
+  auto store = MaterializedStore::ForQuery(catalog_, *query);
+  // city1 = customers 1, 4, 7 -> orders 1 + 4 + 7 = 12.
+  PlanNode::Ptr plan =
+      PlanNode::Join(MakeLeaf(*query, 0), MakeLeaf(*query, 1), {0});
+  Executor executor(*query, &UdfRegistry::Global());
+  ExecContext ctx;
+  auto result = executor.Execute(plan, &*store, &ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output.table->num_rows(), 12u);
+}
+
+TEST_F(ExecutorTest, CrossProductWithResidualFilter) {
+  // '<>' predicate alone: no equi join available -> NL cross product.
+  auto query = Parse("SELECT * FROM customers a, customers b WHERE a.id <> b.id");
+  ASSERT_TRUE(query.ok());
+  auto store = MaterializedStore::ForQuery(catalog_, *query);
+  PlanNode::Ptr plan =
+      PlanNode::Join(MakeLeaf(*query, 0), MakeLeaf(*query, 1), {0});
+  Executor executor(*query, &UdfRegistry::Global());
+  ExecContext ctx;
+  auto result = executor.Execute(plan, &*store, &ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output.table->num_rows(), 90u);  // 10*10 - 10
+  // Nested-loop candidates are charged as work, not as cost objects.
+  EXPECT_GE(ctx.work_units(), 100u);
+}
+
+TEST_F(ExecutorTest, ResidualFilterOnHashJoin) {
+  // Equi join on city plus a residual '<>' on id: pairs of distinct
+  // customers in the same city. Cities: {0,3,6,9} {1,4,7} {2,5,8}:
+  // 4*4 + 3*3 + 3*3 - 10 self-pairs = 24.
+  auto query = Parse(
+      "SELECT * FROM customers a, customers b "
+      "WHERE a.city = b.city AND a.id <> b.id");
+  ASSERT_TRUE(query.ok());
+  auto store = MaterializedStore::ForQuery(catalog_, *query);
+  PlanNode::Ptr plan =
+      PlanNode::Join(MakeLeaf(*query, 0), MakeLeaf(*query, 1), {0, 1});
+  Executor executor(*query, &UdfRegistry::Global());
+  ExecContext ctx;
+  auto result = executor.Execute(plan, &*store, &ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output.table->num_rows(), 24u);
+}
+
+TEST_F(ExecutorTest, MultipleEquiPredsFormCompositeKey) {
+  auto query = Parse(
+      "SELECT * FROM customers a, customers b "
+      "WHERE a.id = b.id AND a.city = b.city");
+  ASSERT_TRUE(query.ok());
+  auto store = MaterializedStore::ForQuery(catalog_, *query);
+  PlanNode::Ptr plan =
+      PlanNode::Join(MakeLeaf(*query, 0), MakeLeaf(*query, 1), {0, 1});
+  Executor executor(*query, &UdfRegistry::Global());
+  ExecContext ctx;
+  auto result = executor.Execute(plan, &*store, &ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output.table->num_rows(), 10u);  // exact self-match
+}
+
+TEST_F(ExecutorTest, StatsCollectObservesDistincts) {
+  auto query = Parse(
+      "SELECT * FROM customers c, orders o "
+      "WHERE c.city = o.amount AND c.id = o.cust");
+  // (city vs amount is type-nonsensical but never matches; we only care
+  // about the Σ observations here.)
+  ASSERT_TRUE(query.ok());
+  auto store = MaterializedStore::ForQuery(catalog_, *query);
+  PlanNode::Ptr plan = PlanNode::StatsCollect(MakeLeaf(*query, 0));
+  Executor executor(*query, &UdfRegistry::Global());
+  ExecContext ctx;
+  auto result = executor.Execute(plan, &*store, &ctx);
+  ASSERT_TRUE(result.ok());
+  // Two terms are evaluable over customers: identity_str(c.city) and
+  // identity(c.id).
+  ASSERT_EQ(result->observed_distincts.size(), 2u);
+  for (const DistinctObservation& obs : result->observed_distincts) {
+    if (obs.term_id == query->predicate(0).left.term_id) {
+      EXPECT_NEAR(obs.distinct_count, 3.0, 0.5);  // three cities
+    } else {
+      EXPECT_NEAR(obs.distinct_count, 10.0, 0.5);  // ten ids
+    }
+  }
+  // Σ charges one extra pass over the 10 rows: 10 (scan) + 10 (Σ).
+  EXPECT_EQ(ctx.objects_processed(), 20u);
+  EXPECT_GT(ctx.stats_collect_seconds(), 0.0);
+}
+
+TEST_F(ExecutorTest, ObservedCountsCoverInteriorNodes) {
+  auto query = Parse(
+      "SELECT * FROM customers c, orders o WHERE c.id = o.cust "
+      "AND c.city = 'city0'");
+  ASSERT_TRUE(query.ok());
+  auto store = MaterializedStore::ForQuery(catalog_, *query);
+  PlanNode::Ptr plan =
+      PlanNode::Join(MakeLeaf(*query, 0), MakeLeaf(*query, 1), {0});
+  Executor executor(*query, &UdfRegistry::Global());
+  ExecContext ctx;
+  auto result = executor.Execute(plan, &*store, &ctx);
+  ASSERT_TRUE(result.ok());
+  // Three nodes: filtered customers leaf, orders leaf, join.
+  EXPECT_EQ(result->observed_counts.size(), 3u);
+}
+
+TEST_F(ExecutorTest, WorkBudgetAborts) {
+  auto query = Parse("SELECT * FROM orders a, orders b WHERE a.amount = b.amount");
+  ASSERT_TRUE(query.ok());
+  auto store = MaterializedStore::ForQuery(catalog_, *query);
+  PlanNode::Ptr plan =
+      PlanNode::Join(MakeLeaf(*query, 0), MakeLeaf(*query, 1), {0});
+  Executor executor(*query, &UdfRegistry::Global());
+  ExecContext ctx(/*work_budget=*/50);
+  auto result = executor.Execute(plan, &*store, &ctx);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(ctx.work_units(), 50u);
+}
+
+TEST_F(ExecutorTest, LeafPassThroughSharesTable) {
+  auto query = Parse("SELECT * FROM customers c, orders o WHERE c.id = o.cust");
+  ASSERT_TRUE(query.ok());
+  auto store = MaterializedStore::ForQuery(catalog_, *query);
+  PlanNode::Ptr leaf = MakeLeaf(*query, 0);  // no selections
+  Executor executor(*query, &UdfRegistry::Global());
+  ExecContext ctx;
+  auto result = executor.Execute(leaf, &*store, &ctx);
+  ASSERT_TRUE(result.ok());
+  auto base = store->Lookup(ExprSig::Of(RelSet::Single(0), 0));
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(result->output.table.get(), (*base)->table.get())
+      << "filter-free leaves must not copy the table";
+}
+
+TEST_F(ExecutorTest, BindFailsOnUnknownUdf) {
+  QuerySpec query;
+  ASSERT_TRUE(query.AddRelation("c", "customers").ok());
+  auto term = query.MakeTerm("no_such_udf", {"c.id"});
+  ASSERT_TRUE(term.ok());
+  Schema schema({{"c.id", ValueType::kInt64}});
+  EXPECT_EQ(BoundTerm::Bind(*term, schema, UdfRegistry::Global()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, BindFailsOnUnknownColumn) {
+  QuerySpec query;
+  ASSERT_TRUE(query.AddRelation("c", "customers").ok());
+  auto term = query.MakeTerm("identity", {"c.zzz"});
+  ASSERT_TRUE(term.ok());
+  Schema schema({{"c.id", ValueType::kInt64}});
+  EXPECT_EQ(BoundTerm::Bind(*term, schema, UdfRegistry::Global()).status().code(),
+            StatusCode::kNotFound);
+}
+
+// Sort-merge join must agree with hash join on every query shape.
+class SortMergeJoinTest : public ExecutorTest,
+                          public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(SortMergeJoinTest, MatchesHashJoin) {
+  auto query = Parse(GetParam());
+  ASSERT_TRUE(query.ok()) << GetParam();
+  std::vector<int> all_preds;
+  for (const Predicate& pred : query->predicates()) {
+    if (pred.kind == Predicate::Kind::kJoin) all_preds.push_back(pred.pred_id);
+  }
+  PlanNode::Ptr plan =
+      PlanNode::Join(MakeLeaf(*query, 0), MakeLeaf(*query, 1), all_preds);
+
+  uint64_t rows[2];
+  uint64_t objects[2];
+  int i = 0;
+  for (Executor::JoinAlgorithm algorithm :
+       {Executor::JoinAlgorithm::kHash, Executor::JoinAlgorithm::kSortMerge}) {
+    Executor::Options options;
+    options.join_algorithm = algorithm;
+    Executor executor(*query, &UdfRegistry::Global(), options);
+    auto store = MaterializedStore::ForQuery(catalog_, *query);
+    ExecContext ctx;
+    auto result = executor.Execute(plan, &*store, &ctx);
+    ASSERT_TRUE(result.ok());
+    rows[i] = result->output.table->num_rows();
+    objects[i] = ctx.objects_processed();
+    ++i;
+  }
+  EXPECT_EQ(rows[0], rows[1]) << GetParam();
+  EXPECT_EQ(objects[0], objects[1]) << "cost-model objects are plan properties";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, SortMergeJoinTest,
+    ::testing::Values(
+        "SELECT * FROM customers c, orders o WHERE c.id = o.cust",
+        "SELECT * FROM customers a, customers b WHERE a.id = b.id "
+        "AND a.city = b.city",
+        "SELECT * FROM customers a, customers b WHERE a.city = b.city "
+        "AND a.id <> b.id",
+        "SELECT * FROM orders a, orders b WHERE a.amount = b.amount",
+        "SELECT * FROM customers c, orders o WHERE c.city = o.amount "
+        "AND c.id = o.cust"));
+
+TEST(MaterializedStoreTest, SharedBaseTablesQualifiedPerAlias) {
+  Catalog catalog;
+  auto t = std::make_shared<Table>(Schema({{"k", ValueType::kInt64}}));
+  ASSERT_TRUE(t->AppendRow({Value(int64_t{1})}).ok());
+  ASSERT_TRUE(catalog.AddTable("tab", t).ok());
+
+  QuerySpec query;
+  ASSERT_TRUE(query.AddRelation("x", "tab").ok());
+  ASSERT_TRUE(query.AddRelation("y", "tab").ok());
+  auto store = MaterializedStore::ForQuery(catalog, query);
+  ASSERT_TRUE(store.ok());
+  auto x = store->Lookup(ExprSig::Of(RelSet::Single(0), 0));
+  auto y = store->Lookup(ExprSig::Of(RelSet::Single(1), 0));
+  ASSERT_TRUE(x.ok() && y.ok());
+  EXPECT_EQ((*x)->table.get(), (*y)->table.get()) << "data shared";
+  EXPECT_TRUE((*x)->schema.HasColumn("x.k"));
+  EXPECT_TRUE((*y)->schema.HasColumn("y.k"));
+}
+
+}  // namespace
+}  // namespace monsoon

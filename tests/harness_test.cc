@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "harness/runner.h"
+
+namespace monsoon {
+namespace {
+
+// A workload with two trivial in-memory queries and scripted strategies.
+class HarnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload_.name = "toy";
+    workload_.catalog = std::make_shared<Catalog>();
+    for (const char* name : {"q1", "q2", "q3"}) {
+      BenchQuery query;
+      query.name = name;
+      workload_.queries.push_back(std::move(query));
+    }
+  }
+
+  static RunResult Ok(double seconds, uint64_t objects) {
+    RunResult result;
+    result.total_seconds = seconds;
+    result.objects_processed = objects;
+    return result;
+  }
+
+  static RunResult Timeout(double seconds) {
+    RunResult result;
+    result.status = Status::ResourceExhausted("budget");
+    result.total_seconds = seconds;
+    return result;
+  }
+
+  Workload workload_;
+};
+
+TEST_F(HarnessTest, SummariesFollowThePaperConventions) {
+  HarnessOptions options;
+  options.timeout_display_seconds = 1200;
+  BenchRunner runner(options);
+  runner.AddStrategy("clean", [](const Workload&, const BenchQuery& query) {
+    if (query.name == "q1") return Ok(1.0, 1000000);
+    if (query.name == "q2") return Ok(2.0, 2000000);
+    return Ok(3.0, 3000000);
+  });
+  runner.AddStrategy("flaky", [](const Workload&, const BenchQuery& query) {
+    if (query.name == "q2") return Timeout(5.0);
+    return Ok(1.0, 500000);
+  });
+  ASSERT_TRUE(runner.RunAll(workload_).ok());
+  ASSERT_EQ(runner.records().size(), 6u);
+
+  StrategySummary clean = runner.Summarize("clean");
+  EXPECT_EQ(clean.timeouts, 0);
+  EXPECT_TRUE(clean.mean_valid);
+  EXPECT_DOUBLE_EQ(clean.mean_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(clean.median_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(clean.max_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(clean.median_mobjects, 2.0);
+
+  StrategySummary flaky = runner.Summarize("flaky");
+  EXPECT_EQ(flaky.timeouts, 1);
+  EXPECT_FALSE(flaky.mean_valid) << "mean is N/A once any query times out";
+  EXPECT_DOUBLE_EQ(flaky.max_seconds, 1200.0) << "TO entries count as the timeout";
+}
+
+TEST_F(HarnessTest, RelativeBuckets) {
+  BenchRunner runner(HarnessOptions{});
+  runner.AddStrategy("base", [](const Workload&, const BenchQuery&) {
+    return Ok(1.0, 1);
+  });
+  runner.AddStrategy("other", [](const Workload&, const BenchQuery& query) {
+    if (query.name == "q1") return Ok(0.5, 1);   // faster
+    if (query.name == "q2") return Ok(1.0, 1);   // similar
+    return Ok(2.0, 1);                           // slower
+  });
+  ASSERT_TRUE(runner.RunAll(workload_).ok());
+  auto buckets = runner.RelativeTo("other", "base");
+  ASSERT_TRUE(buckets.ok());
+  EXPECT_EQ(buckets->comparable, 3);
+  EXPECT_NEAR(buckets->faster, 33.33, 0.1);
+  EXPECT_NEAR(buckets->similar, 33.33, 0.1);
+  EXPECT_NEAR(buckets->slower, 33.33, 0.1);
+  EXPECT_FALSE(runner.RelativeTo("other", "missing").ok());
+}
+
+TEST_F(HarnessTest, TimeoutsLandInSlowestBucket) {
+  BenchRunner runner(HarnessOptions{});
+  runner.AddStrategy("base", [](const Workload&, const BenchQuery&) {
+    return Ok(1.0, 1);
+  });
+  runner.AddStrategy("to", [](const Workload&, const BenchQuery&) {
+    return Timeout(0.1);
+  });
+  ASSERT_TRUE(runner.RunAll(workload_).ok());
+  auto buckets = runner.RelativeTo("to", "base");
+  ASSERT_TRUE(buckets.ok());
+  EXPECT_NEAR(buckets->slower, 100.0, 0.1);
+}
+
+TEST_F(HarnessTest, QueryFilterRestrictsRuns) {
+  BenchRunner runner(HarnessOptions{});
+  runner.AddStrategy("s", [](const Workload&, const BenchQuery&) {
+    return Ok(1.0, 1);
+  });
+  runner.SetQueryFilter({"q2"});
+  ASSERT_TRUE(runner.RunAll(workload_).ok());
+  ASSERT_EQ(runner.records().size(), 1u);
+  EXPECT_EQ(runner.records()[0].query, "q2");
+}
+
+TEST_F(HarnessTest, ErrorsAreSeparatedFromTimeouts) {
+  BenchRunner runner(HarnessOptions{});
+  runner.AddStrategy("na", [](const Workload&, const BenchQuery&) {
+    RunResult result;
+    result.status = Status::Unimplemented("not applicable");
+    return result;
+  });
+  ASSERT_TRUE(runner.RunAll(workload_).ok());
+  StrategySummary summary = runner.Summarize("na");
+  EXPECT_EQ(summary.errors, 3);
+  EXPECT_EQ(summary.runs, 0);
+  EXPECT_EQ(summary.timeouts, 0);
+}
+
+TEST_F(HarnessTest, PrintedTablesContainStrategiesAndQueries) {
+  BenchRunner runner(HarnessOptions{});
+  runner.AddStrategy("alpha", [](const Workload&, const BenchQuery&) {
+    return Ok(1.0, 1000);
+  });
+  runner.AddStrategy("beta", [](const Workload&, const BenchQuery& query) {
+    return query.name == "q3" ? Timeout(1) : Ok(2.0, 1000);
+  });
+  ASSERT_TRUE(runner.RunAll(workload_).ok());
+
+  std::ostringstream summary;
+  runner.PrintSummaryTable(summary);
+  EXPECT_NE(summary.str().find("alpha"), std::string::npos);
+  EXPECT_NE(summary.str().find("N/A"), std::string::npos);
+
+  std::ostringstream per_query;
+  runner.PrintPerQueryTable(per_query);
+  EXPECT_NE(per_query.str().find("q2"), std::string::npos);
+  EXPECT_NE(per_query.str().find("TO"), std::string::npos);
+}
+
+TEST_F(HarnessTest, CsvExportHasHeaderAndOneLinePerRecord) {
+  BenchRunner runner(HarnessOptions{});
+  runner.AddStrategy("s1", [](const Workload&, const BenchQuery&) {
+    return Ok(1.5, 1234);
+  });
+  runner.AddStrategy("s2", [](const Workload&, const BenchQuery& query) {
+    return query.name == "q1" ? Timeout(2) : Ok(0.5, 99);
+  });
+  ASSERT_TRUE(runner.RunAll(workload_).ok());
+  std::ostringstream out;
+  runner.WriteCsv(out);
+  std::string csv = out.str();
+  // Header + 6 records.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 7);
+  EXPECT_NE(csv.find("query,strategy,status"), std::string::npos);
+  EXPECT_NE(csv.find("q1,s2,timeout"), std::string::npos);
+  EXPECT_NE(csv.find("q2,s1,ok"), std::string::npos);
+  EXPECT_NE(csv.find(",1234,"), std::string::npos);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"A", "LongHeader"});
+  table.AddRow({"xx", "1"});
+  table.AddRow({"y", "22"});
+  std::ostringstream out;
+  table.Print(out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("| A  | LongHeader |"), std::string::npos);
+  EXPECT_NE(text.find("| xx | 1          |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace monsoon

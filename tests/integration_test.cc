@@ -1,0 +1,184 @@
+// End-to-end integration: each benchmark workload is run through the
+// harness with a subset of strategies at toy scale. These tests pin down
+// the cross-module contracts the table benches rely on: every strategy
+// agrees on result cardinality per query, accounting fields are coherent,
+// and whole runs are deterministic.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/baselines.h"
+#include "harness/runner.h"
+#include "monsoon/monsoon_optimizer.h"
+#include "workloads/imdb.h"
+#include "workloads/ott.h"
+#include "workloads/tpch.h"
+#include "workloads/udfbench.h"
+
+namespace monsoon {
+namespace {
+
+void AddStrategies(BenchRunner* runner, uint64_t budget) {
+  for (auto maker : {MakeDefaultsStrategy, MakeGreedyStrategy}) {
+    std::shared_ptr<Strategy> strategy = maker();
+    runner->AddStrategy(strategy->name(),
+                        [strategy, budget](const Workload& workload,
+                                           const BenchQuery& query) {
+                          return strategy->Run(*workload.catalog, query.spec,
+                                               budget);
+                        });
+  }
+  MonsoonOptimizer::Options options;
+  options.mcts.iterations = 80;
+  options.work_budget = budget;
+  runner->AddStrategy("Monsoon", [options](const Workload& workload,
+                                           const BenchQuery& query) {
+    MonsoonOptimizer monsoon(workload.catalog.get(), options);
+    return monsoon.Run(query.spec);
+  });
+}
+
+// All strategies that completed a query must report the same row count.
+void ExpectConsistentResults(const BenchRunner& runner) {
+  std::map<std::string, uint64_t> rows_by_query;
+  for (const QueryRecord& record : runner.records()) {
+    if (!record.result.ok()) continue;
+    auto [it, inserted] =
+        rows_by_query.emplace(record.query, record.result.result_rows);
+    EXPECT_EQ(it->second, record.result.result_rows)
+        << record.strategy << " disagrees on " << record.query;
+  }
+  EXPECT_FALSE(rows_by_query.empty());
+}
+
+void ExpectCoherentAccounting(const BenchRunner& runner) {
+  for (const QueryRecord& record : runner.records()) {
+    const RunResult& r = record.result;
+    if (!r.ok() && !r.timed_out()) continue;
+    EXPECT_GE(r.work_units, r.objects_processed)
+        << record.strategy << "/" << record.query
+        << ": work includes at least every cost object";
+    EXPECT_GE(r.total_seconds,
+              r.plan_seconds + r.stats_seconds + r.exec_seconds - 1e-6)
+        << record.strategy << "/" << record.query;
+    if (r.ok()) EXPECT_GE(r.execute_rounds, 1) << record.strategy;
+  }
+}
+
+TEST(IntegrationTest, TpchSuiteAcrossStrategies) {
+  TpchOptions options;
+  options.scale = 0.05;
+  auto workload = MakeTpchWorkload(options);
+  ASSERT_TRUE(workload.ok());
+  BenchRunner runner(HarnessOptions{});
+  AddStrategies(&runner, /*budget=*/0);
+  ASSERT_TRUE(runner.RunAll(*workload).ok());
+  ASSERT_EQ(runner.records().size(), workload->queries.size() * 3);
+  ExpectConsistentResults(runner);
+  ExpectCoherentAccounting(runner);
+  for (const std::string& name : runner.StrategyNames()) {
+    StrategySummary summary = runner.Summarize(name);
+    EXPECT_EQ(summary.timeouts, 0) << name << " at unlimited budget";
+    EXPECT_TRUE(summary.mean_valid) << name;
+  }
+}
+
+TEST(IntegrationTest, ImdbSuiteAcrossStrategies) {
+  ImdbOptions options;
+  options.scale = 0.04;
+  auto workload = MakeImdbWorkload(options);
+  ASSERT_TRUE(workload.ok());
+  BenchRunner runner(HarnessOptions{});
+  AddStrategies(&runner, /*budget=*/0);
+  ASSERT_TRUE(runner.RunAll(*workload).ok());
+  ExpectConsistentResults(runner);
+  ExpectCoherentAccounting(runner);
+}
+
+TEST(IntegrationTest, OttHandPlansBeatEverythingAndResultsAreEmpty) {
+  OttOptions options;
+  options.rows_per_table = 400;
+  options.key_cardinality = 21;
+  auto workload = MakeOttWorkload(options);
+  ASSERT_TRUE(workload.ok());
+
+  HarnessOptions harness;
+  BenchRunner runner(harness);
+  runner.AddStrategy("Hand-written", [](const Workload& w, const BenchQuery& q) {
+    auto strategy = MakeHandPlanStrategy(
+        "Hand-written",
+        [&q](const QuerySpec&) -> StatusOr<PlanNode::Ptr> { return q.hand_plan; });
+    return strategy->Run(*w.catalog, q.spec, 0);
+  });
+  AddStrategies(&runner, /*budget=*/0);
+  ASSERT_TRUE(runner.RunAll(*workload).ok());
+  ExpectConsistentResults(runner);
+
+  // Every completed run returns the empty result, and the hand-written
+  // plan is never beaten on objects processed.
+  std::map<std::string, uint64_t> hand_objects;
+  for (const QueryRecord& record : runner.records()) {
+    ASSERT_TRUE(record.result.ok()) << record.strategy << "/" << record.query;
+    EXPECT_EQ(record.result.result_rows, 0u) << record.query;
+    if (record.strategy == "Hand-written") {
+      hand_objects[record.query] = record.result.objects_processed;
+    }
+  }
+  for (const QueryRecord& record : runner.records()) {
+    if (record.strategy == "Hand-written") continue;
+    EXPECT_GE(record.result.objects_processed, hand_objects[record.query])
+        << record.strategy << "/" << record.query;
+  }
+}
+
+TEST(IntegrationTest, UdfSuiteAcrossStrategies) {
+  UdfBenchOptions options;
+  options.scale = 0.04;
+  auto workload = MakeUdfBenchWorkload(options);
+  ASSERT_TRUE(workload.ok());
+  BenchRunner runner(HarnessOptions{});
+  AddStrategies(&runner, /*budget=*/0);
+  ASSERT_TRUE(runner.RunAll(*workload).ok());
+  ExpectConsistentResults(runner);
+  ExpectCoherentAccounting(runner);
+}
+
+TEST(IntegrationTest, WholeRunsAreDeterministic) {
+  TpchOptions options;
+  options.scale = 0.03;
+  auto workload = MakeTpchWorkload(options);
+  ASSERT_TRUE(workload.ok());
+
+  auto run_once = [&]() {
+    BenchRunner runner(HarnessOptions{});
+    AddStrategies(&runner, /*budget=*/0);
+    EXPECT_TRUE(runner.RunAll(*workload).ok());
+    std::vector<std::pair<std::string, uint64_t>> trace;
+    for (const QueryRecord& record : runner.records()) {
+      trace.emplace_back(record.strategy + "/" + record.query,
+                         record.result.objects_processed);
+    }
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(IntegrationTest, LecCompletesTheTpchSuite) {
+  TpchOptions options;
+  options.scale = 0.05;
+  auto workload = MakeTpchWorkload(options);
+  ASSERT_TRUE(workload.ok());
+  auto lec = MakeLecStrategy();
+  auto reference = MakeDefaultsStrategy();
+  for (const BenchQuery& query : workload->queries) {
+    RunResult expected = reference->Run(*workload->catalog, query.spec, 0);
+    ASSERT_TRUE(expected.ok());
+    RunResult result = lec->Run(*workload->catalog, query.spec, 0);
+    ASSERT_TRUE(result.ok()) << query.name << ": " << result.status.ToString();
+    EXPECT_EQ(result.result_rows, expected.result_rows) << query.name;
+  }
+}
+
+}  // namespace
+}  // namespace monsoon

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "monsoon/monsoon_optimizer.h"
+#include "sql/parser.h"
+
+namespace monsoon {
+namespace {
+
+// End-to-end fixture: a database where the correct join order matters and
+// the ground-truth result size is known by brute force (via the Defaults
+// baseline, which is exact regardless of plan quality).
+class MonsoonEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Pcg32 rng(77);
+    auto fact = std::make_shared<Table>(
+        Schema({{"x", ValueType::kInt64}, {"y", ValueType::kInt64}}));
+    for (int64_t i = 0; i < 20000; ++i) {
+      ASSERT_TRUE(fact->AppendRow({Value(i % 500), Value(i % 700)}).ok());
+    }
+    ASSERT_TRUE(catalog_.AddTable("fact", fact).ok());
+
+    auto dim_bad = std::make_shared<Table>(
+        Schema({{"k", ValueType::kInt64}, {"tag", ValueType::kString}}));
+    for (int64_t i = 0; i < 800; ++i) {
+      ASSERT_TRUE(dim_bad->AppendRow({Value(i % 2), Value("b")}).ok());
+    }
+    ASSERT_TRUE(catalog_.AddTable("dim_bad", dim_bad).ok());
+
+    auto dim_good = std::make_shared<Table>(
+        Schema({{"k", ValueType::kInt64}, {"tag", ValueType::kString}}));
+    for (int64_t i = 0; i < 800; ++i) {
+      ASSERT_TRUE(dim_good->AppendRow({Value(i), Value("g")}).ok());
+    }
+    ASSERT_TRUE(catalog_.AddTable("dim_good", dim_good).ok());
+  }
+
+  StatusOr<QuerySpec> Parse(const std::string& sql) {
+    return SqlParser(&catalog_).Parse(sql);
+  }
+
+  Catalog catalog_;
+  const std::string sql_ =
+      "SELECT * FROM fact f, dim_bad b, dim_good g "
+      "WHERE f.x = b.k AND f.y = g.k";
+};
+
+TEST_F(MonsoonEndToEndTest, ProducesCorrectResult) {
+  auto query = Parse(sql_);
+  ASSERT_TRUE(query.ok());
+
+  RunResult reference = MakeDefaultsStrategy()->Run(catalog_, *query, 0);
+  ASSERT_TRUE(reference.ok());
+
+  MonsoonOptimizer::Options options;
+  options.mcts.iterations = 200;
+  MonsoonOptimizer monsoon(&catalog_, options);
+  RunResult result = monsoon.Run(*query);
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  EXPECT_EQ(result.result_rows, reference.result_rows)
+      << "every strategy must compute the same relation";
+  EXPECT_GT(result.objects_processed, 0u);
+  EXPECT_GE(result.execute_rounds, 1);
+  EXPECT_FALSE(result.action_log.empty());
+}
+
+TEST_F(MonsoonEndToEndTest, DeterministicGivenSeed) {
+  auto query = Parse(sql_);
+  ASSERT_TRUE(query.ok());
+  MonsoonOptimizer::Options options;
+  options.mcts.iterations = 150;
+  options.seed = 9;
+  RunResult a = MonsoonOptimizer(&catalog_, options).Run(*query);
+  RunResult b = MonsoonOptimizer(&catalog_, options).Run(*query);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.action_log, b.action_log);
+  EXPECT_EQ(a.objects_processed, b.objects_processed);
+}
+
+TEST_F(MonsoonEndToEndTest, WorkBudgetTriggersTimeout) {
+  auto query = Parse(sql_);
+  ASSERT_TRUE(query.ok());
+  MonsoonOptimizer::Options options;
+  options.mcts.iterations = 100;
+  options.work_budget = 100;  // absurdly small
+  RunResult result = MonsoonOptimizer(&catalog_, options).Run(*query);
+  EXPECT_TRUE(result.timed_out()) << result.status.ToString();
+  EXPECT_GT(result.work_units, 0u);
+}
+
+TEST_F(MonsoonEndToEndTest, SingleRelationQuery) {
+  auto query = Parse("SELECT * FROM dim_good g WHERE g.tag = 'g'");
+  ASSERT_TRUE(query.ok());
+  MonsoonOptimizer::Options options;
+  options.mcts.iterations = 50;
+  RunResult result = MonsoonOptimizer(&catalog_, options).Run(*query);
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  EXPECT_EQ(result.result_rows, 800u);
+}
+
+TEST_F(MonsoonEndToEndTest, ObservedStatisticsEnterTheLog) {
+  // With an Σ-friendly prior and a query whose join orders differ wildly,
+  // Monsoon sometimes collects stats; at minimum the run must report its
+  // component timings consistently.
+  auto query = Parse(sql_);
+  ASSERT_TRUE(query.ok());
+  MonsoonOptimizer::Options options;
+  options.mcts.iterations = 300;
+  RunResult result = MonsoonOptimizer(&catalog_, options).Run(*query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.total_seconds,
+            result.plan_seconds + result.stats_seconds + result.exec_seconds -
+                1e-6);
+}
+
+TEST_F(MonsoonEndToEndTest, SelfJoinAliases) {
+  auto query = Parse(
+      "SELECT * FROM dim_good a, dim_good b, fact f "
+      "WHERE a.k = b.k AND f.y = b.k");
+  ASSERT_TRUE(query.ok());
+  RunResult reference = MakeDefaultsStrategy()->Run(catalog_, *query, 0);
+  ASSERT_TRUE(reference.ok());
+  MonsoonOptimizer::Options options;
+  options.mcts.iterations = 150;
+  RunResult result = MonsoonOptimizer(&catalog_, options).Run(*query);
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  EXPECT_EQ(result.result_rows, reference.result_rows);
+}
+
+// Every prior must drive the optimizer to a correct (if not equally
+// fast) result.
+class MonsoonPriorSweepTest : public MonsoonEndToEndTest,
+                              public ::testing::WithParamInterface<PriorKind> {};
+
+TEST_P(MonsoonPriorSweepTest, CorrectUnderEveryPrior) {
+  auto query = Parse(sql_);
+  ASSERT_TRUE(query.ok());
+  RunResult reference = MakeDefaultsStrategy()->Run(catalog_, *query, 0);
+  ASSERT_TRUE(reference.ok());
+
+  MonsoonOptimizer::Options options;
+  options.prior = GetParam();
+  options.mcts.iterations = 120;
+  RunResult result = MonsoonOptimizer(&catalog_, options).Run(*query);
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  EXPECT_EQ(result.result_rows, reference.result_rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPriors, MonsoonPriorSweepTest,
+                         ::testing::ValuesIn(AllPriorKinds()),
+                         [](const ::testing::TestParamInfo<PriorKind>& info) {
+                           std::string name = PriorKindToString(info.param);
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace monsoon

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "optimizer/optimizer.h"
+
+namespace monsoon {
+namespace {
+
+// R(1M) -- S(10k) -- and R -- T(10k), with d chosen so that joining T
+// first is clearly better: d(F4,T) = 10k (key) vs d(F2,S) = 1.
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(query_.AddRelation("r", "rt").ok());
+    ASSERT_TRUE(query_.AddRelation("s", "st").ok());
+    ASSERT_TRUE(query_.AddRelation("t", "tt").ok());
+    auto f1 = query_.MakeTerm("f1", {"r.a"});
+    auto f2 = query_.MakeTerm("f2", {"s.b"});
+    ASSERT_TRUE(query_.AddJoinPredicate(std::move(*f1), std::move(*f2)).ok());
+    auto f3 = query_.MakeTerm("f3", {"r.a"});
+    auto f4 = query_.MakeTerm("f4", {"t.c"});
+    ASSERT_TRUE(query_.AddJoinPredicate(std::move(*f3), std::move(*f4)).ok());
+
+    stats_.SetCount(r_, 1e6);
+    stats_.SetCount(s_, 1e4);
+    stats_.SetCount(t_, 1e4);
+  }
+
+  // Which base relation joins R first in a bushy/left-deep plan?
+  static int FirstPartnerOfR(const PlanNode::Ptr& node) {
+    if (node->kind() != PlanNode::Kind::kJoin) return -1;
+    RelSet left(node->left()->output_sig().rels);
+    RelSet right(node->right()->output_sig().rels);
+    if (left.count() == 1 && right.count() == 1) {
+      if (left.Contains(0)) return right.Indices()[0];
+      if (right.Contains(0)) return left.Indices()[0];
+      return -1;
+    }
+    int from_left = FirstPartnerOfR(node->left());
+    if (from_left >= 0) return from_left;
+    return FirstPartnerOfR(node->right());
+  }
+
+  QuerySpec query_;
+  StatsStore stats_;
+  ExprSig r_{0b001, 0};
+  ExprSig s_{0b010, 0};
+  ExprSig t_{0b100, 0};
+};
+
+TEST_F(OptimizerTest, DpPicksCheaperOrderGivenStats) {
+  stats_.SetDistinctObserved(0, r_, 1000);
+  stats_.SetDistinctObserved(1, s_, 1);      // S join blows up (d = 1)
+  stats_.SetDistinctObserved(2, r_, 1000);
+  stats_.SetDistinctObserved(3, t_, 10000);  // T join is selective
+  CardinalityModel::Options options;
+  options.missing_policy = MissingStatPolicy::kError;
+  CardinalityModel model(query_, &stats_, options);
+
+  auto plan = DpOptimizer().Optimize(query_, &model);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->output_sig().rels, 0b111u);
+  EXPECT_EQ((*plan)->output_sig().preds, 0b11u);
+  EXPECT_EQ(FirstPartnerOfR(*plan), 2) << "T must join R first:\n"
+                                       << (*plan)->ToString(query_);
+}
+
+TEST_F(OptimizerTest, DpFlipsWithFlippedStats) {
+  stats_.SetDistinctObserved(0, r_, 1000);
+  stats_.SetDistinctObserved(1, s_, 10000);
+  stats_.SetDistinctObserved(2, r_, 1000);
+  stats_.SetDistinctObserved(3, t_, 1);
+  CardinalityModel::Options options;
+  options.missing_policy = MissingStatPolicy::kError;
+  CardinalityModel model(query_, &stats_, options);
+  auto plan = DpOptimizer().Optimize(query_, &model);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(FirstPartnerOfR(*plan), 1) << "S must join R first";
+}
+
+TEST_F(OptimizerTest, DpAvoidsCrossProductsWhenConnected) {
+  stats_.SetDistinctObserved(0, r_, 1000);
+  stats_.SetDistinctObserved(1, s_, 10000);
+  stats_.SetDistinctObserved(2, r_, 1000);
+  stats_.SetDistinctObserved(3, t_, 10000);
+  CardinalityModel::Options options;
+  options.missing_policy = MissingStatPolicy::kError;
+  CardinalityModel model(query_, &stats_, options);
+  auto plan = DpOptimizer().Optimize(query_, &model);
+  ASSERT_TRUE(plan.ok());
+  // No join node in the tree may have an empty predicate list.
+  std::vector<PlanNode::Ptr> stack = {*plan};
+  while (!stack.empty()) {
+    PlanNode::Ptr node = stack.back();
+    stack.pop_back();
+    if (node->kind() == PlanNode::Kind::kJoin) {
+      EXPECT_FALSE(node->pred_ids().empty());
+      stack.push_back(node->left());
+      stack.push_back(node->right());
+    }
+  }
+}
+
+TEST_F(OptimizerTest, DpHandlesDisconnectedQueries) {
+  QuerySpec query;
+  ASSERT_TRUE(query.AddRelation("a", "at").ok());
+  ASSERT_TRUE(query.AddRelation("b", "bt").ok());
+  StatsStore stats;
+  stats.SetCount(ExprSig::Of(RelSet::Single(0), 0), 10);
+  stats.SetCount(ExprSig::Of(RelSet::Single(1), 0), 20);
+  CardinalityModel::Options options;
+  options.missing_policy = MissingStatPolicy::kDefaultFraction;
+  CardinalityModel model(query, &stats, options);
+  auto plan = DpOptimizer().Optimize(query, &model);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->output_sig().rels, 0b11u);
+}
+
+TEST_F(OptimizerTest, DpRejectsTooManyRelations) {
+  QuerySpec query;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(query.AddRelation("r" + std::to_string(i), "t").ok());
+  }
+  StatsStore stats;
+  CardinalityModel::Options options;
+  CardinalityModel model(query, &stats, options);
+  EXPECT_EQ(DpOptimizer().Optimize(query, &model).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(OptimizerTest, DpFailsWithoutBaseCounts) {
+  QuerySpec query;
+  ASSERT_TRUE(query.AddRelation("a", "at").ok());
+  StatsStore stats;  // no counts
+  CardinalityModel::Options options;
+  CardinalityModel model(query, &stats, options);
+  EXPECT_FALSE(DpOptimizer().Optimize(query, &model).ok());
+}
+
+TEST_F(OptimizerTest, GreedyBuildsLeftDeepConnectedPlan) {
+  auto plan = GreedyOptimizer().Optimize(query_, stats_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->output_sig().rels, 0b111u);
+  EXPECT_EQ((*plan)->output_sig().preds, 0b11u);
+  // Left-deep: every right child is a leaf.
+  PlanNode::Ptr node = *plan;
+  while (node->kind() == PlanNode::Kind::kJoin) {
+    EXPECT_EQ(node->right()->kind(), PlanNode::Kind::kLeaf);
+    node = node->left();
+  }
+  EXPECT_EQ(node->kind(), PlanNode::Kind::kLeaf);
+  // Starts from a smallest relation (S or T, both 10k).
+  RelSet start(node->output_sig().rels);
+  EXPECT_TRUE(start == RelSet::Single(1) || start == RelSet::Single(2));
+}
+
+TEST_F(OptimizerTest, GreedyPrefersConnectedOverSmaller) {
+  // Starting from S (10k), the only connected next relation is R (1M),
+  // even though T (10k) is smaller.
+  auto plan = GreedyOptimizer().Optimize(query_, stats_);
+  ASSERT_TRUE(plan.ok());
+  // Collect the leaf order left-to-right.
+  std::vector<int> order;
+  std::function<void(const PlanNode::Ptr&)> walk = [&](const PlanNode::Ptr& n) {
+    if (n->kind() == PlanNode::Kind::kJoin) {
+      walk(n->left());
+      walk(n->right());
+    } else {
+      order.push_back(RelSet(n->output_sig().rels).Indices()[0]);
+    }
+  };
+  walk(*plan);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[1], 0) << "R must come second (only connected choice)";
+}
+
+}  // namespace
+}  // namespace monsoon

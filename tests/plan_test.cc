@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "plan/logical_ops.h"
+#include "plan/plan_node.h"
+#include "query/query_spec.h"
+
+namespace monsoon {
+namespace {
+
+// Three relations, chain predicates r-s and s-t, selection on r.
+QuerySpec ChainQuery() {
+  QuerySpec query;
+  EXPECT_TRUE(query.AddRelation("r", "rt").ok());
+  EXPECT_TRUE(query.AddRelation("s", "st").ok());
+  EXPECT_TRUE(query.AddRelation("t", "tt").ok());
+  auto l1 = query.MakeTerm("f1", {"r.a"});
+  auto r1 = query.MakeTerm("f2", {"s.b"});
+  EXPECT_TRUE(query.AddJoinPredicate(std::move(*l1), std::move(*r1)).ok());  // pred 0
+  auto l2 = query.MakeTerm("f3", {"s.b"});
+  auto r2 = query.MakeTerm("f4", {"t.c"});
+  EXPECT_TRUE(query.AddJoinPredicate(std::move(*l2), std::move(*r2)).ok());  // pred 1
+  auto sel = query.MakeTerm("f5", {"r.a"});
+  EXPECT_TRUE(query.AddSelectionPredicate(std::move(*sel), Value(int64_t{1})).ok());
+  return query;  // pred 2 = selection on r
+}
+
+TEST(ExprSigTest, EqualityAndHash) {
+  ExprSig a{0b011, 0b1};
+  ExprSig b{0b011, 0b1};
+  ExprSig c{0b011, 0b0};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a.Hash(), c.Hash());
+  EXPECT_TRUE(ExprSig::Any().IsAny());
+  EXPECT_FALSE(a.IsAny());
+}
+
+TEST(PlanNodeTest, LeafSignatureIncludesSelections) {
+  QuerySpec query = ChainQuery();
+  PlanNode::Ptr leaf = MakeLeaf(query, 0);
+  EXPECT_EQ(leaf->kind(), PlanNode::Kind::kLeaf);
+  EXPECT_EQ(leaf->output_sig().rels, RelSet::Single(0).mask());
+  EXPECT_EQ(leaf->output_sig().preds, uint64_t{1} << 2);  // selection pred 2
+  EXPECT_EQ(leaf->source().preds, 0u);
+}
+
+TEST(PlanNodeTest, JoinSignatureUnions) {
+  QuerySpec query = ChainQuery();
+  PlanNode::Ptr r = MakeLeaf(query, 0);
+  PlanNode::Ptr s = MakeLeaf(query, 1);
+  PlanNode::Ptr join = PlanNode::Join(r, s, {0});
+  EXPECT_EQ(join->output_sig().rels, 0b011u);
+  EXPECT_EQ(join->output_sig().preds, (uint64_t{1} << 0) | (uint64_t{1} << 2));
+}
+
+TEST(PlanNodeTest, StatsCollectKeepsSignature) {
+  QuerySpec query = ChainQuery();
+  PlanNode::Ptr leaf = MakeLeaf(query, 1);
+  PlanNode::Ptr sigma = PlanNode::StatsCollect(leaf);
+  EXPECT_EQ(sigma->output_sig(), leaf->output_sig());
+  EXPECT_TRUE(sigma->HasStatsCollect());
+  EXPECT_FALSE(leaf->HasStatsCollect());
+}
+
+TEST(PlanNodeTest, ToStringRendersTree) {
+  QuerySpec query = ChainQuery();
+  PlanNode::Ptr r = MakeLeaf(query, 0);
+  PlanNode::Ptr s = MakeLeaf(query, 1);
+  PlanNode::Ptr join = PlanNode::Join(r, s, {0});
+  std::string rendered = PlanNode::StatsCollect(join)->ToString(query);
+  EXPECT_EQ(rendered, "Σ((σ(r) ⋈ s))");
+}
+
+TEST(PlanNodeTest, CrossProductRendersTimes) {
+  QuerySpec query = ChainQuery();
+  PlanNode::Ptr r = MakeLeaf(query, 0);
+  PlanNode::Ptr t = MakeLeaf(query, 2);
+  PlanNode::Ptr cross = PlanNode::Join(r, t, {});
+  EXPECT_NE(cross->ToString(query).find("×"), std::string::npos);
+}
+
+TEST(LogicalOpsTest, ApplicableJoinPreds) {
+  QuerySpec query = ChainQuery();
+  ExprSig r = MakeLeaf(query, 0)->output_sig();
+  ExprSig s = MakeLeaf(query, 1)->output_sig();
+  ExprSig t = MakeLeaf(query, 2)->output_sig();
+
+  auto rs = ApplicableJoinPreds(query, r, s);
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0], 0);
+
+  auto rt = ApplicableJoinPreds(query, r, t);
+  EXPECT_TRUE(rt.empty());  // no predicate connects r and t directly
+
+  // (r ⋈ s) with t: pred 1 becomes applicable.
+  ExprSig rs_sig{r.rels | s.rels, r.preds | s.preds | 1};
+  auto rst = ApplicableJoinPreds(query, rs_sig, t);
+  ASSERT_EQ(rst.size(), 1u);
+  EXPECT_EQ(rst[0], 1);
+}
+
+TEST(LogicalOpsTest, AppliedPredsAreExcluded) {
+  QuerySpec query = ChainQuery();
+  ExprSig r = MakeLeaf(query, 0)->output_sig();
+  ExprSig s_with_pred0{RelSet::Single(1).mask(), uint64_t{1} << 0};
+  EXPECT_TRUE(ApplicableJoinPreds(query, r, s_with_pred0).empty());
+}
+
+TEST(LogicalOpsTest, Connectivity) {
+  QuerySpec query = ChainQuery();
+  ExprSig r = MakeLeaf(query, 0)->output_sig();
+  ExprSig s = MakeLeaf(query, 1)->output_sig();
+  ExprSig t = MakeLeaf(query, 2)->output_sig();
+  EXPECT_TRUE(AreConnected(query, r, s));
+  EXPECT_FALSE(AreConnected(query, r, t));
+  EXPECT_FALSE(CrossProductUnavoidable(query, RelSet(r.rels), RelSet(t.rels)))
+      << "r and t are connected through s";
+}
+
+TEST(LogicalOpsTest, DisconnectedComponentsNeedCrossProduct) {
+  QuerySpec query;
+  ASSERT_TRUE(query.AddRelation("a", "at").ok());
+  ASSERT_TRUE(query.AddRelation("b", "bt").ok());
+  // No predicates at all: a and b are in different components.
+  EXPECT_TRUE(
+      CrossProductUnavoidable(query, RelSet::Single(0), RelSet::Single(1)));
+}
+
+TEST(LogicalOpsTest, MultiRelationSidePredicateConnects) {
+  // The Sec. 2.1 pattern: a predicate whose both sides span {o1, o2}.
+  QuerySpec query;
+  ASSERT_TRUE(query.AddRelation("o1", "orders").ok());
+  ASSERT_TRUE(query.AddRelation("o2", "orders").ok());
+  auto l = query.MakeTerm("inter", {"o1.items", "o2.items"});
+  auto r = query.MakeTerm("uni", {"o1.items", "o2.items"});
+  ASSERT_TRUE(query.AddJoinPredicate(std::move(*l), std::move(*r)).ok());
+
+  ExprSig o1 = ExprSig::Of(RelSet::Single(0), 0);
+  ExprSig o2 = ExprSig::Of(RelSet::Single(1), 0);
+  EXPECT_TRUE(AreConnected(query, o1, o2));
+  auto preds = ApplicableJoinPreds(query, o1, o2);
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_FALSE(query.predicate(preds[0]).IsEquiJoin());
+}
+
+TEST(PredMaskTest, BuildsBitmask) {
+  EXPECT_EQ(PredMask({}), 0u);
+  EXPECT_EQ(PredMask({0, 3}), 0b1001u);
+}
+
+}  // namespace
+}  // namespace monsoon

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "priors/prior.h"
+
+namespace monsoon {
+namespace {
+
+TEST(PriorFactoryTest, AllSevenKindsConstruct) {
+  EXPECT_EQ(AllPriorKinds().size(), 7u);
+  for (PriorKind kind : AllPriorKinds()) {
+    auto prior = MakePrior(kind);
+    ASSERT_NE(prior, nullptr);
+    EXPECT_EQ(prior->kind(), kind);
+    EXPECT_FALSE(prior->name().empty());
+  }
+}
+
+// Every prior must produce d in [1, c(r)].
+class PriorBoundsTest : public ::testing::TestWithParam<PriorKind> {};
+
+TEST_P(PriorBoundsTest, SamplesWithinBounds) {
+  auto prior = MakePrior(GetParam());
+  Pcg32 rng(21);
+  for (double c_r : {1.0, 10.0, 1e4, 1e7}) {
+    for (double c_s : {1.0, 100.0, 1e6}) {
+      for (int i = 0; i < 200; ++i) {
+        double d = prior->Sample(rng, c_r, c_s);
+        EXPECT_GE(d, 1.0) << prior->name() << " c_r=" << c_r;
+        EXPECT_LE(d, c_r) << prior->name() << " c_r=" << c_r;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPriors, PriorBoundsTest,
+                         ::testing::ValuesIn(AllPriorKinds()),
+                         [](const ::testing::TestParamInfo<PriorKind>& info) {
+                           std::string name = PriorKindToString(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+double SampleMeanFraction(Prior& prior, double c_r, double c_s, int n = 20000) {
+  Pcg32 rng(22);
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += prior.Sample(rng, c_r, c_s);
+  return sum / n / c_r;
+}
+
+TEST(PriorShapeTest, UniformMeanIsHalf) {
+  auto prior = MakePrior(PriorKind::kUniform);
+  EXPECT_NEAR(SampleMeanFraction(*prior, 1e6, 1e6), 0.5, 0.02);
+}
+
+TEST(PriorShapeTest, IncreasingIsOptimistic) {
+  // Beta(3,1) mean = 0.75: assumes many distinct values.
+  auto prior = MakePrior(PriorKind::kIncreasing);
+  EXPECT_NEAR(SampleMeanFraction(*prior, 1e6, 1e6), 0.75, 0.02);
+}
+
+TEST(PriorShapeTest, DecreasingIsPessimistic) {
+  auto prior = MakePrior(PriorKind::kDecreasing);
+  EXPECT_NEAR(SampleMeanFraction(*prior, 1e6, 1e6), 0.25, 0.02);
+}
+
+TEST(PriorShapeTest, LowBiasedMean) {
+  auto prior = MakePrior(PriorKind::kLowBiased);
+  EXPECT_NEAR(SampleMeanFraction(*prior, 1e6, 1e6), 2.0 / 12.0, 0.02);
+}
+
+TEST(PriorShapeTest, UShapedAvoidsMiddle) {
+  auto prior = MakePrior(PriorKind::kUShaped);
+  Pcg32 rng(23);
+  int extreme = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double f = prior->Sample(rng, 1e6, 1e6) / 1e6;
+    if (f < 0.2 || f > 0.8) ++extreme;
+  }
+  // Beta(0.5, 0.5): P(X < .2) + P(X > .8) ≈ 0.59.
+  EXPECT_GT(extreme / static_cast<double>(n), 0.5);
+}
+
+TEST(PriorShapeTest, SpikeAndSlabSpikes) {
+  auto prior = MakePrior(PriorKind::kSpikeAndSlab);
+  Pcg32 rng(24);
+  const double c_r = 1e6, c_s = 137;
+  int at_cr = 0, at_cs = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double d = prior->Sample(rng, c_r, c_s);
+    if (d == c_r) ++at_cr;
+    if (d == c_s) ++at_cs;
+  }
+  // 10% spike at c(r); 10% spike at c(s) (plus negligible slab mass).
+  EXPECT_NEAR(at_cr / static_cast<double>(n), 0.10, 0.01);
+  EXPECT_NEAR(at_cs / static_cast<double>(n), 0.10, 0.01);
+}
+
+TEST(PriorShapeTest, SpikeAtPartnerClampedByOwnCount) {
+  auto prior = MakePrior(PriorKind::kSpikeAndSlab);
+  Pcg32 rng(25);
+  // c(s) > c(r): the foreign-key spike cannot exceed c(r).
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(prior->Sample(rng, 100, 1e9), 100.0);
+  }
+}
+
+TEST(PriorShapeTest, DiscreteIsDeterministicTenPercent) {
+  auto prior = MakePrior(PriorKind::kDiscrete);
+  Pcg32 rng(26);
+  EXPECT_DOUBLE_EQ(prior->Sample(rng, 1000, 5), 100);
+  EXPECT_DOUBLE_EQ(prior->Sample(rng, 1000, 123456), 100);
+  EXPECT_DOUBLE_EQ(prior->Sample(rng, 5, 5), 1.0);  // clamped to >= 1
+}
+
+TEST(BetaPdfTest, MatchesKnownValues) {
+  // Beta(1,1) is uniform.
+  EXPECT_NEAR(BetaPdf(0.3, 1, 1), 1.0, 1e-9);
+  // Beta(2,2) density at 0.5 is 1.5.
+  EXPECT_NEAR(BetaPdf(0.5, 2, 2), 1.5, 1e-9);
+  EXPECT_EQ(BetaPdf(0.0, 2, 2), 0.0);
+  EXPECT_EQ(BetaPdf(1.0, 2, 2), 0.0);
+}
+
+TEST(PriorDensityTest, FigureTwoShapes) {
+  // The five continuous priors plotted in Figure 2 expose densities.
+  auto uniform = MakePrior(PriorKind::kUniform);
+  auto increasing = MakePrior(PriorKind::kIncreasing);
+  auto decreasing = MakePrior(PriorKind::kDecreasing);
+  auto ushaped = MakePrior(PriorKind::kUShaped);
+  auto low = MakePrior(PriorKind::kLowBiased);
+
+  ASSERT_TRUE(uniform->DensityAt(0.5).has_value());
+  EXPECT_NEAR(*uniform->DensityAt(0.5), 1.0, 1e-9);
+  // Increasing grows toward 1; decreasing mirrors it.
+  EXPECT_GT(*increasing->DensityAt(0.9), *increasing->DensityAt(0.1));
+  EXPECT_GT(*decreasing->DensityAt(0.1), *decreasing->DensityAt(0.9));
+  EXPECT_NEAR(*increasing->DensityAt(0.3), *decreasing->DensityAt(0.7), 1e-9);
+  // U-shape dips in the middle.
+  EXPECT_GT(*ushaped->DensityAt(0.05), *ushaped->DensityAt(0.5));
+  EXPECT_GT(*ushaped->DensityAt(0.95), *ushaped->DensityAt(0.5));
+  // Low-biased peaks left of 0.2 (mode of Beta(2,10) = 0.1).
+  EXPECT_GT(*low->DensityAt(0.1), *low->DensityAt(0.3));
+
+  // The two priors with point masses expose no density.
+  EXPECT_FALSE(MakePrior(PriorKind::kSpikeAndSlab)->DensityAt(0.5).has_value());
+  EXPECT_FALSE(MakePrior(PriorKind::kDiscrete)->DensityAt(0.5).has_value());
+}
+
+}  // namespace
+}  // namespace monsoon

@@ -1,0 +1,219 @@
+// Property-based differential testing: random tiny databases and random
+// conjunctive UDF queries, executed three ways —
+//   1. a brute-force reference evaluator (full cross product + filter),
+//   2. the engine with Defaults / Greedy plans (hash joins, pushdown),
+//   3. the full Monsoon optimizer (MCTS, Σ passes, re-optimization) —
+// must all report exactly the same result cardinality.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "exec/executor.h"
+#include "monsoon/monsoon_optimizer.h"
+
+namespace monsoon {
+namespace {
+
+// Builds a table of `rows` rows with `cols` int64 columns over small
+// random domains (lots of duplicates -> non-trivial join fan-outs).
+TablePtr RandomTable(Pcg32& rng, int rows, int cols) {
+  std::vector<ColumnDef> defs;
+  for (int c = 0; c < cols; ++c) {
+    defs.push_back({"c" + std::to_string(c), ValueType::kInt64});
+  }
+  auto table = std::make_shared<Table>(Schema(defs));
+  std::vector<int64_t> domains(cols);
+  for (int c = 0; c < cols; ++c) domains[c] = 2 + rng.NextBounded(8);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    for (int c = 0; c < cols; ++c) {
+      row.push_back(Value(static_cast<int64_t>(
+          rng.NextBounded(static_cast<uint32_t>(domains[c])))));
+    }
+    EXPECT_TRUE(table->AppendRow(row).ok());
+  }
+  return table;
+}
+
+// Random conjunctive query over `num_rels` relations: a spanning chain of
+// join predicates plus optional extras (selection, '<>', a second join
+// predicate between an already-connected pair).
+StatusOr<QuerySpec> RandomQuery(Pcg32& rng, const Catalog& catalog, int num_rels,
+                                int cols) {
+  QuerySpec query;
+  for (int i = 0; i < num_rels; ++i) {
+    MONSOON_ASSIGN_OR_RETURN(
+        int idx, query.AddRelation("t" + std::to_string(i),
+                                   "tab" + std::to_string(i)));
+    (void)idx;
+  }
+  (void)catalog;
+  auto random_attr = [&](int rel) {
+    return "t" + std::to_string(rel) + ".c" +
+           std::to_string(rng.NextBounded(static_cast<uint32_t>(cols)));
+  };
+  auto random_fn = [&]() -> std::string {
+    switch (rng.NextBounded(3)) {
+      case 0:
+        return "identity";
+      case 1:
+        return "bucket10";
+      default:
+        return "bucket100";
+    }
+  };
+  // Spanning chain t0 - t1 - ... so the query graph is connected.
+  for (int i = 1; i < num_rels; ++i) {
+    MONSOON_ASSIGN_OR_RETURN(UdfTerm left,
+                             query.MakeTerm(random_fn(), {random_attr(i - 1)}));
+    MONSOON_ASSIGN_OR_RETURN(UdfTerm right,
+                             query.MakeTerm(random_fn(), {random_attr(i)}));
+    MONSOON_RETURN_IF_ERROR(
+        query.AddJoinPredicate(std::move(left), std::move(right)));
+  }
+  // Optional extras.
+  if (rng.NextBounded(2) == 0) {
+    int rel = static_cast<int>(rng.NextBounded(static_cast<uint32_t>(num_rels)));
+    MONSOON_ASSIGN_OR_RETURN(UdfTerm term,
+                             query.MakeTerm("identity", {random_attr(rel)}));
+    MONSOON_RETURN_IF_ERROR(query.AddSelectionPredicate(
+        std::move(term), Value(static_cast<int64_t>(rng.NextBounded(4)))));
+  }
+  if (num_rels >= 2 && rng.NextBounded(2) == 0) {
+    int a = static_cast<int>(rng.NextBounded(static_cast<uint32_t>(num_rels - 1)));
+    MONSOON_ASSIGN_OR_RETURN(UdfTerm left,
+                             query.MakeTerm("identity", {random_attr(a)}));
+    MONSOON_ASSIGN_OR_RETURN(UdfTerm right,
+                             query.MakeTerm("identity", {random_attr(a + 1)}));
+    bool equality = rng.NextBounded(2) == 0;
+    MONSOON_RETURN_IF_ERROR(
+        query.AddJoinPredicate(std::move(left), std::move(right), equality));
+  }
+  return query;
+}
+
+// Reference: materialize the full cross product, then filter by every
+// predicate evaluated on the concatenated row. O(prod of sizes) — only
+// usable at toy scale, which is the point.
+StatusOr<uint64_t> BruteForceCount(const Catalog& catalog, const QuerySpec& query) {
+  std::vector<TablePtr> tables;
+  Schema schema;
+  for (const RelationRef& rel : query.relations()) {
+    MONSOON_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(rel.table_name));
+    tables.push_back(table);
+    schema = Schema::Concat(schema, table->schema().Qualify(rel.alias));
+  }
+  std::vector<std::pair<BoundTerm, BoundTerm>> join_terms;
+  struct BoundPred {
+    Predicate::Kind kind;
+    bool equality;
+    BoundTerm left;
+    BoundTerm right;  // join only
+    Value constant;   // selection only
+  };
+  std::vector<BoundPred> preds;
+  for (const Predicate& pred : query.predicates()) {
+    BoundPred bound;
+    bound.kind = pred.kind;
+    bound.equality = pred.equality;
+    MONSOON_ASSIGN_OR_RETURN(bound.left,
+                             BoundTerm::Bind(pred.left, schema, UdfRegistry::Global()));
+    if (pred.kind == Predicate::Kind::kJoin) {
+      MONSOON_ASSIGN_OR_RETURN(
+          bound.right, BoundTerm::Bind(*pred.right, schema, UdfRegistry::Global()));
+    } else {
+      bound.constant = pred.constant;
+    }
+    preds.push_back(std::move(bound));
+  }
+
+  // Odometer over row indices.
+  std::vector<size_t> index(tables.size(), 0);
+  Table scratch(schema);
+  uint64_t count = 0;
+  for (;;) {
+    // Assemble the concatenated row.
+    std::vector<Value> row;
+    for (size_t t = 0; t < tables.size(); ++t) {
+      for (size_t c = 0; c < tables[t]->num_columns(); ++c) {
+        row.push_back(tables[t]->ValueAt(c, index[t]));
+      }
+    }
+    MONSOON_RETURN_IF_ERROR(scratch.AppendRow(row));
+    size_t row_idx = scratch.num_rows() - 1;
+    bool keep = true;
+    for (const BoundPred& pred : preds) {
+      Value l = pred.left.Eval(scratch, row_idx);
+      bool ok;
+      if (pred.kind == Predicate::Kind::kSelection) {
+        ok = l == pred.constant;
+      } else {
+        Value r = pred.right.Eval(scratch, row_idx);
+        ok = pred.equality ? l == r : l != r;
+      }
+      if (!ok) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) ++count;
+    scratch.PopRow();
+
+    // Advance the odometer.
+    size_t t = 0;
+    for (; t < tables.size(); ++t) {
+      if (++index[t] < tables[t]->num_rows()) break;
+      index[t] = 0;
+    }
+    if (t == tables.size()) break;
+  }
+  return count;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialTest, AllExecutionPathsAgree) {
+  Pcg32 rng(1000 + static_cast<uint64_t>(GetParam()));
+  const int num_rels = 2 + static_cast<int>(rng.NextBounded(3));  // 2..4
+  const int cols = 2;
+
+  Catalog catalog;
+  for (int i = 0; i < num_rels; ++i) {
+    int rows = 3 + static_cast<int>(rng.NextBounded(18));
+    ASSERT_TRUE(
+        catalog.AddTable("tab" + std::to_string(i), RandomTable(rng, rows, cols))
+            .ok());
+  }
+  auto query = RandomQuery(rng, catalog, num_rels, cols);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_TRUE(catalog.ValidateQuery(*query).ok());
+
+  auto expected = BruteForceCount(catalog, *query);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  for (auto& strategy : {MakeDefaultsStrategy(), MakeGreedyStrategy(),
+                         MakeSamplingStrategy(), MakeSkinnerStrategy()}) {
+    RunResult result = strategy->Run(catalog, *query, 0);
+    ASSERT_TRUE(result.ok()) << strategy->name() << ": "
+                             << result.status.ToString() << "\n"
+                             << query->ToString();
+    EXPECT_EQ(result.result_rows, *expected)
+        << strategy->name() << " disagrees with brute force on\n"
+        << query->ToString();
+  }
+
+  MonsoonOptimizer::Options options;
+  options.mcts.iterations = 60;
+  options.seed = 77 + static_cast<uint64_t>(GetParam());
+  MonsoonOptimizer monsoon(&catalog, options);
+  RunResult result = monsoon.Run(*query);
+  ASSERT_TRUE(result.ok()) << result.status.ToString() << "\n" << query->ToString();
+  EXPECT_EQ(result.result_rows, *expected)
+      << "Monsoon disagrees with brute force on\n"
+      << query->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomQueries, DifferentialTest, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace monsoon

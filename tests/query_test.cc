@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "query/query_spec.h"
+#include "query/relset.h"
+
+namespace monsoon {
+namespace {
+
+TEST(RelSetTest, BasicSetOps) {
+  RelSet a = RelSet::Single(0).Union(RelSet::Single(2));
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_TRUE(a.Contains(0));
+  EXPECT_FALSE(a.Contains(1));
+  EXPECT_TRUE(a.ContainsAll(RelSet::Single(2)));
+  EXPECT_FALSE(a.ContainsAll(RelSet::Single(1)));
+  EXPECT_TRUE(a.Intersects(RelSet::Single(0)));
+  EXPECT_FALSE(a.Intersects(RelSet::Single(1)));
+  EXPECT_EQ(a.Minus(RelSet::Single(0)), RelSet::Single(2));
+  EXPECT_TRUE(RelSet().empty());
+}
+
+TEST(RelSetTest, IndicesAscending) {
+  RelSet s;
+  s.Add(5);
+  s.Add(1);
+  s.Add(3);
+  auto idx = s.Indices();
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 3);
+  EXPECT_EQ(idx[2], 5);
+  EXPECT_EQ(s.ToString(), "{1,3,5}");
+}
+
+class QuerySpecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(query_.AddRelation("r", "r_table").ok());
+    ASSERT_TRUE(query_.AddRelation("s", "s_table").ok());
+    ASSERT_TRUE(query_.AddRelation("t", "t_table").ok());
+  }
+  QuerySpec query_;
+};
+
+TEST_F(QuerySpecTest, DuplicateAliasRejected) {
+  EXPECT_EQ(query_.AddRelation("r", "other").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(QuerySpecTest, MakeTermResolvesRelations) {
+  auto term = query_.MakeTerm("f1", {"r.a", "s.b"});
+  ASSERT_TRUE(term.ok());
+  EXPECT_EQ(term->rels.count(), 2);
+  EXPECT_TRUE(term->rels.Contains(0));
+  EXPECT_TRUE(term->rels.Contains(1));
+  EXPECT_EQ(term->ToString(), "f1(r.a, s.b)");
+}
+
+TEST_F(QuerySpecTest, MakeTermRejectsUnqualified) {
+  EXPECT_EQ(query_.MakeTerm("f", {"a"}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(QuerySpecTest, MakeTermRejectsUnknownAlias) {
+  EXPECT_EQ(query_.MakeTerm("f", {"zz.a"}).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(QuerySpecTest, TermIdsAreUnique) {
+  auto t1 = query_.MakeTerm("f", {"r.a"});
+  auto t2 = query_.MakeTerm("f", {"r.a"});
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  EXPECT_NE(t1->term_id, t2->term_id);
+}
+
+TEST_F(QuerySpecTest, JoinPredicateProperties) {
+  auto l = query_.MakeTerm("f1", {"r.a"});
+  auto r = query_.MakeTerm("f2", {"s.b"});
+  ASSERT_TRUE(query_.AddJoinPredicate(std::move(*l), std::move(*r)).ok());
+  const Predicate& pred = query_.predicate(0);
+  EXPECT_EQ(pred.kind, Predicate::Kind::kJoin);
+  EXPECT_TRUE(pred.IsEquiJoin());
+  EXPECT_EQ(pred.rels().count(), 2);
+}
+
+TEST_F(QuerySpecTest, InequalityJoinIsNotEqui) {
+  auto l = query_.MakeTerm("f1", {"r.a"});
+  auto r = query_.MakeTerm("f2", {"s.b"});
+  ASSERT_TRUE(
+      query_.AddJoinPredicate(std::move(*l), std::move(*r), /*equality=*/false).ok());
+  EXPECT_FALSE(query_.predicate(0).IsEquiJoin());
+}
+
+TEST_F(QuerySpecTest, OverlappingSidesAreNotEqui) {
+  // F1(r, s) = F2(s): sides share relation s, cannot hash-separate.
+  auto l = query_.MakeTerm("f1", {"r.a", "s.b"});
+  auto r = query_.MakeTerm("f2", {"s.b"});
+  ASSERT_TRUE(query_.AddJoinPredicate(std::move(*l), std::move(*r)).ok());
+  EXPECT_FALSE(query_.predicate(0).IsEquiJoin());
+}
+
+TEST_F(QuerySpecTest, SelectionPredicates) {
+  auto term = query_.MakeTerm("f", {"s.b"});
+  ASSERT_TRUE(query_.AddSelectionPredicate(std::move(*term), Value(int64_t{5})).ok());
+  EXPECT_EQ(query_.predicate(0).kind, Predicate::Kind::kSelection);
+  auto on_s = query_.SelectionPredicatesOn(1);
+  ASSERT_EQ(on_s.size(), 1u);
+  EXPECT_EQ(on_s[0], 0);
+  EXPECT_TRUE(query_.SelectionPredicatesOn(0).empty());
+}
+
+TEST_F(QuerySpecTest, SelectionMustBeSingleRelation) {
+  auto term = query_.MakeTerm("f", {"r.a", "s.b"});
+  EXPECT_EQ(query_.AddSelectionPredicate(std::move(*term), Value(int64_t{1})).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(QuerySpecTest, Masks) {
+  auto l = query_.MakeTerm("f1", {"r.a"});
+  auto r = query_.MakeTerm("f2", {"s.b"});
+  ASSERT_TRUE(query_.AddJoinPredicate(std::move(*l), std::move(*r)).ok());
+  auto sel = query_.MakeTerm("f3", {"t.c"});
+  ASSERT_TRUE(query_.AddSelectionPredicate(std::move(*sel), Value(int64_t{1})).ok());
+  EXPECT_EQ(query_.AllRelations().mask(), 0b111u);
+  EXPECT_EQ(query_.AllPredicatesMask(), 0b11u);
+}
+
+TEST_F(QuerySpecTest, AllTermsCollectsBothSides) {
+  auto l = query_.MakeTerm("f1", {"r.a"});
+  auto r = query_.MakeTerm("f2", {"s.b"});
+  ASSERT_TRUE(query_.AddJoinPredicate(std::move(*l), std::move(*r)).ok());
+  auto sel = query_.MakeTerm("f3", {"t.c"});
+  ASSERT_TRUE(query_.AddSelectionPredicate(std::move(*sel), Value(int64_t{1})).ok());
+  EXPECT_EQ(query_.AllTerms().size(), 3u);
+}
+
+TEST_F(QuerySpecTest, ValidateAndToString) {
+  auto l = query_.MakeTerm("f1", {"r.a"});
+  auto r = query_.MakeTerm("f2", {"s.b"});
+  ASSERT_TRUE(query_.AddJoinPredicate(std::move(*l), std::move(*r)).ok());
+  EXPECT_TRUE(query_.Validate().ok());
+  std::string rendered = query_.ToString();
+  EXPECT_NE(rendered.find("r_table r"), std::string::npos);
+  EXPECT_NE(rendered.find("f1(r.a) = f2(s.b)"), std::string::npos);
+}
+
+TEST(QuerySpecEmptyTest, ValidateRejectsEmpty) {
+  QuerySpec query;
+  EXPECT_EQ(query.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace monsoon

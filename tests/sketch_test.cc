@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "sketch/distinct_estimator.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/sampling.h"
+
+namespace monsoon {
+namespace {
+
+TEST(HyperLogLogTest, CreateValidatesPrecision) {
+  EXPECT_FALSE(HyperLogLog::Create(3).ok());
+  EXPECT_FALSE(HyperLogLog::Create(19).ok());
+  EXPECT_TRUE(HyperLogLog::Create(12).ok());
+}
+
+TEST(HyperLogLogTest, EmptyEstimatesZero) {
+  HyperLogLog hll(12);
+  EXPECT_NEAR(hll.Estimate(), 0.0, 1e-9);
+}
+
+TEST(HyperLogLogTest, ExactForTinySets) {
+  HyperLogLog hll(12);
+  for (uint64_t i = 0; i < 10; ++i) hll.AddHash(Mix64(i));
+  // Linear counting regime: essentially exact for tiny cardinalities.
+  EXPECT_NEAR(hll.Estimate(), 10.0, 1.0);
+}
+
+TEST(HyperLogLogTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12);
+  for (int rep = 0; rep < 100; ++rep) {
+    for (uint64_t i = 0; i < 50; ++i) hll.AddHash(Mix64(i));
+  }
+  EXPECT_NEAR(hll.Estimate(), 50.0, 5.0);
+}
+
+// Accuracy sweep: relative error should stay within ~5 standard errors of
+// the theoretical 1.04/sqrt(m).
+class HllAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HllAccuracyTest, RelativeErrorWithinBound) {
+  uint64_t n = GetParam();
+  const int precision = 12;
+  HyperLogLog hll(precision);
+  for (uint64_t i = 0; i < n; ++i) hll.AddHash(Mix64(i * 2654435761ULL + 17));
+  double estimate = hll.Estimate();
+  double stderr_bound = 1.04 / std::sqrt(static_cast<double>(1 << precision));
+  double rel_error = std::abs(estimate - static_cast<double>(n)) / n;
+  EXPECT_LT(rel_error, 5 * stderr_bound) << "n=" << n << " estimate=" << estimate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HllAccuracyTest,
+                         ::testing::Values(100, 1000, 10000, 100000, 1000000));
+
+TEST(HyperLogLogTest, MergeMatchesUnion) {
+  HyperLogLog a(12), b(12), u(12);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    a.AddHash(Mix64(i));
+    u.AddHash(Mix64(i));
+  }
+  for (uint64_t i = 2500; i < 7500; ++i) {
+    b.AddHash(Mix64(i));
+    u.AddHash(Mix64(i));
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_NEAR(a.Estimate(), u.Estimate(), 1e-9);
+}
+
+TEST(HyperLogLogTest, MergeRejectsDifferentPrecision) {
+  HyperLogLog a(12), b(10);
+  EXPECT_EQ(a.Merge(b).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HyperLogLogTest, ClearResets) {
+  HyperLogLog hll(10);
+  for (uint64_t i = 0; i < 1000; ++i) hll.AddHash(Mix64(i));
+  hll.Clear();
+  EXPECT_NEAR(hll.Estimate(), 0.0, 1e-9);
+}
+
+TEST(ReservoirTest, KeepsEverythingUnderCapacity) {
+  ReservoirSampler sampler(10, 1);
+  for (uint64_t i = 0; i < 5; ++i) sampler.Add(i);
+  EXPECT_EQ(sampler.sample().size(), 5u);
+  EXPECT_EQ(sampler.items_seen(), 5u);
+}
+
+TEST(ReservoirTest, CapsAtCapacity) {
+  ReservoirSampler sampler(10, 2);
+  for (uint64_t i = 0; i < 1000; ++i) sampler.Add(i);
+  EXPECT_EQ(sampler.sample().size(), 10u);
+  EXPECT_EQ(sampler.items_seen(), 1000u);
+}
+
+TEST(ReservoirTest, ApproximatelyUniform) {
+  // Each item should be retained with probability capacity/n. Aggregate
+  // over many independent reservoirs and check first/last items.
+  const int trials = 3000;
+  int first_kept = 0, last_kept = 0;
+  for (int t = 0; t < trials; ++t) {
+    ReservoirSampler sampler(5, 100 + t);
+    for (uint64_t i = 0; i < 50; ++i) sampler.Add(i);
+    for (uint64_t v : sampler.sample()) {
+      if (v == 0) ++first_kept;
+      if (v == 49) ++last_kept;
+    }
+  }
+  double expect = 5.0 / 50.0;
+  EXPECT_NEAR(first_kept / static_cast<double>(trials), expect, 0.03);
+  EXPECT_NEAR(last_kept / static_cast<double>(trials), expect, 0.03);
+}
+
+TEST(BlockSampleTest, RespectsFractionAndCap) {
+  Pcg32 rng(3);
+  auto sample = BlockSample(10000, 0.02, 200000, 100, rng);
+  EXPECT_EQ(sample.size(), 200u);  // 2% of 10k
+  auto capped = BlockSample(10000, 0.5, 300, 100, rng);
+  EXPECT_EQ(capped.size(), 300u);
+  auto empty = BlockSample(0, 0.02, 1000, 100, rng);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(BlockSampleTest, ReturnsWholeBlocks) {
+  Pcg32 rng(4);
+  auto sample = BlockSample(1000, 0.2, 100000, 50, rng);
+  ASSERT_EQ(sample.size(), 200u);
+  // Rows come in runs of block_size: count distinct block ids.
+  std::map<uint64_t, int> block_counts;
+  for (uint64_t row : sample) ++block_counts[row / 50];
+  EXPECT_EQ(block_counts.size(), 4u);
+  for (const auto& [block, count] : block_counts) EXPECT_EQ(count, 50);
+}
+
+TEST(BlockSampleTest, SmallTableFullyCovered) {
+  Pcg32 rng(5);
+  auto sample = BlockSample(30, 0.02, 1000, 100, rng);
+  EXPECT_EQ(sample.size(), 30u);  // at least one block, clamped to table
+}
+
+TEST(SampleProfileTest, FrequencyHistogram) {
+  // Values: 1,1,1,2,2,3 -> f1=1 (value 3), f2=1 (value 2), f3=1 (value 1).
+  std::vector<uint64_t> hashes = {Mix64(1), Mix64(1), Mix64(1),
+                                  Mix64(2), Mix64(2), Mix64(3)};
+  SampleProfile profile = SampleProfile::FromHashes(hashes);
+  EXPECT_EQ(profile.sample_size, 6u);
+  EXPECT_EQ(profile.sample_distinct, 3u);
+  ASSERT_GE(profile.freq_of_freq.size(), 4u);
+  EXPECT_EQ(profile.freq_of_freq[1], 1u);
+  EXPECT_EQ(profile.freq_of_freq[2], 1u);
+  EXPECT_EQ(profile.freq_of_freq[3], 1u);
+}
+
+TEST(GeeTest, AllSingletonsScalesBySqrt) {
+  // n=100 singleton values in a population of 10000:
+  // D_GEE = sqrt(10000/100)*100 = 1000.
+  std::vector<uint64_t> hashes;
+  for (uint64_t i = 0; i < 100; ++i) hashes.push_back(Mix64(i));
+  SampleProfile profile = SampleProfile::FromHashes(hashes);
+  EXPECT_NEAR(EstimateDistinctGee(profile, 10000), 1000.0, 1e-6);
+}
+
+TEST(GeeTest, NoSingletonsReturnsSampleDistinct) {
+  std::vector<uint64_t> hashes;
+  for (uint64_t i = 0; i < 50; ++i) {
+    hashes.push_back(Mix64(i));
+    hashes.push_back(Mix64(i));
+  }
+  SampleProfile profile = SampleProfile::FromHashes(hashes);
+  EXPECT_NEAR(EstimateDistinctGee(profile, 100000), 50.0, 1e-6);
+}
+
+TEST(GeeTest, ClampedToPopulation) {
+  std::vector<uint64_t> hashes = {Mix64(1), Mix64(2)};
+  SampleProfile profile = SampleProfile::FromHashes(hashes);
+  EXPECT_LE(EstimateDistinctGee(profile, 3), 3.0);
+}
+
+TEST(GeeTest, EmptySample) {
+  SampleProfile profile = SampleProfile::FromHashes({});
+  EXPECT_EQ(EstimateDistinctGee(profile, 1000), 0.0);
+}
+
+// Property sweep: for uniform data, GEE applied to a 10% sample should be
+// within a factor ~2.5 of the truth across cardinalities.
+class GeeAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeeAccuracyTest, WithinFactorOfTruth) {
+  uint64_t distinct = GetParam();
+  const uint64_t population = 50000;
+  Pcg32 rng(42);
+  std::vector<uint64_t> hashes;
+  for (uint64_t i = 0; i < population / 10; ++i) {
+    uint64_t value = rng.NextBounded(static_cast<uint32_t>(distinct));
+    hashes.push_back(Mix64(value));
+  }
+  SampleProfile profile = SampleProfile::FromHashes(hashes);
+  double estimate = EstimateDistinctGee(profile, population);
+  EXPECT_GT(estimate, distinct / 2.5) << "distinct=" << distinct;
+  EXPECT_LT(estimate, distinct * 2.5) << "distinct=" << distinct;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, GeeAccuracyTest,
+                         ::testing::Values(10, 100, 1000, 4000));
+
+TEST(ChaoLeeTest, CoverageBasedEstimate) {
+  // 50 duplicated values + 50 singletons: coverage = 1 - 50/150.
+  std::vector<uint64_t> hashes;
+  for (uint64_t i = 0; i < 50; ++i) {
+    hashes.push_back(Mix64(i));
+    hashes.push_back(Mix64(i));
+  }
+  for (uint64_t i = 100; i < 150; ++i) hashes.push_back(Mix64(i));
+  SampleProfile profile = SampleProfile::FromHashes(hashes);
+  double estimate = EstimateDistinctChaoLee(profile, 1000000);
+  EXPECT_NEAR(estimate, 100.0 / (1.0 - 50.0 / 150.0), 1e-6);
+}
+
+TEST(ExactDistinctTest, Counts) {
+  ExactDistinctCounter counter;
+  for (uint64_t i = 0; i < 100; ++i) counter.AddHash(Mix64(i % 7));
+  EXPECT_EQ(counter.Count(), 7u);
+  counter.Clear();
+  EXPECT_EQ(counter.Count(), 0u);
+}
+
+}  // namespace
+}  // namespace monsoon

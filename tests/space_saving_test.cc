@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "sketch/space_saving.h"
+
+namespace monsoon {
+namespace {
+
+TEST(SpaceSavingTest, ExactWhenUnderCapacity) {
+  SpaceSaving sketch(10);
+  for (uint64_t v : {1, 1, 1, 2, 2, 3}) sketch.AddHash(Mix64(v));
+  auto counters = sketch.Counters();
+  ASSERT_EQ(counters.size(), 3u);
+  EXPECT_EQ(counters[0].count, 3u);
+  EXPECT_EQ(counters[0].error, 0u);
+  EXPECT_EQ(counters[0].value_hash, Mix64(1));
+  EXPECT_EQ(counters[2].count, 1u);
+  EXPECT_EQ(sketch.items_seen(), 6u);
+}
+
+TEST(SpaceSavingTest, EvictionInheritsMinimumAsError) {
+  SpaceSaving sketch(2);
+  sketch.AddHash(Mix64(1));  // {1:1}
+  sketch.AddHash(Mix64(2));  // {1:1, 2:1}
+  sketch.AddHash(Mix64(3));  // evicts a min -> {3: count 2, error 1}
+  auto counters = sketch.Counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].value_hash, Mix64(3));
+  EXPECT_EQ(counters[0].count, 2u);
+  EXPECT_EQ(counters[0].error, 1u);
+}
+
+TEST(SpaceSavingTest, GuaranteesForTrueHeavyHitters) {
+  // Stream: value 7 takes 40% of a long mixed stream; with capacity 20 it
+  // must be reported with a lower bound near its true count.
+  Pcg32 rng(9);
+  SpaceSaving sketch(20);
+  uint64_t true_sevens = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.NextDouble() < 0.4) {
+      sketch.AddHash(Mix64(7));
+      ++true_sevens;
+    } else {
+      sketch.AddHash(Mix64(100 + rng.NextBounded(5000)));
+    }
+  }
+  auto hitters = sketch.HittersAbove(true_sevens / 2);
+  ASSERT_FALSE(hitters.empty());
+  EXPECT_EQ(hitters[0].value_hash, Mix64(7));
+  EXPECT_GE(hitters[0].count, true_sevens) << "count is an upper bound";
+  EXPECT_LE(hitters[0].count - hitters[0].error, true_sevens)
+      << "count - error is a lower bound";
+}
+
+TEST(SpaceSavingTest, OverestimateBoundedByNOverK) {
+  // Classic SpaceSaving guarantee: every counter's error <= N / capacity.
+  Pcg32 rng(10);
+  const size_t capacity = 50;
+  SpaceSaving sketch(capacity);
+  const uint64_t n = 30000;
+  for (uint64_t i = 0; i < n; ++i) {
+    sketch.AddHash(Mix64(rng.NextBounded(2000)));
+  }
+  for (const auto& counter : sketch.Counters()) {
+    EXPECT_LE(counter.error, n / capacity + 1);
+  }
+}
+
+TEST(SpaceSavingTest, CapacityNeverExceeded) {
+  SpaceSaving sketch(5);
+  for (uint64_t i = 0; i < 1000; ++i) sketch.AddHash(Mix64(i));
+  EXPECT_LE(sketch.Counters().size(), 5u);
+}
+
+TEST(SpaceSavingTest, ZipfStreamTopValuesSurvive) {
+  Pcg32 rng(11);
+  ZipfGenerator zipf(10000, 1.3);
+  SpaceSaving sketch(32);
+  std::map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t v = zipf.Next(rng);
+    ++truth[v];
+    sketch.AddHash(Mix64(v));
+  }
+  // The three most frequent values must all be tracked.
+  auto counters = sketch.Counters();
+  for (uint64_t top : {1, 2, 3}) {
+    bool found = false;
+    for (const auto& counter : counters) {
+      if (counter.value_hash == Mix64(top)) found = true;
+    }
+    EXPECT_TRUE(found) << "value " << top;
+  }
+}
+
+}  // namespace
+}  // namespace monsoon

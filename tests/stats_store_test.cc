@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "catalog/stats_store.h"
+
+namespace monsoon {
+namespace {
+
+const ExprSig kR{0b001, 0};
+const ExprSig kS{0b010, 0};
+const ExprSig kT{0b100, 0};
+const ExprSig kSFiltered{0b010, 0b100};  // σ(S)
+const ExprSig kRS{0b011, 0b1};
+
+TEST(StatsStoreTest, CountsRoundTrip) {
+  StatsStore store;
+  EXPECT_FALSE(store.LookupCount(kR).has_value());
+  store.SetCount(kR, 1000);
+  ASSERT_TRUE(store.LookupCount(kR).has_value());
+  EXPECT_DOUBLE_EQ(*store.LookupCount(kR), 1000);
+  store.SetCount(kR, 2000);  // overwrite
+  EXPECT_DOUBLE_EQ(*store.LookupCount(kR), 2000);
+  EXPECT_EQ(store.num_counts(), 1u);
+}
+
+TEST(StatsStoreTest, LookupCountByRelsPrefersMostFiltered) {
+  StatsStore store;
+  store.SetCount(kS, 1000);
+  store.SetCount(kSFiltered, 10);
+  auto c = store.LookupCountByRels(RelSet(kS.rels));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(*c, 10);
+  EXPECT_FALSE(store.LookupCountByRels(RelSet(kT.rels)).has_value());
+}
+
+TEST(StatsStoreTest, ExactPartnerLookup) {
+  StatsStore store;
+  store.SetDistinct(0, kS, kR, 42);
+  auto d = store.LookupDistinct(0, kS, kR);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_DOUBLE_EQ(*d, 42);
+}
+
+TEST(StatsStoreTest, PartnerSpecificSamplesStayDistinct) {
+  // d(F, S|R) must not answer d(F, S|T) — the paper treats them as
+  // different unknowns.
+  StatsStore store;
+  store.SetDistinct(0, kS, kR, 42);
+  EXPECT_FALSE(store.LookupDistinct(0, kS, kT).has_value());
+}
+
+TEST(StatsStoreTest, WildcardObservationAnswersAnyPartner) {
+  StatsStore store;
+  store.SetDistinctObserved(0, kS, 99);
+  EXPECT_DOUBLE_EQ(*store.LookupDistinct(0, kS, kR), 99);
+  EXPECT_DOUBLE_EQ(*store.LookupDistinct(0, kS, kT), 99);
+  EXPECT_DOUBLE_EQ(*store.LookupDistinct(0, kS, ExprSig::Any()), 99);
+}
+
+TEST(StatsStoreTest, PartnerNormalizedToRelationSet) {
+  // Setting with a filtered partner and looking up with the unfiltered
+  // partner (same relations) must hit.
+  StatsStore store;
+  ExprSig filtered_partner{0b001, 0b10};
+  store.SetDistinct(0, kS, filtered_partner, 7);
+  EXPECT_DOUBLE_EQ(*store.LookupDistinct(0, kS, kR), 7);
+}
+
+TEST(StatsStoreTest, ContainmentFallbackFromBaseToJoin) {
+  // An observation over S answers a request over R ⋈ S.
+  StatsStore store;
+  store.SetDistinctObserved(0, kS, 55);
+  auto d = store.LookupDistinct(0, kRS, kT);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_DOUBLE_EQ(*d, 55);
+}
+
+TEST(StatsStoreTest, ContainmentFallbackFromFilteredObservation) {
+  // Σ over σ(S) stores an observation keyed by the filtered signature; a
+  // request keyed by bare S (same relations) must still find it.
+  StatsStore store;
+  store.SetDistinctObserved(0, kSFiltered, 12);
+  auto d = store.LookupDistinct(0, kS, kR);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_DOUBLE_EQ(*d, 12);
+}
+
+TEST(StatsStoreTest, SameRelsPartnerSpecificSampleDoesNotTransfer) {
+  // A per-partner prior sample over S answers only its own partner; it
+  // must not leak to requests over σ(S) with a different partner.
+  StatsStore store;
+  store.SetDistinct(0, kS, kR, 5);
+  EXPECT_FALSE(store.LookupDistinct(0, kSFiltered, kT).has_value());
+  // ... but the same partner does transfer (containment, exact partner).
+  ASSERT_TRUE(store.LookupDistinct(0, kSFiltered, kR).has_value());
+  EXPECT_DOUBLE_EQ(*store.LookupDistinct(0, kSFiltered, kR), 5);
+}
+
+TEST(StatsStoreTest, ExactPartnerPreferredOverWildcard) {
+  StatsStore store;
+  store.SetDistinctObserved(0, kS, 100);
+  store.SetDistinct(0, kS, kR, 10);
+  EXPECT_DOUBLE_EQ(*store.LookupDistinct(0, kS, kR), 10);
+  EXPECT_DOUBLE_EQ(*store.LookupDistinct(0, kS, kT), 100);
+}
+
+TEST(StatsStoreTest, MoreSpecificContainmentWins) {
+  StatsStore store;
+  store.SetDistinctObserved(0, kS, 100);   // over S
+  store.SetDistinctObserved(0, kRS, 30);   // over R⋈S (larger rel set)
+  ExprSig rst{0b111, 0b11};
+  EXPECT_DOUBLE_EQ(*store.LookupDistinct(0, rst, ExprSig::Any()), 30);
+}
+
+TEST(StatsStoreTest, HasDistinctInfo) {
+  StatsStore store;
+  EXPECT_FALSE(store.HasDistinctInfo(0, RelSet(kS.rels)));
+  store.SetDistinct(0, kS, kR, 5);
+  EXPECT_TRUE(store.HasDistinctInfo(0, RelSet(kS.rels)));
+  EXPECT_TRUE(store.HasDistinctInfo(0, RelSet(kRS.rels)));  // subset rule
+  EXPECT_FALSE(store.HasDistinctInfo(0, RelSet(kR.rels)));
+  EXPECT_FALSE(store.HasDistinctInfo(1, RelSet(kS.rels)));  // other term
+}
+
+TEST(StatsStoreTest, FingerprintChangesWithContents) {
+  StatsStore a, b;
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  a.SetCount(kR, 1000);
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  b.SetCount(kR, 1000);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  a.SetDistinct(0, kS, kR, 5);
+  b.SetDistinct(0, kS, kR, 6);
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(StatsStoreTest, FingerprintOrderIndependent) {
+  StatsStore a, b;
+  a.SetCount(kR, 1);
+  a.SetCount(kS, 2);
+  b.SetCount(kS, 2);
+  b.SetCount(kR, 1);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(StatsStoreTest, ValueSemantics) {
+  StatsStore a;
+  a.SetCount(kR, 1);
+  StatsStore b = a;
+  b.SetCount(kS, 2);
+  EXPECT_FALSE(a.LookupCount(kS).has_value());
+  EXPECT_TRUE(b.LookupCount(kR).has_value());
+}
+
+}  // namespace
+}  // namespace monsoon

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "baselines/baselines.h"
+#include "exec/exec_context.h"
+#include "exec/executor.h"
+#include "plan/logical_ops.h"
+#include "workloads/imdb.h"
+#include "workloads/ott.h"
+#include "workloads/tpch.h"
+#include "workloads/udfbench.h"
+
+namespace monsoon {
+namespace {
+
+TEST(TpchWorkloadTest, BuildsAllTablesAndQueries) {
+  TpchOptions options;
+  options.scale = 0.05;
+  auto workload = MakeTpchWorkload(options);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  EXPECT_EQ(workload->queries.size(), 8u);
+  for (const char* table : {"region", "nation", "supplier", "customer", "part",
+                            "partsupp", "orders", "lineitem"}) {
+    EXPECT_TRUE(workload->catalog->HasTable(table)) << table;
+  }
+  EXPECT_EQ(*workload->catalog->RowCount("region"), 5u);
+  EXPECT_EQ(*workload->catalog->RowCount("lineitem"), 3000u);
+  // Every query validates against the catalog.
+  for (const BenchQuery& query : workload->queries) {
+    EXPECT_TRUE(workload->catalog->ValidateQuery(query.spec).ok()) << query.name;
+    EXPECT_GE(query.spec.num_relations(), 3) << query.name;
+  }
+}
+
+TEST(TpchWorkloadTest, DeterministicBySeed) {
+  TpchOptions options;
+  options.scale = 0.02;
+  auto a = MakeTpchWorkload(options);
+  auto b = MakeTpchWorkload(options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto ta = a->catalog->GetTable("orders").value();
+  auto tb = b->catalog->GetTable("orders").value();
+  ASSERT_EQ(ta->num_rows(), tb->num_rows());
+  for (size_t i = 0; i < std::min<size_t>(50, ta->num_rows()); ++i) {
+    EXPECT_EQ(ta->ValueAt(1, i), tb->ValueAt(1, i));
+  }
+}
+
+TEST(TpchWorkloadTest, SkewChangesDistribution) {
+  TpchOptions uniform;
+  uniform.scale = 0.2;
+  uniform.skew = SkewProfile::kNone;
+  TpchOptions high;
+  high.scale = 0.2;
+  high.skew = SkewProfile::kHigh;
+  auto wu = MakeTpchWorkload(uniform);
+  auto wh = MakeTpchWorkload(high);
+  ASSERT_TRUE(wu.ok() && wh.ok());
+  // Count how often the most frequent o_custkey appears in each.
+  auto mode_count = [](const Table& t, size_t col) {
+    std::map<int64_t, int> counts;
+    for (size_t i = 0; i < t.num_rows(); ++i) ++counts[t.Int64At(col, i)];
+    int best = 0;
+    for (const auto& [v, c] : counts) best = std::max(best, c);
+    return best;
+  };
+  auto tu = wu->catalog->GetTable("orders").value();
+  auto th = wh->catalog->GetTable("orders").value();
+  EXPECT_GT(mode_count(*th, 1), 5 * mode_count(*tu, 1))
+      << "z=4 skew must concentrate foreign keys massively";
+}
+
+TEST(ImdbWorkloadTest, BuildsSchemaAndThirtyQueries) {
+  ImdbOptions options;
+  options.scale = 0.05;
+  auto workload = MakeImdbWorkload(options);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  EXPECT_EQ(workload->queries.size(), 30u);
+  for (const char* table :
+       {"title", "company_name", "movie_companies", "info_type", "movie_info",
+        "name", "cast_info", "keyword", "movie_keyword"}) {
+    EXPECT_TRUE(workload->catalog->HasTable(table)) << table;
+  }
+  int wide = 0;
+  for (const BenchQuery& query : workload->queries) {
+    EXPECT_TRUE(workload->catalog->ValidateQuery(query.spec).ok()) << query.name;
+    if (query.spec.num_relations() >= 6) ++wide;
+  }
+  EXPECT_GE(wide, 3) << "the suite must include wide joins";
+}
+
+TEST(ImdbWorkloadTest, FanOutIsSkewed) {
+  ImdbOptions options;
+  options.scale = 0.2;
+  auto workload = MakeImdbWorkload(options);
+  ASSERT_TRUE(workload.ok());
+  auto cast = workload->catalog->GetTable("cast_info").value();
+  std::map<int64_t, int> per_movie;
+  for (size_t i = 0; i < cast->num_rows(); ++i) ++per_movie[cast->Int64At(0, i)];
+  int max_fanout = 0;
+  for (const auto& [movie, count] : per_movie) max_fanout = std::max(max_fanout, count);
+  double avg = static_cast<double>(cast->num_rows()) / per_movie.size();
+  EXPECT_GT(max_fanout, 5 * avg) << "blockbuster effect expected";
+}
+
+class OttWorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    OttOptions options;
+    options.rows_per_table = 500;
+    options.key_cardinality = 25;  // K² > n
+    auto workload = MakeOttWorkload(options);
+    ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+    workload_ = std::move(*workload);
+  }
+  Workload workload_;
+};
+
+TEST_F(OttWorkloadTest, TwentyQueriesWithHandPlans) {
+  EXPECT_EQ(workload_.queries.size(), 20u);
+  for (const BenchQuery& query : workload_.queries) {
+    EXPECT_TRUE(workload_.catalog->ValidateQuery(query.spec).ok()) << query.name;
+    ASSERT_NE(query.hand_plan, nullptr) << query.name;
+    EXPECT_EQ(query.hand_plan->output_sig().rels,
+              query.spec.AllRelations().mask())
+        << query.name;
+    EXPECT_EQ(query.hand_plan->output_sig().preds, query.spec.AllPredicatesMask())
+        << query.name;
+  }
+}
+
+TEST_F(OttWorkloadTest, EveryQueryResultIsEmptyAndHandPlansAreCheap) {
+  // Execute the hand-written plan of each query: result must be empty
+  // (disjoint c-domains), and the cost stays near the sum of scans.
+  for (const BenchQuery& query : workload_.queries) {
+    auto store = MaterializedStore::ForQuery(*workload_.catalog, query.spec);
+    ASSERT_TRUE(store.ok());
+    Executor executor(query.spec, &UdfRegistry::Global());
+    ExecContext ctx;
+    auto result = executor.Execute(query.hand_plan, &*store, &ctx);
+    ASSERT_TRUE(result.ok()) << query.name;
+    EXPECT_EQ(result->output.table->num_rows(), 0u) << query.name;
+    EXPECT_LT(ctx.objects_processed(), 5u * 500u + 10u) << query.name;
+  }
+}
+
+TEST_F(OttWorkloadTest, CorrelationTrapBlowsUpBadPlans) {
+  // Executing the trap edge of ott-q1 (t1.a = t2.a AND t1.b = t2.b) first
+  // produces n²/K rows — the blow-up per-column statistics cannot see.
+  const BenchQuery& query = workload_.queries[0];  // "TC": edge 0 is a trap
+  auto store = MaterializedStore::ForQuery(*workload_.catalog, query.spec);
+  ASSERT_TRUE(store.ok());
+  PlanNode::Ptr t1 = MakeLeaf(query.spec, 0);
+  PlanNode::Ptr t2 = MakeLeaf(query.spec, 1);
+  PlanNode::Ptr trap = PlanNode::Join(
+      t1, t2, ApplicableJoinPreds(query.spec, t1->output_sig(), t2->output_sig()));
+  Executor executor(query.spec, &UdfRegistry::Global());
+  ExecContext ctx;
+  auto result = executor.Execute(trap, &*store, &ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output.table->num_rows(), 500u * 500u / 25u);
+}
+
+TEST(UdfBenchWorkloadTest, TwentyFiveQueriesSomeMultiTable) {
+  UdfBenchOptions options;
+  options.scale = 0.05;
+  auto workload = MakeUdfBenchWorkload(options);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  EXPECT_EQ(workload->queries.size(), 25u);
+  int multi_table_udfs = 0;
+  for (const BenchQuery& query : workload->queries) {
+    EXPECT_TRUE(workload->catalog->ValidateQuery(query.spec).ok()) << query.name;
+    for (const UdfTerm* term : query.spec.AllTerms()) {
+      if (term->rels.count() > 1) {
+        ++multi_table_udfs;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(multi_table_udfs, 3) << "the paper's suite includes multi-table UDFs";
+}
+
+TEST(UdfBenchWorkloadTest, FraudQueryRunsAndUsesStringUdfs) {
+  UdfBenchOptions options;
+  options.scale = 0.05;
+  auto workload = MakeUdfBenchWorkload(options);
+  ASSERT_TRUE(workload.ok());
+  // Find the fraud query (canonical_set + city_from_ip + '<>').
+  const BenchQuery* fraud = nullptr;
+  for (const BenchQuery& query : workload->queries) {
+    if (query.sql.find("o1.ou_cust <> o2.ou_cust") != std::string::npos &&
+        query.sql.find("city_from_ip") != std::string::npos) {
+      fraud = &query;
+    }
+  }
+  ASSERT_NE(fraud, nullptr);
+  RunResult result = MakeDefaultsStrategy()->Run(*workload->catalog, fraud->spec,
+                                                 50000000);
+  EXPECT_TRUE(result.ok() || result.timed_out()) << result.status.ToString();
+}
+
+TEST(WorkloadNamesTest, SkewProfileNames) {
+  EXPECT_STREQ(SkewProfileToString(SkewProfile::kNone), "uniform");
+  EXPECT_STREQ(SkewProfileToString(SkewProfile::kLow), "low");
+  EXPECT_STREQ(SkewProfileToString(SkewProfile::kHigh), "high");
+  EXPECT_STREQ(SkewProfileToString(SkewProfile::kMixed), "mixed");
+}
+
+}  // namespace
+}  // namespace monsoon
