@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_monsoon.dir/bench_ablation_monsoon.cpp.o"
+  "CMakeFiles/bench_ablation_monsoon.dir/bench_ablation_monsoon.cpp.o.d"
+  "bench_ablation_monsoon"
+  "bench_ablation_monsoon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_monsoon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

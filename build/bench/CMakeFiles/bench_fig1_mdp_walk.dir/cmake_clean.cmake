@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_mdp_walk.dir/bench_fig1_mdp_walk.cpp.o"
+  "CMakeFiles/bench_fig1_mdp_walk.dir/bench_fig1_mdp_walk.cpp.o.d"
+  "bench_fig1_mdp_walk"
+  "bench_fig1_mdp_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_mdp_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

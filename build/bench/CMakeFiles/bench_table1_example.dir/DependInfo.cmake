@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_example.cpp" "bench/CMakeFiles/bench_table1_example.dir/bench_table1_example.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_example.dir/bench_table1_example.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/monsoon/CMakeFiles/monsoon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/monsoon_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/monsoon_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/monsoon_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/monsoon_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcts/CMakeFiles/monsoon_mcts.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdp/CMakeFiles/monsoon_mdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/monsoon_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/monsoon_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/priors/CMakeFiles/monsoon_priors.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/monsoon_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/monsoon_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/monsoon_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/monsoon_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/monsoon_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/monsoon_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/monsoon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/monsoon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_prior_choice.dir/bench_table2_prior_choice.cpp.o"
+  "CMakeFiles/bench_table2_prior_choice.dir/bench_table2_prior_choice.cpp.o.d"
+  "bench_table2_prior_choice"
+  "bench_table2_prior_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_prior_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table345_imdb.dir/bench_table345_imdb.cpp.o"
+  "CMakeFiles/bench_table345_imdb.dir/bench_table345_imdb.cpp.o.d"
+  "bench_table345_imdb"
+  "bench_table345_imdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table345_imdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

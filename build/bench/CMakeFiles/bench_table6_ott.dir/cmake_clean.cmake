@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_ott.dir/bench_table6_ott.cpp.o"
+  "CMakeFiles/bench_table6_ott.dir/bench_table6_ott.cpp.o.d"
+  "bench_table6_ott"
+  "bench_table6_ott.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_ott.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

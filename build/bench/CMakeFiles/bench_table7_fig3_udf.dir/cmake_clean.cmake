@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_fig3_udf.dir/bench_table7_fig3_udf.cpp.o"
+  "CMakeFiles/bench_table7_fig3_udf.dir/bench_table7_fig3_udf.cpp.o.d"
+  "bench_table7_fig3_udf"
+  "bench_table7_fig3_udf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_fig3_udf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_reoptimization.dir/adaptive_reoptimization.cpp.o"
+  "CMakeFiles/adaptive_reoptimization.dir/adaptive_reoptimization.cpp.o.d"
+  "adaptive_reoptimization"
+  "adaptive_reoptimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_reoptimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

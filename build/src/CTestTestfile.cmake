@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("storage")
+subdirs("sketch")
+subdirs("expr")
+subdirs("query")
+subdirs("plan")
+subdirs("catalog")
+subdirs("cost")
+subdirs("exec")
+subdirs("priors")
+subdirs("optimizer")
+subdirs("mdp")
+subdirs("mcts")
+subdirs("monsoon")
+subdirs("baselines")
+subdirs("sql")
+subdirs("workloads")
+subdirs("harness")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsoon_baselines.dir/baselines.cc.o"
+  "CMakeFiles/monsoon_baselines.dir/baselines.cc.o.d"
+  "libmonsoon_baselines.a"
+  "libmonsoon_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsoon_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

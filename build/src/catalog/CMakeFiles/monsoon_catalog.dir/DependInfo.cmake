@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/catalog/CMakeFiles/monsoon_catalog.dir/catalog.cc.o" "gcc" "src/catalog/CMakeFiles/monsoon_catalog.dir/catalog.cc.o.d"
+  "/root/repo/src/catalog/stats_store.cc" "src/catalog/CMakeFiles/monsoon_catalog.dir/stats_store.cc.o" "gcc" "src/catalog/CMakeFiles/monsoon_catalog.dir/stats_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/monsoon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/monsoon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/monsoon_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/monsoon_plan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

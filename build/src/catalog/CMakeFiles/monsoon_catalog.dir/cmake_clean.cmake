@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsoon_catalog.dir/catalog.cc.o"
+  "CMakeFiles/monsoon_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/monsoon_catalog.dir/stats_store.cc.o"
+  "CMakeFiles/monsoon_catalog.dir/stats_store.cc.o.d"
+  "libmonsoon_catalog.a"
+  "libmonsoon_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsoon_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsoon_common.dir/random.cc.o"
+  "CMakeFiles/monsoon_common.dir/random.cc.o.d"
+  "CMakeFiles/monsoon_common.dir/status.cc.o"
+  "CMakeFiles/monsoon_common.dir/status.cc.o.d"
+  "CMakeFiles/monsoon_common.dir/string_util.cc.o"
+  "CMakeFiles/monsoon_common.dir/string_util.cc.o.d"
+  "libmonsoon_common.a"
+  "libmonsoon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsoon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

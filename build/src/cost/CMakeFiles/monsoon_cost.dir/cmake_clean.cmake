@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsoon_cost.dir/cardinality.cc.o"
+  "CMakeFiles/monsoon_cost.dir/cardinality.cc.o.d"
+  "libmonsoon_cost.a"
+  "libmonsoon_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsoon_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/monsoon_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/monsoon_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/materialized_store.cc" "src/exec/CMakeFiles/monsoon_exec.dir/materialized_store.cc.o" "gcc" "src/exec/CMakeFiles/monsoon_exec.dir/materialized_store.cc.o.d"
+  "/root/repo/src/exec/projection.cc" "src/exec/CMakeFiles/monsoon_exec.dir/projection.cc.o" "gcc" "src/exec/CMakeFiles/monsoon_exec.dir/projection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/monsoon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/monsoon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/monsoon_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/monsoon_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/monsoon_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/monsoon_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/monsoon_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsoon_exec.dir/executor.cc.o"
+  "CMakeFiles/monsoon_exec.dir/executor.cc.o.d"
+  "CMakeFiles/monsoon_exec.dir/materialized_store.cc.o"
+  "CMakeFiles/monsoon_exec.dir/materialized_store.cc.o.d"
+  "CMakeFiles/monsoon_exec.dir/projection.cc.o"
+  "CMakeFiles/monsoon_exec.dir/projection.cc.o.d"
+  "libmonsoon_exec.a"
+  "libmonsoon_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsoon_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsoon_expr.dir/udf.cc.o"
+  "CMakeFiles/monsoon_expr.dir/udf.cc.o.d"
+  "libmonsoon_expr.a"
+  "libmonsoon_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsoon_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsoon_harness.dir/runner.cc.o"
+  "CMakeFiles/monsoon_harness.dir/runner.cc.o.d"
+  "libmonsoon_harness.a"
+  "libmonsoon_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsoon_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

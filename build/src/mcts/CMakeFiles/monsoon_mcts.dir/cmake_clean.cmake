@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsoon_mcts.dir/mcts.cc.o"
+  "CMakeFiles/monsoon_mcts.dir/mcts.cc.o.d"
+  "libmonsoon_mcts.a"
+  "libmonsoon_mcts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsoon_mcts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsoon_mdp.dir/mdp.cc.o"
+  "CMakeFiles/monsoon_mdp.dir/mdp.cc.o.d"
+  "libmonsoon_mdp.a"
+  "libmonsoon_mdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsoon_mdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

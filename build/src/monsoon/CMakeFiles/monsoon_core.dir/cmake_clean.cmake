@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsoon_core.dir/monsoon_optimizer.cc.o"
+  "CMakeFiles/monsoon_core.dir/monsoon_optimizer.cc.o.d"
+  "libmonsoon_core.a"
+  "libmonsoon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsoon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmonsoon_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsoon_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/monsoon_optimizer.dir/optimizer.cc.o.d"
+  "libmonsoon_optimizer.a"
+  "libmonsoon_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsoon_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

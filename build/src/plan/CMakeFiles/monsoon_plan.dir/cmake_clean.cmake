@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsoon_plan.dir/logical_ops.cc.o"
+  "CMakeFiles/monsoon_plan.dir/logical_ops.cc.o.d"
+  "CMakeFiles/monsoon_plan.dir/plan_node.cc.o"
+  "CMakeFiles/monsoon_plan.dir/plan_node.cc.o.d"
+  "libmonsoon_plan.a"
+  "libmonsoon_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsoon_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

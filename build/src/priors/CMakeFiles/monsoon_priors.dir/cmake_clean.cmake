@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsoon_priors.dir/prior.cc.o"
+  "CMakeFiles/monsoon_priors.dir/prior.cc.o.d"
+  "libmonsoon_priors.a"
+  "libmonsoon_priors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsoon_priors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/query_spec.cc" "src/query/CMakeFiles/monsoon_query.dir/query_spec.cc.o" "gcc" "src/query/CMakeFiles/monsoon_query.dir/query_spec.cc.o.d"
+  "/root/repo/src/query/relset.cc" "src/query/CMakeFiles/monsoon_query.dir/relset.cc.o" "gcc" "src/query/CMakeFiles/monsoon_query.dir/relset.cc.o.d"
+  "/root/repo/src/query/select_item.cc" "src/query/CMakeFiles/monsoon_query.dir/select_item.cc.o" "gcc" "src/query/CMakeFiles/monsoon_query.dir/select_item.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/monsoon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/monsoon_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

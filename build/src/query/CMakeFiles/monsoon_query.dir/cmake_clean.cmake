@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsoon_query.dir/query_spec.cc.o"
+  "CMakeFiles/monsoon_query.dir/query_spec.cc.o.d"
+  "CMakeFiles/monsoon_query.dir/relset.cc.o"
+  "CMakeFiles/monsoon_query.dir/relset.cc.o.d"
+  "CMakeFiles/monsoon_query.dir/select_item.cc.o"
+  "CMakeFiles/monsoon_query.dir/select_item.cc.o.d"
+  "libmonsoon_query.a"
+  "libmonsoon_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsoon_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

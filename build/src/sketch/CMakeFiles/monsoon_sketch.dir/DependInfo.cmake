@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/distinct_estimator.cc" "src/sketch/CMakeFiles/monsoon_sketch.dir/distinct_estimator.cc.o" "gcc" "src/sketch/CMakeFiles/monsoon_sketch.dir/distinct_estimator.cc.o.d"
+  "/root/repo/src/sketch/hyperloglog.cc" "src/sketch/CMakeFiles/monsoon_sketch.dir/hyperloglog.cc.o" "gcc" "src/sketch/CMakeFiles/monsoon_sketch.dir/hyperloglog.cc.o.d"
+  "/root/repo/src/sketch/sampling.cc" "src/sketch/CMakeFiles/monsoon_sketch.dir/sampling.cc.o" "gcc" "src/sketch/CMakeFiles/monsoon_sketch.dir/sampling.cc.o.d"
+  "/root/repo/src/sketch/space_saving.cc" "src/sketch/CMakeFiles/monsoon_sketch.dir/space_saving.cc.o" "gcc" "src/sketch/CMakeFiles/monsoon_sketch.dir/space_saving.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/monsoon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsoon_sketch.dir/distinct_estimator.cc.o"
+  "CMakeFiles/monsoon_sketch.dir/distinct_estimator.cc.o.d"
+  "CMakeFiles/monsoon_sketch.dir/hyperloglog.cc.o"
+  "CMakeFiles/monsoon_sketch.dir/hyperloglog.cc.o.d"
+  "CMakeFiles/monsoon_sketch.dir/sampling.cc.o"
+  "CMakeFiles/monsoon_sketch.dir/sampling.cc.o.d"
+  "CMakeFiles/monsoon_sketch.dir/space_saving.cc.o"
+  "CMakeFiles/monsoon_sketch.dir/space_saving.cc.o.d"
+  "libmonsoon_sketch.a"
+  "libmonsoon_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsoon_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

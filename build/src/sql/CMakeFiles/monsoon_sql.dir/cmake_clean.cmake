@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsoon_sql.dir/parser.cc.o"
+  "CMakeFiles/monsoon_sql.dir/parser.cc.o.d"
+  "libmonsoon_sql.a"
+  "libmonsoon_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsoon_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

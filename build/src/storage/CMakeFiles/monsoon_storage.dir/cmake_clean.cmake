@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsoon_storage.dir/csv.cc.o"
+  "CMakeFiles/monsoon_storage.dir/csv.cc.o.d"
+  "CMakeFiles/monsoon_storage.dir/schema.cc.o"
+  "CMakeFiles/monsoon_storage.dir/schema.cc.o.d"
+  "CMakeFiles/monsoon_storage.dir/table.cc.o"
+  "CMakeFiles/monsoon_storage.dir/table.cc.o.d"
+  "CMakeFiles/monsoon_storage.dir/value.cc.o"
+  "CMakeFiles/monsoon_storage.dir/value.cc.o.d"
+  "libmonsoon_storage.a"
+  "libmonsoon_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsoon_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

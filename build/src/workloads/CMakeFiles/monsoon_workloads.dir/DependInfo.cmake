@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/genutil.cc" "src/workloads/CMakeFiles/monsoon_workloads.dir/genutil.cc.o" "gcc" "src/workloads/CMakeFiles/monsoon_workloads.dir/genutil.cc.o.d"
+  "/root/repo/src/workloads/imdb.cc" "src/workloads/CMakeFiles/monsoon_workloads.dir/imdb.cc.o" "gcc" "src/workloads/CMakeFiles/monsoon_workloads.dir/imdb.cc.o.d"
+  "/root/repo/src/workloads/ott.cc" "src/workloads/CMakeFiles/monsoon_workloads.dir/ott.cc.o" "gcc" "src/workloads/CMakeFiles/monsoon_workloads.dir/ott.cc.o.d"
+  "/root/repo/src/workloads/tpch.cc" "src/workloads/CMakeFiles/monsoon_workloads.dir/tpch.cc.o" "gcc" "src/workloads/CMakeFiles/monsoon_workloads.dir/tpch.cc.o.d"
+  "/root/repo/src/workloads/udfbench.cc" "src/workloads/CMakeFiles/monsoon_workloads.dir/udfbench.cc.o" "gcc" "src/workloads/CMakeFiles/monsoon_workloads.dir/udfbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/monsoon_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/monsoon_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/monsoon_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/monsoon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/monsoon_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/monsoon_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/monsoon_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

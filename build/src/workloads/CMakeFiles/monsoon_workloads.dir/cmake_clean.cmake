@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsoon_workloads.dir/genutil.cc.o"
+  "CMakeFiles/monsoon_workloads.dir/genutil.cc.o.d"
+  "CMakeFiles/monsoon_workloads.dir/imdb.cc.o"
+  "CMakeFiles/monsoon_workloads.dir/imdb.cc.o.d"
+  "CMakeFiles/monsoon_workloads.dir/ott.cc.o"
+  "CMakeFiles/monsoon_workloads.dir/ott.cc.o.d"
+  "CMakeFiles/monsoon_workloads.dir/tpch.cc.o"
+  "CMakeFiles/monsoon_workloads.dir/tpch.cc.o.d"
+  "CMakeFiles/monsoon_workloads.dir/udfbench.cc.o"
+  "CMakeFiles/monsoon_workloads.dir/udfbench.cc.o.d"
+  "libmonsoon_workloads.a"
+  "libmonsoon_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsoon_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcts_test.dir/mcts_test.cc.o"
+  "CMakeFiles/mcts_test.dir/mcts_test.cc.o.d"
+  "mcts_test"
+  "mcts_test.pdb"
+  "mcts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monsoon_test.dir/monsoon_test.cc.o"
+  "CMakeFiles/monsoon_test.dir/monsoon_test.cc.o.d"
+  "monsoon_test"
+  "monsoon_test.pdb"
+  "monsoon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monsoon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_store_test.dir/stats_store_test.cc.o"
+  "CMakeFiles/stats_store_test.dir/stats_store_test.cc.o.d"
+  "stats_store_test"
+  "stats_store_test.pdb"
+  "stats_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
