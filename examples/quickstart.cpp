@@ -2,13 +2,20 @@
 // are obscured by UDFs, and let the Monsoon optimizer interleave
 // statistics collection with execution.
 //
-// Run:  ./build/examples/quickstart
+// Run:  ./build/examples/quickstart [--threads=N]
+//
+// --threads=N runs the morsel-driven executor and root-parallel MCTS on
+// N threads (default 1 = fully serial). The result rows and Mobjects are
+// the same either way; only wall-clock time changes.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "baselines/baselines.h"
 #include "monsoon/monsoon_optimizer.h"
+#include "parallel/runtime.h"
 #include "sql/parser.h"
 #include "workloads/genutil.h"
 
@@ -92,7 +99,23 @@ Status RunDemo() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      int threads = std::atoi(argv[i] + 10);
+      if (threads < 1) {
+        std::cerr << "--threads expects a positive integer\n";
+        return 1;
+      }
+      parallel::Config config = parallel::DefaultConfig();
+      config.num_threads = threads;
+      parallel::SetDefaultConfig(config);
+      std::cout << "Running with " << threads << " thread(s)\n";
+    } else {
+      std::cerr << "unknown flag: " << argv[i] << " (supported: --threads=N)\n";
+      return 1;
+    }
+  }
   Status status = RunDemo();
   if (!status.ok()) {
     std::cerr << "error: " << status.ToString() << "\n";

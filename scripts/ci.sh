@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# CI pipeline: a Release build running the full test suite, then a
+# ThreadSanitizer build running the concurrency-sensitive tests. Run from
+# the repository root:
+#
+#   ./scripts/ci.sh            # both stages
+#   ./scripts/ci.sh release    # release build + full ctest only
+#   ./scripts/ci.sh tsan       # TSan build + parallel/exec tests only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+STAGE="${1:-all}"
+
+release_stage() {
+  echo "=== [1/2] Release build + full test suite ==="
+  cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-ci-release -j "${JOBS}"
+  ctest --test-dir build-ci-release --output-on-failure
+}
+
+tsan_stage() {
+  echo "=== [2/2] ThreadSanitizer build + concurrency tests ==="
+  cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMONSOON_SANITIZE=thread
+  cmake --build build-ci-tsan -j "${JOBS}" --target parallel_test exec_test
+  # Everything that crosses the src/parallel/ runtime: the pool/TaskGroup/
+  # ParallelFor unit tests plus the serial-vs-parallel equivalence suite
+  # (morsel scans, partitioned hash join, parallel Σ).
+  ./build-ci-tsan/tests/parallel_test
+  ./build-ci-tsan/tests/exec_test
+}
+
+case "${STAGE}" in
+  release) release_stage ;;
+  tsan) tsan_stage ;;
+  all)
+    release_stage
+    tsan_stage
+    ;;
+  *)
+    echo "usage: $0 [release|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "CI passed."

@@ -11,6 +11,19 @@ namespace monsoon {
 /// every stochastic component in Monsoon (priors, MCTS rollouts, data
 /// generators) draws from a Pcg32 seeded explicitly so experiments are
 /// deterministic.
+///
+/// THREADING RULE: a Pcg32 is mutable state with no internal locking, so
+/// it must never be shared across parallel workers — a shared generator is
+/// both a data race and a reproducibility hole (draw interleaving would
+/// depend on scheduling). Code that fans out under src/parallel/ gives
+/// each worker its OWN generator seeded `base_seed + worker_id`, so every
+/// worker's stream is fixed by (seed, worker count) alone. Root-parallel
+/// MCTS (mcts/root_parallel.cc) is the reference example; QueryMdp and
+/// Prior deliberately take the RNG by caller reference and keep no
+/// generator state of their own so this rule stays enforceable at the
+/// call site. Audit note (2026-08): all Pcg32 members live in
+/// single-owner objects (MctsSearch, strategy locals, workload
+/// generators); none is reachable from more than one worker.
 class Pcg32 {
  public:
   using result_type = uint32_t;

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "common/status.h"
+#include "parallel/runtime.h"
 
 namespace monsoon {
 
@@ -18,6 +19,14 @@ namespace monsoon {
 ///    metric hides, chiefly nested-loop candidate pairs. Budgets/timeouts
 ///    trip on work_units so a cross product cannot grind forever while
 ///    producing few output objects.
+///
+/// The context also carries the query's parallel runtime (snapshotted from
+/// parallel::DefaultConfig() at construction): a pool handle and morsel
+/// size the executor's morsel-driven operators use. The counters above are
+/// NOT thread-safe — parallel operators accumulate work in morsel-local
+/// tallies and charge the context once at each merge barrier, which keeps
+/// the recorded totals identical to the serial path (budget trips are
+/// detected at barrier granularity instead of per row; see DESIGN.md).
 class ExecContext {
  public:
   ExecContext() = default;
@@ -50,11 +59,31 @@ class ExecContext {
   double stats_collect_seconds() const { return stats_collect_seconds_; }
   void AddStatsCollectSeconds(double s) { stats_collect_seconds_ += s; }
 
+  /// Pool for morsel-driven operators; nullptr = run serially inline.
+  parallel::ThreadPool* pool() const { return pool_; }
+  size_t morsel_size() const { return morsel_size_; }
+
+  /// Overrides the snapshotted runtime (tests pin serial/parallel modes;
+  /// pool may be nullptr to force the serial path).
+  void SetParallel(parallel::ThreadPool* pool, size_t morsel_size) {
+    pool_ = pool;
+    morsel_size_ = morsel_size == 0 ? 1 : morsel_size;
+  }
+
+  /// Work units still chargeable before the budget trips (max() when
+  /// unlimited). Parallel operators bound their shared tallies with this.
+  uint64_t RemainingWork() const {
+    if (work_budget_ == 0) return ~uint64_t{0};
+    return work_budget_ > work_units_ ? work_budget_ - work_units_ : 0;
+  }
+
  private:
   uint64_t work_budget_ = 0;
   uint64_t objects_processed_ = 0;
   uint64_t work_units_ = 0;
   double stats_collect_seconds_ = 0;
+  parallel::ThreadPool* pool_ = parallel::SharedPool();
+  size_t morsel_size_ = parallel::DefaultConfig().morsel_size;
 };
 
 /// Monotonic wall-clock timer helper.

@@ -1,10 +1,12 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <unordered_map>
 
 #include "common/hash.h"
+#include "parallel/parallel_for.h"
 #include "sketch/hyperloglog.h"
 
 namespace monsoon {
@@ -61,6 +63,35 @@ StatusOr<BoundResidual> BindResidual(const Predicate& pred, const Schema& schema
   }
   return residual;
 }
+
+/// Appends the concatenation of lt[li] and rt[ri] to `out` unless a
+/// residual filter rejects it (the candidate is appended first so filters
+/// can evaluate against the concatenated schema, then retracted).
+void EmitIfPasses(Table* out, const Table& lt, size_t li, const Table& rt,
+                  size_t ri, const std::vector<BoundResidual>& residual) {
+  out->AppendConcatRow(lt, li, rt, ri);
+  size_t row = out->num_rows() - 1;
+  for (const auto& filter : residual) {
+    if (!filter.Eval(*out, row)) {
+      out->PopRow();
+      return;
+    }
+  }
+}
+
+/// Morsel-driven operators run when a pool is attached and the input is
+/// big enough that splitting pays for the merge.
+bool WorthParallel(const ExecContext* ctx, size_t rows) {
+  return ctx->pool() != nullptr && rows > ctx->morsel_size();
+}
+
+constexpr uint64_t kJoinHashSeed = 0xabcdef0123456789ULL;
+/// Partition count for the parallel hash join's partitioned build. Fixed
+/// (not thread-derived) so the output is bit-identical across thread
+/// counts; selected from the hash's top bits, which the per-partition
+/// unordered_multimap (bottom-bit based) does not reuse.
+constexpr size_t kBuildPartitions = 64;
+constexpr int kBuildPartitionShift = 58;  // 64 - log2(kBuildPartitions)
 
 }  // namespace
 
@@ -128,15 +159,33 @@ StatusOr<MaterializedExpr> Executor::ExecuteLeaf(const PlanNode::Ptr& node,
 
   auto out = std::make_shared<Table>(source->schema);
   const Table& in = *source->table;
-  for (size_t row = 0; row < in.num_rows(); ++row) {
-    bool keep = true;
-    for (const auto& filter : filters) {
-      if (!filter.Eval(in, row)) {
-        keep = false;
-        break;
+  auto filter_range = [&filters, &in](Table* dst, size_t begin, size_t end) {
+    for (size_t row = begin; row < end; ++row) {
+      bool keep = true;
+      for (const auto& filter : filters) {
+        if (!filter.Eval(in, row)) {
+          keep = false;
+          break;
+        }
       }
+      if (keep) dst->AppendRowFrom(in, row);
     }
-    if (keep) out->AppendRowFrom(in, row);
+  };
+  if (WorthParallel(ctx, in.num_rows())) {
+    // Morsel-driven scan: each morsel filters into a local table; the
+    // barrier concatenates them in morsel order, so the output row order
+    // is identical to the serial scan's.
+    size_t num_morsels = parallel::NumMorsels(in.num_rows(), ctx->morsel_size());
+    std::vector<Table> locals(num_morsels, Table(source->schema));
+    MONSOON_RETURN_IF_ERROR(parallel::ParallelFor(
+        ctx->pool(), in.num_rows(), ctx->morsel_size(),
+        [&](size_t m, size_t begin, size_t end) {
+          filter_range(&locals[m], begin, end);
+          return Status::OK();
+        }));
+    for (Table& local : locals) out->TakeRowsFrom(&local);
+  } else {
+    filter_range(out.get(), 0, in.num_rows());
   }
 
   MaterializedExpr result;
@@ -197,26 +246,51 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
   const Table& lt = *left.table;
   const Table& rt = *right.table;
 
-  auto passes_residual = [&](size_t out_row) {
-    for (const auto& filter : residual) {
-      if (!filter.Eval(*out, out_row)) return false;
-    }
-    return true;
-  };
-
   if (equi.empty()) {
     // Cross product with residual filters (multi-table UDF predicates and
     // genuine cross products both land here).
-    for (size_t li = 0; li < lt.num_rows(); ++li) {
-      for (size_t ri = 0; ri < rt.num_rows(); ++ri) {
-        MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(1));
-        out->AppendConcatRow(lt, li, rt, ri);
-        if (!passes_residual(out->num_rows() - 1)) out->PopRow();
+    if (WorthParallel(ctx, lt.num_rows()) && rt.num_rows() > 0) {
+      // Morsels over the left input; every morsel pairs its left rows with
+      // the whole right side into a local table. Work (candidate pairs) is
+      // tallied in a shared atomic bounded by the remaining budget, so a
+      // runaway product still trips ResourceExhausted — at left-row
+      // granularity instead of per pair.
+      size_t morsel = ctx->morsel_size();
+      size_t num_morsels = parallel::NumMorsels(lt.num_rows(), morsel);
+      std::vector<Table> locals(num_morsels, Table(out_schema));
+      std::atomic<uint64_t> shared_work{0};
+      const uint64_t work_limit = ctx->RemainingWork();
+      Status loop = parallel::ParallelFor(
+          ctx->pool(), lt.num_rows(), morsel,
+          [&](size_t m, size_t begin, size_t end) -> Status {
+            Table& local = locals[m];
+            for (size_t li = begin; li < end; ++li) {
+              for (size_t ri = 0; ri < rt.num_rows(); ++ri) {
+                EmitIfPasses(&local, lt, li, rt, ri, residual);
+              }
+              uint64_t before = shared_work.fetch_add(rt.num_rows());
+              if (before + rt.num_rows() > work_limit) {
+                return Status::ResourceExhausted("work budget exceeded");
+              }
+            }
+            return Status::OK();
+          });
+      Status charged = ctx->ChargeWork(shared_work.load());
+      MONSOON_RETURN_IF_ERROR(loop);
+      MONSOON_RETURN_IF_ERROR(charged);
+      for (Table& local : locals) out->TakeRowsFrom(&local);
+    } else {
+      for (size_t li = 0; li < lt.num_rows(); ++li) {
+        for (size_t ri = 0; ri < rt.num_rows(); ++ri) {
+          MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(1));
+          EmitIfPasses(out.get(), lt, li, rt, ri, residual);
+        }
       }
     }
   } else if (options_.join_algorithm == JoinAlgorithm::kSortMerge) {
     // Sort-merge join: materialize composite keys, sort row ids on both
-    // sides, then merge runs of equal keys.
+    // sides, then merge runs of equal keys. Stays serial — it exists as
+    // bench_micro's ablation of the (default, parallelized) hash join.
     size_t nkeys = equi.size();
     auto make_keys = [&](const Table& table, bool is_left,
                          std::vector<Value>* keys, std::vector<size_t>* order) {
@@ -306,15 +380,117 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
       for (size_t a = li; a < lend; ++a) {
         for (size_t b = ri; b < rend; ++b) {
           MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(1));
-          out->AppendConcatRow(lt, lorder[a], rt, rorder[b]);
-          if (!passes_residual(out->num_rows() - 1)) out->PopRow();
+          EmitIfPasses(out.get(), lt, lorder[a], rt, rorder[b], residual);
         }
       }
       li = lend;
       ri = rend;
     }
+  } else if (WorthParallel(ctx, std::max(lt.num_rows(), rt.num_rows()))) {
+    // Parallel hash join: partitioned build + morsel-driven probe.
+    bool build_left = lt.num_rows() <= rt.num_rows();
+    const Table& build = build_left ? lt : rt;
+    const Table& probe = build_left ? rt : lt;
+    size_t nkeys = equi.size();
+    size_t morsel = ctx->morsel_size();
+    parallel::ThreadPool* pool = ctx->pool();
+
+    // Build phase 1 (parallel): evaluate composite keys and hashes.
+    // Morsels write disjoint index ranges of preallocated arrays.
+    std::vector<Value> build_keys(build.num_rows() * nkeys);
+    std::vector<uint64_t> build_hashes(build.num_rows());
+    MONSOON_RETURN_IF_ERROR(parallel::ParallelFor(
+        pool, build.num_rows(), morsel,
+        [&](size_t, size_t begin, size_t end) {
+          for (size_t row = begin; row < end; ++row) {
+            uint64_t h = kJoinHashSeed;
+            for (size_t k = 0; k < nkeys; ++k) {
+              const BoundTerm& key =
+                  build_left ? equi[k].left_key : equi[k].right_key;
+              Value v = key.Eval(build, row);
+              h = HashCombine(h, v.Hash());
+              build_keys[row * nkeys + k] = std::move(v);
+            }
+            build_hashes[row] = h;
+          }
+          return Status::OK();
+        }));
+
+    // Build phase 2: scatter rows to partitions in row order (serial, a
+    // pointer append per row), then build each partition's table in
+    // parallel. Per-partition row order equals global build order, so the
+    // partition tables are independent of the thread count.
+    std::vector<std::vector<size_t>> partition_rows(kBuildPartitions);
+    for (auto& rows : partition_rows) {
+      rows.reserve(build.num_rows() / kBuildPartitions + 1);
+    }
+    for (size_t row = 0; row < build.num_rows(); ++row) {
+      partition_rows[build_hashes[row] >> kBuildPartitionShift].push_back(row);
+    }
+    std::vector<std::unordered_multimap<uint64_t, size_t>> partitions(
+        kBuildPartitions);
+    MONSOON_RETURN_IF_ERROR(parallel::ParallelFor(
+        pool, kBuildPartitions, 1, [&](size_t p, size_t, size_t) {
+          partitions[p].reserve(partition_rows[p].size() * 2);
+          for (size_t row : partition_rows[p]) {
+            partitions[p].emplace(build_hashes[row], row);
+          }
+          return Status::OK();
+        }));
+    MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(build.num_rows()));
+
+    // Probe phase (parallel): morsels emit into local tables merged in
+    // morsel order; probe work (rows + hash candidates) accumulates in a
+    // shared atomic tally charged once at the barrier, bounded by the
+    // remaining budget so oversized joins still trip the timeout.
+    size_t num_morsels = parallel::NumMorsels(probe.num_rows(), morsel);
+    std::vector<Table> locals(num_morsels, Table(out_schema));
+    std::atomic<uint64_t> shared_work{0};
+    const uint64_t work_limit = ctx->RemainingWork();
+    Status loop = parallel::ParallelFor(
+        pool, probe.num_rows(), morsel,
+        [&](size_t m, size_t begin, size_t end) -> Status {
+          Table& local = locals[m];
+          std::vector<Value> probe_key(nkeys);
+          uint64_t local_work = 0;
+          for (size_t row = begin; row < end; ++row) {
+            ++local_work;
+            uint64_t h = kJoinHashSeed;
+            for (size_t k = 0; k < nkeys; ++k) {
+              const BoundTerm& key =
+                  build_left ? equi[k].right_key : equi[k].left_key;
+              probe_key[k] = key.Eval(probe, row);
+              h = HashCombine(h, probe_key[k].Hash());
+            }
+            const auto& index = partitions[h >> kBuildPartitionShift];
+            auto [it, last] = index.equal_range(h);
+            for (; it != last; ++it) {
+              ++local_work;
+              size_t build_row = it->second;
+              bool match = true;
+              for (size_t k = 0; k < nkeys; ++k) {
+                if (!(build_keys[build_row * nkeys + k] == probe_key[k])) {
+                  match = false;
+                  break;
+                }
+              }
+              if (!match) continue;
+              EmitIfPasses(&local, lt, build_left ? build_row : row, rt,
+                           build_left ? row : build_row, residual);
+            }
+          }
+          uint64_t before = shared_work.fetch_add(local_work);
+          if (before + local_work > work_limit) {
+            return Status::ResourceExhausted("work budget exceeded");
+          }
+          return Status::OK();
+        });
+    Status charged = ctx->ChargeWork(shared_work.load());
+    MONSOON_RETURN_IF_ERROR(loop);
+    MONSOON_RETURN_IF_ERROR(charged);
+    for (Table& local : locals) out->TakeRowsFrom(&local);
   } else {
-    // Hash join: build on the smaller input.
+    // Serial hash join: build on the smaller input.
     bool build_left = lt.num_rows() <= rt.num_rows();
     const Table& build = build_left ? lt : rt;
     const Table& probe = build_left ? rt : lt;
@@ -326,7 +502,7 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     std::unordered_multimap<uint64_t, size_t> index;
     index.reserve(build.num_rows() * 2);
     for (size_t row = 0; row < build.num_rows(); ++row) {
-      uint64_t h = 0xabcdef0123456789ULL;
+      uint64_t h = kJoinHashSeed;
       for (const auto& pair : equi) {
         const BoundTerm& key = build_left ? pair.left_key : pair.right_key;
         Value v = key.Eval(build, row);
@@ -340,7 +516,7 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     std::vector<Value> probe_key(nkeys);
     for (size_t row = 0; row < probe.num_rows(); ++row) {
       MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(1));
-      uint64_t h = 0xabcdef0123456789ULL;
+      uint64_t h = kJoinHashSeed;
       for (size_t k = 0; k < nkeys; ++k) {
         const auto& pair = equi[k];
         const BoundTerm& key = build_left ? pair.right_key : pair.left_key;
@@ -361,8 +537,7 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
         if (!match) continue;
         size_t li = build_left ? build_row : row;
         size_t ri = build_left ? row : build_row;
-        out->AppendConcatRow(lt, li, rt, ri);
-        if (!passes_residual(out->num_rows() - 1)) out->PopRow();
+        EmitIfPasses(out.get(), lt, li, rt, ri, residual);
       }
     }
   }
@@ -400,9 +575,41 @@ Status Executor::CollectStats(const MaterializedExpr& expr, ExecContext* ctx,
   std::vector<HyperLogLog> sketches(terms.size(),
                                     HyperLogLog(options_.hll_precision));
   const Table& table = *expr.table;
-  for (size_t row = 0; row < table.num_rows(); ++row) {
-    for (size_t t = 0; t < terms.size(); ++t) {
-      sketches[t].AddHash(terms[t].second.Eval(table, row).Hash());
+  if (WorthParallel(ctx, table.num_rows())) {
+    // One sketch set per morsel, merged at the barrier. The HLL merge is
+    // register-wise max — exact, order- and grouping-independent — so the
+    // observed distinct counts are bit-identical to the serial pass. Σ
+    // morsels are widened to a handful per thread: sketch sets cost 2^p
+    // bytes per term each, so many small morsels would waste memory for
+    // no extra balance.
+    parallel::ThreadPool* pool = ctx->pool();
+    size_t morsel =
+        std::max(ctx->morsel_size(),
+                 table.num_rows() / (4 * static_cast<size_t>(pool->num_threads())) + 1);
+    size_t num_morsels = parallel::NumMorsels(table.num_rows(), morsel);
+    std::vector<std::vector<HyperLogLog>> morsel_sketches(
+        num_morsels,
+        std::vector<HyperLogLog>(terms.size(), HyperLogLog(options_.hll_precision)));
+    MONSOON_RETURN_IF_ERROR(parallel::ParallelFor(
+        pool, table.num_rows(), morsel, [&](size_t m, size_t begin, size_t end) {
+          std::vector<HyperLogLog>& local = morsel_sketches[m];
+          for (size_t row = begin; row < end; ++row) {
+            for (size_t t = 0; t < terms.size(); ++t) {
+              local[t].AddHash(terms[t].second.Eval(table, row).Hash());
+            }
+          }
+          return Status::OK();
+        }));
+    for (const std::vector<HyperLogLog>& local : morsel_sketches) {
+      for (size_t t = 0; t < terms.size(); ++t) {
+        MONSOON_RETURN_IF_ERROR(sketches[t].Merge(local[t]));
+      }
+    }
+  } else {
+    for (size_t row = 0; row < table.num_rows(); ++row) {
+      for (size_t t = 0; t < terms.size(); ++t) {
+        sketches[t].AddHash(terms[t].second.Eval(table, row).Hash());
+      }
     }
   }
   // Statistics collection is another pass over the data (Sec. 4.4).

@@ -63,6 +63,12 @@ struct ExecResult {
 /// Every table an interior node produces is materialized (this repo
 /// reproduces logical optimization; pipelining is out of scope, exactly as
 /// in the paper's object-count cost model).
+///
+/// When the ExecContext carries a thread pool, scans, residual filters,
+/// hash-join build/probe and Σ passes run morsel-driven on that pool;
+/// per-morsel results merge at a barrier in morsel order, and Σ merges
+/// per-morsel HLL sketches exactly, so observed counts and distincts are
+/// identical to the serial path (see DESIGN.md "Parallel runtime").
 class Executor {
  public:
   /// Physical join algorithm for equi predicates. The paper leaves

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/string_util.h"
+#include "parallel/runtime.h"
 
 namespace monsoon {
 
@@ -16,6 +18,16 @@ void BenchRunner::SetQueryFilter(std::vector<std::string> names) {
 }
 
 Status BenchRunner::RunAll(const Workload& workload) {
+  int threads = options_.threads;
+  if (threads <= 0) {
+    const char* env = std::getenv("MONSOON_THREADS");
+    if (env != nullptr) threads = std::atoi(env);
+  }
+  if (threads > 0) {
+    parallel::Config config = parallel::DefaultConfig();
+    config.num_threads = threads;
+    parallel::SetDefaultConfig(config);
+  }
   for (const BenchQuery& query : workload.queries) {
     if (!query_filter_.empty() &&
         std::find(query_filter_.begin(), query_filter_.end(), query.name) ==

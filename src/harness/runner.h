@@ -22,6 +22,12 @@ struct HarnessOptions {
   /// for such queries.
   double timeout_display_seconds = 1200;
   bool verbose = false;
+  /// Threads per query. > 0 installs that level as the process-wide
+  /// parallel::DefaultConfig() before running, so Monsoon AND every
+  /// baseline execute (and Monsoon plans) at the same concurrency; 0
+  /// honors the MONSOON_THREADS environment knob, or leaves the current
+  /// config untouched when that is unset too.
+  int threads = 0;
 };
 
 /// One (query, strategy) execution.

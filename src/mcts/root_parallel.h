@@ -1,0 +1,48 @@
+#ifndef MONSOON_MCTS_ROOT_PARALLEL_H_
+#define MONSOON_MCTS_ROOT_PARALLEL_H_
+
+#include "mcts/mcts.h"
+#include "parallel/thread_pool.h"
+
+namespace monsoon {
+
+/// Root-parallel MCTS: K independent searchers run from the same root,
+/// each with its own tree and its own RNG seeded `base_seed + worker_id`,
+/// splitting the iteration budget evenly. Before an action is committed,
+/// the workers' root-edge statistics are merged by action identity —
+/// visits sum, returns combine visit-weighted — and the most-visited
+/// merged edge wins (ties by mean return, then by first-seen order, which
+/// is worker order and therefore deterministic).
+///
+/// Reproducibility: every searcher is deterministic given its seed, and
+/// the merge iterates workers in index order, so the committed action does
+/// not depend on thread scheduling. With workers == 1 the result is
+/// exactly MctsSearch with the base seed.
+class RootParallelMcts {
+ public:
+  struct Options {
+    MctsSearch::Options search;  // iterations = TOTAL budget across workers
+    int workers = 1;
+  };
+
+  /// `pool` may be null (workers then run sequentially on the caller;
+  /// results are identical either way).
+  RootParallelMcts(const QueryMdp* mdp, Options options,
+                   parallel::ThreadPool* pool);
+
+  StatusOr<MdpAction> SearchBestAction(const MdpState& root);
+
+  /// Merged statistics of the last search (iterations and tree nodes are
+  /// summed across workers).
+  const MctsSearch::SearchInfo& last_info() const { return info_; }
+
+ private:
+  const QueryMdp* mdp_;
+  Options options_;
+  parallel::ThreadPool* pool_;
+  MctsSearch::SearchInfo info_;
+};
+
+}  // namespace monsoon
+
+#endif  // MONSOON_MCTS_ROOT_PARALLEL_H_

@@ -39,6 +39,15 @@ struct MdpAction {
 
   bool IsExecute() const { return type == Type::kExecute; }
 
+  /// Structural identity; root-parallel MCTS merges per-worker root edges
+  /// by this.
+  bool operator==(const MdpAction& other) const {
+    return type == other.type && exec_a == other.exec_a &&
+           exec_b == other.exec_b && plan_a == other.plan_a &&
+           plan_b == other.plan_b;
+  }
+  bool operator!=(const MdpAction& other) const { return !(*this == other); }
+
   std::string ToString(const QuerySpec& query) const;
 };
 

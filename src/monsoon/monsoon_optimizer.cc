@@ -2,6 +2,9 @@
 
 #include <map>
 
+#include "mcts/root_parallel.h"
+#include "parallel/runtime.h"
+
 namespace monsoon {
 
 MonsoonOptimizer::MonsoonOptimizer(const Catalog* catalog, Options options)
@@ -96,7 +99,12 @@ Status MonsoonOptimizer::RunImpl(const QuerySpec& query, RunResult* result) cons
       WallTimer mcts_timer;
       MctsSearch::Options mcts_options = options_.mcts;
       mcts_options.seed = options_.seed + 0x9e37 * static_cast<uint64_t>(decision);
-      MctsSearch search(&mdp, mcts_options);
+      RootParallelMcts::Options rp_options;
+      rp_options.search = mcts_options;
+      rp_options.workers = options_.mcts_workers > 0
+                               ? options_.mcts_workers
+                               : parallel::EffectiveMctsWorkers();
+      RootParallelMcts search(&mdp, rp_options, parallel::SharedPool());
       MONSOON_ASSIGN_OR_RETURN(action, search.SearchBestAction(state));
       result->plan_seconds += mcts_timer.Seconds();
     }

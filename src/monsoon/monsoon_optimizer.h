@@ -30,6 +30,10 @@ class MonsoonOptimizer {
     /// Safety cap on real-world decisions.
     int max_decisions = 128;
     uint64_t seed = 0x5eed;
+    /// Root-parallel MCTS searchers per decision. 0 = follow the global
+    /// parallel::DefaultConfig() (so --threads=N parallelizes planning and
+    /// execution together); 1 forces the serial search.
+    int mcts_workers = 0;
   };
 
   MonsoonOptimizer(const Catalog* catalog, Options options);

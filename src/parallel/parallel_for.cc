@@ -1,0 +1,64 @@
+#include "parallel/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
+
+namespace monsoon::parallel {
+
+Status ParallelFor(ThreadPool* pool, size_t n, size_t morsel_size,
+                   const std::function<Status(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  morsel_size = std::max<size_t>(1, morsel_size);
+  size_t num_morsels = NumMorsels(n, morsel_size);
+
+  if (pool == nullptr || pool->num_workers() == 0 || num_morsels <= 1) {
+    for (size_t i = 0; i < num_morsels; ++i) {
+      size_t begin = i * morsel_size;
+      size_t end = std::min(n, begin + morsel_size);
+      MONSOON_RETURN_IF_ERROR(fn(i, begin, end));
+    }
+    return Status::OK();
+  }
+
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex mu;
+    size_t error_index = std::numeric_limits<size_t>::max();
+    Status error;
+  };
+  Shared shared;
+
+  auto lane = [&shared, &fn, n, morsel_size, num_morsels] {
+    for (;;) {
+      if (shared.failed.load(std::memory_order_relaxed)) return;
+      size_t i = shared.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_morsels) return;
+      size_t begin = i * morsel_size;
+      size_t end = std::min(n, begin + morsel_size);
+      Status status = fn(i, begin, end);
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(shared.mu);
+        if (i < shared.error_index) {
+          shared.error_index = i;
+          shared.error = std::move(status);
+        }
+        shared.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  size_t lanes = std::min<size_t>(static_cast<size_t>(pool->num_threads()),
+                                  num_morsels);
+  TaskGroup group(pool);
+  for (size_t k = 1; k < lanes; ++k) group.Run(lane);
+  lane();  // the calling thread is a lane too
+  group.Wait();
+
+  std::lock_guard<std::mutex> lock(shared.mu);
+  return shared.error;
+}
+
+}  // namespace monsoon::parallel

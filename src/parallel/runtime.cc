@@ -1,0 +1,60 @@
+#include "parallel/runtime.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+namespace monsoon::parallel {
+
+namespace {
+
+struct Runtime {
+  std::mutex mu;
+  Config config;
+  std::unique_ptr<ThreadPool> pool;
+};
+
+Runtime& GlobalRuntime() {
+  static Runtime* runtime = new Runtime();
+  return *runtime;
+}
+
+}  // namespace
+
+Config DefaultConfig() {
+  Runtime& rt = GlobalRuntime();
+  std::lock_guard<std::mutex> lock(rt.mu);
+  return rt.config;
+}
+
+void SetDefaultConfig(const Config& config) {
+  Runtime& rt = GlobalRuntime();
+  std::lock_guard<std::mutex> lock(rt.mu);
+  rt.config = config;
+  rt.config.num_threads = std::max(1, config.num_threads);
+  rt.config.morsel_size = std::max<size_t>(1, config.morsel_size);
+  // Rebuild eagerly so the old pool's workers wind down now rather than
+  // under a later query.
+  if (rt.config.num_threads <= 1 || rt.config.deterministic) {
+    rt.pool.reset();
+  } else if (rt.pool == nullptr ||
+             rt.pool->num_threads() != rt.config.num_threads) {
+    rt.pool.reset();  // join old workers before spawning replacements
+    rt.pool = std::make_unique<ThreadPool>(rt.config.num_threads);
+  }
+}
+
+ThreadPool* SharedPool() {
+  Runtime& rt = GlobalRuntime();
+  std::lock_guard<std::mutex> lock(rt.mu);
+  return rt.pool.get();
+}
+
+int EffectiveMctsWorkers() {
+  Config config = DefaultConfig();
+  if (config.deterministic) return 1;
+  int workers = config.mcts_workers > 0 ? config.mcts_workers : config.num_threads;
+  return std::max(1, workers);
+}
+
+}  // namespace monsoon::parallel

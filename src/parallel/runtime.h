@@ -1,0 +1,49 @@
+#ifndef MONSOON_PARALLEL_RUNTIME_H_
+#define MONSOON_PARALLEL_RUNTIME_H_
+
+#include <cstddef>
+
+#include "parallel/thread_pool.h"
+
+namespace monsoon::parallel {
+
+/// Process-wide parallel execution knobs. Every ExecContext snapshots the
+/// default config at construction, so one SetDefaultConfig call at startup
+/// (e.g. from --threads=N / MONSOON_THREADS) flips every strategy —
+/// Monsoon and all baselines — to the same concurrency level.
+struct Config {
+  /// Total threads per query (caller included). 1 = serial.
+  int num_threads = 1;
+  /// Rows per morsel for morsel-driven operators. The default keeps a
+  /// morsel's working set (a few thousand Values plus output rows) inside
+  /// L2 while leaving enough morsels for stealing to balance skew; see
+  /// DESIGN.md "Parallel runtime".
+  size_t morsel_size = 2048;
+  /// Debug escape hatch: run every parallel construct inline on the
+  /// calling thread, regardless of num_threads. Results are identical
+  /// either way (merges are ordered and HLL/visit merges are exact); the
+  /// flag only removes the scheduler from the picture.
+  bool deterministic = false;
+  /// Root-parallel MCTS searchers per decision; 0 = num_threads.
+  int mcts_workers = 0;
+};
+
+/// The current process-wide default (thread-safe snapshot).
+Config DefaultConfig();
+
+/// Replaces the default config and rebuilds the shared pool to match.
+/// Call while no query is executing (startup / between bench runs);
+/// ExecContexts created before the call keep the old pool.
+void SetDefaultConfig(const Config& config);
+
+/// The process-wide pool sized per DefaultConfig(). Returns nullptr when
+/// the config implies serial execution (num_threads <= 1 or
+/// deterministic), which every consumer treats as "run inline".
+ThreadPool* SharedPool();
+
+/// Effective root-parallel MCTS worker count from the default config.
+int EffectiveMctsWorkers();
+
+}  // namespace monsoon::parallel
+
+#endif  // MONSOON_PARALLEL_RUNTIME_H_

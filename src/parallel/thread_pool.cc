@@ -1,0 +1,187 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace monsoon::parallel {
+
+namespace {
+thread_local int tls_worker_id = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
+  int workers = num_threads_ - 1;
+  size_t queues = std::max(1, workers);
+  queues_.reserve(queues);
+  for (size_t i = 0; i < queues; ++i) {
+    queues_.push_back(std::make_unique<WorkQueue>());
+  }
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    shutdown_ = true;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::CurrentWorker() { return tls_worker_id; }
+
+void ThreadPool::Submit(Task task) {
+  size_t queue;
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    queue = next_queue_++ % queues_.size();
+  }
+  SubmitTo(queue, std::move(task));
+}
+
+void ThreadPool::SubmitTo(size_t queue, Task task) {
+  WorkQueue& q = *queues_[queue % queues_.size()];
+  {
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    ++pending_;
+  }
+  idle_cv_.notify_one();
+}
+
+bool ThreadPool::PopOwn(size_t queue, Task* task) {
+  WorkQueue& q = *queues_[queue];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.tasks.empty()) return false;
+  *task = std::move(q.tasks.back());
+  q.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::StealFrom(size_t victim, Task* task) {
+  WorkQueue& q = *queues_[victim];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.tasks.empty()) return false;
+  *task = std::move(q.tasks.front());
+  q.tasks.pop_front();
+  return true;
+}
+
+bool ThreadPool::FindTask(size_t home, Task* task) {
+  size_t n = queues_.size();
+  if (home < n && PopOwn(home, task)) return true;
+  for (size_t i = 0; i < n; ++i) {
+    size_t victim = (home + 1 + i) % n;
+    if (StealFrom(victim, task)) return true;
+  }
+  return false;
+}
+
+bool ThreadPool::TryRunOne() {
+  Task task;
+  size_t home = tls_worker_id >= 0 ? static_cast<size_t>(tls_worker_id)
+                                   : queues_.size();  // externals only steal
+  if (!FindTask(home, &task)) return false;
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    --pending_;
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(int worker_id) {
+  tls_worker_id = worker_id;
+  for (;;) {
+    Task task;
+    if (FindTask(static_cast<size_t>(worker_id), &task)) {
+      {
+        std::lock_guard<std::mutex> lock(idle_mu_);
+        --pending_;
+      }
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    if (shutdown_ && pending_ == 0) return;
+    idle_cv_.wait(lock, [this] { return shutdown_ || pending_ > 0; });
+    if (shutdown_ && pending_ == 0) return;
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  // A group abandoned without Wait() would let tasks touch a dead frame;
+  // draining here keeps misuse from turning into memory corruption.
+  if (outstanding_ > 0) Wait();
+}
+
+void TaskGroup::Execute(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+}
+
+std::function<void()> TaskGroup::Wrap(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+  }
+  return [this, fn = std::move(fn)] {
+    Execute(fn);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--outstanding_ == 0) cv_.notify_all();
+  };
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  if (pool_ == nullptr || pool_->num_workers() == 0) {
+    Execute(fn);
+    return;
+  }
+  pool_->Submit(Wrap(std::move(fn)));
+}
+
+void TaskGroup::RunOn(size_t queue, std::function<void()> fn) {
+  if (pool_ == nullptr || pool_->num_workers() == 0) {
+    Execute(fn);
+    return;
+  }
+  pool_->SubmitTo(queue, Wrap(std::move(fn)));
+}
+
+void TaskGroup::Wait() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (outstanding_ == 0) break;
+    }
+    // Help: run queued pool tasks (ours or anyone's) instead of blocking.
+    // Nested Wait() calls on worker threads make progress the same way,
+    // which is what makes nested TaskGroups deadlock-free.
+    if (pool_ != nullptr && pool_->TryRunOne()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    // Re-poll for stealable tasks periodically: a task submitted after the
+    // TryRunOne miss but claimed by no one must not strand us here.
+    cv_.wait_for(lock, std::chrono::milliseconds(1),
+                 [this] { return outstanding_ == 0; });
+    if (outstanding_ == 0) break;
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace monsoon::parallel

@@ -1,0 +1,127 @@
+#ifndef MONSOON_PARALLEL_THREAD_POOL_H_
+#define MONSOON_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace monsoon::parallel {
+
+/// A work-stealing thread pool. Each worker owns a deque: it pushes and
+/// pops its own tasks at the back (LIFO, cache-friendly) and steals from
+/// the *front* of other workers' deques (FIFO, takes the oldest — and for
+/// morsel-driven loops typically the largest remaining — task). External
+/// submitters distribute round-robin across the worker deques.
+///
+/// `num_threads` is the total concurrency level *including the calling
+/// thread*: the pool spawns num_threads - 1 workers, and the caller is
+/// expected to lend itself via TaskGroup::Wait / ParallelFor, which both
+/// execute queued tasks inline while waiting. num_threads <= 1 spawns no
+/// workers at all; TaskGroup then degenerates to inline execution.
+///
+/// Tasks must not block indefinitely on other pool tasks except through
+/// TaskGroup::Wait (which helps drain the pool, so nested groups cannot
+/// deadlock).
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency level (workers + the caller slot).
+  int num_threads() const { return num_threads_; }
+  /// Background workers actually spawned (num_threads - 1, min 0).
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task on the next deque (round robin).
+  void Submit(Task task);
+
+  /// Enqueues a task on a specific worker's deque (tests use this to
+  /// provoke stealing; `queue` is taken modulo the queue count).
+  void SubmitTo(size_t queue, Task task);
+
+  /// Runs one queued task on the calling thread if any is available
+  /// (steals from the front of the first non-empty deque). Returns false
+  /// when every deque is empty.
+  bool TryRunOne();
+
+  /// Worker index of the calling thread, or -1 for external threads.
+  /// Distinct per pool worker; stable for the worker's lifetime.
+  static int CurrentWorker();
+
+ private:
+  struct WorkQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void WorkerLoop(int worker_id);
+  bool PopOwn(size_t queue, Task* task);
+  bool StealFrom(size_t victim, Task* task);
+  /// Scans all queues starting at `home + 1`; false if all empty.
+  bool FindTask(size_t home, Task* task);
+
+  int num_threads_;
+  std::vector<std::unique_ptr<WorkQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Sleep/wake machinery: `pending_` counts queued-but-unclaimed tasks.
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  size_t pending_ = 0;
+  bool shutdown_ = false;
+
+  std::mutex submit_mu_;
+  size_t next_queue_ = 0;
+};
+
+/// A set of tasks whose completion is awaited together. Exceptions thrown
+/// by tasks are captured and the *first* one is rethrown from Wait(), so
+/// parallel sections keep the repo's error contract at the boundary
+/// (callers convert to Status; see ParallelFor).
+///
+/// With a null pool (or a pool with no workers) Run() executes inline on
+/// the calling thread, making serial mode structurally identical to the
+/// parallel path.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules fn; inline when the pool cannot run it in the background.
+  void Run(std::function<void()> fn);
+
+  /// As Run, but pinned to worker `queue`'s deque (stealing tests).
+  void RunOn(size_t queue, std::function<void()> fn);
+
+  /// Blocks until every task scheduled through this group finished. The
+  /// calling thread executes queued pool tasks while it waits. Rethrows
+  /// the first captured exception.
+  void Wait();
+
+ private:
+  std::function<void()> Wrap(std::function<void()> fn);
+  void Execute(const std::function<void()>& fn);
+
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int outstanding_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace monsoon::parallel
+
+#endif  // MONSOON_PARALLEL_THREAD_POOL_H_

@@ -80,6 +80,39 @@ void Table::AppendRowFrom(const Table& src, size_t row) {
   ++num_rows_;
 }
 
+void Table::AppendRowsFrom(const Table& src) {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::visit(
+        [&](auto& dst) {
+          using VecT = std::remove_reference_t<decltype(dst)>;
+          const VecT& from = std::get<VecT>(src.columns_[c]);
+          dst.insert(dst.end(), from.begin(), from.end());
+        },
+        columns_[c]);
+  }
+  num_rows_ += src.num_rows_;
+}
+
+void Table::TakeRowsFrom(Table* src) {
+  if (num_rows_ == 0) {
+    columns_ = std::move(src->columns_);
+    num_rows_ = src->num_rows_;
+  } else {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      std::visit(
+          [&](auto& dst) {
+            using VecT = std::remove_reference_t<decltype(dst)>;
+            VecT& from = std::get<VecT>(src->columns_[c]);
+            dst.insert(dst.end(), std::make_move_iterator(from.begin()),
+                       std::make_move_iterator(from.end()));
+          },
+          columns_[c]);
+    }
+    num_rows_ += src->num_rows_;
+  }
+  *src = Table(src->schema_);
+}
+
 void Table::PopRow() {
   for (auto& col : columns_) {
     std::visit([](auto& vec) { vec.pop_back(); }, col);

@@ -57,6 +57,17 @@ class Table {
   /// Appends a copy of src[row]. Schemas must match.
   void AppendRowFrom(const Table& src, size_t row);
 
+  /// Appends every row of src in order (column-wise bulk copy; schemas
+  /// must match). This is the barrier-merge path of the morsel-driven
+  /// executor: workers fill morsel-local Tables, the coordinator
+  /// concatenates them in morsel order.
+  void AppendRowsFrom(const Table& src);
+
+  /// Moves every row of src onto this table and leaves src empty. Same
+  /// contract as AppendRowsFrom, without copying column storage when this
+  /// table is still empty.
+  void TakeRowsFrom(Table* src);
+
   /// Removes the last row. Used by the join executor to retract a
   /// candidate row that failed a residual filter. Requires num_rows() > 0.
   void PopRow();

@@ -1,8 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "parallel/thread_pool.h"
 #include "plan/logical_ops.h"
 #include "sql/parser.h"
+#include "workloads/imdb.h"
+#include "workloads/ott.h"
+#include "workloads/tpch.h"
+#include "workloads/udfbench.h"
 
 namespace monsoon {
 namespace {
@@ -274,6 +284,159 @@ INSTANTIATE_TEST_SUITE_P(
         "SELECT * FROM orders a, orders b WHERE a.amount = b.amount",
         "SELECT * FROM customers c, orders o WHERE c.city = o.amount "
         "AND c.id = o.cust"));
+
+// ---------------------------------------------------------------------------
+// Serial vs parallel equivalence: the morsel-driven paths must be invisible
+// in every observable output — result rows (as a multiset; parallel probe
+// may permute row order within a morsel's matches), per-node observed
+// cardinalities, and Σ distinct-count observations (bit-identical, because
+// HLL register-wise-max merge is exact). Exercised over every workload
+// generator so all four data shapes (skew, string keys, UDF predicates,
+// hand-planned OTT) cross the parallel leaf / join / Σ code.
+// ---------------------------------------------------------------------------
+
+// One sortable fingerprint per row; multiset equality == row-set equality.
+std::vector<std::string> RowFingerprints(const Table& table) {
+  std::vector<std::string> rows;
+  rows.reserve(table.num_rows());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    std::string fp;
+    for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+      fp += table.row(i).GetValue(c).ToString();
+      fp += '\x1f';
+    }
+    rows.push_back(std::move(fp));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+struct EquivalenceRun {
+  uint64_t rows = 0;
+  uint64_t work_units = 0;
+  uint64_t objects = 0;
+  std::vector<std::string> fingerprints;
+  std::vector<std::pair<ExprSig, uint64_t>> counts;
+  std::vector<DistinctObservation> distincts;
+};
+
+StatusOr<EquivalenceRun> RunPlan(const Workload& workload,
+                                 const BenchQuery& query,
+                                 const PlanNode::Ptr& plan,
+                                 parallel::ThreadPool* pool,
+                                 size_t morsel_size) {
+  MONSOON_ASSIGN_OR_RETURN(MaterializedStore store,
+                           MaterializedStore::ForQuery(*workload.catalog,
+                                                       query.spec));
+  Executor executor(query.spec, &UdfRegistry::Global());
+  ExecContext ctx;
+  ctx.SetParallel(pool, morsel_size);
+  MONSOON_ASSIGN_OR_RETURN(ExecResult exec,
+                           executor.Execute(plan, &store, &ctx));
+  EquivalenceRun run;
+  run.rows = exec.output.table->num_rows();
+  run.work_units = ctx.work_units();
+  run.objects = ctx.objects_processed();
+  run.fingerprints = RowFingerprints(*exec.output.table);
+  run.counts = exec.observed_counts;
+  std::sort(run.counts.begin(), run.counts.end());
+  run.distincts = exec.observed_distincts;
+  std::sort(run.distincts.begin(), run.distincts.end(),
+            [](const DistinctObservation& a, const DistinctObservation& b) {
+              return a.term_id != b.term_id ? a.term_id < b.term_id
+                                            : a.expr < b.expr;
+            });
+  return run;
+}
+
+void ExpectSerialParallelEquivalence(const Workload& workload,
+                                     size_t max_queries) {
+  parallel::ThreadPool pool(4);
+  // Morsel far below every table size so all parallel paths engage.
+  constexpr size_t kMorsel = 37;
+  size_t checked = 0;
+  for (const BenchQuery& query : workload.queries) {
+    if (checked++ >= max_queries) break;
+    SCOPED_TRACE(workload.name + " / " + query.name);
+
+    PlanNode::Ptr plan = query.hand_plan;
+    if (plan == nullptr) {
+      StatsStore stats;
+      for (int i = 0; i < query.spec.num_relations(); ++i) {
+        auto rows =
+            workload.catalog->RowCount(query.spec.relation(i).table_name);
+        ASSERT_TRUE(rows.ok());
+        stats.SetCount(ExprSig::Of(RelSet::Single(i), 0),
+                       static_cast<double>(*rows));
+      }
+      auto plan_or = GreedyOptimizer().Optimize(query.spec, stats);
+      ASSERT_TRUE(plan_or.ok()) << plan_or.status().ToString();
+      plan = *plan_or;
+    }
+    // Σ on top so observed_distincts is populated too.
+    plan = PlanNode::StatsCollect(plan);
+
+    auto serial = RunPlan(workload, query, plan, nullptr, kMorsel);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    auto par = RunPlan(workload, query, plan, &pool, kMorsel);
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+
+    EXPECT_EQ(serial->rows, par->rows);
+    EXPECT_EQ(serial->fingerprints, par->fingerprints);
+    // Barrier-charged accounting: identical totals, not merely close.
+    EXPECT_EQ(serial->work_units, par->work_units);
+    EXPECT_EQ(serial->objects, par->objects);
+    ASSERT_EQ(serial->counts.size(), par->counts.size());
+    for (size_t i = 0; i < serial->counts.size(); ++i) {
+      EXPECT_EQ(serial->counts[i].first, par->counts[i].first);
+      EXPECT_EQ(serial->counts[i].second, par->counts[i].second);
+    }
+    ASSERT_EQ(serial->distincts.size(), par->distincts.size());
+    for (size_t i = 0; i < serial->distincts.size(); ++i) {
+      EXPECT_EQ(serial->distincts[i].term_id, par->distincts[i].term_id);
+      EXPECT_EQ(serial->distincts[i].expr, par->distincts[i].expr);
+      // Bit-identical: HLL merge is exact, and both paths hash the same
+      // values into the same registers.
+      EXPECT_EQ(serial->distincts[i].distinct_count,
+                par->distincts[i].distinct_count);
+    }
+  }
+  EXPECT_GT(checked, 0u) << "workload produced no queries";
+}
+
+TEST(ParallelEquivalenceTest, Tpch) {
+  TpchOptions options;
+  options.scale = 0.05;
+  options.skew = SkewProfile::kHigh;  // skew stresses morsel balance
+  auto workload = MakeTpchWorkload(options);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  ExpectSerialParallelEquivalence(*workload, 4);
+}
+
+TEST(ParallelEquivalenceTest, Imdb) {
+  ImdbOptions options;
+  options.scale = 0.05;
+  auto workload = MakeImdbWorkload(options);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  ExpectSerialParallelEquivalence(*workload, 4);
+}
+
+TEST(ParallelEquivalenceTest, Ott) {
+  OttOptions options;
+  options.rows_per_table = 400;
+  options.key_cardinality = 25;
+  auto workload = MakeOttWorkload(options);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  ExpectSerialParallelEquivalence(*workload, 4);
+}
+
+TEST(ParallelEquivalenceTest, UdfBench) {
+  UdfBenchOptions options;
+  options.scale = 0.05;
+  auto workload = MakeUdfBenchWorkload(options);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  ExpectSerialParallelEquivalence(*workload, 4);
+}
 
 TEST(MaterializedStoreTest, SharedBaseTablesQualifiedPerAlias) {
   Catalog catalog;
