@@ -2,11 +2,13 @@
 // are obscured by UDFs, and let the Monsoon optimizer interleave
 // statistics collection with execution.
 //
-// Run:  ./build/examples/quickstart [--threads=N]
+// Run:  ./build/examples/quickstart [--threads=N] [--udf-cache-bytes=B]
 //
 // --threads=N runs the morsel-driven executor and root-parallel MCTS on
-// N threads (default 1 = fully serial). The result rows and Mobjects are
-// the same either way; only wall-clock time changes.
+// N threads (default 1 = fully serial). --udf-cache-bytes=B sets the
+// evaluate-once UDF column cache budget (0 disables it; the default also
+// honors MONSOON_UDF_CACHE). The result rows and Mobjects are the same
+// either way; only wall-clock time changes.
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +16,7 @@
 #include <iostream>
 
 #include "baselines/baselines.h"
+#include "exec/udf_cache.h"
 #include "monsoon/monsoon_optimizer.h"
 #include "parallel/runtime.h"
 #include "sql/parser.h"
@@ -111,8 +114,12 @@ int main(int argc, char** argv) {
       config.num_threads = threads;
       parallel::SetDefaultConfig(config);
       std::cout << "Running with " << threads << " thread(s)\n";
+    } else if (std::strncmp(argv[i], "--udf-cache-bytes=", 18) == 0) {
+      SetDefaultUdfCacheBytes(
+          static_cast<size_t>(std::strtoull(argv[i] + 18, nullptr, 10)));
     } else {
-      std::cerr << "unknown flag: " << argv[i] << " (supported: --threads=N)\n";
+      std::cerr << "unknown flag: " << argv[i]
+                << " (supported: --threads=N, --udf-cache-bytes=B)\n";
       return 1;
     }
   }

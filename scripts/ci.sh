@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # CI pipeline: a Release build running the full test suite, then a
-# ThreadSanitizer build running the concurrency-sensitive tests. Run from
-# the repository root:
+# ThreadSanitizer build running the concurrency-sensitive tests, then an
+# AddressSanitizer build running the UDF-cache equivalence tests (the
+# cache hands out shared_ptr-pinned columns under LRU eviction — exactly
+# the lifetime bugs ASan catches). Run from the repository root:
 #
-#   ./scripts/ci.sh            # both stages
+#   ./scripts/ci.sh            # all stages
 #   ./scripts/ci.sh release    # release build + full ctest only
 #   ./scripts/ci.sh tsan       # TSan build + parallel/exec tests only
+#   ./scripts/ci.sh asan       # ASan build + cache/exec tests only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,14 +16,14 @@ JOBS="${JOBS:-$(nproc)}"
 STAGE="${1:-all}"
 
 release_stage() {
-  echo "=== [1/2] Release build + full test suite ==="
+  echo "=== [1/3] Release build + full test suite ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-ci-release -j "${JOBS}"
   ctest --test-dir build-ci-release --output-on-failure
 }
 
 tsan_stage() {
-  echo "=== [2/2] ThreadSanitizer build + concurrency tests ==="
+  echo "=== [2/3] ThreadSanitizer build + concurrency tests ==="
   cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=thread
   cmake --build build-ci-tsan -j "${JOBS}" --target parallel_test exec_test
@@ -31,15 +34,29 @@ tsan_stage() {
   ./build-ci-tsan/tests/exec_test
 }
 
+asan_stage() {
+  echo "=== [3/3] AddressSanitizer build + UDF cache tests ==="
+  cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMONSOON_SANITIZE=address
+  cmake --build build-ci-asan -j "${JOBS}" --target udf_cache_test exec_test
+  # The cache-on/off/serial/parallel equivalence suite plus the executor
+  # suite: every cached column read (join build/probe, residual filters,
+  # Σ passes) and every LRU eviction runs under ASan.
+  ./build-ci-asan/tests/udf_cache_test
+  ./build-ci-asan/tests/exec_test
+}
+
 case "${STAGE}" in
   release) release_stage ;;
   tsan) tsan_stage ;;
+  asan) asan_stage ;;
   all)
     release_stage
     tsan_stage
+    asan_stage
     ;;
   *)
-    echo "usage: $0 [release|tsan|all]" >&2
+    echo "usage: $0 [release|tsan|asan|all]" >&2
     exit 2
     ;;
 esac

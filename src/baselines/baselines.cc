@@ -64,6 +64,9 @@ Status ExecutePlanTracked(const Catalog& catalog, const QuerySpec& query,
   result->exec_seconds += timer.Seconds();
   result->objects_processed = ctx->objects_processed();
   result->work_units = ctx->work_units();
+  result->udf_cache_hits = ctx->udf_cache_hits();
+  result->udf_cache_misses = ctx->udf_cache_misses();
+  result->udf_cache_bytes = ctx->udf_cache_bytes();
   result->execute_rounds += 1;
   if (!exec_or.ok()) return exec_or.status();
   result->result_rows = exec_or->output.table->num_rows();

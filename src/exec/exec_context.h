@@ -54,6 +54,23 @@ class ExecContext {
     return Status::OK();
   }
 
+  /// UDF column cache activity attributed to this query. Executor::Execute
+  /// accumulates per-run deltas of the store's cache counters here (a
+  /// query may touch several stores, e.g. sampling pilot runs), so the
+  /// totals survive store teardown. Purely observational — cache work is
+  /// never charged to the paper's counters above.
+  uint64_t udf_cache_hits() const { return udf_cache_hits_; }
+  uint64_t udf_cache_misses() const { return udf_cache_misses_; }
+  uint64_t udf_cache_evictions() const { return udf_cache_evictions_; }
+  uint64_t udf_cache_bytes() const { return udf_cache_bytes_; }
+  void AddUdfCacheDelta(uint64_t hits, uint64_t misses, uint64_t evictions,
+                        uint64_t bytes_in_use) {
+    udf_cache_hits_ += hits;
+    udf_cache_misses_ += misses;
+    udf_cache_evictions_ += evictions;
+    udf_cache_bytes_ = bytes_in_use;
+  }
+
   /// Seconds spent inside Σ statistics collection (filled by the
   /// executor); drives the Table 8 component breakdown.
   double stats_collect_seconds() const { return stats_collect_seconds_; }
@@ -81,6 +98,10 @@ class ExecContext {
   uint64_t work_budget_ = 0;
   uint64_t objects_processed_ = 0;
   uint64_t work_units_ = 0;
+  uint64_t udf_cache_hits_ = 0;
+  uint64_t udf_cache_misses_ = 0;
+  uint64_t udf_cache_evictions_ = 0;
+  uint64_t udf_cache_bytes_ = 0;
   double stats_collect_seconds_ = 0;
   parallel::ThreadPool* pool_ = parallel::SharedPool();
   size_t morsel_size_ = parallel::DefaultConfig().morsel_size;

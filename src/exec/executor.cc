@@ -26,15 +26,30 @@ StatusOr<BoundTerm> BoundTerm::Bind(const UdfTerm& term, const Schema& schema,
 namespace {
 
 /// A predicate bound against a single (possibly concatenated) schema,
-/// evaluated as a residual filter.
+/// evaluated as a residual filter. Leaf scans attach evaluate-once cached
+/// columns (the filter then never calls the UDF per row); join residuals
+/// evaluate against transient concatenated rows and stay uncached.
 struct BoundResidual {
   enum class Kind { kJoinEq, kJoinNeq, kSelectionEq };
   Kind kind;
   BoundTerm left;
   BoundTerm right;  // join kinds only
   Value constant;   // selection only
+  CachedUdfColumnPtr left_col;   // indexes the leaf's source table
+  CachedUdfColumnPtr right_col;  // join kinds only
 
   bool Eval(const Table& table, size_t row) const {
+    if (left_col != nullptr) {
+      switch (kind) {
+        case Kind::kJoinEq:
+          return CachedUdfColumn::Equal(*left_col, row, *right_col, row);
+        case Kind::kJoinNeq:
+          return !CachedUdfColumn::Equal(*left_col, row, *right_col, row);
+        case Kind::kSelectionEq:
+          return left_col->EqualsValue(row, constant);
+      }
+      return false;
+    }
     Value l = left.Eval(table, row);
     switch (kind) {
       case Kind::kJoinEq:
@@ -85,6 +100,18 @@ bool WorthParallel(const ExecContext* ctx, size_t rows) {
   return ctx->pool() != nullptr && rows > ctx->morsel_size();
 }
 
+/// A cached UDF column only pays off when the expression can be scanned
+/// again — i.e. its exact physical table is registered in the store (base
+/// relations and previously materialized expressions that later plan
+/// trees reference as leaves). A fresh intermediate (a filtered leaf or a
+/// join output consumed inline) exists only for the current operator, so
+/// building a column over it would be a pure extra pass that can never
+/// hit; those read paths fall back to per-row evaluation.
+bool StoreResident(const MaterializedStore& store, const MaterializedExpr& expr) {
+  auto stored = store.Lookup(expr.sig);
+  return stored.ok() && (*stored)->table.get() == expr.table.get();
+}
+
 constexpr uint64_t kJoinHashSeed = 0xabcdef0123456789ULL;
 /// Partition count for the parallel hash join's partitioned build. Fixed
 /// (not thread-derived) so the output is bit-identical across thread
@@ -102,8 +129,16 @@ Executor::Executor(const QuerySpec& query, const UdfRegistry* registry,
 StatusOr<ExecResult> Executor::Execute(const PlanNode::Ptr& plan,
                                        MaterializedStore* store,
                                        ExecContext* ctx) const {
+  const UdfCacheStats before = store->udf_cache()->stats();
   ExecResult result;
-  MONSOON_ASSIGN_OR_RETURN(result.output, ExecuteNode(plan, store, ctx, &result));
+  StatusOr<MaterializedExpr> output = ExecuteNode(plan, store, ctx, &result);
+  // Cache counter deltas survive even failed runs (timeouts report the
+  // partial cache activity alongside the partial work accounting).
+  const UdfCacheStats& after = store->udf_cache()->stats();
+  ctx->AddUdfCacheDelta(after.hits - before.hits, after.misses - before.misses,
+                        after.evictions - before.evictions, after.bytes_in_use);
+  MONSOON_RETURN_IF_ERROR(output.status());
+  result.output = std::move(output).value();
   store->Put(result.output);
   return result;
 }
@@ -125,14 +160,15 @@ StatusOr<MaterializedExpr> Executor::ExecuteNode(const PlanNode::Ptr& node,
                                ExecuteNode(node->right(), store, ctx, result));
       MONSOON_ASSIGN_OR_RETURN(
           MaterializedExpr out,
-          ExecuteJoin(node, std::move(left), std::move(right), ctx));
+          ExecuteJoin(node, std::move(left), std::move(right), store, ctx));
       result->observed_counts.emplace_back(out.sig, out.table->num_rows());
       return out;
     }
     case PlanNode::Kind::kStatsCollect: {
       MONSOON_ASSIGN_OR_RETURN(MaterializedExpr child,
                                ExecuteNode(node->child(), store, ctx, result));
-      MONSOON_RETURN_IF_ERROR(CollectStats(child, ctx, &result->observed_distincts));
+      MONSOON_RETURN_IF_ERROR(
+          CollectStats(child, store, ctx, &result->observed_distincts));
       return child;
     }
   }
@@ -151,9 +187,27 @@ StatusOr<MaterializedExpr> Executor::ExecuteLeaf(const PlanNode::Ptr& node,
   std::vector<BoundResidual> filters;
   filters.reserve(node->pred_ids().size());
   for (int pred_id : node->pred_ids()) {
-    MONSOON_ASSIGN_OR_RETURN(
-        BoundResidual residual,
-        BindResidual(query_.predicate(pred_id), source->schema, *registry_));
+    const Predicate& pred = query_.predicate(pred_id);
+    MONSOON_ASSIGN_OR_RETURN(BoundResidual residual,
+                             BindResidual(pred, source->schema, *registry_));
+    // Leaf residuals evaluate over the source expression itself, so the
+    // store's evaluate-once columns apply positionally. Join-kind filters
+    // need both sides cached to skip per-row evaluation.
+    UdfColumnCache* cache = store->udf_cache();
+    if (cache->enabled()) {
+      MONSOON_ASSIGN_OR_RETURN(
+          residual.left_col,
+          cache->GetOrBuild(source->sig, pred.left.term_id, residual.left,
+                            source->table, ctx->pool(), ctx->morsel_size()));
+      if (residual.kind != BoundResidual::Kind::kSelectionEq &&
+          residual.left_col != nullptr) {
+        MONSOON_ASSIGN_OR_RETURN(
+            residual.right_col,
+            cache->GetOrBuild(source->sig, pred.right->term_id, residual.right,
+                              source->table, ctx->pool(), ctx->morsel_size()));
+        if (residual.right_col == nullptr) residual.left_col = nullptr;
+      }
+    }
     filters.push_back(std::move(residual));
   }
 
@@ -198,6 +252,7 @@ StatusOr<MaterializedExpr> Executor::ExecuteLeaf(const PlanNode::Ptr& node,
 StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
                                                  MaterializedExpr left,
                                                  MaterializedExpr right,
+                                                 MaterializedStore* store,
                                                  ExecContext* ctx) const {
   RelSet left_rels(left.sig.rels);
   RelSet right_rels(right.sig.rels);
@@ -205,8 +260,10 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
 
   // Split node predicates into hash-joinable pairs and residual filters.
   struct EquiPair {
-    BoundTerm left_key;   // bound against the LEFT child schema
-    BoundTerm right_key;  // bound against the RIGHT child schema
+    BoundTerm left_key;     // bound against the LEFT child schema
+    BoundTerm right_key;    // bound against the RIGHT child schema
+    int left_term_id = -1;  // cache keys for the two sides
+    int right_term_id = -1;
   };
   std::vector<EquiPair> equi;
   std::vector<BoundResidual> residual;
@@ -231,6 +288,8 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
                                  BoundTerm::Bind(*lterm, left.schema, *registry_));
         MONSOON_ASSIGN_OR_RETURN(pair.right_key,
                                  BoundTerm::Bind(*rterm, right.schema, *registry_));
+        pair.left_term_id = lterm->term_id;
+        pair.right_term_id = rterm->term_id;
         equi.push_back(std::move(pair));
         separable = true;
       }
@@ -239,6 +298,33 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
       MONSOON_ASSIGN_OR_RETURN(BoundResidual filter,
                                BindResidual(pred, out_schema, *registry_));
       residual.push_back(std::move(filter));
+    }
+  }
+
+  // Evaluate-once key columns over both children. When every key of every
+  // equi pair is cached, build/probe read flat columns and compare cached
+  // hashes first — no per-row Value allocation for string keys. Any miss
+  // (cache disabled / oversized column) falls back to per-row evaluation
+  // for the whole join, keeping the two paths easy to ablate.
+  std::vector<CachedUdfColumnPtr> left_cols(equi.size());
+  std::vector<CachedUdfColumnPtr> right_cols(equi.size());
+  bool keys_cached = store->udf_cache()->enabled() && !equi.empty() &&
+                     StoreResident(*store, left) && StoreResident(*store, right);
+  if (keys_cached) {
+    UdfColumnCache* cache = store->udf_cache();
+    for (size_t k = 0; k < equi.size(); ++k) {
+      MONSOON_ASSIGN_OR_RETURN(
+          left_cols[k],
+          cache->GetOrBuild(left.sig, equi[k].left_term_id, equi[k].left_key,
+                            left.table, ctx->pool(), ctx->morsel_size()));
+      MONSOON_ASSIGN_OR_RETURN(
+          right_cols[k],
+          cache->GetOrBuild(right.sig, equi[k].right_term_id, equi[k].right_key,
+                            right.table, ctx->pool(), ctx->morsel_size()));
+      if (left_cols[k] == nullptr || right_cols[k] == nullptr) {
+        keys_cached = false;
+        break;
+      }
     }
   }
 
@@ -294,11 +380,17 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     size_t nkeys = equi.size();
     auto make_keys = [&](const Table& table, bool is_left,
                          std::vector<Value>* keys, std::vector<size_t>* order) {
+      const auto& cols = is_left ? left_cols : right_cols;
       keys->reserve(table.num_rows() * nkeys);
       for (size_t row = 0; row < table.num_rows(); ++row) {
-        for (const auto& pair : equi) {
-          const BoundTerm& key = is_left ? pair.left_key : pair.right_key;
-          keys->push_back(key.Eval(table, row));
+        for (size_t k = 0; k < nkeys; ++k) {
+          if (keys_cached) {
+            keys->push_back(cols[k]->ValueAt(row));
+          } else {
+            const auto& pair = equi[k];
+            const BoundTerm& key = is_left ? pair.left_key : pair.right_key;
+            keys->push_back(key.Eval(table, row));
+          }
         }
       }
       order->resize(table.num_rows());
@@ -395,9 +487,25 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     size_t morsel = ctx->morsel_size();
     parallel::ThreadPool* pool = ctx->pool();
 
-    // Build phase 1 (parallel): evaluate composite keys and hashes.
-    // Morsels write disjoint index ranges of preallocated arrays.
-    std::vector<Value> build_keys(build.num_rows() * nkeys);
+    // Per-side key vectors, hoisted and reserve()d once instead of
+    // re-selecting build_left per row per key (fallback path), and the
+    // cached columns oriented the same way.
+    std::vector<const BoundTerm*> build_terms;
+    std::vector<const BoundTerm*> probe_terms;
+    build_terms.reserve(nkeys);
+    probe_terms.reserve(nkeys);
+    for (const auto& pair : equi) {
+      build_terms.push_back(build_left ? &pair.left_key : &pair.right_key);
+      probe_terms.push_back(build_left ? &pair.right_key : &pair.left_key);
+    }
+    const auto& build_cols = build_left ? left_cols : right_cols;
+    const auto& probe_cols = build_left ? right_cols : left_cols;
+
+    // Build phase 1 (parallel): composite key hashes, from cached hash
+    // columns when available (strings never re-hashed, no Value boxing);
+    // the fallback additionally materializes the key Values for the
+    // probe's confirm step. Morsels write disjoint ranges.
+    std::vector<Value> build_keys(keys_cached ? 0 : build.num_rows() * nkeys);
     std::vector<uint64_t> build_hashes(build.num_rows());
     MONSOON_RETURN_IF_ERROR(parallel::ParallelFor(
         pool, build.num_rows(), morsel,
@@ -405,11 +513,13 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
           for (size_t row = begin; row < end; ++row) {
             uint64_t h = kJoinHashSeed;
             for (size_t k = 0; k < nkeys; ++k) {
-              const BoundTerm& key =
-                  build_left ? equi[k].left_key : equi[k].right_key;
-              Value v = key.Eval(build, row);
-              h = HashCombine(h, v.Hash());
-              build_keys[row * nkeys + k] = std::move(v);
+              if (keys_cached) {
+                h = HashCombine(h, build_cols[k]->HashAt(row));
+              } else {
+                Value v = build_terms[k]->Eval(build, row);
+                h = HashCombine(h, v.Hash());
+                build_keys[row * nkeys + k] = std::move(v);
+              }
             }
             build_hashes[row] = h;
           }
@@ -451,16 +561,22 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
         pool, probe.num_rows(), morsel,
         [&](size_t m, size_t begin, size_t end) -> Status {
           Table& local = locals[m];
-          std::vector<Value> probe_key(nkeys);
+          // Scratch key buffer for the fallback path, reused across the
+          // whole morsel (Value assignment recycles string capacity).
+          std::vector<Value> probe_key(keys_cached ? 0 : nkeys);
           uint64_t local_work = 0;
           for (size_t row = begin; row < end; ++row) {
             ++local_work;
             uint64_t h = kJoinHashSeed;
-            for (size_t k = 0; k < nkeys; ++k) {
-              const BoundTerm& key =
-                  build_left ? equi[k].right_key : equi[k].left_key;
-              probe_key[k] = key.Eval(probe, row);
-              h = HashCombine(h, probe_key[k].Hash());
+            if (keys_cached) {
+              for (size_t k = 0; k < nkeys; ++k) {
+                h = HashCombine(h, probe_cols[k]->HashAt(row));
+              }
+            } else {
+              for (size_t k = 0; k < nkeys; ++k) {
+                probe_key[k] = probe_terms[k]->Eval(probe, row);
+                h = HashCombine(h, probe_key[k].Hash());
+              }
             }
             const auto& index = partitions[h >> kBuildPartitionShift];
             auto [it, last] = index.equal_range(h);
@@ -469,7 +585,11 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
               size_t build_row = it->second;
               bool match = true;
               for (size_t k = 0; k < nkeys; ++k) {
-                if (!(build_keys[build_row * nkeys + k] == probe_key[k])) {
+                bool eq = keys_cached
+                              ? CachedUdfColumn::Equal(*build_cols[k], build_row,
+                                                       *probe_cols[k], row)
+                              : build_keys[build_row * nkeys + k] == probe_key[k];
+                if (!eq) {
                   match = false;
                   break;
                 }
@@ -495,33 +615,54 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     const Table& build = build_left ? lt : rt;
     const Table& probe = build_left ? rt : lt;
 
-    // Evaluate the composite key for every build row.
     size_t nkeys = equi.size();
+    // Hoisted per-side key vectors and reserve()d scratch buffers shared
+    // by the cached and fallback paths (see the parallel join above).
+    std::vector<const BoundTerm*> build_terms;
+    std::vector<const BoundTerm*> probe_terms;
+    build_terms.reserve(nkeys);
+    probe_terms.reserve(nkeys);
+    for (const auto& pair : equi) {
+      build_terms.push_back(build_left ? &pair.left_key : &pair.right_key);
+      probe_terms.push_back(build_left ? &pair.right_key : &pair.left_key);
+    }
+    const auto& build_cols = build_left ? left_cols : right_cols;
+    const auto& probe_cols = build_left ? right_cols : left_cols;
+
+    // Evaluate the composite key for every build row (from cached columns
+    // when available — the Value vector is then skipped entirely).
     std::vector<Value> build_keys;
-    build_keys.reserve(build.num_rows() * nkeys);
+    if (!keys_cached) build_keys.reserve(build.num_rows() * nkeys);
     std::unordered_multimap<uint64_t, size_t> index;
     index.reserve(build.num_rows() * 2);
     for (size_t row = 0; row < build.num_rows(); ++row) {
       uint64_t h = kJoinHashSeed;
-      for (const auto& pair : equi) {
-        const BoundTerm& key = build_left ? pair.left_key : pair.right_key;
-        Value v = key.Eval(build, row);
-        h = HashCombine(h, v.Hash());
-        build_keys.push_back(std::move(v));
+      for (size_t k = 0; k < nkeys; ++k) {
+        if (keys_cached) {
+          h = HashCombine(h, build_cols[k]->HashAt(row));
+        } else {
+          Value v = build_terms[k]->Eval(build, row);
+          h = HashCombine(h, v.Hash());
+          build_keys.push_back(std::move(v));
+        }
       }
       index.emplace(h, row);
     }
     MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(build.num_rows()));
 
-    std::vector<Value> probe_key(nkeys);
+    std::vector<Value> probe_key(keys_cached ? 0 : nkeys);
     for (size_t row = 0; row < probe.num_rows(); ++row) {
       MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(1));
       uint64_t h = kJoinHashSeed;
-      for (size_t k = 0; k < nkeys; ++k) {
-        const auto& pair = equi[k];
-        const BoundTerm& key = build_left ? pair.right_key : pair.left_key;
-        probe_key[k] = key.Eval(probe, row);
-        h = HashCombine(h, probe_key[k].Hash());
+      if (keys_cached) {
+        for (size_t k = 0; k < nkeys; ++k) {
+          h = HashCombine(h, probe_cols[k]->HashAt(row));
+        }
+      } else {
+        for (size_t k = 0; k < nkeys; ++k) {
+          probe_key[k] = probe_terms[k]->Eval(probe, row);
+          h = HashCombine(h, probe_key[k].Hash());
+        }
       }
       auto [begin, end] = index.equal_range(h);
       for (auto it = begin; it != end; ++it) {
@@ -529,7 +670,11 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
         MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(1));
         bool match = true;
         for (size_t k = 0; k < nkeys; ++k) {
-          if (!(build_keys[build_row * nkeys + k] == probe_key[k])) {
+          bool eq = keys_cached
+                        ? CachedUdfColumn::Equal(*build_cols[k], build_row,
+                                                 *probe_cols[k], row)
+                        : build_keys[build_row * nkeys + k] == probe_key[k];
+          if (!eq) {
             match = false;
             break;
           }
@@ -552,7 +697,8 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
   return result;
 }
 
-Status Executor::CollectStats(const MaterializedExpr& expr, ExecContext* ctx,
+Status Executor::CollectStats(const MaterializedExpr& expr,
+                              MaterializedStore* store, ExecContext* ctx,
                               std::vector<DistinctObservation>* obs) const {
   WallTimer timer;
   RelSet expr_rels(expr.sig.rels);
@@ -571,6 +717,27 @@ Status Executor::CollectStats(const MaterializedExpr& expr, ExecContext* ctx,
     terms.emplace_back(term->term_id, std::move(bound));
   }
   if (terms.empty()) return Status::OK();
+
+  // Evaluate-once columns per term: repeated Σ passes over the same
+  // materialized expression (the plan → Σ → re-plan loop) hit the cache
+  // and feed precomputed hashes straight into the sketches. Terms whose
+  // column is unavailable fall back per-row, independently of the rest.
+  std::vector<CachedUdfColumnPtr> term_cols(terms.size());
+  if (store != nullptr && store->udf_cache()->enabled() &&
+      StoreResident(*store, expr)) {
+    for (size_t t = 0; t < terms.size(); ++t) {
+      MONSOON_ASSIGN_OR_RETURN(
+          term_cols[t],
+          store->udf_cache()->GetOrBuild(expr.sig, terms[t].first,
+                                         terms[t].second, expr.table,
+                                         ctx->pool(), ctx->morsel_size()));
+    }
+  }
+  auto term_hash = [&](size_t t, size_t row) {
+    return term_cols[t] != nullptr
+               ? term_cols[t]->HashAt(row)
+               : terms[t].second.Eval(*expr.table, row).Hash();
+  };
 
   std::vector<HyperLogLog> sketches(terms.size(),
                                     HyperLogLog(options_.hll_precision));
@@ -595,7 +762,7 @@ Status Executor::CollectStats(const MaterializedExpr& expr, ExecContext* ctx,
           std::vector<HyperLogLog>& local = morsel_sketches[m];
           for (size_t row = begin; row < end; ++row) {
             for (size_t t = 0; t < terms.size(); ++t) {
-              local[t].AddHash(terms[t].second.Eval(table, row).Hash());
+              local[t].AddHash(term_hash(t, row));
             }
           }
           return Status::OK();
@@ -608,7 +775,7 @@ Status Executor::CollectStats(const MaterializedExpr& expr, ExecContext* ctx,
   } else {
     for (size_t row = 0; row < table.num_rows(); ++row) {
       for (size_t t = 0; t < terms.size(); ++t) {
-        sketches[t].AddHash(terms[t].second.Eval(table, row).Hash());
+        sketches[t].AddHash(term_hash(t, row));
       }
     }
   }

@@ -5,32 +5,15 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "exec/bound_term.h"
 #include "exec/exec_context.h"
 #include "exec/materialized_store.h"
+#include "exec/udf_cache.h"
 #include "expr/udf.h"
 #include "plan/plan_node.h"
 #include "query/query_spec.h"
 
 namespace monsoon {
-
-/// A UDF term resolved against a concrete schema: function pointer plus
-/// argument column indices. Binding happens once per operator, evaluation
-/// once per row.
-class BoundTerm {
- public:
-  static StatusOr<BoundTerm> Bind(const UdfTerm& term, const Schema& schema,
-                                  const UdfRegistry& registry);
-
-  Value Eval(const Table& table, size_t row) const {
-    return fn_->fn(RowRef(&table, row), arg_cols_);
-  }
-
-  ValueType result_type() const { return fn_->result_type; }
-
- private:
-  const UdfFunction* fn_ = nullptr;
-  std::vector<size_t> arg_cols_;
-};
 
 /// One distinct-count observation produced by a Σ operator:
 /// d(term_id, expr) estimated by HyperLogLog over the materialized result.
@@ -69,6 +52,13 @@ struct ExecResult {
 /// per-morsel results merge at a barrier in morsel order, and Σ merges
 /// per-morsel HLL sketches exactly, so observed counts and distincts are
 /// identical to the serial path (see DESIGN.md "Parallel runtime").
+///
+/// When the store's UdfColumnCache is enabled, leaf residual filters,
+/// hash-join key build/probe, sort-merge key extraction, and the Σ HLL
+/// pass all read evaluate-once cached columns instead of calling
+/// BoundTerm::Eval per row; rows, counts, distincts and both accounting
+/// counters are bit-identical either way (DESIGN.md "UDF evaluation
+/// cache").
 class Executor {
  public:
   /// Physical join algorithm for equi predicates. The paper leaves
@@ -106,9 +96,11 @@ class Executor {
 
   StatusOr<MaterializedExpr> ExecuteJoin(const PlanNode::Ptr& node,
                                          MaterializedExpr left, MaterializedExpr right,
+                                         MaterializedStore* store,
                                          ExecContext* ctx) const;
 
-  Status CollectStats(const MaterializedExpr& expr, ExecContext* ctx,
+  Status CollectStats(const MaterializedExpr& expr, MaterializedStore* store,
+                      ExecContext* ctx,
                       std::vector<DistinctObservation>* obs) const;
 
   const QuerySpec& query_;

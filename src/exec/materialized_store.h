@@ -2,9 +2,11 @@
 #define MONSOON_EXEC_MATERIALIZED_STORE_H_
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "exec/udf_cache.h"
 #include "plan/plan_node.h"
 #include "query/query_spec.h"
 #include "storage/table.h"
@@ -25,7 +27,8 @@ struct MaterializedExpr {
 /// Initialized with the query's base relations.
 class MaterializedStore {
  public:
-  MaterializedStore() = default;
+  MaterializedStore()
+      : udf_cache_(std::make_shared<UdfColumnCache>(DefaultUdfCacheBytes())) {}
 
   /// Loads each relation referenced by `query` from the catalog. The same
   /// base table may back several aliases; data is shared, schemas are
@@ -43,8 +46,15 @@ class MaterializedStore {
 
   size_t size() const { return exprs_.size(); }
 
+  /// Evaluate-once UDF column cache scoped to this store's expressions;
+  /// persists across EXECUTE rounds so re-planned passes over the same
+  /// materialized expressions hit instead of re-evaluating UDFs. Budget is
+  /// snapshotted from DefaultUdfCacheBytes() at construction.
+  UdfColumnCache* udf_cache() const { return udf_cache_.get(); }
+
  private:
   std::map<ExprSig, MaterializedExpr> exprs_;
+  std::shared_ptr<UdfColumnCache> udf_cache_;
 };
 
 }  // namespace monsoon

@@ -26,6 +26,12 @@ struct RunResult {
   double exec_seconds = 0;
   int execute_rounds = 0;
   int stats_collections = 0;
+  // UDF column cache counters (exec/udf_cache.h): column reuses, columns
+  // built, and resident bytes at the end of the run. Wall-clock telemetry
+  // only; objects/work_units above are identical with the cache off.
+  uint64_t udf_cache_hits = 0;
+  uint64_t udf_cache_misses = 0;
+  uint64_t udf_cache_bytes = 0;
   std::vector<std::string> action_log;
 
   bool ok() const { return status.ok(); }

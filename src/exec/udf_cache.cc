@@ -1,0 +1,143 @@
+#include "exec/udf_cache.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "parallel/parallel_for.h"
+
+namespace monsoon {
+
+namespace {
+
+constexpr size_t kDefaultUdfCacheBytes = size_t{256} << 20;  // 256 MiB
+
+std::atomic<size_t>& DefaultBytesHolder() {
+  static std::atomic<size_t> holder = [] {
+    const char* env = std::getenv("MONSOON_UDF_CACHE");
+    if (env != nullptr) {
+      return static_cast<size_t>(std::strtoull(env, nullptr, 10));
+    }
+    return kDefaultUdfCacheBytes;
+  }();
+  return holder;
+}
+
+}  // namespace
+
+size_t DefaultUdfCacheBytes() { return DefaultBytesHolder().load(); }
+
+void SetDefaultUdfCacheBytes(size_t bytes) { DefaultBytesHolder().store(bytes); }
+
+void UdfColumnCache::set_byte_budget(size_t bytes) {
+  byte_budget_ = bytes;
+  EvictToFit(0);
+}
+
+void UdfColumnCache::Evict(std::map<Key, Entry>::iterator it) {
+  stats_.bytes_in_use -= it->second.column->ApproxBytes();
+  ++stats_.evictions;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void UdfColumnCache::EvictToFit(size_t incoming_bytes) {
+  while (!lru_.empty() && stats_.bytes_in_use + incoming_bytes > byte_budget_) {
+    Evict(entries_.find(lru_.back()));
+  }
+}
+
+StatusOr<CachedUdfColumnPtr> UdfColumnCache::GetOrBuild(
+    const ExprSig& sig, int term_id, const BoundTerm& bound,
+    const TablePtr& table, parallel::ThreadPool* pool, size_t morsel_size) {
+  if (!enabled()) return CachedUdfColumnPtr();
+
+  Key key{sig.rels, sig.preds, term_id};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.table.lock().get() == table.get()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.column;
+    }
+    // Same signature re-materialized as a different physical table (e.g. a
+    // different join order across EXECUTE rounds permuted the rows): the
+    // positional column is stale.
+    Evict(it);
+  }
+
+  // Miss: evaluate the term once per row into a flat typed column.
+  auto column = std::make_shared<CachedUdfColumn>();
+  const Table& t = *table;
+  size_t n = t.num_rows();
+  column->type_ = bound.result_type();
+  column->size_ = n;
+  switch (column->type_) {
+    case ValueType::kInt64:
+      column->int64s_.resize(n);
+      break;
+    case ValueType::kDouble:
+      column->doubles_.resize(n);
+      break;
+    case ValueType::kString:
+      column->strings_.resize(n);
+      column->hashes_.resize(n);
+      break;
+  }
+  // Morsels write disjoint index ranges of the presized vectors; the fill
+  // is the only parallel section and is never charged to the work/object
+  // counters (the cache is invisible to the paper's cost model).
+  MONSOON_RETURN_IF_ERROR(parallel::ParallelFor(
+      pool, n, morsel_size == 0 ? 1 : morsel_size,
+      [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t row = begin; row < end; ++row) {
+          Value v = bound.Eval(t, row);
+          if (v.type() != column->type_) {
+            return Status::Internal("UDF produced a value of unexpected type");
+          }
+          switch (column->type_) {
+            case ValueType::kInt64:
+              column->int64s_[row] = v.AsInt64();
+              break;
+            case ValueType::kDouble:
+              column->doubles_[row] = v.AsDouble();
+              break;
+            case ValueType::kString:
+              column->strings_[row] = v.AsString();
+              column->hashes_[row] = HashString(column->strings_[row]);
+              break;
+          }
+        }
+        return Status::OK();
+      }));
+
+  size_t bytes = sizeof(CachedUdfColumn);
+  switch (column->type_) {
+    case ValueType::kInt64:
+      bytes += n * sizeof(int64_t);
+      break;
+    case ValueType::kDouble:
+      bytes += n * sizeof(double);
+      break;
+    case ValueType::kString:
+      bytes += n * (sizeof(std::string) + sizeof(uint64_t));
+      for (const std::string& s : column->strings_) bytes += s.capacity();
+      break;
+  }
+  column->bytes_ = bytes;
+  ++stats_.misses;
+  stats_.bytes_built += bytes;
+
+  // Retain only if it fits; an oversized column is still returned (the
+  // caller's shared_ptr pins it for the current operator) but the next
+  // lookup will rebuild it.
+  if (bytes <= byte_budget_) {
+    EvictToFit(bytes);
+    lru_.push_front(key);
+    entries_[key] = Entry{table, column, lru_.begin()};
+    stats_.bytes_in_use += bytes;
+  }
+  return CachedUdfColumnPtr(column);
+}
+
+}  // namespace monsoon

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/string_util.h"
+#include "exec/udf_cache.h"
 #include "parallel/runtime.h"
 
 namespace monsoon {
@@ -27,6 +28,9 @@ Status BenchRunner::RunAll(const Workload& workload) {
     parallel::Config config = parallel::DefaultConfig();
     config.num_threads = threads;
     parallel::SetDefaultConfig(config);
+  }
+  if (options_.udf_cache_bytes >= 0) {
+    SetDefaultUdfCacheBytes(static_cast<size_t>(options_.udf_cache_bytes));
   }
   for (const BenchQuery& query : workload.queries) {
     if (!query_filter_.empty() &&
@@ -163,7 +167,8 @@ void BenchRunner::PrintSummaryTable(std::ostream& out) const {
 
 void BenchRunner::WriteCsv(std::ostream& out) const {
   out << "query,strategy,status,seconds,objects,work_units,plan_seconds,"
-         "stats_seconds,exec_seconds,result_rows,execute_rounds\n";
+         "stats_seconds,exec_seconds,result_rows,execute_rounds,"
+         "udf_cache_hits,udf_cache_misses,udf_cache_bytes\n";
   for (const QueryRecord& record : records_) {
     const RunResult& r = record.result;
     const char* status = r.ok() ? "ok" : (r.timed_out() ? "timeout" : "error");
@@ -172,7 +177,8 @@ void BenchRunner::WriteCsv(std::ostream& out) const {
         << r.work_units << "," << StrFormat("%.6f", r.plan_seconds) << ","
         << StrFormat("%.6f", r.stats_seconds) << ","
         << StrFormat("%.6f", r.exec_seconds) << "," << r.result_rows << ","
-        << r.execute_rounds << "\n";
+        << r.execute_rounds << "," << r.udf_cache_hits << ","
+        << r.udf_cache_misses << "," << r.udf_cache_bytes << "\n";
   }
 }
 

@@ -28,6 +28,11 @@ struct HarnessOptions {
   /// honors the MONSOON_THREADS environment knob, or leaves the current
   /// config untouched when that is unset too.
   int threads = 0;
+  /// UDF column cache byte budget per MaterializedStore. >= 0 installs the
+  /// value as the process-wide default before running (0 disables the
+  /// cache entirely); < 0 leaves the current default, which itself honors
+  /// the MONSOON_UDF_CACHE environment knob (bytes) on first use.
+  int64_t udf_cache_bytes = -1;
 };
 
 /// One (query, strategy) execution.

@@ -48,6 +48,9 @@ Status MonsoonOptimizer::RunImpl(const QuerySpec& query, RunResult* result) cons
         // (timeouts report partial work).
         result->objects_processed = ctx.objects_processed();
         result->work_units = ctx.work_units();
+        result->udf_cache_hits = ctx.udf_cache_hits();
+        result->udf_cache_misses = ctx.udf_cache_misses();
+        result->udf_cache_bytes = ctx.udf_cache_bytes();
         result->exec_seconds += exec_timer.Seconds();
         return exec_or.status();
       }
@@ -124,6 +127,9 @@ Status MonsoonOptimizer::RunImpl(const QuerySpec& query, RunResult* result) cons
   result->result_table = final_expr->table;
   result->objects_processed = ctx.objects_processed();
   result->work_units = ctx.work_units();
+  result->udf_cache_hits = ctx.udf_cache_hits();
+  result->udf_cache_misses = ctx.udf_cache_misses();
+  result->udf_cache_bytes = ctx.udf_cache_bytes();
   return Status::OK();
 }
 

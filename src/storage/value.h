@@ -20,6 +20,23 @@ enum class ValueType {
 
 const char* ValueTypeToString(ValueType type);
 
+/// Per-type hash mixers shared by Value::Hash() and the UDF column cache
+/// (exec/udf_cache.h), so precomputed hash columns are bit-identical to
+/// per-row Value hashing.
+inline uint64_t HashInt64Value(int64_t v) {
+  return Mix64(static_cast<uint64_t>(v));
+}
+
+inline uint64_t HashDoubleValue(double d) {
+  // -0.0 == 0.0 under operator==, so both must land in the same hash
+  // bucket (hash joins and HLL distincts would otherwise split them).
+  if (d == 0.0) d = 0.0;
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return Mix64(bits ^ 0x9e3779b97f4a7c15ULL);
+}
+
 /// A dynamically-typed scalar. UDFs produce Values; join keys are Values.
 /// Small by design (variant of int64/double/string); strings own storage.
 class Value {
@@ -53,14 +70,9 @@ class Value {
   uint64_t Hash() const {
     switch (v_.index()) {
       case 0:
-        return Mix64(static_cast<uint64_t>(std::get<int64_t>(v_)));
-      case 1: {
-        double d = std::get<double>(v_);
-        uint64_t bits;
-        static_assert(sizeof(bits) == sizeof(d));
-        __builtin_memcpy(&bits, &d, sizeof(bits));
-        return Mix64(bits ^ 0x9e3779b97f4a7c15ULL);
-      }
+        return HashInt64Value(std::get<int64_t>(v_));
+      case 1:
+        return HashDoubleValue(std::get<double>(v_));
       default:
         return HashString(std::get<std::string>(v_));
     }

@@ -35,6 +35,13 @@ TEST(ValueTest, HashConsistentWithEquality) {
   EXPECT_NE(Value(int64_t{5}).Hash(), Value(5.0).Hash());
 }
 
+TEST(ValueTest, NegativeZeroHashesLikePositiveZero) {
+  // -0.0 == 0.0 under operator==, so hash-partitioned joins must put both
+  // in the same bucket; the raw bit patterns differ by the sign bit.
+  EXPECT_EQ(Value(-0.0), Value(0.0));
+  EXPECT_EQ(Value(-0.0).Hash(), Value(0.0).Hash());
+}
+
 TEST(ValueTest, ToString) {
   EXPECT_EQ(Value(int64_t{3}).ToString(), "3");
   EXPECT_EQ(Value("x").ToString(), "'x'");
