@@ -11,8 +11,7 @@
 //   monsoon> .quit
 //
 // Piped input works too:
-//   echo "SELECT * FROM region r, nation n WHERE n.n_regionkey = r.r_regionkey" \
-//     | ./build/examples/sql_shell tpch
+//   echo "SELECT * FROM region r, nation n WHERE ..." | ./build/examples/sql_shell tpch
 
 #include <unistd.h>
 

@@ -1,62 +1,100 @@
 #!/usr/bin/env bash
-# CI pipeline: a Release build running the full test suite, then a
-# ThreadSanitizer build running the concurrency-sensitive tests, then an
-# AddressSanitizer build running the UDF-cache equivalence tests (the
-# cache hands out shared_ptr-pinned columns under LRU eviction — exactly
-# the lifetime bugs ASan catches). Run from the repository root:
+# CI pipeline, five stages:
+#
+#   release  Release build (warnings as errors) + full ctest suite
+#   tsan     ThreadSanitizer build + `ctest -L tsan` (concurrency suites)
+#   asan     AddressSanitizer build + `ctest -L asan` (lifetime suites)
+#   ubsan    UBSan build (-fno-sanitize-recover) + full ctest suite
+#   lint     monsoon-lint over src/ tools/ tests/, plus clang-tidy when
+#            a clang-tidy binary is on PATH
+#
+# Run from anywhere in the repository:
 #
 #   ./scripts/ci.sh            # all stages
-#   ./scripts/ci.sh release    # release build + full ctest only
-#   ./scripts/ci.sh tsan       # TSan build + parallel/exec tests only
-#   ./scripts/ci.sh asan       # ASan build + cache/exec tests only
+#   ./scripts/ci.sh release    # one stage by name (release|tsan|asan|ubsan|lint)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-JOBS="${JOBS:-$(nproc)}"
+# nproc is Linux coreutils; fall back to a safe width elsewhere.
+if command -v nproc >/dev/null 2>&1; then
+  JOBS="${JOBS:-$(nproc)}"
+else
+  JOBS="${JOBS:-2}"
+fi
 STAGE="${1:-all}"
 
 release_stage() {
-  echo "=== [1/3] Release build + full test suite ==="
-  cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
+  echo "=== [1/5] Release build (-Werror) + full test suite ==="
+  cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}"
-  ctest --test-dir build-ci-release --output-on-failure
+  ctest --test-dir build-ci-release --output-on-failure -j "${JOBS}"
 }
 
 tsan_stage() {
-  echo "=== [2/3] ThreadSanitizer build + concurrency tests ==="
+  echo "=== [2/5] ThreadSanitizer build + concurrency tests ==="
   cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=thread
-  cmake --build build-ci-tsan -j "${JOBS}" --target parallel_test exec_test
+  cmake --build build-ci-tsan -j "${JOBS}" \
+    --target parallel_test exec_test determinism_test
   # Everything that crosses the src/parallel/ runtime: the pool/TaskGroup/
-  # ParallelFor unit tests plus the serial-vs-parallel equivalence suite
-  # (morsel scans, partitioned hash join, parallel Σ).
-  ./build-ci-tsan/tests/parallel_test
-  ./build-ci-tsan/tests/exec_test
+  # ParallelFor unit tests, the serial-vs-parallel equivalence suite
+  # (morsel scans, partitioned hash join, parallel Σ), and the same-seed
+  # cross-run determinism suite.
+  ctest --test-dir build-ci-tsan --output-on-failure -L tsan
 }
 
 asan_stage() {
-  echo "=== [3/3] AddressSanitizer build + UDF cache tests ==="
+  echo "=== [3/5] AddressSanitizer build + UDF cache tests ==="
   cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=address
   cmake --build build-ci-asan -j "${JOBS}" --target udf_cache_test exec_test
   # The cache-on/off/serial/parallel equivalence suite plus the executor
   # suite: every cached column read (join build/probe, residual filters,
   # Σ passes) and every LRU eviction runs under ASan.
-  ./build-ci-asan/tests/udf_cache_test
-  ./build-ci-asan/tests/exec_test
+  ctest --test-dir build-ci-asan --output-on-failure -L asan
+}
+
+ubsan_stage() {
+  echo "=== [4/5] UndefinedBehaviorSanitizer build + full test suite ==="
+  # -fno-sanitize-recover=all (set by the CMake option) turns any UB hit
+  # into a test failure rather than a log line.
+  cmake -B build-ci-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMONSOON_SANITIZE=undefined
+  cmake --build build-ci-ubsan -j "${JOBS}"
+  ctest --test-dir build-ci-ubsan --output-on-failure -j "${JOBS}"
+}
+
+lint_stage() {
+  echo "=== [5/5] monsoon-lint + clang-tidy ==="
+  cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
+  cmake --build build-ci-release -j "${JOBS}" --target monsoon-lint
+  # Repo invariants (RNG discipline, accounting isolation, lock ranks,
+  # include hygiene, ...): findings are CI-blocking. See tools/lint/rules.h.
+  ./build-ci-release/tools/lint/monsoon-lint --root .
+  if command -v clang-tidy >/dev/null 2>&1; then
+    cmake -B build-ci-release -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    # shellcheck disable=SC2046
+    clang-tidy -p build-ci-release --quiet $(git ls-files 'src/*.cc' 'tools/*.cc')
+  else
+    echo "clang-tidy not found; skipping (monsoon-lint ran)"
+  fi
 }
 
 case "${STAGE}" in
   release) release_stage ;;
   tsan) tsan_stage ;;
   asan) asan_stage ;;
+  ubsan) ubsan_stage ;;
+  lint) lint_stage ;;
   all)
     release_stage
     tsan_stage
     asan_stage
+    ubsan_stage
+    lint_stage
     ;;
   *)
-    echo "usage: $0 [release|tsan|asan|all]" >&2
+    echo "usage: $0 [release|tsan|asan|ubsan|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,81 @@
+#ifndef MONSOON_COMMON_CHECK_H_
+#define MONSOON_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+/// MONSOON_CHECK / MONSOON_DCHECK — the repo's invariant macros.
+///
+/// MONSOON_CHECK(cond) aborts with file:line and the failed expression when
+/// `cond` is false, in every build type. Use it for cheap API-misuse guards
+/// and for invariants whose violation would otherwise corrupt results
+/// silently (e.g. a stale cache column served positionally).
+///
+/// MONSOON_DCHECK(cond) is the same check compiled down to nothing in
+/// Release builds: it is ON in Debug builds and in every sanitizer build
+/// (scripts/ci.sh's TSan/ASan/UBSan stages pass -DMONSOON_DCHECKS_ENABLED=1
+/// through CMake), and OFF when NDEBUG is set otherwise. Use it on hot
+/// paths — per-row/per-morsel invariants — where a branch per call is too
+/// expensive to ship but every CI run should still exercise it.
+///
+/// Both macros support streaming extra context:
+///
+///   MONSOON_CHECK(lo <= hi) << "lo=" << lo << " hi=" << hi;
+///
+/// The condition of a disabled MONSOON_DCHECK is still compiled (so it
+/// cannot bit-rot) but never evaluated.
+#if !defined(MONSOON_DCHECKS_ENABLED)
+#if defined(NDEBUG)
+#define MONSOON_DCHECKS_ENABLED 0
+#else
+#define MONSOON_DCHECKS_ENABLED 1
+#endif
+#endif
+
+namespace monsoon::internal {
+
+/// Accumulates the streamed message for a failed check and aborts when the
+/// full statement (the whole `<<` chain) finishes.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << file << ":" << line << ": MONSOON_CHECK failed: " << expr;
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::string message = stream_.str();
+    std::fprintf(stderr, "%s\n", message.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace monsoon::internal
+
+// The switch/if shape (glog's idiom) makes the macro a single statement
+// that still accepts a trailing `<<` chain and binds correctly under an
+// un-braced `if (...) MONSOON_CHECK(...); else ...`.
+#define MONSOON_CHECK(cond)                                              \
+  switch (0)                                                             \
+  case 0:                                                                \
+  default:                                                               \
+    if (cond) {                                                          \
+    } else                                                               \
+      ::monsoon::internal::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+#if MONSOON_DCHECKS_ENABLED
+#define MONSOON_DCHECK(cond) MONSOON_CHECK(cond)
+#else
+// `true || (cond)` keeps the expression compiled (and the `<<` operands
+// type-checked) while the optimizer deletes the whole statement.
+#define MONSOON_DCHECK(cond) MONSOON_CHECK(true || (cond))
+#endif
+
+#endif  // MONSOON_COMMON_CHECK_H_

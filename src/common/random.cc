@@ -1,8 +1,9 @@
 #include "common/random.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace monsoon {
 
@@ -21,7 +22,7 @@ uint32_t Pcg32::Next() {
 }
 
 uint32_t Pcg32::NextBounded(uint32_t bound) {
-  assert(bound > 0);
+  MONSOON_DCHECK(bound > 0);
   // Rejection sampling to avoid modulo bias.
   uint32_t threshold = (-bound) % bound;
   for (;;) {
@@ -31,7 +32,7 @@ uint32_t Pcg32::NextBounded(uint32_t bound) {
 }
 
 int64_t Pcg32::NextInt64(int64_t lo, int64_t hi) {
-  assert(lo <= hi);
+  MONSOON_DCHECK(lo <= hi) << lo << " > " << hi;
   uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
   if (range == 0) {  // full 64-bit range
     uint64_t r = (static_cast<uint64_t>(Next()) << 32) | Next();
@@ -54,7 +55,7 @@ double Pcg32::NextDouble() {
 }
 
 double SampleGamma(Pcg32& rng, double shape) {
-  assert(shape > 0);
+  MONSOON_DCHECK(shape > 0) << "shape=" << shape;
   if (shape < 1.0) {
     // Boost to shape+1 and scale back (Marsaglia–Tsang trick).
     double u = rng.NextDouble();
@@ -89,7 +90,7 @@ double SampleBeta(Pcg32& rng, double alpha, double beta) {
 }
 
 ZipfGenerator::ZipfGenerator(uint64_t n, double s) : n_(n), s_(s) {
-  assert(n > 0);
+  MONSOON_DCHECK(n > 0);
   cdf_.resize(n);
   double sum = 0.0;
   for (uint64_t k = 1; k <= n; ++k) {

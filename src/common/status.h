@@ -1,10 +1,11 @@
 #ifndef MONSOON_COMMON_STATUS_H_
 #define MONSOON_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "common/check.h"
 
 namespace monsoon {
 
@@ -87,22 +88,22 @@ class StatusOr {
   /// Implicit construction from an error status. Must not be OK.
   StatusOr(Status status)  // NOLINT(google-explicit-constructor)
       : status_(std::move(status)) {
-    assert(!status_.ok() && "StatusOr constructed from OK status");
+    MONSOON_DCHECK(!status_.ok()) << "StatusOr constructed from OK status";
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    MONSOON_DCHECK(ok()) << status_.message();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    MONSOON_DCHECK(ok()) << status_.message();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    MONSOON_DCHECK(ok()) << status_.message();
     return std::move(*value_);
   }
 

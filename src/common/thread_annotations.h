@@ -1,0 +1,62 @@
+#ifndef MONSOON_COMMON_THREAD_ANNOTATIONS_H_
+#define MONSOON_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis annotations (-Wthread-safety), compiled to
+/// nothing on other compilers. Applied through common/sync.h's annotated
+/// Mutex/MutexLock/CondVar wrappers: libstdc++'s std::mutex carries no
+/// capability attributes, so annotating raw std::mutex members would only
+/// produce false positives — the wrapper types are what make GUARDED_BY
+/// checkable. See DESIGN.md §8.
+///
+/// Under Clang, CMake promotes -Wthread-safety to an error for src/ when
+/// MONSOON_WERROR is ON, turning every unguarded access to a GUARDED_BY
+/// member into a build failure.
+#if defined(__clang__) && !defined(SWIG)
+#define MONSOON_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MONSOON_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) MONSOON_THREAD_ANNOTATION(capability(x))
+
+#define SCOPED_CAPABILITY MONSOON_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) MONSOON_THREAD_ANNOTATION(guarded_by(x))
+
+#define PT_GUARDED_BY(x) MONSOON_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  MONSOON_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  MONSOON_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  MONSOON_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  MONSOON_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) MONSOON_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  MONSOON_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) MONSOON_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  MONSOON_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  MONSOON_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) MONSOON_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) MONSOON_THREAD_ANNOTATION(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) MONSOON_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MONSOON_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // MONSOON_COMMON_THREAD_ANNOTATIONS_H_

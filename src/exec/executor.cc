@@ -5,6 +5,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/check.h"
 #include "common/hash.h"
 #include "parallel/parallel_for.h"
 #include "sketch/hyperloglog.h"
@@ -84,6 +85,8 @@ StatusOr<BoundResidual> BindResidual(const Predicate& pred, const Schema& schema
 /// can evaluate against the concatenated schema, then retracted).
 void EmitIfPasses(Table* out, const Table& lt, size_t li, const Table& rt,
                   size_t ri, const std::vector<BoundResidual>& residual) {
+  MONSOON_DCHECK(li < lt.num_rows() && ri < rt.num_rows())
+      << "join candidate (" << li << ", " << ri << ") out of bounds";
   out->AppendConcatRow(lt, li, rt, ri);
   size_t row = out->num_rows() - 1;
   for (const auto& filter : residual) {
@@ -134,7 +137,7 @@ StatusOr<ExecResult> Executor::Execute(const PlanNode::Ptr& plan,
   StatusOr<MaterializedExpr> output = ExecuteNode(plan, store, ctx, &result);
   // Cache counter deltas survive even failed runs (timeouts report the
   // partial cache activity alongside the partial work accounting).
-  const UdfCacheStats& after = store->udf_cache()->stats();
+  const UdfCacheStats after = store->udf_cache()->stats();
   ctx->AddUdfCacheDelta(after.hits - before.hits, after.misses - before.misses,
                         after.evictions - before.evictions, after.bytes_in_use);
   MONSOON_RETURN_IF_ERROR(output.status());
@@ -234,6 +237,7 @@ StatusOr<MaterializedExpr> Executor::ExecuteLeaf(const PlanNode::Ptr& node,
     MONSOON_RETURN_IF_ERROR(parallel::ParallelFor(
         ctx->pool(), in.num_rows(), ctx->morsel_size(),
         [&](size_t m, size_t begin, size_t end) {
+          MONSOON_DCHECK(m < locals.size());
           filter_range(&locals[m], begin, end);
           return Status::OK();
         }));
@@ -325,6 +329,11 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
         keys_cached = false;
         break;
       }
+      // Positional reads against the wrong table are the cache's one fatal
+      // failure mode; the staleness check makes this structurally true.
+      MONSOON_DCHECK(left_cols[k]->size() == left.table->num_rows() &&
+                     right_cols[k]->size() == right.table->num_rows())
+          << "cached join key column size diverged from its table";
     }
   }
 
@@ -349,6 +358,7 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
       Status loop = parallel::ParallelFor(
           ctx->pool(), lt.num_rows(), morsel,
           [&](size_t m, size_t begin, size_t end) -> Status {
+            MONSOON_DCHECK(m < locals.size());
             Table& local = locals[m];
             for (size_t li = begin; li < end; ++li) {
               for (size_t ri = 0; ri < rt.num_rows(); ++ri) {
@@ -535,7 +545,9 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
       rows.reserve(build.num_rows() / kBuildPartitions + 1);
     }
     for (size_t row = 0; row < build.num_rows(); ++row) {
-      partition_rows[build_hashes[row] >> kBuildPartitionShift].push_back(row);
+      size_t p = build_hashes[row] >> kBuildPartitionShift;
+      MONSOON_DCHECK(p < kBuildPartitions);
+      partition_rows[p].push_back(row);
     }
     std::vector<std::unordered_multimap<uint64_t, size_t>> partitions(
         kBuildPartitions);
@@ -560,6 +572,7 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     Status loop = parallel::ParallelFor(
         pool, probe.num_rows(), morsel,
         [&](size_t m, size_t begin, size_t end) -> Status {
+          MONSOON_DCHECK(m < locals.size());
           Table& local = locals[m];
           // Scratch key buffer for the fallback path, reused across the
           // whole morsel (Value assignment recycles string capacity).
@@ -733,6 +746,11 @@ Status Executor::CollectStats(const MaterializedExpr& expr,
                                          ctx->pool(), ctx->morsel_size()));
     }
   }
+  for (size_t t = 0; t < terms.size(); ++t) {
+    MONSOON_DCHECK(term_cols[t] == nullptr ||
+                   term_cols[t]->size() == expr.table->num_rows())
+        << "cached column for term " << terms[t].first << " is stale";
+  }
   auto term_hash = [&](size_t t, size_t row) {
     return term_cols[t] != nullptr
                ? term_cols[t]->HashAt(row)
@@ -768,6 +786,9 @@ Status Executor::CollectStats(const MaterializedExpr& expr,
           return Status::OK();
         }));
     for (const std::vector<HyperLogLog>& local : morsel_sketches) {
+      // Register-wise max requires equal precision on every per-morsel
+      // sketch; all are built from options_.hll_precision above.
+      MONSOON_DCHECK(local.size() == sketches.size());
       for (size_t t = 0; t < terms.size(); ++t) {
         MONSOON_RETURN_IF_ERROR(sketches[t].Merge(local[t]));
       }

@@ -1,5 +1,7 @@
 #include "exec/materialized_store.h"
 
+#include "common/check.h"
+
 namespace monsoon {
 
 StatusOr<MaterializedStore> MaterializedStore::ForQuery(const Catalog& catalog,
@@ -26,6 +28,10 @@ StatusOr<const MaterializedExpr*> MaterializedStore::Lookup(const ExprSig& sig) 
 }
 
 void MaterializedStore::Put(MaterializedExpr expr) {
+  // A store entry is the anchor for positional UDF cache columns — a null
+  // table here would fault on the next GetOrBuild over this signature.
+  MONSOON_DCHECK(expr.table != nullptr)
+      << "materialized " << expr.sig.ToString() << " without a table";
   exprs_[expr.sig] = std::move(expr);
 }
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "common/check.h"
 #include "common/hash.h"
 #include "parallel/parallel_for.h"
 
@@ -30,11 +31,14 @@ size_t DefaultUdfCacheBytes() { return DefaultBytesHolder().load(); }
 void SetDefaultUdfCacheBytes(size_t bytes) { DefaultBytesHolder().store(bytes); }
 
 void UdfColumnCache::set_byte_budget(size_t bytes) {
+  MutexLock lock(mu_);
   byte_budget_ = bytes;
   EvictToFit(0);
 }
 
 void UdfColumnCache::Evict(std::map<Key, Entry>::iterator it) {
+  MONSOON_DCHECK(stats_.bytes_in_use >= it->second.column->ApproxBytes())
+      << "resident-byte accounting drifted below an entry's size";
   stats_.bytes_in_use -= it->second.column->ApproxBytes();
   ++stats_.evictions;
   lru_.erase(it->second.lru_it);
@@ -50,21 +54,32 @@ void UdfColumnCache::EvictToFit(size_t incoming_bytes) {
 StatusOr<CachedUdfColumnPtr> UdfColumnCache::GetOrBuild(
     const ExprSig& sig, int term_id, const BoundTerm& bound,
     const TablePtr& table, parallel::ThreadPool* pool, size_t morsel_size) {
-  if (!enabled()) return CachedUdfColumnPtr();
-
   Key key{sig.rels, sig.preds, term_id};
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    if (it->second.table.lock().get() == table.get()) {
-      ++stats_.hits;
-      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-      return it->second.column;
+  {
+    MutexLock lock(mu_);
+    if (byte_budget_ == 0) return CachedUdfColumnPtr();
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (it->second.table.lock().get() == table.get()) {
+        // A resident column must index the exact rows of the table it was
+        // built from; serving a differently-sized column would read join
+        // keys positionally against the wrong rows.
+        MONSOON_DCHECK(it->second.column->size() == table->num_rows())
+            << "cached column rows diverged from its source table";
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        return it->second.column;
+      }
+      // Same signature re-materialized as a different physical table (e.g.
+      // a different join order across EXECUTE rounds permuted the rows):
+      // the positional column is stale.
+      Evict(it);
     }
-    // Same signature re-materialized as a different physical table (e.g. a
-    // different join order across EXECUTE rounds permuted the rows): the
-    // positional column is stale.
-    Evict(it);
   }
+  // The miss path builds outside the lock: the fill may fan out through
+  // the pool, and a blocking TaskGroup::Wait under mu_ would both stall
+  // concurrent readers and violate the lock-rank rule (a stolen task
+  // could itself need this cache).
 
   // Miss: evaluate the term once per row into a flat typed column.
   auto column = std::make_shared<CachedUdfColumn>();
@@ -90,6 +105,9 @@ StatusOr<CachedUdfColumnPtr> UdfColumnCache::GetOrBuild(
   MONSOON_RETURN_IF_ERROR(parallel::ParallelFor(
       pool, n, morsel_size == 0 ? 1 : morsel_size,
       [&](size_t, size_t begin, size_t end) -> Status {
+        // Disjoint-range fill: writing past the presized column would race
+        // with the neighbouring morsel.
+        MONSOON_DCHECK(begin <= end && end <= n) << "morsel out of bounds";
         for (size_t row = begin; row < end; ++row) {
           Value v = bound.Eval(t, row);
           if (v.type() != column->type_) {
@@ -125,13 +143,18 @@ StatusOr<CachedUdfColumnPtr> UdfColumnCache::GetOrBuild(
       break;
   }
   column->bytes_ = bytes;
+
+  MutexLock lock(mu_);
   ++stats_.misses;
   stats_.bytes_built += bytes;
 
   // Retain only if it fits; an oversized column is still returned (the
   // caller's shared_ptr pins it for the current operator) but the next
-  // lookup will rebuild it.
+  // lookup will rebuild it. A concurrent builder may have published the
+  // same key while we were filling — its entry is replaced, not leaked.
   if (bytes <= byte_budget_) {
+    auto existing = entries_.find(key);
+    if (existing != entries_.end()) Evict(existing);
     EvictToFit(bytes);
     lru_.push_front(key);
     entries_[key] = Entry{table, column, lru_.begin()};

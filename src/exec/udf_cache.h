@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "exec/bound_term.h"
 #include "parallel/thread_pool.h"
 #include "plan/plan_node.h"
@@ -135,14 +137,25 @@ using CachedUdfColumnPtr = std::shared_ptr<const CachedUdfColumn>;
 /// bit-identical with the cache on or off — this is a wall-clock
 /// optimization, not a cost-model change.
 ///
-/// Not thread-safe: GetOrBuild runs on the executor's orchestration
-/// thread; only the fill inside a build is parallel (disjoint ranges).
+/// Thread-safe: every lookup-table mutation happens under mu_ (annotated
+/// with GUARDED_BY so Clang's -Wthread-safety proves it). The executor's
+/// orchestration thread is still the only caller today, but a locked cache
+/// keeps concurrent queries over one MaterializedStore from becoming a
+/// silent data race later. The fill inside a build runs outside the pool's
+/// worker lambdas' view of the cache (disjoint ranges of a private column)
+/// and the built column is immutable once published.
 class UdfColumnCache {
  public:
   explicit UdfColumnCache(size_t byte_budget) : byte_budget_(byte_budget) {}
 
-  bool enabled() const { return byte_budget_ > 0; }
-  size_t byte_budget() const { return byte_budget_; }
+  bool enabled() const {
+    MutexLock lock(mu_);
+    return byte_budget_ > 0;
+  }
+  size_t byte_budget() const {
+    MutexLock lock(mu_);
+    return byte_budget_;
+  }
 
   /// Changes the budget, evicting LRU entries to fit (0 clears and
   /// disables). Tests use this to pin cache-on/off configurations.
@@ -159,8 +172,16 @@ class UdfColumnCache {
                                           parallel::ThreadPool* pool,
                                           size_t morsel_size);
 
-  const UdfCacheStats& stats() const { return stats_; }
-  size_t num_entries() const { return entries_.size(); }
+  /// Snapshot of the activity counters (by value: the counters are
+  /// guarded, and a reference would escape the lock).
+  UdfCacheStats stats() const {
+    MutexLock lock(mu_);
+    return stats_;
+  }
+  size_t num_entries() const {
+    MutexLock lock(mu_);
+    return entries_.size();
+  }
 
  private:
   using Key = std::tuple<uint64_t, uint64_t, int>;  // (rels, preds, term_id)
@@ -171,13 +192,14 @@ class UdfColumnCache {
     std::list<Key>::iterator lru_it;
   };
 
-  void Evict(std::map<Key, Entry>::iterator it);
-  void EvictToFit(size_t incoming_bytes);
+  void Evict(std::map<Key, Entry>::iterator it) REQUIRES(mu_);
+  void EvictToFit(size_t incoming_bytes) REQUIRES(mu_);
 
-  size_t byte_budget_;
-  std::map<Key, Entry> entries_;
-  std::list<Key> lru_;  // front = most recently used
-  UdfCacheStats stats_;
+  mutable Mutex mu_;
+  size_t byte_budget_ GUARDED_BY(mu_);
+  std::map<Key, Entry> entries_ GUARDED_BY(mu_);
+  std::list<Key> lru_ GUARDED_BY(mu_);  // front = most recently used
+  UdfCacheStats stats_ GUARDED_BY(mu_);
 };
 
 /// Process-wide default byte budget applied to every new

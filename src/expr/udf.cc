@@ -9,7 +9,7 @@ namespace monsoon {
 
 UdfRegistry& UdfRegistry::Global() {
   static UdfRegistry* registry = [] {
-    auto* r = new UdfRegistry();
+    auto* r = new UdfRegistry();  // NOLINT(monsoon-raw-new): leaked singleton
     RegisterBuiltinUdfs(*r);
     return r;
   }();

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
+
 namespace monsoon {
 
 RootParallelMcts::RootParallelMcts(const QueryMdp* mdp, Options options,
@@ -24,6 +26,7 @@ StatusOr<MdpAction> RootParallelMcts::SearchBestAction(const MdpState& root) {
 
   // Split the iteration budget; every worker runs at least one rollout.
   int per_worker = std::max(1, options_.search.iterations / workers);
+  MONSOON_DCHECK(per_worker >= 1 && workers >= 2);
 
   std::vector<std::unique_ptr<MctsSearch>> searches(workers);
   std::vector<Status> statuses(workers, Status::OK());
@@ -56,10 +59,14 @@ StatusOr<MdpAction> RootParallelMcts::SearchBestAction(const MdpState& root) {
   std::vector<MergedEdge> merged;
   info_ = MctsSearch::SearchInfo{};
   for (int w = 0; w < workers; ++w) {
+    MONSOON_DCHECK(searches[w] != nullptr);
     const MctsSearch::SearchInfo& wi = searches[w]->last_info();
     info_.iterations_run += wi.iterations_run;
     info_.tree_nodes += wi.tree_nodes;
     for (const MctsSearch::RootEdgeInfo& edge : wi.root_edges) {
+      // Visit-weighted return recombination is only meaningful for edges
+      // that were actually rolled out.
+      MONSOON_DCHECK(edge.visits >= 0) << "negative visit count from worker " << w;
       auto it = std::find_if(merged.begin(), merged.end(),
                              [&](const MergedEdge& m) { return m.action == edge.action; });
       if (it == merged.end()) {
@@ -88,6 +95,7 @@ StatusOr<MdpAction> RootParallelMcts::SearchBestAction(const MdpState& root) {
         edge.action, edge.visits,
         edge.visits > 0 ? edge.total_return / edge.visits : 0});
   }
+  MONSOON_CHECK(best != nullptr) << "non-empty merge must select an edge";
   info_.best_visits = best->visits;
   info_.best_mean_return = best->visits > 0 ? best->total_return / best->visits : 0;
   return best->action;

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <limits>
-#include <mutex>
+
+#include "common/check.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace monsoon::parallel {
 
@@ -25,9 +28,9 @@ Status ParallelFor(ThreadPool* pool, size_t n, size_t morsel_size,
   struct Shared {
     std::atomic<size_t> next{0};
     std::atomic<bool> failed{false};
-    std::mutex mu;
-    size_t error_index = std::numeric_limits<size_t>::max();
-    Status error;
+    Mutex mu;
+    size_t error_index GUARDED_BY(mu) = std::numeric_limits<size_t>::max();
+    Status error GUARDED_BY(mu);
   };
   Shared shared;
 
@@ -38,9 +41,11 @@ Status ParallelFor(ThreadPool* pool, size_t n, size_t morsel_size,
       if (i >= num_morsels) return;
       size_t begin = i * morsel_size;
       size_t end = std::min(n, begin + morsel_size);
+      MONSOON_DCHECK(begin < end && end <= n)
+          << "morsel " << i << " out of [0, " << n << ")";
       Status status = fn(i, begin, end);
       if (!status.ok()) {
-        std::lock_guard<std::mutex> lock(shared.mu);
+        MutexLock lock(shared.mu);
         if (i < shared.error_index) {
           shared.error_index = i;
           shared.error = std::move(status);
@@ -57,7 +62,7 @@ Status ParallelFor(ThreadPool* pool, size_t n, size_t morsel_size,
   lane();  // the calling thread is a lane too
   group.Wait();
 
-  std::lock_guard<std::mutex> lock(shared.mu);
+  MutexLock lock(shared.mu);
   return shared.error;
 }
 

@@ -2,20 +2,22 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace monsoon::parallel {
 
 namespace {
 
 struct Runtime {
-  std::mutex mu;
-  Config config;
-  std::unique_ptr<ThreadPool> pool;
+  Mutex mu;
+  Config config GUARDED_BY(mu);
+  std::unique_ptr<ThreadPool> pool GUARDED_BY(mu);
 };
 
 Runtime& GlobalRuntime() {
-  static Runtime* runtime = new Runtime();
+  static Runtime* runtime = new Runtime();  // NOLINT(monsoon-raw-new): leaked singleton outlives static destruction order
   return *runtime;
 }
 
@@ -23,13 +25,13 @@ Runtime& GlobalRuntime() {
 
 Config DefaultConfig() {
   Runtime& rt = GlobalRuntime();
-  std::lock_guard<std::mutex> lock(rt.mu);
+  MutexLock lock(rt.mu);
   return rt.config;
 }
 
 void SetDefaultConfig(const Config& config) {
   Runtime& rt = GlobalRuntime();
-  std::lock_guard<std::mutex> lock(rt.mu);
+  MutexLock lock(rt.mu);
   rt.config = config;
   rt.config.num_threads = std::max(1, config.num_threads);
   rt.config.morsel_size = std::max<size_t>(1, config.morsel_size);
@@ -46,7 +48,7 @@ void SetDefaultConfig(const Config& config) {
 
 ThreadPool* SharedPool() {
   Runtime& rt = GlobalRuntime();
-  std::lock_guard<std::mutex> lock(rt.mu);
+  MutexLock lock(rt.mu);
   return rt.pool.get();
 }
 

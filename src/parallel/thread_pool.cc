@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/check.h"
+
 namespace monsoon::parallel {
 
 namespace {
@@ -24,10 +26,10 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads))
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
     shutdown_ = true;
   }
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -36,7 +38,7 @@ int ThreadPool::CurrentWorker() { return tls_worker_id; }
 void ThreadPool::Submit(Task task) {
   size_t queue;
   {
-    std::lock_guard<std::mutex> lock(submit_mu_);
+    MutexLock lock(submit_mu_);
     queue = next_queue_++ % queues_.size();
   }
   SubmitTo(queue, std::move(task));
@@ -45,19 +47,20 @@ void ThreadPool::Submit(Task task) {
 void ThreadPool::SubmitTo(size_t queue, Task task) {
   WorkQueue& q = *queues_[queue % queues_.size()];
   {
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(q.mu);
     q.tasks.push_back(std::move(task));
   }
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
     ++pending_;
   }
-  idle_cv_.notify_one();
+  idle_cv_.NotifyOne();
 }
 
 bool ThreadPool::PopOwn(size_t queue, Task* task) {
+  MONSOON_DCHECK(queue < queues_.size());
   WorkQueue& q = *queues_[queue];
-  std::lock_guard<std::mutex> lock(q.mu);
+  MutexLock lock(q.mu);
   if (q.tasks.empty()) return false;
   *task = std::move(q.tasks.back());
   q.tasks.pop_back();
@@ -65,8 +68,9 @@ bool ThreadPool::PopOwn(size_t queue, Task* task) {
 }
 
 bool ThreadPool::StealFrom(size_t victim, Task* task) {
+  MONSOON_DCHECK(victim < queues_.size());
   WorkQueue& q = *queues_[victim];
-  std::lock_guard<std::mutex> lock(q.mu);
+  MutexLock lock(q.mu);
   if (q.tasks.empty()) return false;
   *task = std::move(q.tasks.front());
   q.tasks.pop_front();
@@ -89,7 +93,8 @@ bool ThreadPool::TryRunOne() {
                                    : queues_.size();  // externals only steal
   if (!FindTask(home, &task)) return false;
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
+    MONSOON_DCHECK(pending_ > 0) << "claimed a task nobody accounted for";
     --pending_;
   }
   task();
@@ -102,15 +107,15 @@ void ThreadPool::WorkerLoop(int worker_id) {
     Task task;
     if (FindTask(static_cast<size_t>(worker_id), &task)) {
       {
-        std::lock_guard<std::mutex> lock(idle_mu_);
+        MutexLock lock(idle_mu_);
+        MONSOON_DCHECK(pending_ > 0) << "claimed a task nobody accounted for";
         --pending_;
       }
       task();
       continue;
     }
-    std::unique_lock<std::mutex> lock(idle_mu_);
-    if (shutdown_ && pending_ == 0) return;
-    idle_cv_.wait(lock, [this] { return shutdown_ || pending_ > 0; });
+    MutexLock lock(idle_mu_);
+    while (!shutdown_ && pending_ == 0) idle_cv_.Wait(idle_mu_);
     if (shutdown_ && pending_ == 0) return;
   }
 }
@@ -118,27 +123,37 @@ void ThreadPool::WorkerLoop(int worker_id) {
 TaskGroup::~TaskGroup() {
   // A group abandoned without Wait() would let tasks touch a dead frame;
   // draining here keeps misuse from turning into memory corruption.
-  if (outstanding_ > 0) Wait();
+  bool outstanding;
+  {
+    MutexLock lock(mu_);
+    outstanding = outstanding_ > 0;
+  }
+  if (outstanding) Wait();
 }
 
 void TaskGroup::Execute(const std::function<void()>& fn) {
   try {
     fn();
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!error_) error_ = std::current_exception();
   }
 }
 
 std::function<void()> TaskGroup::Wrap(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++outstanding_;
   }
   return [this, fn = std::move(fn)] {
     Execute(fn);
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--outstanding_ == 0) cv_.notify_all();
+    bool done;
+    {
+      MutexLock lock(mu_);
+      MONSOON_DCHECK(outstanding_ > 0) << "task completion without a Wrap";
+      done = --outstanding_ == 0;
+    }
+    if (done) cv_.NotifyAll();
   };
 }
 
@@ -161,23 +176,23 @@ void TaskGroup::RunOn(size_t queue, std::function<void()> fn) {
 void TaskGroup::Wait() {
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (outstanding_ == 0) break;
     }
     // Help: run queued pool tasks (ours or anyone's) instead of blocking.
     // Nested Wait() calls on worker threads make progress the same way,
     // which is what makes nested TaskGroups deadlock-free.
     if (pool_ != nullptr && pool_->TryRunOne()) continue;
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
+    if (outstanding_ == 0) break;
     // Re-poll for stealable tasks periodically: a task submitted after the
     // TryRunOne miss but claimed by no one must not strand us here.
-    cv_.wait_for(lock, std::chrono::milliseconds(1),
-                 [this] { return outstanding_ == 0; });
+    cv_.WaitFor(mu_, std::chrono::milliseconds(1));
     if (outstanding_ == 0) break;
   }
   std::exception_ptr error;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     error = error_;
     error_ = nullptr;
   }

@@ -1,14 +1,15 @@
 #ifndef MONSOON_PARALLEL_THREAD_POOL_H_
 #define MONSOON_PARALLEL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace monsoon::parallel {
 
@@ -60,8 +61,8 @@ class ThreadPool {
 
  private:
   struct WorkQueue {
-    std::mutex mu;
-    std::deque<Task> tasks;
+    Mutex mu;
+    std::deque<Task> tasks GUARDED_BY(mu);
   };
 
   void WorkerLoop(int worker_id);
@@ -75,13 +76,13 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   // Sleep/wake machinery: `pending_` counts queued-but-unclaimed tasks.
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
-  size_t pending_ = 0;
-  bool shutdown_ = false;
+  Mutex idle_mu_;
+  CondVar idle_cv_;
+  size_t pending_ GUARDED_BY(idle_mu_) = 0;
+  bool shutdown_ GUARDED_BY(idle_mu_) = false;
 
-  std::mutex submit_mu_;
-  size_t next_queue_ = 0;
+  Mutex submit_mu_;
+  size_t next_queue_ GUARDED_BY(submit_mu_) = 0;
 };
 
 /// A set of tasks whose completion is awaited together. Exceptions thrown
@@ -116,10 +117,10 @@ class TaskGroup {
   void Execute(const std::function<void()>& fn);
 
   ThreadPool* pool_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int outstanding_ = 0;
-  std::exception_ptr error_;
+  Mutex mu_;
+  CondVar cv_;
+  int outstanding_ GUARDED_BY(mu_) = 0;
+  std::exception_ptr error_ GUARDED_BY(mu_);
 };
 
 }  // namespace monsoon::parallel

@@ -11,7 +11,7 @@ std::string ExprSig::ToString() const {
 }
 
 PlanNode::Ptr PlanNode::Leaf(ExprSig source, std::vector<int> selection_preds) {
-  auto node = std::shared_ptr<PlanNode>(new PlanNode());
+  auto node = std::shared_ptr<PlanNode>(new PlanNode());  // NOLINT(monsoon-raw-new): private ctor
   node->kind_ = Kind::kLeaf;
   node->source_ = source;
   node->pred_ids_ = std::move(selection_preds);
@@ -20,7 +20,7 @@ PlanNode::Ptr PlanNode::Leaf(ExprSig source, std::vector<int> selection_preds) {
 }
 
 PlanNode::Ptr PlanNode::Join(Ptr left, Ptr right, std::vector<int> pred_ids) {
-  auto node = std::shared_ptr<PlanNode>(new PlanNode());
+  auto node = std::shared_ptr<PlanNode>(new PlanNode());  // NOLINT(monsoon-raw-new): private ctor
   node->kind_ = Kind::kJoin;
   node->left_ = std::move(left);
   node->right_ = std::move(right);
@@ -33,7 +33,7 @@ PlanNode::Ptr PlanNode::Join(Ptr left, Ptr right, std::vector<int> pred_ids) {
 }
 
 PlanNode::Ptr PlanNode::StatsCollect(Ptr child) {
-  auto node = std::shared_ptr<PlanNode>(new PlanNode());
+  auto node = std::shared_ptr<PlanNode>(new PlanNode());  // NOLINT(monsoon-raw-new): private ctor
   node->kind_ = Kind::kStatsCollect;
   node->left_ = std::move(child);
   node->output_sig_ = node->left_->output_sig();

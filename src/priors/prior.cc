@@ -6,7 +6,7 @@
 namespace monsoon {
 
 const std::vector<PriorKind>& AllPriorKinds() {
-  static const std::vector<PriorKind>* kinds = new std::vector<PriorKind>{
+  static const std::vector<PriorKind>* kinds = new std::vector<PriorKind>{  // NOLINT(monsoon-raw-new): leaked singleton
       PriorKind::kUniform,    PriorKind::kIncreasing,   PriorKind::kDecreasing,
       PriorKind::kUShaped,    PriorKind::kLowBiased,    PriorKind::kSpikeAndSlab,
       PriorKind::kDiscrete,

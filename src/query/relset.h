@@ -1,10 +1,11 @@
 #ifndef MONSOON_QUERY_RELSET_H_
 #define MONSOON_QUERY_RELSET_H_
 
-#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "common/check.h"
 
 namespace monsoon {
 
@@ -18,7 +19,7 @@ class RelSet {
   constexpr explicit RelSet(uint64_t mask) : mask_(mask) {}
 
   static RelSet Single(int index) {
-    assert(index >= 0 && index < 64);
+    MONSOON_DCHECK(index >= 0 && index < 64) << "relation index " << index;
     return RelSet(uint64_t{1} << index);
   }
 

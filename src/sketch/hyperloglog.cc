@@ -1,7 +1,8 @@
 #include "sketch/hyperloglog.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace monsoon {
 
@@ -24,7 +25,7 @@ double AlphaM(size_t m) {
 }  // namespace
 
 HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
-  assert(precision >= 4 && precision <= 18);
+  MONSOON_DCHECK(precision >= 4 && precision <= 18) << "p=" << precision;
   registers_.assign(size_t{1} << precision, 0);
 }
 
@@ -64,6 +65,8 @@ Status HyperLogLog::Merge(const HyperLogLog& other) {
   if (other.precision_ != precision_) {
     return Status::InvalidArgument("cannot merge HLLs of different precision");
   }
+  MONSOON_DCHECK(other.registers_.size() == registers_.size())
+      << "equal-precision HLLs must have equal register arrays";
   for (size_t i = 0; i < registers_.size(); ++i) {
     if (other.registers_[i] > registers_[i]) registers_[i] = other.registers_[i];
   }

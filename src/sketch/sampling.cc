@@ -1,7 +1,8 @@
 #include "sketch/sampling.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace monsoon {
 
@@ -24,7 +25,7 @@ void ReservoirSampler::Add(uint64_t item) {
 std::vector<uint64_t> BlockSample(uint64_t num_rows, double fraction,
                                   uint64_t max_rows, uint64_t block_size,
                                   Pcg32& rng) {
-  assert(block_size > 0);
+  MONSOON_DCHECK(block_size > 0);
   std::vector<uint64_t> out;
   if (num_rows == 0) return out;
   uint64_t target = static_cast<uint64_t>(static_cast<double>(num_rows) * fraction);

@@ -59,7 +59,9 @@ std::string TpchDate(int days_since_epoch) {
     if (days < dim) break;
     days -= dim;
   }
-  char buffer[16];
+  // Sized for the worst case snprintf can prove (full int widths), not the
+  // 10 bytes a real date needs — keeps -Wformat-truncation quiet under -Werror.
+  char buffer[48];
   std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02d", year, month + 1, days + 1);
   return buffer;
 }

@@ -34,10 +34,10 @@ Status BuildTables(const ImdbOptions& options, Catalog* catalog) {
   // bounded) so that star joins blow up through *bad plans*, not through
   // an intrinsically huge result.
   std::map<std::pair<int, int64_t>, int> fanout;  // (table id, movie) -> rows
-  auto draw_movie = [&fanout](ZipfGenerator& zipf, Pcg32& rng, int table_id,
+  auto draw_movie = [&fanout](ZipfGenerator& zipf, Pcg32& gen, int table_id,
                               int cap) {
     for (int attempt = 0; attempt < 16; ++attempt) {
-      int64_t movie = static_cast<int64_t>(zipf.Next(rng) - 1);
+      int64_t movie = static_cast<int64_t>(zipf.Next(gen) - 1);
       int& count = fanout[{table_id, movie}];
       if (count < cap) {
         ++count;
@@ -45,7 +45,7 @@ Status BuildTables(const ImdbOptions& options, Catalog* catalog) {
       }
     }
     // Fall back to a uniform pick (caps only bind for the hottest ids).
-    return static_cast<int64_t>(zipf.Next(rng) - 1);
+    return static_cast<int64_t>(zipf.Next(gen) - 1);
   };
   ZipfGenerator movie_zipf(n_title, 1.1);
   ZipfGenerator company_zipf(n_company, 1.2);

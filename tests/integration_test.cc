@@ -62,7 +62,9 @@ void ExpectCoherentAccounting(const BenchRunner& runner) {
     EXPECT_GE(r.total_seconds,
               r.plan_seconds + r.stats_seconds + r.exec_seconds - 1e-6)
         << record.strategy << "/" << record.query;
-    if (r.ok()) EXPECT_GE(r.execute_rounds, 1) << record.strategy;
+    if (r.ok()) {
+      EXPECT_GE(r.execute_rounds, 1) << record.strategy;
+    }
   }
 }
 

@@ -1,0 +1,223 @@
+// Fixture tests for tools/lint: each rule gets a minimal violating snippet,
+// a clean counterpart, and a NOLINT suppression check. Fixtures are fed
+// straight to LintFiles with fabricated repo-relative paths, so the rules'
+// path scoping is exercised without touching the real tree.
+
+#include "rules.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace monsoon::lint {
+namespace {
+
+std::vector<Diagnostic> Lint(const std::string& path, const std::string& text) {
+  return LintFiles({{path, text}});
+}
+
+bool HasRule(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+TEST(LintRngTest, FlagsStdRandAndEngines) {
+  auto diags = Lint("src/cost/sampler.cc", "int x() { return std::rand(); }\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "monsoon-rng");
+  EXPECT_EQ(diags[0].line, 1);
+
+  EXPECT_TRUE(HasRule(Lint("src/a.cc", "std::mt19937 gen(seed);\n"), "monsoon-rng"));
+  EXPECT_TRUE(
+      HasRule(Lint("src/a.cc", "std::random_device rd;\n"), "monsoon-rng"));
+}
+
+TEST(LintRngTest, IgnoresSubstringsStringsAndOutOfScopePaths) {
+  // "operand" and "BRAND5" contain 'rand' but are not the identifier.
+  EXPECT_TRUE(Lint("src/sql/p.cc", "Operand operand; f(\"BRAND5\");\n").empty());
+  // String literals and comments are not tokens.
+  EXPECT_TRUE(Lint("src/a.cc", "const char* s = \"std::rand()\"; // rand\n").empty());
+  // bench/ is outside the rule's scope.
+  EXPECT_TRUE(Lint("bench/b.cc", "int x = std::rand();\n").empty());
+}
+
+TEST(LintRngTest, NolintSuppresses) {
+  EXPECT_TRUE(
+      Lint("src/a.cc", "int x = rand();  // NOLINT(monsoon-rng)\n").empty());
+  EXPECT_TRUE(Lint("src/a.cc", "int x = rand();  // NOLINT\n").empty());
+  // A NOLINT naming a different rule does not suppress.
+  EXPECT_FALSE(
+      Lint("src/a.cc", "int x = rand();  // NOLINT(monsoon-thread)\n").empty());
+}
+
+TEST(LintAccountingTest, CountersOnlyMutableInExecContext) {
+  auto diags = Lint("src/mcts/m.cc", "void f() { work_units_ += 3; }\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "monsoon-accounting");
+
+  EXPECT_TRUE(HasRule(Lint("tests/t.cc", "ctx.objects_processed_ = 0;\n"),
+                      "monsoon-accounting"));
+  // The owning header is the one sanctioned location.
+  EXPECT_TRUE(Lint("src/exec/exec_context.h",
+                   "#ifndef MONSOON_EXEC_EXEC_CONTEXT_H_\n"
+                   "#define MONSOON_EXEC_EXEC_CONTEXT_H_\n"
+                   "void Charge(int n) { objects_processed_ += n; }\n"
+                   "#endif\n")
+                  .empty());
+}
+
+TEST(LintThreadTest, StdThreadOnlyInParallel) {
+  auto diags = Lint("src/exec/e.cc", "std::thread t([] {});\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "monsoon-thread");
+
+  EXPECT_TRUE(HasRule(Lint("src/harness/h.cc", "auto f = std::async(g);\n"),
+                      "monsoon-thread"));
+  EXPECT_TRUE(Lint("src/parallel/pool.cc", "std::thread t([] {});\n").empty());
+  // An unqualified member named `thread` is fine.
+  EXPECT_TRUE(Lint("src/a.cc", "int thread = 0;\n").empty());
+}
+
+TEST(LintRawNewTest, FlagsNewAndDeleteButNotDeletedMembers) {
+  EXPECT_TRUE(HasRule(Lint("src/a.cc", "int* p = new int[4];\n"), "monsoon-raw-new"));
+  EXPECT_TRUE(HasRule(Lint("src/a.cc", "void f(T* p) { delete p; }\n"),
+                      "monsoon-raw-new"));
+  EXPECT_TRUE(Lint("src/a.h", "#ifndef MONSOON_A_H_\n#define MONSOON_A_H_\n"
+                              "struct S { S(const S&) = delete; };\n"
+                              "#endif  // MONSOON_A_H_\n")
+                  .empty());
+  EXPECT_TRUE(
+      Lint("src/a.cc", "auto* s = new S();  // NOLINT(monsoon-raw-new)\n").empty());
+  // tests/ may use raw new (GTest fixtures sometimes do).
+  EXPECT_TRUE(Lint("tests/t.cc", "int* p = new int;\n").empty());
+}
+
+TEST(LintPinnedGetTest, FlagsGetOnColumnPointersInExec) {
+  auto diags =
+      Lint("src/exec/e.cc", "void f() { use(cached_col.get()); }\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "monsoon-pinned-get");
+
+  // Subscripted receivers resolve through the base identifier.
+  EXPECT_TRUE(HasRule(Lint("src/exec/e.cc", "use(left_cols[k].get());\n"),
+                      "monsoon-pinned-get"));
+  // Non-column pointers and non-exec paths are out of scope.
+  EXPECT_TRUE(Lint("src/exec/e.cc", "use(table.get());\n").empty());
+  EXPECT_TRUE(Lint("src/sql/s.cc", "use(cached_col.get());\n").empty());
+  EXPECT_TRUE(
+      Lint("src/exec/e.cc", "use(cached_col.get());  // NOLINT(monsoon-pinned-get)\n")
+          .empty());
+}
+
+TEST(LintIncludeTest, GuardNamingFollowsPath) {
+  const std::string good =
+      "#ifndef MONSOON_EXEC_FOO_H_\n#define MONSOON_EXEC_FOO_H_\n"
+      "#endif  // MONSOON_EXEC_FOO_H_\n";
+  EXPECT_TRUE(Lint("src/exec/foo.h", good).empty());
+
+  auto wrong = Lint("src/exec/foo.h",
+                    "#ifndef FOO_H\n#define FOO_H\n#endif\n");
+  ASSERT_EQ(wrong.size(), 1u);
+  EXPECT_EQ(wrong[0].rule, "monsoon-include");
+  EXPECT_NE(wrong[0].message.find("MONSOON_EXEC_FOO_H_"), std::string::npos);
+
+  EXPECT_TRUE(HasRule(Lint("src/exec/foo.h", "#pragma once\nstruct S {};\n"),
+                      "monsoon-include"));
+  // tools/ headers keep the tools/ prefix in the guard.
+  EXPECT_TRUE(Lint("tools/lint/bar.h",
+                   "#ifndef MONSOON_TOOLS_LINT_BAR_H_\n"
+                   "#define MONSOON_TOOLS_LINT_BAR_H_\n#endif\n")
+                  .empty());
+}
+
+TEST(LintIncludeTest, OwnHeaderFirstAndCycleDetection) {
+  const std::string header =
+      "#ifndef MONSOON_EXEC_FOO_H_\n#define MONSOON_EXEC_FOO_H_\n#endif\n";
+  // Own header first: clean.
+  EXPECT_TRUE(LintFiles({{"src/exec/foo.h", header},
+                         {"src/exec/foo.cc",
+                          "#include \"exec/foo.h\"\n#include <vector>\n"}})
+                  .empty());
+  // Another include before the own header: flagged.
+  auto diags = LintFiles({{"src/exec/foo.h", header},
+                          {"src/exec/foo.cc",
+                           "#include <vector>\n#include \"exec/foo.h\"\n"}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "monsoon-include");
+  EXPECT_EQ(diags[0].path, "src/exec/foo.cc");
+
+  // a.h -> b.h -> a.h is a cycle.
+  auto cyc = LintFiles(
+      {{"src/q/a.h",
+        "#ifndef MONSOON_Q_A_H_\n#define MONSOON_Q_A_H_\n"
+        "#include \"q/b.h\"\n#endif\n"},
+       {"src/q/b.h",
+        "#ifndef MONSOON_Q_B_H_\n#define MONSOON_Q_B_H_\n"
+        "#include \"q/a.h\"\n#endif\n"}});
+  EXPECT_TRUE(HasRule(cyc, "monsoon-include"));
+}
+
+TEST(LintLockRankTest, BlockingCallUnderLock) {
+  const std::string bad =
+      "void f() {\n"
+      "  MutexLock lock(mu_);\n"
+      "  group.Wait();\n"
+      "}\n";
+  auto diags = Lint("src/exec/e.cc", bad);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "monsoon-lock-rank");
+  EXPECT_EQ(diags[0].line, 3);
+
+  // Waiting on a condition variable releases the mutex: allowed.
+  EXPECT_TRUE(Lint("src/parallel/p.cc",
+                   "void f() {\n  MutexLock lock(idle_mu_);\n"
+                   "  idle_cv_.Wait(idle_mu_);\n}\n")
+                  .empty());
+  // Wait after the guard's scope closes: allowed.
+  EXPECT_TRUE(Lint("src/exec/e.cc",
+                   "void f() {\n  { MutexLock lock(mu_); x = 1; }\n"
+                   "  group.Wait();\n}\n")
+                  .empty());
+  EXPECT_TRUE(Lint("src/exec/e.cc",
+                   "void f() {\n  MutexLock lock(mu_);\n"
+                   "  group.Wait();  // NOLINT(monsoon-lock-rank)\n}\n")
+                  .empty());
+}
+
+TEST(LintLockRankTest, AcquisitionOrderFollowsRankTable) {
+  // q.mu (rank 10) is the innermost lock; taking rt.mu (rank 40) under it
+  // inverts the order.
+  auto diags = Lint("src/parallel/p.cc",
+                    "void f() {\n  MutexLock a(q.mu);\n  MutexLock b(rt.mu);\n}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "monsoon-lock-rank");
+  EXPECT_EQ(diags[0].line, 3);
+
+  // Descending order is the sanctioned direction.
+  EXPECT_TRUE(Lint("src/parallel/p.cc",
+                   "void f() {\n  MutexLock a(rt.mu);\n  MutexLock b(q.mu);\n}\n")
+                  .empty());
+  // Sequential (non-nested) scopes never interact.
+  EXPECT_TRUE(Lint("src/parallel/p.cc",
+                   "void f() {\n  { MutexLock a(q.mu); }\n"
+                   "  { MutexLock b(rt.mu); }\n}\n")
+                  .empty());
+}
+
+TEST(LintFilesTest, DiagnosticsSortedAndRuleListStable) {
+  auto diags = LintFiles({{"src/b.cc", "int* p = new int;\n"},
+                          {"src/a.cc", "int x = rand();\nint* q = new int;\n"}});
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_EQ(diags[0].path, "src/a.cc");
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_EQ(diags[1].path, "src/a.cc");
+  EXPECT_EQ(diags[1].line, 2);
+  EXPECT_EQ(diags[2].path, "src/b.cc");
+
+  EXPECT_EQ(RuleNames().size(), 7u);
+}
+
+}  // namespace
+}  // namespace monsoon::lint

@@ -1,0 +1,237 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace monsoon::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Records NOLINT markers found in comment text attached to `line`.
+void RecordNolint(ScannedFile& out, const std::string& comment, int line) {
+  size_t pos = comment.find("NOLINT");
+  while (pos != std::string::npos) {
+    size_t after = pos + 6;  // strlen("NOLINT")
+    // NOLINTNEXTLINE and NOLINTBEGIN/END are not supported; treat any
+    // suffix other than '(' as a bare whole-line suppression.
+    if (after < comment.size() && comment[after] == '(') {
+      size_t close = comment.find(')', after);
+      if (close == std::string::npos) {
+        out.nolint_all_lines.insert(line);
+        return;
+      }
+      std::string inner = comment.substr(after + 1, close - after - 1);
+      size_t start = 0;
+      while (start <= inner.size()) {
+        size_t comma = inner.find(',', start);
+        std::string name = inner.substr(
+            start, comma == std::string::npos ? std::string::npos : comma - start);
+        // Trim whitespace.
+        size_t b = name.find_first_not_of(" \t");
+        size_t e = name.find_last_not_of(" \t");
+        if (b != std::string::npos) {
+          out.nolint_rules[line].insert(name.substr(b, e - b + 1));
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else {
+      out.nolint_all_lines.insert(line);
+    }
+    pos = comment.find("NOLINT", after);
+  }
+}
+
+/// Parses `#include <...>` / `#include "..."` out of a directive line.
+void ParseDirective(ScannedFile& out, const std::string& directive, int line) {
+  size_t i = 1;  // skip '#'
+  while (i < directive.size() && std::isspace(static_cast<unsigned char>(directive[i]))) ++i;
+  size_t word_end = i;
+  while (word_end < directive.size() && IsIdentChar(directive[word_end])) ++word_end;
+  std::string word = directive.substr(i, word_end - i);
+  i = word_end;
+  while (i < directive.size() && std::isspace(static_cast<unsigned char>(directive[i]))) ++i;
+
+  if (word == "include" && i < directive.size()) {
+    char open = directive[i];
+    char close = open == '<' ? '>' : open == '"' ? '"' : '\0';
+    if (close != '\0') {
+      size_t end = directive.find(close, i + 1);
+      if (end != std::string::npos) {
+        IncludeDirective inc;
+        inc.path = directive.substr(i + 1, end - i - 1);
+        inc.angled = open == '<';
+        inc.line = line;
+        out.includes.push_back(inc);
+      }
+    }
+  } else if (word == "ifndef" && out.guard_ifndef.empty() && out.tokens.empty() &&
+             out.includes.empty()) {
+    // Only the first directive of the file (before any token or include)
+    // counts as a candidate header guard.
+    size_t end = i;
+    while (end < directive.size() && IsIdentChar(directive[end])) ++end;
+    out.guard_ifndef = directive.substr(i, end - i);
+  } else if (word == "define" && !out.guard_ifndef.empty() && out.guard_define.empty()) {
+    size_t end = i;
+    while (end < directive.size() && IsIdentChar(directive[end])) ++end;
+    std::string name = directive.substr(i, end - i);
+    if (name == out.guard_ifndef) out.guard_define = name;
+  } else if (word == "pragma" && directive.find("once", i) != std::string::npos) {
+    out.has_pragma_once = true;
+  }
+}
+
+}  // namespace
+
+bool ScannedFile::IsSuppressed(const std::string& rule, int line) const {
+  if (nolint_all_lines.count(line) != 0) return true;
+  auto it = nolint_rules.find(line);
+  return it != nolint_rules.end() && it->second.count(rule) != 0;
+}
+
+ScannedFile ScanSource(const std::string& path, const std::string& text) {
+  ScannedFile out;
+  out.path = path;
+
+  size_t i = 0;
+  int line = 1;
+  const size_t n = text.size();
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (text[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+    }
+  };
+
+  while (i < n) {
+    char c = text[i];
+
+    if (c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      RecordNolint(out, text.substr(i, end - i), line);
+      i = end;
+      continue;
+    }
+
+    // Block comment: NOLINT markers apply to the line the comment starts on.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      size_t end = text.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      else end += 2;
+      RecordNolint(out, text.substr(i, end - i), line);
+      advance(end - i);
+      continue;
+    }
+
+    // Preprocessor directive: collect through backslash continuations.
+    if (c == '#' && at_line_start) {
+      int directive_line = line;
+      std::string directive;
+      while (i < n) {
+        size_t end = text.find('\n', i);
+        if (end == std::string::npos) end = n;
+        // Strip a trailing line comment from the directive text.
+        size_t seg_end = end;
+        size_t cmt = text.find("//", i);
+        if (cmt != std::string::npos && cmt < end) {
+          RecordNolint(out, text.substr(cmt, end - cmt), line);
+          seg_end = cmt;
+        }
+        bool continued = seg_end > i && text[seg_end - 1] == '\\' && cmt == std::string::npos;
+        directive += text.substr(i, seg_end - i - (continued ? 1 : 0));
+        advance(end - i);
+        if (!continued) break;
+        advance(1);  // consume the newline after a continuation
+      }
+      ParseDirective(out, directive, directive_line);
+      out.tokens.push_back({TokenKind::kPreprocessor, directive, directive_line});
+      at_line_start = true;
+      continue;
+    }
+    at_line_start = false;
+
+    // Raw string literal R"delim(...)delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      size_t paren = text.find('(', i + 2);
+      if (paren != std::string::npos) {
+        std::string delim = text.substr(i + 2, paren - i - 2);
+        std::string closer = ")" + delim + "\"";
+        size_t end = text.find(closer, paren + 1);
+        if (end == std::string::npos) end = n;
+        else end += closer.size();
+        out.tokens.push_back({TokenKind::kString, "R\"...\"", line});
+        advance(end - i);
+        continue;
+      }
+    }
+
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      int start_line = line;
+      size_t j = i + 1;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\') ++j;
+        ++j;
+      }
+      if (j < n) ++j;  // consume closing quote
+      out.tokens.push_back({TokenKind::kString, std::string(1, quote) + "..." + quote,
+                            start_line});
+      advance(j - i);
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      out.tokens.push_back({TokenKind::kIdentifier, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    // Number (accept ., ', and exponent signs inside).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(text[j]) || text[j] == '.' || text[j] == '\'' ||
+                       ((text[j] == '+' || text[j] == '-') && j > i &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                         text[j - 1] == 'p' || text[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back({TokenKind::kNumber, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    out.tokens.push_back({TokenKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+
+  out.num_lines = line;
+  return out;
+}
+
+}  // namespace monsoon::lint

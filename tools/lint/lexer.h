@@ -1,0 +1,67 @@
+#ifndef MONSOON_TOOLS_LINT_LEXER_H_
+#define MONSOON_TOOLS_LINT_LEXER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace monsoon::lint {
+
+enum class TokenKind {
+  kIdentifier,   // foo, std, MONSOON_CHECK
+  kNumber,       // 42, 0x1f, 1.5e3
+  kString,       // "..." or '...' (raw strings collapsed)
+  kPunct,        // one punctuation character: ( ) { } ; : , . < > etc.
+  kPreprocessor, // a whole # directive line (continuations joined)
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+/// One #include directive found in a file.
+struct IncludeDirective {
+  std::string path;    // the text between quotes or angle brackets
+  bool angled = false; // <...> vs "..."
+  int line = 0;
+};
+
+/// The result of scanning one source file. Comments and string literal
+/// contents are consumed during scanning; NOLINT markers inside comments
+/// are recorded per line before the comment text is dropped.
+struct ScannedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+
+  /// Lines carrying a bare `// NOLINT` (suppresses every rule on that line).
+  std::set<int> nolint_all_lines;
+  /// line -> set of rule names from `// NOLINT(monsoon-foo, monsoon-bar)`.
+  /// Non-monsoon names (e.g. clang-tidy checks) are kept too; matching is
+  /// by exact rule-name string.
+  std::map<int, std::set<std::string>> nolint_rules;
+
+  /// Header-guard state, filled for .h files: the macro tested by the first
+  /// `#ifndef` / defined by the following `#define`, empty when absent.
+  std::string guard_ifndef;
+  std::string guard_define;
+  bool has_pragma_once = false;
+
+  int num_lines = 0;
+
+  /// True when `rule` is suppressed on `line` by a NOLINT marker.
+  bool IsSuppressed(const std::string& rule, int line) const;
+};
+
+/// Tokenizes C++ source text. This is deliberately not a real C++ lexer:
+/// it understands comments, string/char literals (including raw strings),
+/// preprocessor lines with backslash continuations, identifiers, numbers,
+/// and single punctuation characters — enough for pattern-level rules.
+ScannedFile ScanSource(const std::string& path, const std::string& text);
+
+}  // namespace monsoon::lint
+
+#endif  // MONSOON_TOOLS_LINT_LEXER_H_

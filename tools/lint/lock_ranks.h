@@ -1,0 +1,35 @@
+#ifndef MONSOON_TOOLS_LINT_LOCK_RANKS_H_
+#define MONSOON_TOOLS_LINT_LOCK_RANKS_H_
+
+#include <map>
+#include <string>
+
+namespace monsoon::lint {
+
+/// Lock-rank table for the monsoon-lock-rank rule. Locks must be acquired
+/// in strictly DESCENDING rank order, and no blocking call (TaskGroup::Wait,
+/// ThreadPool::TryRunOne — both may execute arbitrary stolen tasks) may run
+/// while any lock is held.
+///
+/// Keys are the literal guard-argument spelling at the acquisition site
+/// (`MutexLock lock(idle_mu_)` -> "idle_mu_"), which is what a token-level
+/// checker can see. Same-named members in different classes therefore share
+/// a rank; that is intentional — TaskGroup::mu_ and UdfColumnCache::mu_ sit
+/// at the same level because neither may be held across pool work.
+///
+///   rank 40  rt.mu       parallel::Runtime config/pool registry
+///   rank 30  mu_         TaskGroup bookkeeping; UdfColumnCache tables
+///   rank 25  submit_mu_  ThreadPool round-robin submission cursor
+///   rank 20  idle_mu_    ThreadPool pending-count / shutdown flag
+///   rank 10  q.mu        a single WorkQueue's deque (innermost)
+inline const std::map<std::string, int>& LockRankTable() {
+  static const std::map<std::string, int> table = {
+      {"rt.mu", 40}, {"mu_", 30}, {"submit_mu_", 25},
+      {"idle_mu_", 20}, {"q.mu", 10},
+  };
+  return table;
+}
+
+}  // namespace monsoon::lint
+
+#endif  // MONSOON_TOOLS_LINT_LOCK_RANKS_H_

@@ -1,0 +1,424 @@
+#include "rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "lock_ranks.h"
+
+namespace monsoon::lint {
+
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string DirName(const std::string& path) {
+  size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+std::string Stem(const std::string& path) {
+  size_t slash = path.rfind('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = base.rfind('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+bool IsHeader(const std::string& path) { return EndsWith(path, ".h"); }
+
+/// Collects diagnostics and applies NOLINT suppression for one file.
+class Reporter {
+ public:
+  Reporter(const ScannedFile& file, std::vector<Diagnostic>& out)
+      : file_(file), out_(out) {}
+
+  void Report(const std::string& rule, int line, std::string message) {
+    if (file_.IsSuppressed(rule, line)) return;
+    out_.push_back({file_.path, line, rule, std::move(message)});
+  }
+
+ private:
+  const ScannedFile& file_;
+  std::vector<Diagnostic>& out_;
+};
+
+// ---------------------------------------------------------------------------
+// monsoon-rng
+// ---------------------------------------------------------------------------
+
+void CheckRng(const ScannedFile& f, Reporter& r) {
+  if (!StartsWith(f.path, "src/") && !StartsWith(f.path, "tools/")) return;
+  static const std::set<std::string> kBanned = {
+      "rand",    "srand",      "rand_r",       "random_device",
+      "mt19937", "mt19937_64", "minstd_rand",  "minstd_rand0",
+      "ranlux24", "ranlux48",  "default_random_engine",
+  };
+  for (size_t i = 0; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind != TokenKind::kIdentifier || kBanned.count(t.text) == 0) continue;
+    r.Report("monsoon-rng", t.line,
+             "'" + t.text +
+                 "' is banned: draw randomness from Pcg32 seeded with "
+                 "seed + worker_id (see common/random.h)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// monsoon-accounting
+// ---------------------------------------------------------------------------
+
+void CheckAccounting(const ScannedFile& f, Reporter& r) {
+  if (EndsWith(f.path, "src/exec/exec_context.h")) return;
+  static const std::set<std::string> kCounters = {"objects_processed_",
+                                                  "work_units_"};
+  for (const Token& t : f.tokens) {
+    if (t.kind != TokenKind::kIdentifier || kCounters.count(t.text) == 0) continue;
+    r.Report("monsoon-accounting", t.line,
+             "cost-model counter '" + t.text +
+                 "' may only be touched inside src/exec/exec_context.h; go "
+                 "through ExecContext::Charge/ChargeWork");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// monsoon-thread
+// ---------------------------------------------------------------------------
+
+void CheckThread(const ScannedFile& f, Reporter& r) {
+  if (!StartsWith(f.path, "src/") || StartsWith(f.path, "src/parallel/")) return;
+  static const std::set<std::string> kBanned = {"thread", "jthread", "async"};
+  const auto& toks = f.tokens;
+  for (size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (toks[i].kind == TokenKind::kIdentifier && toks[i].text == "std" &&
+        toks[i + 1].text == ":" && toks[i + 2].text == ":" &&
+        toks[i + 3].kind == TokenKind::kIdentifier &&
+        kBanned.count(toks[i + 3].text) != 0) {
+      r.Report("monsoon-thread", toks[i].line,
+               "std::" + toks[i + 3].text +
+                   " outside src/parallel/: route work through "
+                   "parallel::ThreadPool / TaskGroup");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// monsoon-raw-new
+// ---------------------------------------------------------------------------
+
+void CheckRawNew(const ScannedFile& f, Reporter& r) {
+  if (!StartsWith(f.path, "src/")) return;
+  const auto& toks = f.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    if (toks[i].text == "new") {
+      r.Report("monsoon-raw-new", toks[i].line,
+               "raw 'new': use std::make_unique / std::make_shared (add a "
+               "NOLINT for a deliberately leaked singleton)");
+    } else if (toks[i].text == "delete") {
+      // `= delete` (deleted member) and `= delete;` are not deallocations.
+      if (i > 0 && toks[i - 1].text == "=") continue;
+      r.Report("monsoon-raw-new", toks[i].line,
+               "raw 'delete': ownership must live in a smart pointer");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// monsoon-pinned-get
+// ---------------------------------------------------------------------------
+
+/// Walks left from token index `i` over one balanced [...] subscript and
+/// returns the index of the base identifier, or npos.
+size_t ReceiverIndex(const std::vector<Token>& toks, size_t i) {
+  if (i == 0) return std::string::npos;
+  size_t k = i - 1;
+  if (toks[k].text == "]") {
+    int depth = 1;
+    while (k > 0 && depth > 0) {
+      --k;
+      if (toks[k].text == "]") ++depth;
+      if (toks[k].text == "[") --depth;
+    }
+    if (depth != 0 || k == 0) return std::string::npos;
+    --k;
+  }
+  return toks[k].kind == TokenKind::kIdentifier ? k : std::string::npos;
+}
+
+void CheckPinnedGet(const ScannedFile& f, Reporter& r) {
+  if (!StartsWith(f.path, "src/exec/")) return;
+  const auto& toks = f.tokens;
+  for (size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (toks[i].text != "." || toks[i + 1].text != "get" ||
+        toks[i + 2].text != "(" || toks[i + 3].text != ")") {
+      continue;
+    }
+    size_t recv = ReceiverIndex(toks, i);
+    if (recv == std::string::npos) continue;
+    if (Lower(toks[recv].text).find("col") == std::string::npos) continue;
+    r.Report("monsoon-pinned-get", toks[i].line,
+             "'" + toks[recv].text +
+                 ".get()' lets a raw pointer escape the cache pin; keep the "
+                 "shared_ptr (it is what holds the column across eviction)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// monsoon-include
+// ---------------------------------------------------------------------------
+
+/// The canonical guard for "src/exec/udf_cache.h" is
+/// MONSOON_EXEC_UDF_CACHE_H_ (src/ stripped); tools/ keeps its prefix.
+std::string ExpectedGuard(const std::string& path) {
+  std::string rel = StartsWith(path, "src/") ? path.substr(4) : path;
+  std::string guard = "MONSOON_";
+  for (char c : rel) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+/// Resolves a quoted include to a path present in `known`, trying the repo
+/// conventions: src/-relative, repo-relative, then includer-relative.
+std::string ResolveInclude(const std::string& includer, const std::string& inc,
+                           const std::set<std::string>& known) {
+  if (known.count("src/" + inc) != 0) return "src/" + inc;
+  if (known.count(inc) != 0) return inc;
+  std::string dir = DirName(includer);
+  if (!dir.empty() && known.count(dir + "/" + inc) != 0) return dir + "/" + inc;
+  return std::string();
+}
+
+void CheckIncludes(const std::map<std::string, ScannedFile>& files,
+                   std::vector<Diagnostic>& out) {
+  std::set<std::string> known;
+  for (const auto& [path, f] : files) known.insert(path);
+
+  // Per-file: guard naming and own-header-first.
+  for (const auto& [path, f] : files) {
+    if (!StartsWith(path, "src/") && !StartsWith(path, "tools/")) continue;
+    Reporter r(f, out);
+    if (IsHeader(path)) {
+      std::string want = ExpectedGuard(path);
+      if (f.guard_ifndef.empty() || f.guard_define.empty()) {
+        r.Report("monsoon-include", 1,
+                 f.has_pragma_once
+                     ? "use the include guard " + want + " instead of #pragma once"
+                     : "missing include guard " + want);
+      } else if (f.guard_ifndef != want) {
+        r.Report("monsoon-include", 1,
+                 "include guard '" + f.guard_ifndef + "' should be '" + want + "'");
+      }
+    } else {
+      // A .cc whose own header is in the lint set must include it first, so
+      // every header is compiled self-sufficient at least once.
+      std::string own_header = DirName(path) + "/" + Stem(path) + ".h";
+      if (known.count(own_header) != 0 && !f.includes.empty()) {
+        const IncludeDirective& first = f.includes.front();
+        std::string resolved =
+            first.angled ? std::string() : ResolveInclude(path, first.path, known);
+        if (resolved != own_header) {
+          r.Report("monsoon-include", first.line,
+                   "first include must be this file's own header (" +
+                       own_header + ")");
+        }
+      }
+    }
+  }
+
+  // Cross-file: cycle detection over resolved quoted includes.
+  std::map<std::string, std::vector<const IncludeDirective*>> edges;
+  for (const auto& [path, f] : files) {
+    for (const IncludeDirective& inc : f.includes) {
+      if (inc.angled) continue;
+      if (!ResolveInclude(path, inc.path, known).empty()) {
+        edges[path].push_back(&inc);
+      }
+    }
+  }
+  std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    state[node] = 1;
+    for (const IncludeDirective* inc : edges[node]) {
+      std::string next = ResolveInclude(node, inc->path, known);
+      int s = state.count(next) != 0 ? state[next] : 0;
+      if (s == 1) {
+        Reporter r(files.at(node), out);
+        r.Report("monsoon-include", inc->line,
+                 "include cycle: " + node + " -> " + next +
+                     " closes back on a file already being included");
+      } else if (s == 0) {
+        dfs(next);
+      }
+    }
+    state[node] = 2;
+  };
+  for (const auto& [path, f] : files) {
+    if (state[path] == 0) dfs(path);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// monsoon-lock-rank
+// ---------------------------------------------------------------------------
+
+struct HeldLock {
+  int brace_depth;   // depth the guard was declared at
+  std::string arg;   // literal spelling of the guarded mutex
+  int rank;          // -1 when not in the rank table
+  int line;
+};
+
+/// True for RAII guard spellings whose constructor acquires the lock.
+bool IsGuardKeyword(const std::string& text) {
+  return text == "MutexLock" || text == "lock_guard" || text == "unique_lock" ||
+         text == "scoped_lock";
+}
+
+void CheckLockRank(const ScannedFile& f, Reporter& r) {
+  if (!StartsWith(f.path, "src/")) return;
+  const auto& ranks = LockRankTable();
+  const auto& toks = f.tokens;
+  std::vector<HeldLock> held;
+  int depth = 0;
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokenKind::kPreprocessor) continue;
+    if (t.text == "{") {
+      ++depth;
+      continue;
+    }
+    if (t.text == "}") {
+      --depth;
+      while (!held.empty() && held.back().brace_depth > depth) held.pop_back();
+      continue;
+    }
+    if (t.kind != TokenKind::kIdentifier) continue;
+
+    // Guard construction: KEYWORD [<...>] [varname] ( first_arg ...
+    if (IsGuardKeyword(t.text)) {
+      size_t j = i + 1;
+      if (j < toks.size() && toks[j].text == "<") {
+        int angle = 1;
+        ++j;
+        while (j < toks.size() && angle > 0) {
+          if (toks[j].text == "<") ++angle;
+          if (toks[j].text == ">") --angle;
+          ++j;
+        }
+      }
+      if (j < toks.size() && toks[j].kind == TokenKind::kIdentifier) ++j;
+      if (j >= toks.size() || toks[j].text != "(") continue;
+      // Concatenate the first constructor argument ("rt" "." "mu" -> "rt.mu").
+      std::string arg;
+      int paren = 1;
+      for (++j; j < toks.size() && paren > 0; ++j) {
+        if (toks[j].text == "(") ++paren;
+        if (toks[j].text == ")") --paren;
+        if (paren == 0) break;
+        if (toks[j].text == "," && paren == 1) break;
+        arg += toks[j].text;
+      }
+      // Constructor declarations (`MutexLock(Mutex& mu)`, deleted copies)
+      // match the same token shape; a real acquisition site names a plain
+      // object, never a type-qualified parameter.
+      if (arg.empty() || arg.find('&') != std::string::npos ||
+          arg.find("const") != std::string::npos) {
+        i = j;
+        continue;
+      }
+      auto rank_it = ranks.find(arg);
+      int rank = rank_it == ranks.end() ? -1 : rank_it->second;
+      if (rank >= 0) {
+        for (const HeldLock& h : held) {
+          if (h.rank >= 0 && rank >= h.rank) {
+            r.Report("monsoon-lock-rank", t.line,
+                     "acquires '" + arg + "' (rank " + std::to_string(rank) +
+                         ") while holding '" + h.arg + "' (rank " +
+                         std::to_string(h.rank) +
+                         "); locks must be taken in descending rank order");
+          }
+        }
+      }
+      held.push_back({depth, arg, rank, t.line});
+      i = j;
+      continue;
+    }
+
+    // Blocking call under a lock: TaskGroup::Wait / WaitFor / TryRunOne may
+    // execute arbitrary stolen tasks, which can acquire any lock.
+    if ((t.text == "Wait" || t.text == "WaitFor" || t.text == "TryRunOne") &&
+        i + 1 < toks.size() && toks[i + 1].text == "(" && !held.empty()) {
+      // Skip qualified names (definitions like `void TaskGroup::Wait()`).
+      if (i >= 2 && toks[i - 1].text == ":" && toks[i - 2].text == ":") continue;
+      // Skip condition-variable waits: they release the mutex while parked.
+      if (i >= 2 && (toks[i - 1].text == "." ||
+                     (toks[i - 1].text == ">" && toks[i - 2].text == "-"))) {
+        size_t recv = ReceiverIndex(toks, toks[i - 1].text == "." ? i - 1 : i - 2);
+        if (recv != std::string::npos &&
+            Lower(toks[recv].text).find("cv") != std::string::npos) {
+          continue;
+        }
+      }
+      const HeldLock& h = held.back();
+      r.Report("monsoon-lock-rank", t.line,
+               "blocking call '" + t.text + "' while holding '" + h.arg +
+                   "' (acquired line " + std::to_string(h.line) +
+                   "): helper threads may steal a task that needs that lock");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> RuleNames() {
+  return {"monsoon-rng",        "monsoon-accounting", "monsoon-thread",
+          "monsoon-raw-new",    "monsoon-pinned-get", "monsoon-include",
+          "monsoon-lock-rank"};
+}
+
+std::vector<Diagnostic> LintFiles(const std::vector<SourceFile>& files) {
+  std::vector<Diagnostic> out;
+  std::map<std::string, ScannedFile> scanned;
+  for (const SourceFile& sf : files) {
+    scanned.emplace(sf.path, ScanSource(sf.path, sf.text));
+  }
+  for (const auto& [path, f] : scanned) {
+    Reporter r(f, out);
+    CheckRng(f, r);
+    CheckAccounting(f, r);
+    CheckThread(f, r);
+    CheckRawNew(f, r);
+    CheckPinnedGet(f, r);
+    CheckLockRank(f, r);
+  }
+  CheckIncludes(scanned, out);
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+}  // namespace monsoon::lint

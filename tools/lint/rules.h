@@ -1,0 +1,58 @@
+#ifndef MONSOON_TOOLS_LINT_RULES_H_
+#define MONSOON_TOOLS_LINT_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace monsoon::lint {
+
+/// One finding. Rendered as "path:line: [rule] message".
+struct Diagnostic {
+  std::string path;
+  int line = 0;
+  std::string rule;     // e.g. "monsoon-rng"
+  std::string message;
+};
+
+/// A file handed to the linter: `path` is repo-relative with '/' separators
+/// (rule scoping keys on it), `text` is the raw source.
+struct SourceFile {
+  std::string path;
+  std::string text;
+};
+
+/// Names of every implemented rule, in diagnostic-emission order.
+std::vector<std::string> RuleNames();
+
+/// Runs every rule over `files` and returns findings sorted by
+/// (path, line, rule). NOLINT suppressions are already applied.
+///
+/// Rules (scope in parentheses):
+///   monsoon-rng         (src/, tools/)  no std::rand / random_device /
+///                       mt19937 etc.; randomness must come from Pcg32
+///                       seeded with seed + worker_id (common/random.h).
+///   monsoon-accounting  (everywhere)    the MONSOON cost-model counters
+///                       (objects_processed_, work_units_) may only be
+///                       touched inside src/exec/exec_context.h.
+///   monsoon-thread      (src/ minus src/parallel/)  no std::thread /
+///                       std::async / std::jthread; parallelism goes
+///                       through parallel::ThreadPool.
+///   monsoon-raw-new     (src/)          no raw new / delete expressions;
+///                       use make_unique / make_shared (deliberately leaked
+///                       singletons carry a NOLINT).
+///   monsoon-pinned-get  (src/exec/)     no .get() on cache-pinned column
+///                       shared_ptrs — a raw pointer escapes the pin and
+///                       dangles after eviction.
+///   monsoon-include     (src/, tools/)  headers carry MONSOON_<PATH>_H_
+///                       guards, a .cc includes its own header first, and
+///                       quoted includes must be acyclic.
+///   monsoon-lock-rank   (src/)          locks acquire in descending
+///                       lock_ranks.h order and no blocking call
+///                       (TaskGroup::Wait / TryRunOne) runs under a lock.
+std::vector<Diagnostic> LintFiles(const std::vector<SourceFile>& files);
+
+}  // namespace monsoon::lint
+
+#endif  // MONSOON_TOOLS_LINT_RULES_H_
