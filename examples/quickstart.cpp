@@ -3,21 +3,34 @@
 // statistics collection with execution.
 //
 // Run:  ./build/examples/quickstart [--threads=N] [--udf-cache-bytes=B]
+//                                   [--trace-out=F] [--report-out=F]
 //
 // --threads=N runs the morsel-driven executor and root-parallel MCTS on
 // N threads (default 1 = fully serial). --udf-cache-bytes=B sets the
 // evaluate-once UDF column cache budget (0 disables it; the default also
 // honors MONSOON_UDF_CACHE). The result rows and Mobjects are the same
 // either way; only wall-clock time changes.
+//
+// --trace-out=F writes a Chrome trace_event JSON to F: open it in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing to see every MDP step,
+// MCTS phase, executor operator, and thread-pool task on a timeline.
+// MONSOON_TRACE=F does the same without the flag. --report-out=F writes
+// the per-query JSON run report (counters + Table 8-style breakdown).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "baselines/baselines.h"
 #include "exec/udf_cache.h"
 #include "monsoon/monsoon_optimizer.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "parallel/runtime.h"
 #include "sql/parser.h"
 #include "workloads/genutil.h"
@@ -58,7 +71,31 @@ Status BuildDatabase(Catalog* catalog) {
   return Status::OK();
 }
 
-Status RunDemo() {
+// Flattens a finished run into a run-report entry, attributing the global
+// registry delta observed across it to this strategy.
+obs::QueryReport MakeReport(const char* strategy, const RunResult& result,
+                            const obs::MetricsSnapshot& before) {
+  obs::QueryReport report;
+  report.query = "quickstart";
+  report.strategy = strategy;
+  report.status = result.ok() ? "ok" : (result.timed_out() ? "timeout" : "error");
+  report.result_rows = result.result_rows;
+  report.objects_processed = result.objects_processed;
+  report.work_units = result.work_units;
+  report.total_seconds = result.total_seconds;
+  report.plan_seconds = result.plan_seconds;
+  report.stats_seconds = result.stats_seconds;
+  report.exec_seconds = result.exec_seconds;
+  report.execute_rounds = result.execute_rounds;
+  report.stats_collections = result.stats_collections;
+  report.udf_cache_hits = result.udf_cache_hits;
+  report.udf_cache_misses = result.udf_cache_misses;
+  report.udf_cache_bytes = result.udf_cache_bytes;
+  report.metrics = obs::SnapshotDelta(before, obs::Registry::Global().Snapshot());
+  return report;
+}
+
+Status RunDemo(const std::string& report_out) {
   Catalog catalog;
   MONSOON_RETURN_IF_ERROR(BuildDatabase(&catalog));
 
@@ -76,8 +113,11 @@ Status RunDemo() {
   options.prior = PriorKind::kSpikeAndSlab;
   options.mcts.iterations = 400;
   MonsoonOptimizer monsoon(&catalog, options);
+  obs::MetricsSnapshot before = obs::Registry::Global().Snapshot();
   RunResult result = monsoon.Run(query);
   if (!result.ok()) return result.status;
+  std::vector<obs::QueryReport> reports;
+  reports.push_back(MakeReport("monsoon", result, before));
 
   std::cout << "Monsoon actions taken:\n";
   for (const std::string& action : result.action_log) {
@@ -91,18 +131,29 @@ Status RunDemo() {
       result.plan_seconds, result.stats_seconds, result.exec_seconds);
 
   // Compare with the Defaults baseline (d = 10% magic constant).
+  before = obs::Registry::Global().Snapshot();
   RunResult defaults = MakeDefaultsStrategy()->Run(catalog, query, 0);
   if (!defaults.ok()) return defaults.status;
+  reports.push_back(MakeReport("defaults", defaults, before));
   std::printf("Defaults: %llu result rows, %.2f Mobjects processed, %.3f s total\n",
               static_cast<unsigned long long>(defaults.result_rows),
               static_cast<double>(defaults.objects_processed) / 1e6,
               defaults.total_seconds);
+
+  if (!report_out.empty()) {
+    std::ofstream out(report_out);
+    if (!out) return Status::Internal("cannot open '" + report_out + "'");
+    obs::WriteRunReport(out, reports, obs::Registry::Global().Snapshot());
+    std::cout << "\nRun report written to " << report_out << "\n";
+  }
   return Status::OK();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string trace_out;
+  std::string report_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       int threads = std::atoi(argv[i] + 10);
@@ -117,16 +168,39 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--udf-cache-bytes=", 18) == 0) {
       SetDefaultUdfCacheBytes(
           static_cast<size_t>(std::strtoull(argv[i] + 18, nullptr, 10)));
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--report-out=", 13) == 0) {
+      report_out = argv[i] + 13;
     } else {
       std::cerr << "unknown flag: " << argv[i]
-                << " (supported: --threads=N, --udf-cache-bytes=B)\n";
+                << " (supported: --threads=N, --udf-cache-bytes=B, "
+                   "--trace-out=F, --report-out=F)\n";
       return 1;
     }
   }
-  Status status = RunDemo();
+  if (!trace_out.empty()) {
+    Status status = obs::StartTracing(trace_out);
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << "\n";
+      return 1;
+    }
+  } else {
+    obs::MaybeStartTracingFromEnv();
+  }
+  Status status = RunDemo(report_out);
   if (!status.ok()) {
     std::cerr << "error: " << status.ToString() << "\n";
     return 1;
+  }
+  if (!trace_out.empty()) {
+    Status stop = obs::StopTracing();
+    if (!stop.ok()) {
+      std::cerr << "error: " << stop.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "Trace written to " << trace_out
+              << " (open in https://ui.perfetto.dev or chrome://tracing)\n";
   }
   return 0;
 }

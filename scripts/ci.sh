@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI pipeline, five stages:
+# CI pipeline, six stages:
 #
 #   release  Release build (warnings as errors) + full ctest suite
 #   tsan     ThreadSanitizer build + `ctest -L tsan` (concurrency suites)
@@ -7,11 +7,15 @@
 #   ubsan    UBSan build (-fno-sanitize-recover) + full ctest suite
 #   lint     monsoon-lint over src/ tools/ tests/, plus clang-tidy when
 #            a clang-tidy binary is on PATH
+#   obs      observability smoke: quickstart with --trace-out/--report-out,
+#            monsoon-trace-check over both artifacts, and the
+#            bench_obs_overhead disabled-path gate (BENCH_obs_overhead.json)
 #
 # Run from anywhere in the repository:
 #
 #   ./scripts/ci.sh            # all stages
-#   ./scripts/ci.sh release    # one stage by name (release|tsan|asan|ubsan|lint)
+#   ./scripts/ci.sh release    # one stage by name
+#                              # (release|tsan|asan|ubsan|lint|obs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,18 +28,18 @@ fi
 STAGE="${1:-all}"
 
 release_stage() {
-  echo "=== [1/5] Release build (-Werror) + full test suite ==="
+  echo "=== [1/6] Release build (-Werror) + full test suite ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}"
   ctest --test-dir build-ci-release --output-on-failure -j "${JOBS}"
 }
 
 tsan_stage() {
-  echo "=== [2/5] ThreadSanitizer build + concurrency tests ==="
+  echo "=== [2/6] ThreadSanitizer build + concurrency tests ==="
   cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=thread
   cmake --build build-ci-tsan -j "${JOBS}" \
-    --target parallel_test exec_test determinism_test
+    --target parallel_test exec_test determinism_test obs_test
   # Everything that crosses the src/parallel/ runtime: the pool/TaskGroup/
   # ParallelFor unit tests, the serial-vs-parallel equivalence suite
   # (morsel scans, partitioned hash join, parallel Σ), and the same-seed
@@ -44,7 +48,7 @@ tsan_stage() {
 }
 
 asan_stage() {
-  echo "=== [3/5] AddressSanitizer build + UDF cache tests ==="
+  echo "=== [3/6] AddressSanitizer build + UDF cache tests ==="
   cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=address
   cmake --build build-ci-asan -j "${JOBS}" --target udf_cache_test exec_test
@@ -55,7 +59,7 @@ asan_stage() {
 }
 
 ubsan_stage() {
-  echo "=== [4/5] UndefinedBehaviorSanitizer build + full test suite ==="
+  echo "=== [4/6] UndefinedBehaviorSanitizer build + full test suite ==="
   # -fno-sanitize-recover=all (set by the CMake option) turns any UB hit
   # into a test failure rather than a log line.
   cmake -B build-ci-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -65,7 +69,7 @@ ubsan_stage() {
 }
 
 lint_stage() {
-  echo "=== [5/5] monsoon-lint + clang-tidy ==="
+  echo "=== [5/6] monsoon-lint + clang-tidy ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}" --target monsoon-lint
   # Repo invariants (RNG discipline, accounting isolation, lock ranks,
@@ -80,21 +84,41 @@ lint_stage() {
   fi
 }
 
+obs_stage() {
+  echo "=== [6/6] Observability smoke: trace + run report + overhead gate ==="
+  cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
+  cmake --build build-ci-release -j "${JOBS}" \
+    --target quickstart monsoon-trace-check bench_obs_overhead
+  local obs_dir="build-ci-release/obs-smoke"
+  mkdir -p "${obs_dir}"
+  # --threads=2 exercises the pool lanes so the trace must contain all four
+  # span categories (mdp, mcts, exec, pool).
+  ./build-ci-release/examples/quickstart --threads=2 \
+    --trace-out="${obs_dir}/trace.json" --report-out="${obs_dir}/report.json"
+  ./build-ci-release/tools/obs/monsoon-trace-check \
+    --trace "${obs_dir}/trace.json" --expect-pool \
+    --report "${obs_dir}/report.json"
+  # Fails when the disabled tracing path stops being branch-cheap.
+  ./build-ci-release/bench/bench_obs_overhead "${obs_dir}/BENCH_obs_overhead.json"
+}
+
 case "${STAGE}" in
   release) release_stage ;;
   tsan) tsan_stage ;;
   asan) asan_stage ;;
   ubsan) ubsan_stage ;;
   lint) lint_stage ;;
+  obs) obs_stage ;;
   all)
     release_stage
     tsan_stage
     asan_stage
     ubsan_stage
     lint_stage
+    obs_stage
     ;;
   *)
-    echo "usage: $0 [release|tsan|asan|ubsan|lint|all]" >&2
+    echo "usage: $0 [release|tsan|asan|ubsan|lint|obs|all]" >&2
     exit 2
     ;;
 esac

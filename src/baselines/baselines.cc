@@ -62,11 +62,7 @@ Status ExecutePlanTracked(const Catalog& catalog, const QuerySpec& query,
   WallTimer timer;
   StatusOr<ExecResult> exec_or = executor.Execute(plan, &store, ctx);
   result->exec_seconds += timer.Seconds();
-  result->objects_processed = ctx->objects_processed();
-  result->work_units = ctx->work_units();
-  result->udf_cache_hits = ctx->udf_cache_hits();
-  result->udf_cache_misses = ctx->udf_cache_misses();
-  result->udf_cache_bytes = ctx->udf_cache_bytes();
+  CaptureAccounting(*ctx, result);
   result->execute_rounds += 1;
   if (!exec_or.ok()) return exec_or.status();
   result->result_rows = exec_or->output.table->num_rows();
@@ -116,6 +112,8 @@ class PlanExecStrategy : public Strategy {
       Status st = CollectStatistics(catalog, query, &stats, &ctx, result);
       result->stats_seconds += stats_timer.Seconds();
       if (!st.ok()) {
+        // Stats-phase failure: only the paper counters are meaningful here
+        // (the UDF cache fields keep their zero defaults, as before).
         result->objects_processed = ctx.objects_processed();
         result->work_units = ctx.work_units();
         return st;

@@ -5,6 +5,8 @@
 #include <cstdint>
 
 #include "common/status.h"
+#include "exec/run_result.h"
+#include "obs/metrics.h"
 #include "parallel/runtime.h"
 
 namespace monsoon {
@@ -27,6 +29,9 @@ namespace monsoon {
 /// tallies and charge the context once at each merge barrier, which keeps
 /// the recorded totals identical to the serial path (budget trips are
 /// detected at barrier granularity instead of per row; see DESIGN.md).
+/// They are obs::LocalCounter (single-owner, plain integer adds) rather
+/// than registry metrics for exactly that reason: the per-row ChargeWork
+/// budget check must stay a plain add + compare.
 class ExecContext {
  public:
   ExecContext() = default;
@@ -34,21 +39,21 @@ class ExecContext {
   /// work_budget == 0 means unlimited.
   explicit ExecContext(uint64_t work_budget) : work_budget_(work_budget) {}
 
-  uint64_t objects_processed() const { return objects_processed_; }
-  uint64_t work_units() const { return work_units_; }
+  uint64_t objects_processed() const { return objects_processed_.Value(); }
+  uint64_t work_units() const { return work_units_.Value(); }
   uint64_t work_budget() const { return work_budget_; }
 
   /// Charges `n` objects to both counters; fails with ResourceExhausted
   /// once the work budget is exceeded.
   Status Charge(uint64_t n) {
-    objects_processed_ += n;
+    objects_processed_.Add(n);
     return ChargeWork(n);
   }
 
   /// Charges `n` to the work counter only (e.g. nested-loop candidates).
   Status ChargeWork(uint64_t n) {
-    work_units_ += n;
-    if (work_budget_ != 0 && work_units_ > work_budget_) {
+    work_units_.Add(n);
+    if (work_budget_ != 0 && work_units_.Value() > work_budget_) {
       return Status::ResourceExhausted("work budget exceeded");
     }
     return Status::OK();
@@ -59,22 +64,22 @@ class ExecContext {
   /// query may touch several stores, e.g. sampling pilot runs), so the
   /// totals survive store teardown. Purely observational — cache work is
   /// never charged to the paper's counters above.
-  uint64_t udf_cache_hits() const { return udf_cache_hits_; }
-  uint64_t udf_cache_misses() const { return udf_cache_misses_; }
-  uint64_t udf_cache_evictions() const { return udf_cache_evictions_; }
-  uint64_t udf_cache_bytes() const { return udf_cache_bytes_; }
+  uint64_t udf_cache_hits() const { return udf_cache_hits_.Value(); }
+  uint64_t udf_cache_misses() const { return udf_cache_misses_.Value(); }
+  uint64_t udf_cache_evictions() const { return udf_cache_evictions_.Value(); }
+  uint64_t udf_cache_bytes() const { return udf_cache_bytes_.Value(); }
   void AddUdfCacheDelta(uint64_t hits, uint64_t misses, uint64_t evictions,
                         uint64_t bytes_in_use) {
-    udf_cache_hits_ += hits;
-    udf_cache_misses_ += misses;
-    udf_cache_evictions_ += evictions;
-    udf_cache_bytes_ = bytes_in_use;
+    udf_cache_hits_.Add(hits);
+    udf_cache_misses_.Add(misses);
+    udf_cache_evictions_.Add(evictions);
+    udf_cache_bytes_.Set(bytes_in_use);
   }
 
   /// Seconds spent inside Σ statistics collection (filled by the
   /// executor); drives the Table 8 component breakdown.
-  double stats_collect_seconds() const { return stats_collect_seconds_; }
-  void AddStatsCollectSeconds(double s) { stats_collect_seconds_ += s; }
+  double stats_collect_seconds() const { return stats_collect_seconds_.Value(); }
+  void AddStatsCollectSeconds(double s) { stats_collect_seconds_.Add(s); }
 
   /// Pool for morsel-driven operators; nullptr = run serially inline.
   parallel::ThreadPool* pool() const { return pool_; }
@@ -91,21 +96,34 @@ class ExecContext {
   /// unlimited). Parallel operators bound their shared tallies with this.
   uint64_t RemainingWork() const {
     if (work_budget_ == 0) return ~uint64_t{0};
-    return work_budget_ > work_units_ ? work_budget_ - work_units_ : 0;
+    uint64_t used = work_units_.Value();
+    return work_budget_ > used ? work_budget_ - used : 0;
   }
 
  private:
   uint64_t work_budget_ = 0;
-  uint64_t objects_processed_ = 0;
-  uint64_t work_units_ = 0;
-  uint64_t udf_cache_hits_ = 0;
-  uint64_t udf_cache_misses_ = 0;
-  uint64_t udf_cache_evictions_ = 0;
-  uint64_t udf_cache_bytes_ = 0;
-  double stats_collect_seconds_ = 0;
+  obs::LocalCounter objects_processed_;
+  obs::LocalCounter work_units_;
+  obs::LocalCounter udf_cache_hits_;
+  obs::LocalCounter udf_cache_misses_;
+  obs::LocalCounter udf_cache_evictions_;
+  obs::LocalCounter udf_cache_bytes_;
+  obs::LocalGauge stats_collect_seconds_;
   parallel::ThreadPool* pool_ = parallel::SharedPool();
   size_t morsel_size_ = parallel::DefaultConfig().morsel_size;
 };
+
+/// Copies the context's accounting counters into a RunResult. Every
+/// strategy (Monsoon and the baselines) snapshots the same five fields at
+/// the same points — success and budget-exhaustion exits — so the copy
+/// lives here instead of being repeated at each site.
+inline void CaptureAccounting(const ExecContext& ctx, RunResult* result) {
+  result->objects_processed = ctx.objects_processed();
+  result->work_units = ctx.work_units();
+  result->udf_cache_hits = ctx.udf_cache_hits();
+  result->udf_cache_misses = ctx.udf_cache_misses();
+  result->udf_cache_bytes = ctx.udf_cache_bytes();
+}
 
 /// Monotonic wall-clock timer helper.
 class WallTimer {

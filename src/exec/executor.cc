@@ -7,6 +7,8 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "sketch/hyperloglog.h"
 
@@ -132,6 +134,12 @@ Executor::Executor(const QuerySpec& query, const UdfRegistry* registry,
 StatusOr<ExecResult> Executor::Execute(const PlanNode::Ptr& plan,
                                        MaterializedStore* store,
                                        ExecContext* ctx) const {
+  static obs::Counter* const cache_hits_metric =
+      obs::Registry::Global().GetCounter("exec.udf_cache_hits");
+  static obs::Counter* const cache_misses_metric =
+      obs::Registry::Global().GetCounter("exec.udf_cache_misses");
+
+  obs::TraceSpan span("exec", "execute");
   const UdfCacheStats before = store->udf_cache()->stats();
   ExecResult result;
   StatusOr<MaterializedExpr> output = ExecuteNode(plan, store, ctx, &result);
@@ -140,6 +148,18 @@ StatusOr<ExecResult> Executor::Execute(const PlanNode::Ptr& plan,
   const UdfCacheStats after = store->udf_cache()->stats();
   ctx->AddUdfCacheDelta(after.hits - before.hits, after.misses - before.misses,
                         after.evictions - before.evictions, after.bytes_in_use);
+  cache_hits_metric->Add(after.hits - before.hits);
+  cache_misses_metric->Add(after.misses - before.misses);
+  if (span.enabled()) {
+    uint64_t hits = after.hits - before.hits;
+    uint64_t lookups = hits + (after.misses - before.misses);
+    span.Arg("udf_cache_hits", hits)
+        .Arg("udf_cache_hit_ratio",
+             lookups == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(lookups))
+        .Arg("ok", output.ok());
+  }
   MONSOON_RETURN_IF_ERROR(output.status());
   result.output = std::move(output).value();
   store->Put(result.output);
@@ -181,11 +201,24 @@ StatusOr<MaterializedExpr> Executor::ExecuteNode(const PlanNode::Ptr& node,
 StatusOr<MaterializedExpr> Executor::ExecuteLeaf(const PlanNode::Ptr& node,
                                                  MaterializedStore* store,
                                                  ExecContext* ctx) const {
+  static obs::Counter* const scan_ops_metric =
+      obs::Registry::Global().GetCounter("exec.scan_ops");
+  static obs::Histogram* const scan_rows_metric =
+      obs::Registry::Global().GetHistogram("exec.scan_rows_in");
+
   MONSOON_ASSIGN_OR_RETURN(const MaterializedExpr* source,
                            store->Lookup(node->source()));
+  scan_ops_metric->Add(1);
+  scan_rows_metric->Observe(source->table->num_rows());
+  obs::TraceSpan span("exec", "scan");
+  span.Arg("rows_in", static_cast<uint64_t>(source->table->num_rows()))
+      .Arg("preds", static_cast<uint64_t>(node->pred_ids().size()));
   // Reading the materialized input costs c(source) objects (Sec. 4.4).
   MONSOON_RETURN_IF_ERROR(ctx->Charge(source->table->num_rows()));
-  if (node->pred_ids().empty()) return *source;
+  if (node->pred_ids().empty()) {
+    span.Arg("rows_out", static_cast<uint64_t>(source->table->num_rows()));
+    return *source;
+  }
 
   std::vector<BoundResidual> filters;
   filters.reserve(node->pred_ids().size());
@@ -246,6 +279,7 @@ StatusOr<MaterializedExpr> Executor::ExecuteLeaf(const PlanNode::Ptr& node,
     filter_range(out.get(), 0, in.num_rows());
   }
 
+  span.Arg("rows_out", static_cast<uint64_t>(out->num_rows()));
   MaterializedExpr result;
   result.sig = node->output_sig();
   result.schema = source->schema;
@@ -258,6 +292,17 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
                                                  MaterializedExpr right,
                                                  MaterializedStore* store,
                                                  ExecContext* ctx) const {
+  static obs::Counter* const join_ops_metric =
+      obs::Registry::Global().GetCounter("exec.join_ops");
+  static obs::Histogram* const join_rows_metric =
+      obs::Registry::Global().GetHistogram("exec.join_rows_out");
+
+  join_ops_metric->Add(1);
+  obs::TraceSpan span("exec", "join");
+  span.Arg("rows_left", static_cast<uint64_t>(left.table->num_rows()))
+      .Arg("rows_right", static_cast<uint64_t>(right.table->num_rows()));
+  const char* algo = "cross";
+
   RelSet left_rels(left.sig.rels);
   RelSet right_rels(right.sig.rels);
   Schema out_schema = Schema::Concat(left.schema, right.schema);
@@ -387,6 +432,7 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     // Sort-merge join: materialize composite keys, sort row ids on both
     // sides, then merge runs of equal keys. Stays serial — it exists as
     // bench_micro's ablation of the (default, parallelized) hash join.
+    algo = "sort-merge";
     size_t nkeys = equi.size();
     auto make_keys = [&](const Table& table, bool is_left,
                          std::vector<Value>* keys, std::vector<size_t>* order) {
@@ -490,6 +536,8 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     }
   } else if (WorthParallel(ctx, std::max(lt.num_rows(), rt.num_rows()))) {
     // Parallel hash join: partitioned build + morsel-driven probe.
+    algo = "hash-parallel";
+    obs::TraceSpan build_span("exec", "join.build");
     bool build_left = lt.num_rows() <= rt.num_rows();
     const Table& build = build_left ? lt : rt;
     const Table& probe = build_left ? rt : lt;
@@ -560,11 +608,15 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
           return Status::OK();
         }));
     MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(build.num_rows()));
+    build_span.Arg("rows", static_cast<uint64_t>(build.num_rows()));
+    build_span.End();
 
     // Probe phase (parallel): morsels emit into local tables merged in
     // morsel order; probe work (rows + hash candidates) accumulates in a
     // shared atomic tally charged once at the barrier, bounded by the
     // remaining budget so oversized joins still trip the timeout.
+    obs::TraceSpan probe_span("exec", "join.probe");
+    probe_span.Arg("rows", static_cast<uint64_t>(probe.num_rows()));
     size_t num_morsels = parallel::NumMorsels(probe.num_rows(), morsel);
     std::vector<Table> locals(num_morsels, Table(out_schema));
     std::atomic<uint64_t> shared_work{0};
@@ -624,6 +676,8 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     for (Table& local : locals) out->TakeRowsFrom(&local);
   } else {
     // Serial hash join: build on the smaller input.
+    algo = "hash-serial";
+    obs::TraceSpan build_span("exec", "join.build");
     bool build_left = lt.num_rows() <= rt.num_rows();
     const Table& build = build_left ? lt : rt;
     const Table& probe = build_left ? rt : lt;
@@ -662,7 +716,11 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
       index.emplace(h, row);
     }
     MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(build.num_rows()));
+    build_span.Arg("rows", static_cast<uint64_t>(build.num_rows()));
+    build_span.End();
 
+    obs::TraceSpan probe_span("exec", "join.probe");
+    probe_span.Arg("rows", static_cast<uint64_t>(probe.num_rows()));
     std::vector<Value> probe_key(keys_cached ? 0 : nkeys);
     for (size_t row = 0; row < probe.num_rows(); ++row) {
       MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(1));
@@ -702,6 +760,10 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
 
   // The join's output objects are the paper's cost for this node.
   MONSOON_RETURN_IF_ERROR(ctx->Charge(out->num_rows()));
+  join_rows_metric->Observe(out->num_rows());
+  span.Arg("algo", algo)
+      .Arg("keys_cached", keys_cached)
+      .Arg("rows_out", static_cast<uint64_t>(out->num_rows()));
 
   MaterializedExpr result;
   result.sig = node->output_sig();
@@ -713,6 +775,13 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
 Status Executor::CollectStats(const MaterializedExpr& expr,
                               MaterializedStore* store, ExecContext* ctx,
                               std::vector<DistinctObservation>* obs) const {
+  // Fully qualified: the `obs` out-parameter shadows the obs:: namespace.
+  static ::monsoon::obs::Counter* const sigma_ops_metric =
+      ::monsoon::obs::Registry::Global().GetCounter("exec.sigma_ops");
+
+  sigma_ops_metric->Add(1);
+  ::monsoon::obs::TraceSpan span("exec", "sigma");
+  span.Arg("rows", static_cast<uint64_t>(expr.table->num_rows()));
   WallTimer timer;
   RelSet expr_rels(expr.sig.rels);
 
@@ -729,6 +798,7 @@ Status Executor::CollectStats(const MaterializedExpr& expr,
                              BoundTerm::Bind(*term, expr.schema, *registry_));
     terms.emplace_back(term->term_id, std::move(bound));
   }
+  span.Arg("terms", static_cast<uint64_t>(terms.size()));
   if (terms.empty()) return Status::OK();
 
   // Evaluate-once columns per term: repeated Σ passes over the same

@@ -3,12 +3,36 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 
 #include "common/string_util.h"
 #include "exec/udf_cache.h"
+#include "obs/trace.h"
 #include "parallel/runtime.h"
 
 namespace monsoon {
+
+obs::QueryReport MakeQueryReport(const QueryRecord& record) {
+  const RunResult& r = record.result;
+  obs::QueryReport report;
+  report.query = record.query;
+  report.strategy = record.strategy;
+  report.status = r.ok() ? "ok" : (r.timed_out() ? "timeout" : "error");
+  report.result_rows = r.result_rows;
+  report.objects_processed = r.objects_processed;
+  report.work_units = r.work_units;
+  report.total_seconds = r.total_seconds;
+  report.plan_seconds = r.plan_seconds;
+  report.stats_seconds = r.stats_seconds;
+  report.exec_seconds = r.exec_seconds;
+  report.execute_rounds = r.execute_rounds;
+  report.stats_collections = r.stats_collections;
+  report.udf_cache_hits = r.udf_cache_hits;
+  report.udf_cache_misses = r.udf_cache_misses;
+  report.udf_cache_bytes = r.udf_cache_bytes;
+  report.metrics = record.metrics_delta;
+  return report;
+}
 
 void BenchRunner::AddStrategy(std::string name, StrategyFn fn) {
   strategies_.emplace_back(std::move(name), std::move(fn));
@@ -19,6 +43,9 @@ void BenchRunner::SetQueryFilter(std::vector<std::string> names) {
 }
 
 Status BenchRunner::RunAll(const Workload& workload) {
+  // MONSOON_TRACE=file.json turns on Chrome-trace capture for the whole
+  // run without touching the bench binaries (no-op when already tracing).
+  obs::MaybeStartTracingFromEnv();
   int threads = options_.threads;
   if (threads <= 0) {
     const char* env = std::getenv("MONSOON_THREADS");
@@ -45,12 +72,23 @@ Status BenchRunner::RunAll(const Workload& workload) {
       QueryRecord record;
       record.query = query.name;
       record.strategy = name;
+      obs::MetricsSnapshot before = obs::Registry::Global().Snapshot();
       record.result = fn(workload, query);
+      record.metrics_delta =
+          obs::SnapshotDelta(before, obs::Registry::Global().Snapshot());
       if (options_.verbose && !record.result.ok()) {
         std::cerr << "      -> " << record.result.status.ToString() << "\n";
       }
       records_.push_back(std::move(record));
     }
+  }
+  std::string report_path = options_.report_out;
+  if (report_path.empty()) {
+    const char* env = std::getenv("MONSOON_REPORT");
+    if (env != nullptr) report_path = env;
+  }
+  if (!report_path.empty()) {
+    MONSOON_RETURN_IF_ERROR(WriteRunReportFile(report_path));
   }
   return Status::OK();
 }
@@ -180,6 +218,28 @@ void BenchRunner::WriteCsv(std::ostream& out) const {
         << r.execute_rounds << "," << r.udf_cache_hits << ","
         << r.udf_cache_misses << "," << r.udf_cache_bytes << "\n";
   }
+}
+
+void BenchRunner::WriteRunReport(std::ostream& out) const {
+  std::vector<obs::QueryReport> reports;
+  reports.reserve(records_.size());
+  for (const QueryRecord& record : records_) {
+    reports.push_back(MakeQueryReport(record));
+  }
+  obs::WriteRunReport(out, reports, obs::Registry::Global().Snapshot());
+}
+
+Status BenchRunner::WriteRunReportFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open run report file '" + path + "'");
+  }
+  WriteRunReport(out);
+  out.flush();
+  if (!out) {
+    return Status::Internal("failed writing run report file '" + path + "'");
+  }
+  return Status::OK();
 }
 
 void BenchRunner::PrintPerQueryTable(std::ostream& out) const {

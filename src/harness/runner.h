@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "exec/run_result.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 #include "workloads/workload.h"
 
 namespace monsoon {
@@ -33,14 +35,28 @@ struct HarnessOptions {
   /// cache entirely); < 0 leaves the current default, which itself honors
   /// the MONSOON_UDF_CACHE environment knob (bytes) on first use.
   int64_t udf_cache_bytes = -1;
+  /// When non-empty, RunAll writes the per-query JSON run report
+  /// (obs::WriteRunReport) here after the last record. Empty honors the
+  /// MONSOON_REPORT environment knob instead.
+  std::string report_out;
 };
 
-/// One (query, strategy) execution.
+/// One (query, strategy) execution. `metrics_delta` is the global metrics
+/// registry delta observed across the run (SnapshotDelta of before/after
+/// snapshots), attributing registry counters — MCTS iterations, operator
+/// counts, pool activity — to this specific (query, strategy) pair.
 struct QueryRecord {
   std::string query;
   std::string strategy;
   RunResult result;
+  obs::MetricsSnapshot metrics_delta;
 };
+
+/// Flattens a record into the run-report form. The scalar fields are copied
+/// from the same RunResult the CSV reads, with the identical status
+/// spelling ("ok" / "timeout" / "error"), so the report reproduces the CSV
+/// bit-identically.
+obs::QueryReport MakeQueryReport(const QueryRecord& record);
 
 /// Per-strategy aggregate in the style of the paper's Tables 3/5/6/7.
 struct StrategySummary {
@@ -107,6 +123,12 @@ class BenchRunner {
   /// Machine-readable per-record dump (query, strategy, status, seconds,
   /// objects, work units, component breakdown) for replotting.
   void WriteCsv(std::ostream& out) const;
+  /// JSON run report: one entry per record (CSV scalars + per-run registry
+  /// delta) plus the end-of-run registry snapshot (Table 8-style
+  /// breakdown). RunAll writes this automatically when
+  /// HarnessOptions::report_out (or MONSOON_REPORT) names a file.
+  void WriteRunReport(std::ostream& out) const;
+  Status WriteRunReportFile(const std::string& path) const;
   /// Per-query seconds matrix (queries × strategies); used for Table 5
   /// and Figure 3.
   void PrintPerQueryTable(std::ostream& out) const;

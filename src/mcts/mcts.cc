@@ -6,6 +6,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace monsoon {
 
 const char* SelectionStrategyToString(SelectionStrategy strategy) {
@@ -146,10 +149,20 @@ Status MctsSearch::RunIteration(Node* root) {
   double path_cost = 0;
   double rollout_cost = 0;
 
+  // One span per phase (Sec. 5.1's selection → expansion → simulation →
+  // backpropagation); span ids come from the lane's stream, so tracing
+  // never draws from rng_ and cannot perturb the search.
+  obs::TraceSpan select_span("mcts", "select");
+  int depth = 0;
+
   for (;;) {
     if (node->terminal) break;
 
     if (!node->untried.empty()) {
+      select_span.Arg("depth", depth);
+      select_span.End();
+      obs::TraceSpan expand_span("mcts", "expand");
+      expand_span.Arg("chance", false);
       // Expansion: take one untried action.
       size_t pick = rng_.NextBounded(static_cast<uint32_t>(node->untried.size()));
       MdpAction action = node->untried[pick];
@@ -169,9 +182,12 @@ Status MctsSearch::RunIteration(Node* root) {
       if (!child->terminal) child->untried = mdp_->LegalActions(child->state);
       Node* child_ptr = child.get();
       edge.children.emplace(key, std::move(child));
+      expand_span.End();
 
       if (!child_ptr->terminal) {
+        obs::TraceSpan rollout_span("mcts", "rollout");
         MONSOON_ASSIGN_OR_RETURN(rollout_cost, Rollout(child_ptr->state));
+        rollout_span.Arg("cost", rollout_cost);
       }
       // Count the visit on the new leaf as well.
       child_ptr->visits += 1;
@@ -185,6 +201,7 @@ Status MctsSearch::RunIteration(Node* root) {
     }
 
     // Selection.
+    ++depth;
     size_t edge_idx = SelectEdge(*node);
     Edge& edge = node->edges[edge_idx];
     path.emplace_back(node, edge_idx);
@@ -195,15 +212,22 @@ Status MctsSearch::RunIteration(Node* root) {
     uint64_t key = edge.action.IsExecute() ? step.state.stats.Fingerprint() : 0;
     auto it = edge.children.find(key);
     if (it == edge.children.end()) {
+      select_span.Arg("depth", depth);
+      select_span.End();
       // A chance outcome we have not seen before: expand it here.
+      obs::TraceSpan expand_span("mcts", "expand");
+      expand_span.Arg("chance", true);
       auto child = std::make_unique<Node>();
       child->state = std::move(step.state);
       child->terminal = mdp_->IsTerminal(child->state);
       if (!child->terminal) child->untried = mdp_->LegalActions(child->state);
       Node* child_ptr = child.get();
       edge.children.emplace(key, std::move(child));
+      expand_span.End();
       if (!child_ptr->terminal) {
+        obs::TraceSpan rollout_span("mcts", "rollout");
         MONSOON_ASSIGN_OR_RETURN(rollout_cost, Rollout(child_ptr->state));
+        rollout_span.Arg("cost", rollout_cost);
       }
       child_ptr->visits += 1;
       break;
@@ -212,7 +236,11 @@ Status MctsSearch::RunIteration(Node* root) {
     node->visits += 1;
   }
 
+  select_span.Arg("depth", depth);  // terminal-hit descent: not ended above
+  select_span.End();
+
   // Backpropagation.
+  obs::TraceSpan backprop_span("mcts", "backprop");
   double ret = -(path_cost + rollout_cost);
   if (!bounds_init_) {
     min_return_ = max_return_ = ret;
@@ -227,6 +255,7 @@ Status MctsSearch::RunIteration(Node* root) {
     edge.visits += 1;
     edge.total_return += ret;
   }
+  backprop_span.Arg("return", ret).Arg("path", static_cast<uint64_t>(path.size()));
   return Status::OK();
 }
 
@@ -241,12 +270,19 @@ StatusOr<MdpAction> MctsSearch::SearchBestAction(const MdpState& root_state) {
     return Status::Internal("no legal action from the current state");
   }
 
+  static obs::Counter* const searches_metric =
+      obs::Registry::Global().GetCounter("mcts.searches");
+  static obs::Counter* const iterations_metric =
+      obs::Registry::Global().GetCounter("mcts.iterations");
+  searches_metric->Add(1);
+
   info_ = SearchInfo{};
   bounds_init_ = false;
   for (iteration_ = 0; iteration_ < options_.iterations; ++iteration_) {
     MONSOON_RETURN_IF_ERROR(RunIteration(root_.get()));
     ++info_.iterations_run;
   }
+  iterations_metric->Add(static_cast<uint64_t>(info_.iterations_run));
 
   // Commit the most-visited root action (robust child).
   const Edge* best = nullptr;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace monsoon {
 
@@ -39,7 +41,11 @@ StatusOr<MdpAction> RootParallelMcts::SearchBestAction(const MdpState& root) {
       // base seed so K=1 degenerates to the serial search bit-for-bit.
       opts.seed = options_.search.seed + static_cast<uint64_t>(w);
       searches[w] = std::make_unique<MctsSearch>(mdp_, opts);
-      group.Run([&search = *searches[w], &status = statuses[w], &root] {
+      group.Run([&search = *searches[w], &status = statuses[w], &root, w] {
+        // Trace onto the worker's own lane regardless of which pool thread
+        // picked the task up, so same-seed runs produce identical lanes.
+        obs::TraceLaneScope lane(obs::kMctsLaneBase + w,
+                                 "mcts-w" + std::to_string(w));
         StatusOr<MdpAction> best = search.SearchBestAction(root);
         status = best.status();  // actions are re-derived from merged edges
       });

@@ -3,6 +3,8 @@
 #include <map>
 
 #include "mcts/root_parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/runtime.h"
 
 namespace monsoon {
@@ -39,6 +41,12 @@ Status MonsoonOptimizer::RunImpl(const QuerySpec& query, RunResult* result) cons
   ExecContext ctx(options_.work_budget);
 
   auto run_execute = [&](const std::vector<PlanNode::Ptr>& planned) -> Status {
+    static obs::Counter* const executes_metric =
+        obs::Registry::Global().GetCounter("mdp.executes");
+    executes_metric->Add(1);
+    obs::TraceSpan span("mdp", "execute");
+    span.Arg("trees", static_cast<uint64_t>(planned.size()));
+    uint64_t objects_before = ctx.objects_processed();
     WallTimer exec_timer;
     double stats_before = ctx.stats_collect_seconds();
     for (const PlanNode::Ptr& tree : planned) {
@@ -46,11 +54,7 @@ Status MonsoonOptimizer::RunImpl(const QuerySpec& query, RunResult* result) cons
       if (!exec_or.ok()) {
         // Keep the accounting that accumulated up to the failure
         // (timeouts report partial work).
-        result->objects_processed = ctx.objects_processed();
-        result->work_units = ctx.work_units();
-        result->udf_cache_hits = ctx.udf_cache_hits();
-        result->udf_cache_misses = ctx.udf_cache_misses();
-        result->udf_cache_bytes = ctx.udf_cache_bytes();
+        CaptureAccounting(ctx, result);
         result->exec_seconds += exec_timer.Seconds();
         return exec_or.status();
       }
@@ -74,21 +78,36 @@ Status MonsoonOptimizer::RunImpl(const QuerySpec& query, RunResult* result) cons
     result->stats_seconds += stats_delta;
     result->exec_seconds += elapsed - stats_delta;
     ++result->execute_rounds;
+    uint64_t objects_delta = ctx.objects_processed() - objects_before;
+    // Realized reward of the EXECUTE, in the MDP's sign convention
+    // (negated object cost, Sec. 4.4).
+    span.Arg("objects", objects_delta)
+        .Arg("realized_return", -static_cast<double>(objects_delta));
     return Status::OK();
   };
+
+  static obs::Counter* const decisions_metric =
+      obs::Registry::Global().GetCounter("mdp.decisions");
 
   int decision = 0;
   while (!mdp.IsTerminal(state)) {
     if (decision++ >= options_.max_decisions) {
       return Status::Internal("exceeded the decision cap without finishing");
     }
+    decisions_metric->Add(1);
+    obs::TraceSpan step_span("mdp", "step");
+    step_span.Arg("decision", decision)
+        .Arg("planned", static_cast<uint64_t>(state.planned.size()));
     std::vector<MdpAction> legal = mdp.LegalActions(state);
+    step_span.Arg("legal", static_cast<uint64_t>(legal.size()));
     if (legal.empty()) {
       // Degenerate query (e.g. single relation with only selections):
       // execute the goal expression directly.
       std::vector<PlanNode::Ptr> direct;
       if (query.num_relations() == 1) {
         direct.push_back(mdp.LeafFor(ExprSig::Of(RelSet::Single(0), 0)));
+        step_span.Arg("action", "EXECUTE(direct)");
+        step_span.End();
         MONSOON_RETURN_IF_ERROR(run_execute(direct));
         continue;
       }
@@ -108,10 +127,27 @@ Status MonsoonOptimizer::RunImpl(const QuerySpec& query, RunResult* result) cons
                                ? options_.mcts_workers
                                : parallel::EffectiveMctsWorkers();
       RootParallelMcts search(&mdp, rp_options, parallel::SharedPool());
+      obs::TraceSpan search_span("mcts", "search");
       MONSOON_ASSIGN_OR_RETURN(action, search.SearchBestAction(state));
+      if (search_span.enabled()) {
+        const MctsSearch::SearchInfo& info = search.last_info();
+        search_span.Arg("workers", rp_options.workers)
+            .Arg("iterations", info.iterations_run)
+            .Arg("tree_nodes", static_cast<uint64_t>(info.tree_nodes))
+            .Arg("best_visits", info.best_visits)
+            .Arg("predicted_return", info.best_mean_return);
+        // The merged root's mean return is the search's prediction for the
+        // committed action; mdp/execute spans carry the realized return.
+        step_span.Arg("predicted_return", info.best_mean_return);
+      }
+      search_span.End();
       result->plan_seconds += mcts_timer.Seconds();
     }
     result->action_log.push_back(action.ToString(query));
+    if (step_span.enabled()) {
+      step_span.Arg("action", action.ToString(query));
+    }
+    step_span.End();
 
     if (action.IsExecute()) {
       MONSOON_RETURN_IF_ERROR(run_execute(state.planned));
@@ -125,11 +161,7 @@ Status MonsoonOptimizer::RunImpl(const QuerySpec& query, RunResult* result) cons
                            store.Lookup(mdp.GoalSig()));
   result->result_rows = final_expr->table->num_rows();
   result->result_table = final_expr->table;
-  result->objects_processed = ctx.objects_processed();
-  result->work_units = ctx.work_units();
-  result->udf_cache_hits = ctx.udf_cache_hits();
-  result->udf_cache_misses = ctx.udf_cache_misses();
-  result->udf_cache_bytes = ctx.udf_cache_bytes();
+  CaptureAccounting(ctx, result);
   return Status::OK();
 }
 

@@ -1,0 +1,462 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace monsoon::obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue* JsonValue::FindMutable(const std::string& key) {
+  if (kind != Kind::kObject) return nullptr;
+  for (auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::Serialize() const {
+  switch (kind) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return bool_value ? "true" : "false";
+    case Kind::kNumber:
+      if (!number_text.empty()) return number_text;
+      return StrFormat("%.17g", number);
+    case Kind::kString:
+      return "\"" + JsonEscape(string_value) + "\"";
+    case Kind::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < array.size(); ++i) {
+        if (i > 0) out += ",";
+        out += array[i].Serialize();
+      }
+      out += "]";
+      return out;
+    }
+    case Kind::kObject: {
+      std::string out = "{";
+      for (size_t i = 0; i < object.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\"" + JsonEscape(object[i].first) + "\":";
+        out += object[i].second.Serialize();
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+/// Recursive-descent parser over a raw character range.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    MONSOON_ASSIGN_OR_RETURN(JsonValue value, ParseValue(/*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after the top-level value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    size_t len = 0;
+    while (word[len] != '\0') ++len;
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    JsonValue value;
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      MONSOON_ASSIGN_OR_RETURN(value.string_value, ParseString());
+      value.kind = JsonValue::Kind::kString;
+      return value;
+    }
+    if (ConsumeWord("null")) return value;
+    if (ConsumeWord("true")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.bool_value = true;
+      return value;
+    }
+    if (ConsumeWord("false")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.bool_value = false;
+      return value;
+    }
+    return ParseNumber();
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    Consume('{');
+    SkipWhitespace();
+    if (Consume('}')) return value;
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected a string key");
+      }
+      MONSOON_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      MONSOON_ASSIGN_OR_RETURN(JsonValue member, ParseValue(depth + 1));
+      value.object.emplace_back(std::move(key), std::move(member));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return value;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    Consume('[');
+    SkipWhitespace();
+    if (Consume(']')) return value;
+    for (;;) {
+      MONSOON_ASSIGN_OR_RETURN(JsonValue element, ParseValue(depth + 1));
+      value.array.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return value;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    Consume('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out += esc;
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          MONSOON_ASSIGN_OR_RETURN(uint32_t code, ParseHex4());
+          // Combine a surrogate pair when one follows; otherwise keep the
+          // unit as-is (lone surrogates encode like any other code point).
+          if (code >= 0xd800 && code <= 0xdbff &&
+              text_.compare(pos_, 2, "\\u") == 0) {
+            size_t saved = pos_;
+            pos_ += 2;
+            StatusOr<uint32_t> low = ParseHex4();
+            if (low.ok() && *low >= 0xdc00 && *low <= 0xdfff) {
+              code = 0x10000 + ((code - 0xd800) << 10) + (*low - 0xdc00);
+            } else {
+              pos_ = saved;
+            }
+          }
+          AppendUtf8(code, &out);
+          break;
+        }
+        default:
+          return Error("invalid escape sequence");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  StatusOr<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    return code;
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      *out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      *out += static_cast<char>(0xc0 | (code >> 6));
+      *out += static_cast<char>(0x80 | (code & 0x3f));
+    } else if (code < 0x10000) {
+      *out += static_cast<char>(0xe0 | (code >> 12));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      *out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      *out += static_cast<char>(0xf0 | (code >> 18));
+      *out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      *out += static_cast<char>(0x80 | (code & 0x3f));
+    }
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return Error("expected a value");
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = std::strtod(token.c_str(), nullptr);
+    value.number_text = std::move(token);
+    return value;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> JsonParse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_ << ",";
+    first_.back() = false;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ << "{";
+  first_.push_back(true);
+}
+
+void JsonWriter::EndObject() {
+  first_.pop_back();
+  out_ << "}";
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ << "[";
+  first_.push_back(true);
+}
+
+void JsonWriter::EndArray() {
+  first_.pop_back();
+  out_ << "]";
+}
+
+void JsonWriter::Key(const std::string& key) {
+  if (!first_.empty()) {
+    if (!first_.back()) out_ << ",";
+    first_.back() = false;
+  }
+  out_ << "\"" << JsonEscape(key) << "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  out_ << "\"" << JsonEscape(value) << "\"";
+}
+
+void JsonWriter::Raw(const std::string& json_text) {
+  BeforeValue();
+  out_ << json_text;
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ << value;
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  out_ << value;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  out_ << StrFormat("%.17g", value);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ << "null";
+}
+
+void JsonWriter::KV(const std::string& key, const std::string& value) {
+  Key(key);
+  String(value);
+}
+
+void JsonWriter::KV(const std::string& key, const char* value) {
+  Key(key);
+  String(value);
+}
+
+void JsonWriter::KV(const std::string& key, int64_t value) {
+  Key(key);
+  Int(value);
+}
+
+void JsonWriter::KV(const std::string& key, uint64_t value) {
+  Key(key);
+  Uint(value);
+}
+
+void JsonWriter::KV(const std::string& key, int value) {
+  Key(key);
+  Int(value);
+}
+
+void JsonWriter::KV(const std::string& key, double value) {
+  Key(key);
+  Double(value);
+}
+
+void JsonWriter::KV(const std::string& key, bool value) {
+  Key(key);
+  Bool(value);
+}
+
+}  // namespace monsoon::obs

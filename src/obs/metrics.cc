@@ -1,0 +1,123 @@
+#include "obs/metrics.h"
+
+#include "common/check.h"
+
+namespace monsoon::obs {
+
+namespace internal {
+
+namespace {
+std::atomic<size_t> g_next_shard{0};
+}  // namespace
+
+size_t ThreadShard() {
+  thread_local size_t slot =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+}  // namespace internal
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kHistogramBuckets, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      snap.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : after.counters) {
+    auto it = before.counters.find(name);
+    uint64_t prev = it == before.counters.end() ? 0 : it->second;
+    if (value != prev) delta.counters[name] = value - prev;
+  }
+  delta.gauges = after.gauges;
+  for (const auto& [name, snap] : after.histograms) {
+    auto it = before.histograms.find(name);
+    if (it == before.histograms.end()) {
+      if (snap.count != 0) delta.histograms[name] = snap;
+      continue;
+    }
+    const HistogramSnapshot& prev = it->second;
+    if (snap.count == prev.count) continue;
+    HistogramSnapshot d;
+    d.count = snap.count - prev.count;
+    d.sum = snap.sum - prev.sum;
+    d.buckets.assign(kHistogramBuckets, 0);
+    for (size_t i = 0; i < snap.buckets.size(); ++i) {
+      uint64_t p = i < prev.buckets.size() ? prev.buckets[i] : 0;
+      d.buckets[i] = snap.buckets[i] - p;
+    }
+    delta.histograms[name] = std::move(d);
+  }
+  return delta;
+}
+
+Registry& Registry::Global() {
+  static Registry* const global =
+      new Registry();  // NOLINT(monsoon-raw-new): leaked singleton
+  return *global;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  MutexLock lock(mu_);
+  MONSOON_CHECK(!gauges_.count(name) && !histograms_.count(name))
+      << "metric '" << name << "' already registered as a different kind";
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  MutexLock lock(mu_);
+  MONSOON_CHECK(!counters_.count(name) && !histograms_.count(name))
+      << "metric '" << name << "' already registered as a different kind";
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  MutexLock lock(mu_);
+  MONSOON_CHECK(!counters_.count(name) && !gauges_.count(name))
+      << "metric '" << name << "' already registered as a different kind";
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot snap;
+  MutexLock lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->Snapshot();
+  }
+  return snap;
+}
+
+}  // namespace monsoon::obs

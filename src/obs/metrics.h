@@ -1,0 +1,201 @@
+#ifndef MONSOON_OBS_METRICS_H_
+#define MONSOON_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
+
+namespace monsoon::obs {
+
+namespace internal {
+
+/// Shard count for the lock-free counter/histogram fast path. A power of
+/// two so the per-thread slot assignment is a mask, and large enough that
+/// the pool's workers rarely share a cache line even on wide machines.
+inline constexpr size_t kShards = 16;
+
+/// Stable per-thread shard slot in [0, kShards). Threads are assigned
+/// round-robin on first use; two threads may share a shard (the adds are
+/// still atomic — sharding is a contention optimization, not a
+/// correctness requirement).
+size_t ThreadShard();
+
+}  // namespace internal
+
+/// Number of Histogram buckets: bucket 0 holds exact zeros, bucket i >= 1
+/// holds [2^(i-1), 2^i). Fixed log2 scale — merge across shards or
+/// snapshots is plain element-wise addition.
+inline constexpr size_t kHistogramBuckets = 65;
+
+/// Monotonic event counter, thread-safe. Add() is a relaxed fetch_add on a
+/// cache-line-padded per-thread shard; Value() sums the shards, which is
+/// exact (integer addition commutes) but only quiescently consistent while
+/// writers race. Instances are registry-owned; hot paths hold the pointer.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) {
+    cells_[internal::ThreadShard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+  Cell cells_[internal::kShards];
+};
+
+/// Last-write-wins instantaneous value (resident bytes, queue depth).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::vector<uint64_t> buckets;  // kHistogramBuckets entries
+
+  /// Element-wise accumulate (shard merge and cross-snapshot union).
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// Fixed log2-bucket histogram of non-negative integer samples (latencies
+/// in microseconds, row counts). Observe() is two relaxed fetch_adds on
+/// the caller's shard; Snapshot() merges shards element-wise.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// v == 0 -> 0; otherwise bit_width(v), i.e. v lands in
+  /// [2^(index-1), 2^index).
+  static size_t BucketIndex(uint64_t v) {
+    return v == 0 ? 0 : static_cast<size_t>(std::bit_width(v));
+  }
+
+  /// Smallest sample the bucket can hold (inclusive).
+  static uint64_t BucketLowerBound(size_t index) {
+    return index == 0 ? 0 : uint64_t{1} << (index - 1);
+  }
+
+  void Observe(uint64_t v) {
+    Shard& shard = shards_[internal::ThreadShard()];
+    shard.buckets[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(v, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[kHistogramBuckets];
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+  };
+  Shard shards_[internal::kShards];
+};
+
+/// Single-owner counter for externally-serialized accounting. ExecContext's
+/// per-query counters are NOT thread-safe by contract — parallel operators
+/// tally morsel-locally and charge at merge barriers — so the per-row
+/// budget path must stay a plain integer add, not an atomic. Declaring
+/// them as LocalCounter keeps that codegen while satisfying the
+/// monsoon-obs lint rule (telemetry counters go through src/obs/ types)
+/// and giving them the same Add/Set/Value surface as the shared metrics.
+class LocalCounter {
+ public:
+  void Add(uint64_t n) { value_ += n; }
+  void Set(uint64_t v) { value_ = v; }
+  uint64_t Value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// LocalCounter's floating-point sibling (accumulated seconds).
+class LocalGauge {
+ public:
+  void Add(double v) { value_ += v; }
+  void Set(double v) { value_ = v; }
+  double Value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Point-in-time copy of every registered metric, keyed by name. Also the
+/// unit of per-query attribution: the harness snapshots the global
+/// registry around each strategy run and keeps the delta.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// after - before. Counters and histogram buckets subtract (entries whose
+/// delta is entirely zero are dropped); gauges are instantaneous, so the
+/// delta keeps `after`'s value.
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after);
+
+/// Process-wide name -> metric table. Get* registers on first use and
+/// returns a pointer that stays valid for the process lifetime, so call
+/// sites resolve once (function-local static) and pay only the shard add
+/// afterwards. A name registers as exactly one kind; asking for the same
+/// name as a different kind is a programming error and fails a check.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  Registry() = default;
+
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
+};
+
+}  // namespace monsoon::obs
+
+#endif  // MONSOON_OBS_METRICS_H_

@@ -1,0 +1,53 @@
+#ifndef MONSOON_OBS_REPORT_H_
+#define MONSOON_OBS_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace monsoon::obs {
+
+/// One strategy run of one query, flattened for the per-query run report.
+/// The scalar fields mirror the harness CSV columns exactly (same source:
+/// RunResult), so the JSON report reproduces the CSV bit-identically;
+/// `metrics` carries the registry delta attributed to this run — the
+/// Table 8-style breakdown of where objects and time went.
+struct QueryReport {
+  std::string query;
+  std::string strategy;
+  std::string status;
+
+  uint64_t result_rows = 0;
+  uint64_t objects_processed = 0;
+  uint64_t work_units = 0;
+
+  double total_seconds = 0;
+  double plan_seconds = 0;
+  double stats_seconds = 0;
+  double exec_seconds = 0;
+
+  int execute_rounds = 0;
+  int stats_collections = 0;
+
+  uint64_t udf_cache_hits = 0;
+  uint64_t udf_cache_misses = 0;
+  uint64_t udf_cache_bytes = 0;
+
+  /// Registry delta captured around this run (SnapshotDelta of the global
+  /// registry before/after).
+  MetricsSnapshot metrics;
+};
+
+/// Writes the run-report JSON document: a "queries" array (one entry per
+/// QueryReport, scalar fields + per-run metrics delta) and a "registry"
+/// object holding the full end-of-run registry snapshot. Histograms are
+/// emitted sparsely as [[bucket_lower_bound, count], ...].
+void WriteRunReport(std::ostream& out, const std::vector<QueryReport>& queries,
+                    const MetricsSnapshot& registry);
+
+}  // namespace monsoon::obs
+
+#endif  // MONSOON_OBS_REPORT_H_

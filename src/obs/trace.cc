@@ -1,0 +1,392 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
+#include "obs/json.h"
+
+namespace monsoon::obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+struct TraceEvent {
+  const char* category;
+  const char* name;
+  int lane;
+  uint64_t span_id;
+  uint64_t seq;
+  uint64_t ts_us;
+  uint64_t dur_us;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Per-thread event buffer. The owning thread appends under the buffer's
+/// own mutex (uncontended except during a drain); StopTracing locks each
+/// buffer to collect. `bmu` is deliberately not in tools/lint/lock_ranks.h:
+/// it nests only inside the tracer mutex and never wraps other locks.
+struct ThreadBuffer {
+  Mutex bmu;
+  std::vector<TraceEvent> events GUARDED_BY(bmu);
+};
+
+/// Per-lane id stream. A lane has a single owning thread at any moment
+/// (main, one MCTS worker task, or one pool worker), so rng/seq are
+/// mutated without a lock; StartTracing's reset is published by the
+/// release store on the enabled flag.
+struct LaneState {
+  Pcg32 rng;
+  uint64_t seq = 0;
+};
+
+thread_local int tls_lane = -1;
+
+class Tracer {
+ public:
+  static Tracer& Global() {
+    static Tracer* const global =
+        new Tracer();  // NOLINT(monsoon-raw-new): leaked singleton
+    return *global;
+  }
+
+  Mutex tracer_mu;
+  bool active GUARDED_BY(tracer_mu) = false;
+  std::string path GUARDED_BY(tracer_mu);
+  uint64_t seed GUARDED_BY(tracer_mu) = 0;
+  std::string lane_names[kNumLanes] GUARDED_BY(tracer_mu);
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers GUARDED_BY(tracer_mu);
+  std::vector<TraceEvent> orphans GUARDED_BY(tracer_mu);
+
+  /// Start-of-trace epoch; written before the enabled flag's release
+  /// store, read by every span after its acquire load.
+  std::chrono::steady_clock::time_point t0;
+  LaneState lanes[kNumLanes];
+  std::atomic<int> next_external{kExternalLaneBase};
+
+  ThreadBuffer* RegisterBuffer() {
+    MutexLock lock(tracer_mu);
+    buffers.push_back(std::make_unique<ThreadBuffer>());
+    return buffers.back().get();
+  }
+
+  void ReleaseBuffer(ThreadBuffer* buffer) {
+    MutexLock lock(tracer_mu);
+    for (size_t i = 0; i < buffers.size(); ++i) {
+      if (buffers[i].get() != buffer) continue;
+      {
+        MutexLock buffer_lock(buffer->bmu);
+        for (TraceEvent& ev : buffer->events) {
+          orphans.push_back(std::move(ev));
+        }
+      }
+      buffers.erase(buffers.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+
+  void SetLaneName(int lane, const std::string& name) {
+    MutexLock lock(tracer_mu);
+    lane_names[lane] = name;
+  }
+
+ private:
+  Tracer() = default;
+};
+
+/// Owns this thread's registration; thread exit moves any still-buffered
+/// events into the tracer's orphan list so they survive into the file.
+struct BufferHandle {
+  ThreadBuffer* buffer = nullptr;
+  ~BufferHandle() {
+    if (buffer != nullptr) Tracer::Global().ReleaseBuffer(buffer);
+  }
+};
+
+thread_local BufferHandle tls_buffer;
+
+ThreadBuffer* CurrentBuffer() {
+  if (tls_buffer.buffer == nullptr) {
+    tls_buffer.buffer = Tracer::Global().RegisterBuffer();
+  }
+  return tls_buffer.buffer;
+}
+
+int ClampLane(int lane) {
+  if (lane < 0) return 0;
+  if (lane >= kNumLanes) return kNumLanes - 1;
+  return lane;
+}
+
+/// Lane for the current thread, assigning an external lane on first use.
+int CurrentLane() {
+  if (tls_lane >= 0) return tls_lane;
+  Tracer& tracer = Tracer::Global();
+  int lane =
+      ClampLane(tracer.next_external.fetch_add(1, std::memory_order_relaxed));
+  tracer.SetLaneName(lane, StrFormat("ext-%d", lane - kExternalLaneBase));
+  tls_lane = lane;
+  return lane;
+}
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Tracer::Global().t0)
+          .count());
+}
+
+void StopTracingAtExit() { StopTracing(); }
+
+}  // namespace
+
+void SetThreadDefaultLane(int lane, const std::string& name) {
+  lane = ClampLane(lane);
+  tls_lane = lane;
+  Tracer::Global().SetLaneName(lane, name);
+}
+
+TraceLaneScope::TraceLaneScope(int lane, const std::string& name)
+    : saved_lane_(tls_lane) {
+  lane = ClampLane(lane);
+  tls_lane = lane;
+  if (TracingEnabled()) Tracer::Global().SetLaneName(lane, name);
+}
+
+TraceLaneScope::~TraceLaneScope() { tls_lane = saved_lane_; }
+
+Status StartTracing(const std::string& path, uint64_t seed) {
+  Tracer& tracer = Tracer::Global();
+  MutexLock lock(tracer.tracer_mu);
+  if (tracer.active) {
+    return Status::AlreadyExists("tracing is already active (" + tracer.path +
+                                 ")");
+  }
+  tracer.path = path;
+  tracer.seed = seed;
+  tracer.t0 = std::chrono::steady_clock::now();
+  for (int lane = 0; lane < kNumLanes; ++lane) {
+    tracer.lanes[lane].rng = Pcg32(seed + static_cast<uint64_t>(lane));
+    tracer.lanes[lane].seq = 0;
+  }
+  if (tracer.lane_names[kMainLane].empty()) {
+    tracer.lane_names[kMainLane] = "main";
+  }
+  for (const auto& buffer : tracer.buffers) {
+    MutexLock buffer_lock(buffer->bmu);
+    buffer->events.clear();
+  }
+  tracer.orphans.clear();
+  if (tls_lane < 0) tls_lane = kMainLane;
+
+  static bool atexit_registered = false;
+  if (!atexit_registered) {
+    atexit_registered = true;
+    std::atexit(StopTracingAtExit);
+  }
+
+  tracer.active = true;
+  internal::g_trace_enabled.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status StopTracing() {
+  Tracer& tracer = Tracer::Global();
+  MutexLock lock(tracer.tracer_mu);
+  if (!tracer.active) return Status::OK();
+  internal::g_trace_enabled.store(false, std::memory_order_release);
+  tracer.active = false;
+
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : tracer.buffers) {
+    MutexLock buffer_lock(buffer->bmu);
+    for (TraceEvent& ev : buffer->events) {
+      events.push_back(std::move(ev));
+    }
+    buffer->events.clear();
+  }
+  for (TraceEvent& ev : tracer.orphans) {
+    events.push_back(std::move(ev));
+  }
+  tracer.orphans.clear();
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.lane != b.lane) return a.lane < b.lane;
+                     return a.seq < b.seq;
+                   });
+
+  std::ofstream out(tracer.path);
+  if (!out) {
+    return Status::Internal("cannot open trace file: " + tracer.path);
+  }
+
+  bool lane_used[kNumLanes] = {};
+  lane_used[kMainLane] = true;
+  for (const TraceEvent& ev : events) lane_used[ev.lane] = true;
+
+  JsonWriter writer(out);
+  writer.BeginObject();
+  writer.Key("traceEvents");
+  writer.BeginArray();
+  writer.BeginObject();
+  writer.KV("name", "process_name");
+  writer.KV("ph", "M");
+  writer.KV("pid", 1);
+  writer.Key("args");
+  writer.BeginObject();
+  writer.KV("name", "monsoon");
+  writer.EndObject();
+  writer.EndObject();
+  for (int lane = 0; lane < kNumLanes; ++lane) {
+    if (!lane_used[lane]) continue;
+    writer.BeginObject();
+    writer.KV("name", "thread_name");
+    writer.KV("ph", "M");
+    writer.KV("pid", 1);
+    writer.KV("tid", lane);
+    writer.Key("args");
+    writer.BeginObject();
+    std::string name = tracer.lane_names[lane];
+    if (name.empty()) name = StrFormat("lane-%d", lane);
+    writer.KV("name", name);
+    writer.EndObject();
+    writer.EndObject();
+  }
+  for (const TraceEvent& ev : events) {
+    writer.BeginObject();
+    writer.KV("name", ev.name);
+    writer.KV("cat", ev.category);
+    writer.KV("ph", "X");
+    writer.KV("pid", 1);
+    writer.KV("tid", ev.lane);
+    writer.KV("ts", ev.ts_us);
+    writer.KV("dur", ev.dur_us);
+    writer.Key("args");
+    writer.BeginObject();
+    writer.KV("span_id", StrFormat("0x%016llx",
+                                   static_cast<unsigned long long>(ev.span_id)));
+    writer.KV("seq", ev.seq);
+    for (const auto& [key, json_text] : ev.args) {
+      writer.Key(key);
+      writer.Raw(json_text);
+    }
+    writer.EndObject();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.KV("displayTimeUnit", "ms");
+  writer.Key("otherData");
+  writer.BeginObject();
+  writer.KV("seed", tracer.seed);
+  writer.EndObject();
+  writer.EndObject();
+  out << "\n";
+  out.flush();
+  if (!out) {
+    return Status::Internal("failed writing trace file: " + tracer.path);
+  }
+  return Status::OK();
+}
+
+bool MaybeStartTracingFromEnv() {
+  if (TracingEnabled()) return false;
+  const char* path = std::getenv("MONSOON_TRACE");
+  if (path == nullptr || path[0] == '\0') return false;
+  uint64_t seed = kDefaultTraceSeed;
+  if (const char* seed_env = std::getenv("MONSOON_TRACE_SEED")) {
+    seed = std::strtoull(seed_env, nullptr, 10);
+  }
+  return StartTracing(path, seed).ok();
+}
+
+TraceSpan::TraceSpan(const char* category, const char* name) {
+  enabled_ = TracingEnabled();
+  if (!enabled_) return;
+  category_ = category;
+  name_ = name;
+  lane_ = CurrentLane();
+  LaneState& lane_state = Tracer::Global().lanes[lane_];
+  span_id_ = (static_cast<uint64_t>(lane_state.rng.Next()) << 32) |
+             lane_state.rng.Next();
+  seq_ = ++lane_state.seq;
+  start_us_ = NowUs();
+}
+
+void TraceSpan::End() {
+  if (!enabled_) return;
+  enabled_ = false;
+  TraceEvent ev;
+  ev.category = category_;
+  ev.name = name_;
+  ev.lane = lane_;
+  ev.span_id = span_id_;
+  ev.seq = seq_;
+  ev.ts_us = start_us_;
+  uint64_t end_us = NowUs();
+  ev.dur_us = end_us >= start_us_ ? end_us - start_us_ : 0;
+  ev.args = std::move(args_);
+  ThreadBuffer* buffer = CurrentBuffer();
+  MutexLock lock(buffer->bmu);
+  buffer->events.push_back(std::move(ev));
+}
+
+TraceSpan& TraceSpan::Arg(const char* key, int64_t value) {
+  if (enabled_) {
+    args_.emplace_back(key, StrFormat("%lld", static_cast<long long>(value)));
+  }
+  return *this;
+}
+
+TraceSpan& TraceSpan::Arg(const char* key, uint64_t value) {
+  if (enabled_) {
+    args_.emplace_back(key,
+                       StrFormat("%llu", static_cast<unsigned long long>(value)));
+  }
+  return *this;
+}
+
+TraceSpan& TraceSpan::Arg(const char* key, int value) {
+  return Arg(key, static_cast<int64_t>(value));
+}
+
+TraceSpan& TraceSpan::Arg(const char* key, double value) {
+  if (enabled_) args_.emplace_back(key, StrFormat("%.17g", value));
+  return *this;
+}
+
+TraceSpan& TraceSpan::Arg(const char* key, bool value) {
+  if (enabled_) args_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+TraceSpan& TraceSpan::Arg(const char* key, const char* value) {
+  // Checked here too (not just in the string overload) so the disabled
+  // path never materializes a std::string for long literals.
+  if (enabled_) return Arg(key, std::string(value));
+  return *this;
+}
+
+TraceSpan& TraceSpan::Arg(const char* key, const std::string& value) {
+  if (enabled_) {
+    std::string quoted;
+    quoted.reserve(value.size() + 2);
+    quoted += '"';
+    quoted += JsonEscape(value);
+    quoted += '"';
+    args_.emplace_back(key, std::move(quoted));
+  }
+  return *this;
+}
+
+}  // namespace monsoon::obs

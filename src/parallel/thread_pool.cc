@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace monsoon::parallel {
 
@@ -45,14 +48,48 @@ void ThreadPool::Submit(Task task) {
 }
 
 void ThreadPool::SubmitTo(size_t queue, Task task) {
-  WorkQueue& q = *queues_[queue % queues_.size()];
-  {
-    MutexLock lock(q.mu);
-    q.tasks.push_back(std::move(task));
-  }
+  static obs::Counter* const submitted_metric =
+      obs::Registry::Global().GetCounter("pool.tasks_submitted");
+  static obs::Counter* const run_metric =
+      obs::Registry::Global().GetCounter("pool.tasks_run");
+  static obs::Counter* const stolen_metric =
+      obs::Registry::Global().GetCounter("pool.tasks_stolen");
+  static obs::Histogram* const queue_us_metric =
+      obs::Registry::Global().GetHistogram("pool.queue_us");
+
+  submitted_metric->Add(1);
+  size_t home = queue % queues_.size();
+  // Wrap the task with lifecycle telemetry: enqueue → dequeue latency, and
+  // whether it was stolen off its home queue. The wrapper runs on the
+  // claiming thread, so the TraceSpan lands on that worker's lane.
+  auto enqueued = std::chrono::steady_clock::now();
+  Task wrapped = [home, enqueued, inner = std::move(task)] {
+    uint64_t queue_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - enqueued)
+            .count());
+    int runner = CurrentWorker();
+    bool stolen = runner != static_cast<int>(home);
+    run_metric->Add(1);
+    if (stolen) stolen_metric->Add(1);
+    queue_us_metric->Observe(queue_us);
+    obs::TraceSpan span("pool", "task");
+    span.Arg("queue_us", queue_us)
+        .Arg("home", static_cast<uint64_t>(home))
+        .Arg("stolen", stolen);
+    inner();
+  };
+  WorkQueue& q = *queues_[home];
+  // Account before publishing: a task is claimable the moment it is in the
+  // queue, and the claimer's decrement must find the increment already
+  // applied or pending_ goes negative and workers can sleep past real work.
   {
     MutexLock lock(idle_mu_);
     ++pending_;
+  }
+  {
+    MutexLock lock(q.mu);
+    q.tasks.push_back(std::move(wrapped));
   }
   idle_cv_.NotifyOne();
 }
@@ -103,6 +140,8 @@ bool ThreadPool::TryRunOne() {
 
 void ThreadPool::WorkerLoop(int worker_id) {
   tls_worker_id = worker_id;
+  obs::SetThreadDefaultLane(obs::kPoolLaneBase + worker_id,
+                            "pool-w" + std::to_string(worker_id));
   for (;;) {
     Task task;
     if (FindTask(static_cast<size_t>(worker_id), &task)) {
@@ -147,13 +186,12 @@ std::function<void()> TaskGroup::Wrap(std::function<void()> fn) {
   }
   return [this, fn = std::move(fn)] {
     Execute(fn);
-    bool done;
-    {
-      MutexLock lock(mu_);
-      MONSOON_DCHECK(outstanding_ > 0) << "task completion without a Wrap";
-      done = --outstanding_ == 0;
-    }
-    if (done) cv_.NotifyAll();
+    // Notify while holding mu_: once a waiter can observe outstanding_ == 0
+    // it may destroy this group, so the broadcast must finish before the
+    // lock is released. Notifying after unlock races with ~TaskGroup.
+    MutexLock lock(mu_);
+    MONSOON_DCHECK(outstanding_ > 0) << "task completion without a Wrap";
+    if (--outstanding_ == 0) cv_.NotifyAll();
   };
 }
 

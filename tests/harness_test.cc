@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <sstream>
+#include <vector>
 
+#include "common/string_util.h"
 #include "harness/runner.h"
+#include "obs/json.h"
 
 namespace monsoon {
 namespace {
@@ -166,6 +169,90 @@ TEST_F(HarnessTest, CsvExportHasHeaderAndOneLinePerRecord) {
   EXPECT_NE(csv.find("q1,s2,timeout"), std::string::npos);
   EXPECT_NE(csv.find("q2,s1,ok"), std::string::npos);
   EXPECT_NE(csv.find(",1234,"), std::string::npos);
+}
+
+// The run report must reproduce the frozen CSV counters bit-identically:
+// every integer column as the same decimal text, every seconds column as
+// the same value under the CSV's %.6f formatting.
+TEST_F(HarnessTest, RunReportMatchesCsvBitIdentically) {
+  BenchRunner runner(HarnessOptions{});
+  runner.AddStrategy("s1", [](const Workload&, const BenchQuery& query) {
+    RunResult result;
+    result.total_seconds = 1.2345678;
+    result.plan_seconds = 0.25;
+    result.stats_seconds = 0.125;
+    result.exec_seconds = 0.5;
+    result.result_rows = 42;
+    result.objects_processed = 18446744073709551615ull;  // max uint64
+    result.work_units = 7777777777ull;
+    result.execute_rounds = 3;
+    result.udf_cache_hits = 11;
+    result.udf_cache_misses = 5;
+    result.udf_cache_bytes = 1 << 20;
+    if (query.name == "q2") result.status = Status::ResourceExhausted("to");
+    return result;
+  });
+  ASSERT_TRUE(runner.RunAll(workload_).ok());
+
+  std::ostringstream csv_out;
+  runner.WriteCsv(csv_out);
+  std::ostringstream report_out;
+  runner.WriteRunReport(report_out);
+
+  auto doc = obs::JsonParse(report_out.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue* queries = doc->Find("queries");
+  ASSERT_NE(queries, nullptr);
+
+  // Split the CSV into rows and cells; skip the header.
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream csv_in(csv_out.str());
+  std::string line;
+  std::getline(csv_in, line);
+  while (std::getline(csv_in, line)) {
+    std::vector<std::string> cells;
+    std::istringstream cells_in(line);
+    std::string cell;
+    while (std::getline(cells_in, cell, ',')) cells.push_back(cell);
+    rows.push_back(std::move(cells));
+  }
+  ASSERT_EQ(rows.size(), queries->array.size());
+  ASSERT_EQ(rows.size(), 3u);
+
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const std::vector<std::string>& cells = rows[i];
+    ASSERT_EQ(cells.size(), 14u);
+    const obs::JsonValue& q = queries->array[i];
+    auto text = [&q](const char* field) {
+      const obs::JsonValue* v = q.Find(field);
+      EXPECT_NE(v, nullptr) << field;
+      return v == nullptr ? std::string()
+                          : (v->is_string() ? v->string_value : v->number_text);
+    };
+    auto seconds = [&q](const char* field) {
+      const obs::JsonValue* v = q.Find("seconds")->Find(field);
+      EXPECT_NE(v, nullptr) << field;
+      return StrFormat("%.6f", v == nullptr ? 0.0 : v->number);
+    };
+    const obs::JsonValue* cache = q.Find("udf_cache");
+    ASSERT_NE(cache, nullptr);
+
+    EXPECT_EQ(cells[0], text("query"));
+    EXPECT_EQ(cells[1], text("strategy"));
+    EXPECT_EQ(cells[2], text("status"));
+    EXPECT_EQ(cells[3], seconds("total"));
+    EXPECT_EQ(cells[4], text("objects_processed"));
+    EXPECT_EQ(cells[5], text("work_units"));
+    EXPECT_EQ(cells[6], seconds("plan"));
+    EXPECT_EQ(cells[7], seconds("stats"));
+    EXPECT_EQ(cells[8], seconds("exec"));
+    EXPECT_EQ(cells[9], text("result_rows"));
+    EXPECT_EQ(cells[10], text("execute_rounds"));
+    EXPECT_EQ(cells[11], cache->Find("hits")->number_text);
+    EXPECT_EQ(cells[12], cache->Find("misses")->number_text);
+    EXPECT_EQ(cells[13], cache->Find("bytes")->number_text);
+  }
+  EXPECT_EQ(rows[1][2], "timeout");
 }
 
 TEST(TablePrinterTest, AlignsColumns) {

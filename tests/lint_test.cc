@@ -68,6 +68,47 @@ TEST(LintAccountingTest, CountersOnlyMutableInExecContext) {
                   .empty());
 }
 
+TEST(LintObsTest, FlagsPlainCounterMembers) {
+  auto diags = Lint("src/exec/u.h",
+                    "#ifndef MONSOON_EXEC_U_H_\n#define MONSOON_EXEC_U_H_\n"
+                    "struct S { uint64_t cache_hits_ = 0; };\n#endif\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "monsoon-obs");
+  EXPECT_EQ(diags[0].line, 3);
+
+  // Atomic counters are still hand-rolled telemetry: the preceding token
+  // is the template's closing '>'.
+  EXPECT_TRUE(HasRule(
+      Lint("src/parallel/p.h",
+           "#ifndef MONSOON_PARALLEL_P_H_\n#define MONSOON_PARALLEL_P_H_\n"
+           "std::atomic<uint64_t> tasks_stolen_{0};\n#endif\n"),
+      "monsoon-obs"));
+  EXPECT_TRUE(HasRule(Lint("src/exec/e.cc", "double stats_seconds_;\n"),
+                      "monsoon-obs"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/exec/e.cc", "size_t shard_work_units_ GUARDED_BY(mu_);\n"),
+      "monsoon-obs"));
+}
+
+TEST(LintObsTest, AllowsObsTypesUsesAndOutOfScopePaths) {
+  // The sanctioned types don't match the TYPE-name declaration shape.
+  EXPECT_TRUE(
+      Lint("src/exec/e.cc", "obs::LocalCounter udf_cache_hits_;\n").empty());
+  EXPECT_TRUE(Lint("src/exec/e.cc", "obs::Counter* hits_metric_;\n").empty());
+  // Uses of an existing member are not declarations.
+  EXPECT_TRUE(Lint("src/exec/e.cc", "total = cache_hits_ + 1;\n").empty());
+  // Accessors returning a snapshot value are fine (next token is '(').
+  EXPECT_TRUE(
+      Lint("src/exec/e.cc", "double scan_seconds_() { return 0; }\n").empty());
+  // src/obs/ itself and out-of-tree paths are exempt.
+  EXPECT_TRUE(Lint("src/obs/m.cc", "uint64_t test_hits_ = 0;\n").empty());
+  EXPECT_TRUE(Lint("bench/b.cc", "uint64_t test_hits_ = 0;\n").empty());
+  // NOLINT suppresses.
+  EXPECT_TRUE(
+      Lint("src/exec/e.cc", "uint64_t raw_hits_;  // NOLINT(monsoon-obs)\n")
+          .empty());
+}
+
 TEST(LintThreadTest, StdThreadOnlyInParallel) {
   auto diags = Lint("src/exec/e.cc", "std::thread t([] {});\n");
   ASSERT_EQ(diags.size(), 1u);
@@ -216,7 +257,7 @@ TEST(LintFilesTest, DiagnosticsSortedAndRuleListStable) {
   EXPECT_EQ(diags[1].line, 2);
   EXPECT_EQ(diags[2].path, "src/b.cc");
 
-  EXPECT_EQ(RuleNames().size(), 7u);
+  EXPECT_EQ(RuleNames().size(), 8u);
 }
 
 }  // namespace

@@ -95,6 +95,51 @@ void CheckAccounting(const ScannedFile& f, Reporter& r) {
 }
 
 // ---------------------------------------------------------------------------
+// monsoon-obs
+// ---------------------------------------------------------------------------
+
+/// Telemetry counters hand-rolled as plain arithmetic members drift: they
+/// miss the registry snapshot / run report, and concurrent increments race.
+/// Flags declarations like `uint64_t cache_hits_;` (or the atomic form,
+/// whose preceding token is the closing '>') and points at the obs:: types.
+void CheckObs(const ScannedFile& f, Reporter& r) {
+  if (!StartsWith(f.path, "src/") || StartsWith(f.path, "src/obs/")) return;
+  static const std::vector<std::string> kSuffixes = {
+      "_hits_",  "_misses_", "_evictions_", "_processed_",
+      "_units_", "_stolen_", "_submitted_", "_seconds_"};
+  static const std::set<std::string> kArithmeticTypes = {
+      "uint64_t", "int64_t", "uint32_t", "int32_t", "size_t",
+      "int",      "long",    "unsigned", "double",  "float"};
+  const auto& toks = f.tokens;
+  for (size_t i = 1; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    bool counterish = false;
+    for (const std::string& suffix : kSuffixes) {
+      if (EndsWith(t.text, suffix)) {
+        counterish = true;
+        break;
+      }
+    }
+    if (!counterish) continue;
+    // Declaration shape: TYPE name ( ; | = | { | GUARDED_BY ). Uses of the
+    // member (name.Add(...), name.Value()) don't match.
+    const std::string& prev = toks[i - 1].text;
+    if (kArithmeticTypes.count(prev) == 0 && prev != ">") continue;
+    const std::string& next = toks[i + 1].text;
+    if (next != ";" && next != "=" && next != "{" && next != "GUARDED_BY") {
+      continue;
+    }
+    r.Report("monsoon-obs", t.line,
+             "telemetry counter '" + t.text +
+                 "' is a plain arithmetic member; use obs::Counter / "
+                 "obs::Gauge / obs::Histogram (registry metrics) or "
+                 "obs::LocalCounter (single-owner accounting) so it shows "
+                 "up in snapshots and run reports");
+  }
+}
+
+// ---------------------------------------------------------------------------
 // monsoon-thread
 // ---------------------------------------------------------------------------
 
@@ -392,9 +437,9 @@ void CheckLockRank(const ScannedFile& f, Reporter& r) {
 }  // namespace
 
 std::vector<std::string> RuleNames() {
-  return {"monsoon-rng",        "monsoon-accounting", "monsoon-thread",
-          "monsoon-raw-new",    "monsoon-pinned-get", "monsoon-include",
-          "monsoon-lock-rank"};
+  return {"monsoon-rng",        "monsoon-accounting", "monsoon-obs",
+          "monsoon-thread",     "monsoon-raw-new",    "monsoon-pinned-get",
+          "monsoon-include",    "monsoon-lock-rank"};
 }
 
 std::vector<Diagnostic> LintFiles(const std::vector<SourceFile>& files) {
@@ -407,6 +452,7 @@ std::vector<Diagnostic> LintFiles(const std::vector<SourceFile>& files) {
     Reporter r(f, out);
     CheckRng(f, r);
     CheckAccounting(f, r);
+    CheckObs(f, r);
     CheckThread(f, r);
     CheckRawNew(f, r);
     CheckPinnedGet(f, r);

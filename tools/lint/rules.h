@@ -36,6 +36,10 @@ std::vector<std::string> RuleNames();
 ///   monsoon-accounting  (everywhere)    the MONSOON cost-model counters
 ///                       (objects_processed_, work_units_) may only be
 ///                       touched inside src/exec/exec_context.h.
+///   monsoon-obs         (src/ minus src/obs/)  no hand-rolled telemetry
+///                       counters (plain arithmetic members named *_hits_,
+///                       *_units_, *_seconds_, ...); use the obs:: metrics
+///                       types so they land in snapshots and run reports.
 ///   monsoon-thread      (src/ minus src/parallel/)  no std::thread /
 ///                       std::async / std::jthread; parallelism goes
 ///                       through parallel::ThreadPool.

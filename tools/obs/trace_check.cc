@@ -1,0 +1,193 @@
+// monsoon-trace-check: CI validator for the observability artifacts.
+//
+//   monsoon-trace-check --trace FILE [--expect-pool]
+//   monsoon-trace-check --report FILE
+//
+// --trace checks that FILE is a Chrome trace_event JSON document with the
+// span categories the instrumented loop must emit (mdp, mcts, exec; pool
+// only when --expect-pool is given, since a --threads=1 run never enqueues
+// a pool task) and that every complete event carries the stable identity
+// fields (span_id, seq). --report checks the per-query run report schema.
+// Exit status 0 = all checks passed; 1 = a check failed; 2 = usage error.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace monsoon::obs {
+namespace {
+
+bool Fail(const std::string& message) {
+  std::cerr << "monsoon-trace-check: " << message << "\n";
+  return false;
+}
+
+StatusOr<JsonValue> ParseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return JsonParse(buffer.str());
+}
+
+bool CheckTrace(const std::string& path, bool expect_pool) {
+  auto doc = ParseFile(path);
+  if (!doc.ok()) return Fail(doc.status().ToString());
+  const JsonValue* events = doc->Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Fail("'" + path + "' has no traceEvents array");
+  }
+  if (doc->Find("displayTimeUnit") == nullptr) {
+    return Fail("'" + path + "' lacks displayTimeUnit");
+  }
+
+  std::set<std::string> cats;
+  size_t complete_events = 0;
+  bool saw_process_name = false;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* ph = event.Find("ph");
+    if (ph == nullptr || !ph->is_string()) {
+      return Fail("event without a 'ph' phase field");
+    }
+    if (ph->string_value == "M") {
+      const JsonValue* name = event.Find("name");
+      if (name != nullptr && name->string_value == "process_name") {
+        saw_process_name = true;
+      }
+      continue;
+    }
+    if (ph->string_value != "X") {
+      return Fail("unexpected event phase '" + ph->string_value + "'");
+    }
+    ++complete_events;
+    for (const char* field : {"name", "cat", "ts", "dur", "pid", "tid"}) {
+      if (event.Find(field) == nullptr) {
+        return Fail("complete event missing '" + std::string(field) + "'");
+      }
+    }
+    const JsonValue* args = event.Find("args");
+    if (args == nullptr || !args->is_object()) {
+      return Fail("complete event missing args object");
+    }
+    const JsonValue* span_id = args->Find("span_id");
+    if (span_id == nullptr || !span_id->is_string() ||
+        span_id->string_value.compare(0, 2, "0x") != 0) {
+      return Fail("complete event missing a hex span_id");
+    }
+    if (args->Find("seq") == nullptr) {
+      return Fail("complete event missing the per-lane seq");
+    }
+    cats.insert(event.Find("cat")->string_value);
+  }
+
+  if (complete_events == 0) return Fail("'" + path + "' holds no spans");
+  if (!saw_process_name) return Fail("missing process_name metadata event");
+  std::vector<std::string> required = {"mdp", "mcts", "exec"};
+  if (expect_pool) required.push_back("pool");
+  for (const std::string& cat : required) {
+    if (cats.count(cat) == 0) {
+      return Fail("'" + path + "' has no spans in category '" + cat + "'");
+    }
+  }
+  std::cout << "trace ok: " << complete_events << " spans across "
+            << cats.size() << " categories\n";
+  return true;
+}
+
+bool CheckMetricsObject(const JsonValue& metrics, const std::string& where) {
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const JsonValue* s = metrics.Find(section);
+    if (s == nullptr || !s->is_object()) {
+      return Fail(where + " lacks the '" + section + "' section");
+    }
+  }
+  const JsonValue* histograms = metrics.Find("histograms");
+  for (const auto& [name, hist] : histograms->object) {
+    if (hist.Find("count") == nullptr || hist.Find("sum") == nullptr ||
+        hist.Find("buckets") == nullptr || !hist.Find("buckets")->is_array()) {
+      return Fail(where + " histogram '" + name + "' is malformed");
+    }
+  }
+  return true;
+}
+
+bool CheckReport(const std::string& path) {
+  auto doc = ParseFile(path);
+  if (!doc.ok()) return Fail(doc.status().ToString());
+  if (doc->Find("monsoon_run_report") == nullptr) {
+    return Fail("'" + path + "' lacks the monsoon_run_report version tag");
+  }
+  const JsonValue* queries = doc->Find("queries");
+  if (queries == nullptr || !queries->is_array() || queries->array.empty()) {
+    return Fail("'" + path + "' has no queries");
+  }
+  for (const JsonValue& query : queries->array) {
+    for (const char* field :
+         {"query", "strategy", "status", "result_rows", "objects_processed",
+          "work_units", "execute_rounds"}) {
+      if (query.Find(field) == nullptr) {
+        return Fail("query entry missing '" + std::string(field) + "'");
+      }
+    }
+    const JsonValue* seconds = query.Find("seconds");
+    if (seconds == nullptr || seconds->Find("total") == nullptr ||
+        seconds->Find("plan") == nullptr || seconds->Find("stats") == nullptr ||
+        seconds->Find("exec") == nullptr) {
+      return Fail("query entry missing the seconds breakdown");
+    }
+    const JsonValue* cache = query.Find("udf_cache");
+    if (cache == nullptr || cache->Find("hits") == nullptr ||
+        cache->Find("misses") == nullptr) {
+      return Fail("query entry missing the udf_cache section");
+    }
+    const JsonValue* metrics = query.Find("metrics");
+    if (metrics == nullptr || !CheckMetricsObject(*metrics, "query metrics")) {
+      return false;
+    }
+  }
+  const JsonValue* registry = doc->Find("registry");
+  if (registry == nullptr || !CheckMetricsObject(*registry, "registry")) {
+    return false;
+  }
+  std::cout << "report ok: " << queries->array.size() << " query entries\n";
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  std::string trace_path;
+  std::string report_path;
+  bool expect_pool = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--expect-pool") == 0) {
+      expect_pool = true;
+    } else {
+      std::cerr << "usage: monsoon-trace-check [--trace FILE [--expect-pool]] "
+                   "[--report FILE]\n";
+      return 2;
+    }
+  }
+  if (trace_path.empty() && report_path.empty()) {
+    std::cerr << "monsoon-trace-check: nothing to check (pass --trace and/or "
+                 "--report)\n";
+    return 2;
+  }
+  bool ok = true;
+  if (!trace_path.empty()) ok = CheckTrace(trace_path, expect_pool) && ok;
+  if (!report_path.empty()) ok = CheckReport(report_path) && ok;
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace monsoon::obs
+
+int main(int argc, char** argv) { return monsoon::obs::Run(argc, argv); }
