@@ -1,0 +1,156 @@
+// Measures the cost of a MONSOON_FAULT_POINT check, pinning the fault
+// layer's contract that disabled injection costs one branch on a relaxed
+// atomic at every guarded site (UDF evaluations, Σ merges, cache fills):
+//
+//   baseline         — the measurement loop with only the accumulator
+//   disabled_point   — MONSOON_FAULT_POINT with no config installed
+//   enabled_miss     — an armed config whose patterns never match the point
+//   enabled_hit_p0   — a matching pattern with probability 0 (draw, no fire)
+//
+// Writes BENCH_fault_overhead.json (or argv[1]) and exits non-zero when
+// the disabled-point overhead exceeds the CI bound — catching an
+// accidentally de-inlined or allocating disabled path, not measuring
+// machine speed.
+//
+// Mirrors bench_obs_overhead: a tiny fixed-iteration loop with a
+// hand-rolled DoNotOptimize, runnable as a pass/fail gate by the CI fault
+// stage without the google-benchmark dependency.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/status.h"
+#include "fault/injector.h"
+#include "obs/json.h"
+
+namespace monsoon {
+namespace {
+
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+constexpr int kIterations = 2000000;
+constexpr int kRepeats = 5;
+
+/// Best-of-kRepeats nanoseconds per iteration of `body`.
+template <typename Fn>
+double MeasureNs(Fn&& body) {
+  double best = 1e300;
+  for (int r = 0; r < kRepeats; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIterations; ++i) body(i);
+    auto stop = std::chrono::steady_clock::now();
+    double ns =
+        std::chrono::duration<double, std::nano>(stop - start).count() /
+        kIterations;
+    if (ns < best) best = ns;
+  }
+  return best;
+}
+
+/// The guarded site under measurement, in a Status-returning function the
+/// way every real call site uses the macro.
+Status GuardedSite(uint64_t coord) {
+  MONSOON_FAULT_POINT("bench.fault_overhead.site", coord);
+  return Status::OK();
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_fault_overhead.json");
+
+  if (fault::Enabled()) {
+    std::fprintf(stderr, "fault injection must be off for this bench\n");
+    return 2;
+  }
+
+  uint64_t sink = 0;
+  double baseline_ns = MeasureNs([&](int i) {
+    sink += static_cast<uint64_t>(i);
+    DoNotOptimize(sink);
+  });
+
+  double disabled_ns = MeasureNs([&](int i) {
+    Status st = GuardedSite(static_cast<uint64_t>(i));
+    DoNotOptimize(st);
+    sink += static_cast<uint64_t>(i);
+    DoNotOptimize(sink);
+  });
+
+  fault::FaultConfig base;
+  base.seed = 7;
+  if (!fault::InstallSpec("some.other.point=1:permanent", base).ok()) {
+    std::fprintf(stderr, "failed to install miss spec\n");
+    return 2;
+  }
+  double enabled_miss_ns = MeasureNs([&](int i) {
+    Status st = GuardedSite(static_cast<uint64_t>(i));
+    DoNotOptimize(st);
+    sink += static_cast<uint64_t>(i);
+    DoNotOptimize(sink);
+  });
+
+  if (!fault::InstallSpec("bench.fault_overhead.*=0:permanent", base).ok()) {
+    std::fprintf(stderr, "failed to install p0 spec\n");
+    return 2;
+  }
+  double enabled_hit_p0_ns = MeasureNs([&](int i) {
+    Status st = GuardedSite(static_cast<uint64_t>(i));
+    DoNotOptimize(st);
+    sink += static_cast<uint64_t>(i);
+    DoNotOptimize(sink);
+  });
+  fault::Clear();
+
+  double disabled_overhead_ns = disabled_ns - baseline_ns;
+
+  {
+    std::ofstream out(out_path);
+    obs::JsonWriter writer(out);
+    writer.BeginObject();
+    writer.KV("bench", "fault_overhead");
+    writer.KV("iterations", static_cast<int64_t>(kIterations));
+    writer.KV("repeats", static_cast<int64_t>(kRepeats));
+    writer.Key("ns_per_op");
+    writer.BeginObject();
+    writer.KV("baseline", baseline_ns);
+    writer.KV("disabled_point", disabled_ns);
+    writer.KV("disabled_point_overhead", disabled_overhead_ns);
+    writer.KV("enabled_miss", enabled_miss_ns);
+    writer.KV("enabled_hit_p0", enabled_hit_p0_ns);
+    writer.EndObject();
+    writer.EndObject();
+    out << "\n";
+  }
+
+  std::printf("baseline             %8.2f ns/op\n", baseline_ns);
+  std::printf("disabled point       %8.2f ns/op (overhead %+.2f ns)\n",
+              disabled_ns, disabled_overhead_ns);
+  std::printf("enabled, no match    %8.2f ns/op\n", enabled_miss_ns);
+  std::printf("enabled, p=0 draw    %8.2f ns/op\n", enabled_hit_p0_ns);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // A disabled point is one relaxed load and a not-taken branch; the 10 ns
+  // bound flags a de-inlined Enabled() or a Status allocation sneaking
+  // onto the fast path while staying far above a real branch's cost.
+  if (disabled_overhead_ns > 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: disabled MONSOON_FAULT_POINT overhead %.2f ns/op "
+                 "exceeds the 10 ns bound\n",
+                 disabled_overhead_ns);
+    return 1;
+  }
+  DoNotOptimize(sink);
+  return 0;
+}
+
+}  // namespace monsoon
+
+int main(int argc, char** argv) { return monsoon::Main(argc, argv); }

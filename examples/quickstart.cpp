@@ -16,6 +16,17 @@
 // MCTS phase, executor operator, and thread-pool task on a timeline.
 // MONSOON_TRACE=F does the same without the flag. --report-out=F writes
 // the per-query JSON run report (counters + Table 8-style breakdown).
+//
+// Fault tolerance (DESIGN.md "Fault-tolerant execution"):
+// --faults=SPEC arms seeded fault injection (grammar: pattern=prob[:kind
+// [:param_ms]], ';'-separated; e.g. "exec.udf_eval*=0.01"), seeded by
+// MONSOON_FAULT_SEED and honoring MONSOON_UDF_TIMEOUT_MS.
+// --deadline-ms=N gives every Monsoon query a cooperative wall-clock
+// deadline. --workload={tpch,imdb,ott,udf} switches from the demo query
+// to a small-scale benchmark soak (Monsoon + Defaults over the full query
+// suite) that reports degraded / timed-out / hard-error counts and exits
+// nonzero only on hard errors — under transient fault specs every query
+// must finish, retried or degraded, never crashed.
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +38,8 @@
 
 #include "baselines/baselines.h"
 #include "exec/udf_cache.h"
+#include "fault/injector.h"
+#include "harness/runner.h"
 #include "monsoon/monsoon_optimizer.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -34,6 +47,10 @@
 #include "parallel/runtime.h"
 #include "sql/parser.h"
 #include "workloads/genutil.h"
+#include "workloads/imdb.h"
+#include "workloads/ott.h"
+#include "workloads/tpch.h"
+#include "workloads/udfbench.h"
 
 using namespace monsoon;
 
@@ -95,7 +112,91 @@ obs::QueryReport MakeReport(const char* strategy, const RunResult& result,
   return report;
 }
 
-Status RunDemo(const std::string& report_out) {
+// Small-scale instance of one of the four benchmark workloads, for the
+// fault-injection soak (scripts/ci.sh stage "fault").
+StatusOr<Workload> MakeNamedWorkload(const std::string& name) {
+  if (name == "tpch") {
+    TpchOptions options;
+    options.scale = 0.2;
+    return MakeTpchWorkload(options);
+  }
+  if (name == "imdb") {
+    ImdbOptions options;
+    options.scale = 0.2;
+    return MakeImdbWorkload(options);
+  }
+  if (name == "ott") {
+    OttOptions options;
+    options.rows_per_table = 2000;
+    options.key_cardinality = 100;
+    return MakeOttWorkload(options);
+  }
+  if (name == "udf") {
+    UdfBenchOptions options;
+    options.scale = 0.2;
+    return MakeUdfBenchWorkload(options);
+  }
+  return Status::InvalidArgument("unknown workload '" + name +
+                                 "' (expected tpch, imdb, ott or udf)");
+}
+
+// Runs Monsoon + the Defaults baseline over a whole benchmark suite and
+// tallies the fault-tolerance outcome. Degraded and timed-out queries are
+// expected under fault injection; only hard errors fail the run.
+Status RunWorkloadBench(const std::string& workload_name, uint64_t deadline_ms,
+                        const std::string& report_out) {
+  MONSOON_ASSIGN_OR_RETURN(Workload workload, MakeNamedWorkload(workload_name));
+
+  HarnessOptions harness_options;
+  harness_options.work_budget = 2000000;
+  harness_options.report_out = report_out;
+  BenchRunner runner(harness_options);
+
+  MonsoonOptimizer::Options monsoon_options;
+  monsoon_options.mcts.iterations = 120;
+  monsoon_options.work_budget = harness_options.work_budget;
+  monsoon_options.deadline_ms = deadline_ms;
+  runner.AddStrategy("Monsoon", [monsoon_options](const Workload& w,
+                                                  const BenchQuery& query) {
+    MonsoonOptimizer monsoon(w.catalog.get(), monsoon_options);
+    return monsoon.Run(query.spec);
+  });
+  std::shared_ptr<Strategy> defaults = MakeDefaultsStrategy();
+  uint64_t budget = harness_options.work_budget;
+  runner.AddStrategy("Defaults", [defaults, budget](const Workload& w,
+                                                    const BenchQuery& query) {
+    return defaults->Run(*w.catalog, query.spec, budget);
+  });
+
+  MONSOON_RETURN_IF_ERROR(runner.RunAll(workload));
+  runner.PrintSummaryTable(std::cout);
+
+  int degraded = 0, timeouts = 0, hard_errors = 0;
+  for (const QueryRecord& record : runner.records()) {
+    if (record.result.degraded) ++degraded;
+    if (record.result.timed_out()) {
+      ++timeouts;
+    } else if (!record.result.ok()) {
+      ++hard_errors;
+      std::cerr << "[hard error] " << record.query << " / " << record.strategy
+                << ": " << record.result.status.ToString() << "\n";
+    }
+  }
+  std::printf(
+      "\nWorkload %s: %d records, %d degraded, %d timeouts, %d hard errors\n",
+      workload.name.c_str(), static_cast<int>(runner.records().size()),
+      degraded, timeouts, hard_errors);
+  if (!report_out.empty()) {
+    std::cout << "Run report written to " << report_out << "\n";
+  }
+  if (hard_errors > 0) {
+    return Status::Internal(std::to_string(hard_errors) +
+                            " queries failed with hard errors");
+  }
+  return Status::OK();
+}
+
+Status RunDemo(const std::string& report_out, uint64_t deadline_ms) {
   Catalog catalog;
   MONSOON_RETURN_IF_ERROR(BuildDatabase(&catalog));
 
@@ -112,6 +213,7 @@ Status RunDemo(const std::string& report_out) {
   MonsoonOptimizer::Options options;
   options.prior = PriorKind::kSpikeAndSlab;
   options.mcts.iterations = 400;
+  options.deadline_ms = deadline_ms;
   MonsoonOptimizer monsoon(&catalog, options);
   obs::MetricsSnapshot before = obs::Registry::Global().Snapshot();
   RunResult result = monsoon.Run(query);
@@ -122,6 +224,12 @@ Status RunDemo(const std::string& report_out) {
   std::cout << "Monsoon actions taken:\n";
   for (const std::string& action : result.action_log) {
     std::cout << "  - " << action << "\n";
+  }
+  if (result.degraded) {
+    std::cout << "Run degraded (Σ passes skipped on transient faults):\n";
+    for (const std::string& reason : result.degraded_reasons) {
+      std::cout << "  - " << reason << "\n";
+    }
   }
   std::printf(
       "\nMonsoon:  %llu result rows, %.2f Mobjects processed, %.3f s total\n"
@@ -154,6 +262,9 @@ Status RunDemo(const std::string& report_out) {
 int main(int argc, char** argv) {
   std::string trace_out;
   std::string report_out;
+  std::string faults;
+  std::string workload;
+  uint64_t deadline_ms = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       int threads = std::atoi(argv[i] + 10);
@@ -172,12 +283,35 @@ int main(int argc, char** argv) {
       trace_out = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--report-out=", 13) == 0) {
       report_out = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      faults = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      deadline_ms = std::strtoull(argv[i] + 14, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--workload=", 11) == 0) {
+      workload = argv[i] + 11;
     } else {
       std::cerr << "unknown flag: " << argv[i]
                 << " (supported: --threads=N, --udf-cache-bytes=B, "
-                   "--trace-out=F, --report-out=F)\n";
+                   "--trace-out=F, --report-out=F, --faults=SPEC, "
+                   "--deadline-ms=N, --workload=tpch|imdb|ott|udf)\n";
       return 1;
     }
+  }
+  if (!faults.empty()) {
+    fault::FaultConfig base;
+    if (const char* env = std::getenv("MONSOON_FAULT_SEED")) {
+      base.seed = std::strtoull(env, nullptr, 10);
+    }
+    if (const char* env = std::getenv("MONSOON_UDF_TIMEOUT_MS")) {
+      base.udf_timeout_ms = std::strtoull(env, nullptr, 10);
+    }
+    Status installed = fault::InstallSpec(faults, base);
+    if (!installed.ok()) {
+      std::cerr << "error: " << installed.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "Fault injection armed: " << faults << " (seed " << base.seed
+              << ")\n";
   }
   if (!trace_out.empty()) {
     Status status = obs::StartTracing(trace_out);
@@ -188,7 +322,9 @@ int main(int argc, char** argv) {
   } else {
     obs::MaybeStartTracingFromEnv();
   }
-  Status status = RunDemo(report_out);
+  Status status = workload.empty()
+                      ? RunDemo(report_out, deadline_ms)
+                      : RunWorkloadBench(workload, deadline_ms, report_out);
   if (!status.ok()) {
     std::cerr << "error: " << status.ToString() << "\n";
     return 1;

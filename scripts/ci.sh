@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI pipeline, six stages:
+# CI pipeline, seven stages:
 #
 #   release  Release build (warnings as errors) + full ctest suite
 #   tsan     ThreadSanitizer build + `ctest -L tsan` (concurrency suites)
@@ -10,12 +10,17 @@
 #   obs      observability smoke: quickstart with --trace-out/--report-out,
 #            monsoon-trace-check over both artifacts, and the
 #            bench_obs_overhead disabled-path gate (BENCH_obs_overhead.json)
+#   fault    fault-injection soak under ASan: quickstart over all four
+#            workloads at 1% transient UDF faults (every query must finish
+#            retried or degraded, never crash), a traced faulty run through
+#            monsoon-trace-check, and the bench_fault_overhead
+#            disabled-path gate (BENCH_fault_overhead.json)
 #
 # Run from anywhere in the repository:
 #
 #   ./scripts/ci.sh            # all stages
 #   ./scripts/ci.sh release    # one stage by name
-#                              # (release|tsan|asan|ubsan|lint|obs)
+#                              # (release|tsan|asan|ubsan|lint|obs|fault)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,38 +33,40 @@ fi
 STAGE="${1:-all}"
 
 release_stage() {
-  echo "=== [1/6] Release build (-Werror) + full test suite ==="
+  echo "=== [1/7] Release build (-Werror) + full test suite ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}"
   ctest --test-dir build-ci-release --output-on-failure -j "${JOBS}"
 }
 
 tsan_stage() {
-  echo "=== [2/6] ThreadSanitizer build + concurrency tests ==="
+  echo "=== [2/7] ThreadSanitizer build + concurrency tests ==="
   cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=thread
   cmake --build build-ci-tsan -j "${JOBS}" \
-    --target parallel_test exec_test determinism_test obs_test
+    --target parallel_test exec_test determinism_test obs_test fault_test
   # Everything that crosses the src/parallel/ runtime: the pool/TaskGroup/
   # ParallelFor unit tests, the serial-vs-parallel equivalence suite
-  # (morsel scans, partitioned hash join, parallel Σ), and the same-seed
-  # cross-run determinism suite.
+  # (morsel scans, partitioned hash join, parallel Σ), the same-seed
+  # cross-run determinism suite, and the cancellation stress tests.
   ctest --test-dir build-ci-tsan --output-on-failure -L tsan
 }
 
 asan_stage() {
-  echo "=== [3/6] AddressSanitizer build + UDF cache tests ==="
+  echo "=== [3/7] AddressSanitizer build + UDF cache tests ==="
   cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=address
-  cmake --build build-ci-asan -j "${JOBS}" --target udf_cache_test exec_test
+  cmake --build build-ci-asan -j "${JOBS}" \
+    --target udf_cache_test exec_test fault_test
   # The cache-on/off/serial/parallel equivalence suite plus the executor
-  # suite: every cached column read (join build/probe, residual filters,
-  # Σ passes) and every LRU eviction runs under ASan.
+  # and fault suites: every cached column read (join build/probe, residual
+  # filters, Σ passes), every LRU eviction, and every injected-fault
+  # error path runs under ASan.
   ctest --test-dir build-ci-asan --output-on-failure -L asan
 }
 
 ubsan_stage() {
-  echo "=== [4/6] UndefinedBehaviorSanitizer build + full test suite ==="
+  echo "=== [4/7] UndefinedBehaviorSanitizer build + full test suite ==="
   # -fno-sanitize-recover=all (set by the CMake option) turns any UB hit
   # into a test failure rather than a log line.
   cmake -B build-ci-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -69,7 +76,7 @@ ubsan_stage() {
 }
 
 lint_stage() {
-  echo "=== [5/6] monsoon-lint + clang-tidy ==="
+  echo "=== [5/7] monsoon-lint + clang-tidy ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}" --target monsoon-lint
   # Repo invariants (RNG discipline, accounting isolation, lock ranks,
@@ -85,7 +92,7 @@ lint_stage() {
 }
 
 obs_stage() {
-  echo "=== [6/6] Observability smoke: trace + run report + overhead gate ==="
+  echo "=== [6/7] Observability smoke: trace + run report + overhead gate ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}" \
     --target quickstart monsoon-trace-check bench_obs_overhead
@@ -102,6 +109,44 @@ obs_stage() {
   ./build-ci-release/bench/bench_obs_overhead "${obs_dir}/BENCH_obs_overhead.json"
 }
 
+fault_stage() {
+  echo "=== [7/7] Fault-injection soak (ASan) + overhead gate ==="
+  cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMONSOON_SANITIZE=address
+  cmake --build build-ci-asan -j "${JOBS}" \
+    --target quickstart monsoon-trace-check
+  # The overhead gate measures the uninstrumented fast path, so it runs
+  # from the release build; ASan would tax the relaxed load itself.
+  cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
+  cmake --build build-ci-release -j "${JOBS}" --target bench_fault_overhead
+  local fault_dir="build-ci-asan/fault-soak"
+  mkdir -p "${fault_dir}"
+  # 1% transient faults across every UDF evaluation point, plus forced Σ
+  # failures: every query over all four workloads must complete (retried
+  # or degraded, never crashed — quickstart exits non-zero on any hard
+  # error), and degradation must reach the run report.
+  local spec='exec.udf_eval*=0.01;exec.sigma.pass=1:permanent'
+  for wl in tpch imdb ott udf; do
+    ./build-ci-asan/examples/quickstart --workload="${wl}" \
+      --faults="${spec}" --report-out="${fault_dir}/report_${wl}.json"
+  done
+  if ! grep -l -q '"degraded":true' "${fault_dir}"/report_*.json; then
+    echo "FAIL: no degraded query in any fault-soak run report" >&2
+    exit 1
+  fi
+  # A traced faulty run must still produce a well-formed trace + report.
+  ./build-ci-asan/examples/quickstart --threads=2 --faults="${spec}" \
+    --trace-out="${fault_dir}/trace.json" \
+    --report-out="${fault_dir}/report_demo.json"
+  ./build-ci-asan/tools/obs/monsoon-trace-check \
+    --trace "${fault_dir}/trace.json" --expect-pool \
+    --report "${fault_dir}/report_demo.json"
+  # Fails when the disabled MONSOON_FAULT_POINT path stops being
+  # branch-cheap.
+  ./build-ci-release/bench/bench_fault_overhead \
+    "${fault_dir}/BENCH_fault_overhead.json"
+}
+
 case "${STAGE}" in
   release) release_stage ;;
   tsan) tsan_stage ;;
@@ -109,6 +154,7 @@ case "${STAGE}" in
   ubsan) ubsan_stage ;;
   lint) lint_stage ;;
   obs) obs_stage ;;
+  fault) fault_stage ;;
   all)
     release_stage
     tsan_stage
@@ -116,9 +162,10 @@ case "${STAGE}" in
     ubsan_stage
     lint_stage
     obs_stage
+    fault_stage
     ;;
   *)
-    echo "usage: $0 [release|tsan|asan|ubsan|lint|obs|all]" >&2
+    echo "usage: $0 [release|tsan|asan|ubsan|lint|obs|fault|all]" >&2
     exit 2
     ;;
 esac

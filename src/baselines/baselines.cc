@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <map>
 #include <set>
 
@@ -10,6 +11,7 @@
 #include "exec/executor.h"
 #include "exec/materialized_store.h"
 #include "expr/udf.h"
+#include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 #include "sketch/distinct_estimator.h"
 #include "sketch/hyperloglog.h"
@@ -51,6 +53,30 @@ TermGroups GroupTerms(const QuerySpec& query) {
   return groups;
 }
 
+// Contains exceptions (kThrow fault injections, rethrown task-group
+// failures) so a faulty UDF can never unwind past the harness.
+template <typename Fn>
+Status RunGuarded(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("uncaught exception: ") + e.what());
+  }
+}
+
+// Σ passes the executor skipped on transient faults degrade the run
+// instead of failing it (the planner falls back to priors for those terms).
+void PropagateDegraded(ExecResult* exec, RunResult* result) {
+  if (exec->degraded.empty()) return;
+  static obs::Counter* const degraded_metric =
+      obs::Registry::Global().GetCounter("faults.degraded_runs");
+  if (!result->degraded) degraded_metric->Add(1);
+  result->degraded = true;
+  for (std::string& reason : exec->degraded) {
+    result->degraded_reasons.push_back(std::move(reason));
+  }
+}
+
 // Executes `plan` and fills the run accounting. Partial accounting is kept
 // on failure (timeouts).
 Status ExecutePlanTracked(const Catalog& catalog, const QuerySpec& query,
@@ -64,9 +90,11 @@ Status ExecutePlanTracked(const Catalog& catalog, const QuerySpec& query,
   result->exec_seconds += timer.Seconds();
   CaptureAccounting(*ctx, result);
   result->execute_rounds += 1;
-  if (!exec_or.ok()) return exec_or.status();
-  result->result_rows = exec_or->output.table->num_rows();
-  result->result_table = exec_or->output.table;
+  if (!exec_or.ok()) return std::move(exec_or).status();
+  ExecResult exec = std::move(exec_or).value();
+  PropagateDegraded(&exec, result);
+  result->result_rows = exec.output.table->num_rows();
+  result->result_table = exec.output.table;
   return Status::OK();
 }
 
@@ -78,7 +106,8 @@ class PlanExecStrategy : public Strategy {
                 uint64_t work_budget) const final {
     RunResult result;
     WallTimer total;
-    result.status = RunImpl(catalog, query, work_budget, &result);
+    result.status = RunGuarded(
+        [&] { return RunImpl(catalog, query, work_budget, &result); });
     result.total_seconds = total.Seconds();
     return result;
   }
@@ -371,7 +400,8 @@ class SkinnerStrategy : public Strategy {
                 uint64_t work_budget) const override {
     RunResult result;
     WallTimer total;
-    result.status = RunImpl(catalog, query, work_budget, &result);
+    result.status = RunGuarded(
+        [&] { return RunImpl(catalog, query, work_budget, &result); });
     result.total_seconds = total.Seconds();
     return result;
   }
@@ -433,12 +463,14 @@ class SkinnerStrategy : public Strategy {
       result->work_units = total_work;
 
       if (exec_or.ok()) {
-        result->result_rows = exec_or->output.table->num_rows();
-        result->result_table = exec_or->output.table;
+        ExecResult exec = std::move(exec_or).value();
+        PropagateDegraded(&exec, result);
+        result->result_rows = exec.output.table->num_rows();
+        result->result_table = exec.output.table;
         return Status::OK();
       }
       if (exec_or.status().code() != StatusCode::kResourceExhausted) {
-        return exec_or.status();
+        return std::move(exec_or).status();
       }
       // Episode timed out inside its slice: reward shrinks with the
       // blow-up the order exhibited before hitting the slice.
@@ -553,12 +585,12 @@ class HandPlanStrategy : public Strategy {
                 uint64_t work_budget) const override {
     RunResult result;
     WallTimer total;
-    result.status = [&]() -> Status {
+    result.status = RunGuarded([&]() -> Status {
       MONSOON_RETURN_IF_ERROR(catalog.ValidateQuery(query));
       MONSOON_ASSIGN_OR_RETURN(PlanNode::Ptr plan, provider_(query));
       ExecContext ctx(work_budget);
       return ExecutePlanTracked(catalog, query, plan, &ctx, &result);
-    }();
+    });
     result.total_seconds = total.Seconds();
     return result;
   }

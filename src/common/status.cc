@@ -20,6 +20,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -29,6 +35,10 @@ std::string Status::ToString() const {
   std::string result = StatusCodeToString(code_);
   result += ": ";
   result += message_;
+  for (const std::string& frame : context_) {
+    result += "; while ";
+    result += frame;
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 
@@ -18,18 +19,23 @@ enum class StatusCode {
   kNotFound,
   kAlreadyExists,
   kOutOfRange,
-  kResourceExhausted,  // budget / timeout exceeded
+  kResourceExhausted,  // deterministic work budget exceeded
   kInternal,
   kUnimplemented,
+  kCancelled,          // cooperative cancellation observed
+  kDeadlineExceeded,   // wall-clock deadline or per-call timeout tripped
+  kUnavailable,        // transient fault (retryable / degradable)
 };
 
 /// Returns a short human-readable name for a status code ("OK",
 /// "InvalidArgument", ...).
 const char* StatusCodeToString(StatusCode code);
 
-/// A Status holds either success (OK) or an error code plus message.
-/// Cheap to copy in the OK case; error construction allocates the message.
-class Status {
+/// A Status holds either success (OK) or an error code plus message and an
+/// optional chain of context frames (innermost first) recording where the
+/// error travelled. Cheap to copy in the OK case; error construction
+/// allocates the message.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -59,27 +65,62 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+  const std::vector<std::string>& context() const { return context_; }
 
-  /// "OK" or "<Code>: <message>".
+  /// Appends a context frame describing the operation that observed the
+  /// error. No-op on OK. Frames accumulate innermost-first, so ToString
+  /// reads like a call stack: "Internal: boom; while probing join; while
+  /// executing node 3".
+  Status&& WithContext(std::string frame) && {
+    if (!ok()) context_.push_back(std::move(frame));
+    return std::move(*this);
+  }
+  Status& WithContext(std::string frame) & {
+    if (!ok()) context_.push_back(std::move(frame));
+    return *this;
+  }
+
+  /// True for errors worth retrying or degrading around: transient faults
+  /// and per-call timeouts. Budget exhaustion and cancellation are final.
+  bool IsTransient() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kDeadlineExceeded;
+  }
+
+  /// "OK" or "<Code>: <message>[; while <frame>]...".
   std::string ToString() const;
 
   bool operator==(const Status& other) const {
-    return code_ == other.code_ && message_ == other.message_;
+    return code_ == other.code_ && message_ == other.message_ &&
+           context_ == other.context_;
   }
 
  private:
   StatusCode code_;
   std::string message_;
+  std::vector<std::string> context_;
 };
 
 /// StatusOr<T> holds either a value of type T or an error Status.
-/// Accessing the value of an errored StatusOr aborts in debug builds.
+/// Move-only: results are consumed exactly once (value() on an rvalue or
+/// via MONSOON_ASSIGN_OR_RETURN), which keeps large tables and columns from
+/// being copied accidentally. Accessing the value of an errored StatusOr
+/// aborts in debug builds.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit construction from a value (the common success path).
   StatusOr(T value)  // NOLINT(google-explicit-constructor)
@@ -91,8 +132,15 @@ class StatusOr {
     MONSOON_DCHECK(!status_.ok()) << "StatusOr constructed from OK status";
   }
 
+  StatusOr(const StatusOr&) = delete;
+  StatusOr& operator=(const StatusOr&) = delete;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
   bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  const Status& status() const& { return status_; }
+  /// Consumes the error (for propagating with added context).
+  Status status() && { return std::move(status_); }
 
   const T& value() const& {
     MONSOON_DCHECK(ok()) << status_.message();
@@ -134,7 +182,7 @@ class StatusOr {
 #define MONSOON_STATUS_CONCAT_(a, b) MONSOON_STATUS_CONCAT_INNER_(a, b)
 #define MONSOON_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
   auto tmp = (expr);                                   \
-  if (!tmp.ok()) return tmp.status();                  \
+  if (!tmp.ok()) return std::move(tmp).status();       \
   lhs = std::move(tmp).value()
 
 }  // namespace monsoon

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "exec/run_result.h"
+#include "fault/cancellation.h"
 #include "obs/metrics.h"
 #include "parallel/runtime.h"
 
@@ -100,6 +101,22 @@ class ExecContext {
     return work_budget_ > used ? work_budget_ - used : 0;
   }
 
+  /// Cooperative cancellation + wall-clock deadline for this query. Null
+  /// by default (no deadline, never cancelled); the query driver installs
+  /// a token and operators poll it at morsel boundaries. Not owned.
+  fault::CancellationToken* cancel_token() const { return cancel_token_; }
+  void SetCancelToken(fault::CancellationToken* token) {
+    cancel_token_ = token;
+  }
+
+  /// OK while the query may keep running; Cancelled / DeadlineExceeded
+  /// once the token trips. Serial operator loops call this once per
+  /// morsel-sized batch of rows.
+  Status CheckCancelled() {
+    if (cancel_token_ == nullptr) return Status::OK();
+    return cancel_token_->Check();
+  }
+
  private:
   uint64_t work_budget_ = 0;
   obs::LocalCounter objects_processed_;
@@ -111,6 +128,7 @@ class ExecContext {
   obs::LocalGauge stats_collect_seconds_;
   parallel::ThreadPool* pool_ = parallel::SharedPool();
   size_t morsel_size_ = parallel::DefaultConfig().morsel_size;
+  fault::CancellationToken* cancel_token_ = nullptr;
 };
 
 /// Copies the context's accounting counters into a RunResult. Every

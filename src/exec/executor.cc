@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "fault/injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
@@ -117,6 +118,24 @@ bool StoreResident(const MaterializedStore& store, const MaterializedExpr& expr)
   return stored.ok() && (*stored)->table.get() == expr.table.get();
 }
 
+/// A transient fault while building an evaluate-once column is not fatal
+/// to the query: the caller falls back to per-row evaluation, which is
+/// accounting-identical (the cache is invisible to the cost model). Hard
+/// errors (type mismatches, budget) still propagate, as does any error
+/// once the query's cancellation token has tripped — a deadline must
+/// abort, not degrade.
+StatusOr<CachedUdfColumnPtr> TolerateCacheFault(
+    ExecContext* ctx, StatusOr<CachedUdfColumnPtr> col) {
+  static obs::Counter* const dropped_metric =
+      obs::Registry::Global().GetCounter("faults.cache_fills_dropped");
+  if (col.ok()) return col;
+  bool query_dead =
+      ctx->cancel_token() != nullptr && ctx->cancel_token()->cancelled();
+  if (query_dead || !col.status().IsTransient()) return col;
+  dropped_metric->Add(1);
+  return CachedUdfColumnPtr();
+}
+
 constexpr uint64_t kJoinHashSeed = 0xabcdef0123456789ULL;
 /// Partition count for the parallel hash join's partitioned build. Fixed
 /// (not thread-derived) so the output is bit-identical across thread
@@ -188,10 +207,27 @@ StatusOr<MaterializedExpr> Executor::ExecuteNode(const PlanNode::Ptr& node,
       return out;
     }
     case PlanNode::Kind::kStatsCollect: {
+      static obs::Counter* const degraded_metric =
+          obs::Registry::Global().GetCounter("faults.degraded_sigma");
       MONSOON_ASSIGN_OR_RETURN(MaterializedExpr child,
                                ExecuteNode(node->child(), store, ctx, result));
-      MONSOON_RETURN_IF_ERROR(
-          CollectStats(child, store, ctx, &result->observed_distincts));
+      Status sigma =
+          CollectStats(child, store, ctx, &result->observed_distincts);
+      if (!sigma.ok()) {
+        // Graceful degradation: a Σ pass lost to a transient fault or a
+        // per-UDF timeout is skipped, not fatal — the MDP simply plans
+        // that d(F, r|_s) from the spike-and-slab prior. Budget trips,
+        // hard errors, and anything after the query deadline/cancel
+        // tripped still abort (CollectStats charges at its end, so a
+        // failed pass deterministically charges nothing).
+        bool query_dead = ctx->cancel_token() != nullptr &&
+                          ctx->cancel_token()->cancelled();
+        if (query_dead || !sigma.IsTransient()) return sigma;
+        degraded_metric->Add(1);
+        result->degraded.push_back(
+            std::move(sigma).WithContext("collecting Σ statistics")
+                .ToString());
+      }
       return child;
     }
   }
@@ -233,14 +269,19 @@ StatusOr<MaterializedExpr> Executor::ExecuteLeaf(const PlanNode::Ptr& node,
     if (cache->enabled()) {
       MONSOON_ASSIGN_OR_RETURN(
           residual.left_col,
-          cache->GetOrBuild(source->sig, pred.left.term_id, residual.left,
-                            source->table, ctx->pool(), ctx->morsel_size()));
+          TolerateCacheFault(
+              ctx, cache->GetOrBuild(source->sig, pred.left.term_id,
+                                     residual.left, source->table, ctx->pool(),
+                                     ctx->morsel_size(), ctx->cancel_token())));
       if (residual.kind != BoundResidual::Kind::kSelectionEq &&
           residual.left_col != nullptr) {
         MONSOON_ASSIGN_OR_RETURN(
             residual.right_col,
-            cache->GetOrBuild(source->sig, pred.right->term_id, residual.right,
-                              source->table, ctx->pool(), ctx->morsel_size()));
+            TolerateCacheFault(
+                ctx, cache->GetOrBuild(source->sig, pred.right->term_id,
+                                       residual.right, source->table,
+                                       ctx->pool(), ctx->morsel_size(),
+                                       ctx->cancel_token())));
         if (residual.right_col == nullptr) residual.left_col = nullptr;
       }
     }
@@ -249,8 +290,13 @@ StatusOr<MaterializedExpr> Executor::ExecuteLeaf(const PlanNode::Ptr& node,
 
   auto out = std::make_shared<Table>(source->schema);
   const Table& in = *source->table;
-  auto filter_range = [&filters, &in](Table* dst, size_t begin, size_t end) {
+  // The per-row fault point models the residual UDF call failing for that
+  // row; `row` is the global input index, so the firing site is the same
+  // at every thread count.
+  auto filter_range = [&filters, &in](Table* dst, size_t begin,
+                                      size_t end) -> Status {
     for (size_t row = begin; row < end; ++row) {
+      MONSOON_FAULT_POINT("exec.udf_eval.filter", row);
       bool keep = true;
       for (const auto& filter : filters) {
         if (!filter.Eval(in, row)) {
@@ -260,6 +306,7 @@ StatusOr<MaterializedExpr> Executor::ExecuteLeaf(const PlanNode::Ptr& node,
       }
       if (keep) dst->AppendRowFrom(in, row);
     }
+    return Status::OK();
   };
   if (WorthParallel(ctx, in.num_rows())) {
     // Morsel-driven scan: each morsel filters into a local table; the
@@ -268,15 +315,20 @@ StatusOr<MaterializedExpr> Executor::ExecuteLeaf(const PlanNode::Ptr& node,
     size_t num_morsels = parallel::NumMorsels(in.num_rows(), ctx->morsel_size());
     std::vector<Table> locals(num_morsels, Table(source->schema));
     MONSOON_RETURN_IF_ERROR(parallel::ParallelFor(
-        ctx->pool(), in.num_rows(), ctx->morsel_size(),
+        ctx->pool(), in.num_rows(), ctx->morsel_size(), ctx->cancel_token(),
         [&](size_t m, size_t begin, size_t end) {
           MONSOON_DCHECK(m < locals.size());
-          filter_range(&locals[m], begin, end);
-          return Status::OK();
+          return filter_range(&locals[m], begin, end);
         }));
     for (Table& local : locals) out->TakeRowsFrom(&local);
   } else {
-    filter_range(out.get(), 0, in.num_rows());
+    // Serial scan in morsel-sized chunks so cancellation latency matches
+    // the parallel path (one poll per morsel boundary).
+    for (size_t begin = 0; begin < in.num_rows(); begin += ctx->morsel_size()) {
+      MONSOON_RETURN_IF_ERROR(ctx->CheckCancelled());
+      size_t end = std::min(in.num_rows(), begin + ctx->morsel_size());
+      MONSOON_RETURN_IF_ERROR(filter_range(out.get(), begin, end));
+    }
   }
 
   span.Arg("rows_out", static_cast<uint64_t>(out->num_rows()));
@@ -364,12 +416,17 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     for (size_t k = 0; k < equi.size(); ++k) {
       MONSOON_ASSIGN_OR_RETURN(
           left_cols[k],
-          cache->GetOrBuild(left.sig, equi[k].left_term_id, equi[k].left_key,
-                            left.table, ctx->pool(), ctx->morsel_size()));
+          TolerateCacheFault(
+              ctx, cache->GetOrBuild(left.sig, equi[k].left_term_id,
+                                     equi[k].left_key, left.table, ctx->pool(),
+                                     ctx->morsel_size(), ctx->cancel_token())));
       MONSOON_ASSIGN_OR_RETURN(
           right_cols[k],
-          cache->GetOrBuild(right.sig, equi[k].right_term_id, equi[k].right_key,
-                            right.table, ctx->pool(), ctx->morsel_size()));
+          TolerateCacheFault(
+              ctx, cache->GetOrBuild(right.sig, equi[k].right_term_id,
+                                     equi[k].right_key, right.table,
+                                     ctx->pool(), ctx->morsel_size(),
+                                     ctx->cancel_token())));
       if (left_cols[k] == nullptr || right_cols[k] == nullptr) {
         keys_cached = false;
         break;
@@ -401,11 +458,12 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
       std::atomic<uint64_t> shared_work{0};
       const uint64_t work_limit = ctx->RemainingWork();
       Status loop = parallel::ParallelFor(
-          ctx->pool(), lt.num_rows(), morsel,
+          ctx->pool(), lt.num_rows(), morsel, ctx->cancel_token(),
           [&](size_t m, size_t begin, size_t end) -> Status {
             MONSOON_DCHECK(m < locals.size());
             Table& local = locals[m];
             for (size_t li = begin; li < end; ++li) {
+              MONSOON_FAULT_POINT("exec.udf_eval.cross", li);
               for (size_t ri = 0; ri < rt.num_rows(); ++ri) {
                 EmitIfPasses(&local, lt, li, rt, ri, residual);
               }
@@ -422,6 +480,8 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
       for (Table& local : locals) out->TakeRowsFrom(&local);
     } else {
       for (size_t li = 0; li < lt.num_rows(); ++li) {
+        MONSOON_RETURN_IF_ERROR(ctx->CheckCancelled());
+        MONSOON_FAULT_POINT("exec.udf_eval.cross", li);
         for (size_t ri = 0; ri < rt.num_rows(); ++ri) {
           MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(1));
           EmitIfPasses(out.get(), lt, li, rt, ri, residual);
@@ -435,10 +495,13 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     algo = "sort-merge";
     size_t nkeys = equi.size();
     auto make_keys = [&](const Table& table, bool is_left,
-                         std::vector<Value>* keys, std::vector<size_t>* order) {
+                         std::vector<Value>* keys,
+                         std::vector<size_t>* order) -> Status {
       const auto& cols = is_left ? left_cols : right_cols;
       keys->reserve(table.num_rows() * nkeys);
       for (size_t row = 0; row < table.num_rows(); ++row) {
+        if (row % 2048 == 0) MONSOON_RETURN_IF_ERROR(ctx->CheckCancelled());
+        MONSOON_FAULT_POINT("exec.udf_eval.join_key", row);
         for (size_t k = 0; k < nkeys; ++k) {
           if (keys_cached) {
             keys->push_back(cols[k]->ValueAt(row));
@@ -460,11 +523,12 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
         }
         return false;
       });
+      return Status::OK();
     };
     std::vector<Value> lkeys, rkeys;
     std::vector<size_t> lorder, rorder;
-    make_keys(lt, /*is_left=*/true, &lkeys, &lorder);
-    make_keys(rt, /*is_left=*/false, &rkeys, &rorder);
+    MONSOON_RETURN_IF_ERROR(make_keys(lt, /*is_left=*/true, &lkeys, &lorder));
+    MONSOON_RETURN_IF_ERROR(make_keys(rt, /*is_left=*/false, &rkeys, &rorder));
     MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(lt.num_rows() + rt.num_rows()));
 
     auto key_equal = [&](size_t li, size_t ri) {
@@ -566,9 +630,10 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     std::vector<Value> build_keys(keys_cached ? 0 : build.num_rows() * nkeys);
     std::vector<uint64_t> build_hashes(build.num_rows());
     MONSOON_RETURN_IF_ERROR(parallel::ParallelFor(
-        pool, build.num_rows(), morsel,
-        [&](size_t, size_t begin, size_t end) {
+        pool, build.num_rows(), morsel, ctx->cancel_token(),
+        [&](size_t, size_t begin, size_t end) -> Status {
           for (size_t row = begin; row < end; ++row) {
+            MONSOON_FAULT_POINT("exec.udf_eval.join_build", row);
             uint64_t h = kJoinHashSeed;
             for (size_t k = 0; k < nkeys; ++k) {
               if (keys_cached) {
@@ -600,7 +665,8 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     std::vector<std::unordered_multimap<uint64_t, size_t>> partitions(
         kBuildPartitions);
     MONSOON_RETURN_IF_ERROR(parallel::ParallelFor(
-        pool, kBuildPartitions, 1, [&](size_t p, size_t, size_t) {
+        pool, kBuildPartitions, 1, ctx->cancel_token(),
+        [&](size_t p, size_t, size_t) {
           partitions[p].reserve(partition_rows[p].size() * 2);
           for (size_t row : partition_rows[p]) {
             partitions[p].emplace(build_hashes[row], row);
@@ -622,7 +688,7 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     std::atomic<uint64_t> shared_work{0};
     const uint64_t work_limit = ctx->RemainingWork();
     Status loop = parallel::ParallelFor(
-        pool, probe.num_rows(), morsel,
+        pool, probe.num_rows(), morsel, ctx->cancel_token(),
         [&](size_t m, size_t begin, size_t end) -> Status {
           MONSOON_DCHECK(m < locals.size());
           Table& local = locals[m];
@@ -631,6 +697,7 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
           std::vector<Value> probe_key(keys_cached ? 0 : nkeys);
           uint64_t local_work = 0;
           for (size_t row = begin; row < end; ++row) {
+            MONSOON_FAULT_POINT("exec.udf_eval.join_probe", row);
             ++local_work;
             uint64_t h = kJoinHashSeed;
             if (keys_cached) {
@@ -703,6 +770,8 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     std::unordered_multimap<uint64_t, size_t> index;
     index.reserve(build.num_rows() * 2);
     for (size_t row = 0; row < build.num_rows(); ++row) {
+      if (row % 2048 == 0) MONSOON_RETURN_IF_ERROR(ctx->CheckCancelled());
+      MONSOON_FAULT_POINT("exec.udf_eval.join_build", row);
       uint64_t h = kJoinHashSeed;
       for (size_t k = 0; k < nkeys; ++k) {
         if (keys_cached) {
@@ -723,6 +792,8 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     probe_span.Arg("rows", static_cast<uint64_t>(probe.num_rows()));
     std::vector<Value> probe_key(keys_cached ? 0 : nkeys);
     for (size_t row = 0; row < probe.num_rows(); ++row) {
+      if (row % 2048 == 0) MONSOON_RETURN_IF_ERROR(ctx->CheckCancelled());
+      MONSOON_FAULT_POINT("exec.udf_eval.join_probe", row);
       MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(1));
       uint64_t h = kJoinHashSeed;
       if (keys_cached) {
@@ -801,6 +872,11 @@ Status Executor::CollectStats(const MaterializedExpr& expr,
   span.Arg("terms", static_cast<uint64_t>(terms.size()));
   if (terms.empty()) return Status::OK();
 
+  // Whole-pass fault point (coordinate = input cardinality, identical in
+  // serial and parallel execution): lets fault specs kill Σ passes
+  // outright to exercise the prior-only degradation path.
+  MONSOON_FAULT_POINT("exec.sigma.pass", expr.table->num_rows());
+
   // Evaluate-once columns per term: repeated Σ passes over the same
   // materialized expression (the plan → Σ → re-plan loop) hit the cache
   // and feed precomputed hashes straight into the sketches. Terms whose
@@ -811,9 +887,10 @@ Status Executor::CollectStats(const MaterializedExpr& expr,
     for (size_t t = 0; t < terms.size(); ++t) {
       MONSOON_ASSIGN_OR_RETURN(
           term_cols[t],
-          store->udf_cache()->GetOrBuild(expr.sig, terms[t].first,
-                                         terms[t].second, expr.table,
-                                         ctx->pool(), ctx->morsel_size()));
+          TolerateCacheFault(
+              ctx, store->udf_cache()->GetOrBuild(
+                       expr.sig, terms[t].first, terms[t].second, expr.table,
+                       ctx->pool(), ctx->morsel_size(), ctx->cancel_token())));
     }
   }
   for (size_t t = 0; t < terms.size(); ++t) {
@@ -846,9 +923,11 @@ Status Executor::CollectStats(const MaterializedExpr& expr,
         num_morsels,
         std::vector<HyperLogLog>(terms.size(), HyperLogLog(options_.hll_precision)));
     MONSOON_RETURN_IF_ERROR(parallel::ParallelFor(
-        pool, table.num_rows(), morsel, [&](size_t m, size_t begin, size_t end) {
+        pool, table.num_rows(), morsel, ctx->cancel_token(),
+        [&](size_t m, size_t begin, size_t end) -> Status {
           std::vector<HyperLogLog>& local = morsel_sketches[m];
           for (size_t row = begin; row < end; ++row) {
+            MONSOON_FAULT_POINT("exec.udf_eval.sigma", row);
             for (size_t t = 0; t < terms.size(); ++t) {
               local[t].AddHash(term_hash(t, row));
             }
@@ -865,12 +944,17 @@ Status Executor::CollectStats(const MaterializedExpr& expr,
     }
   } else {
     for (size_t row = 0; row < table.num_rows(); ++row) {
+      if (row % 2048 == 0) MONSOON_RETURN_IF_ERROR(ctx->CheckCancelled());
+      MONSOON_FAULT_POINT("exec.udf_eval.sigma", row);
       for (size_t t = 0; t < terms.size(); ++t) {
         sketches[t].AddHash(term_hash(t, row));
       }
     }
   }
-  // Statistics collection is another pass over the data (Sec. 4.4).
+  // Statistics collection is another pass over the data (Sec. 4.4). The
+  // charge stays at the END of the pass on purpose: a Σ pass lost to a
+  // fault charges exactly nothing at every thread count, which keeps
+  // degraded-run accounting deterministic.
   MONSOON_RETURN_IF_ERROR(ctx->Charge(table.num_rows()));
 
   for (size_t t = 0; t < terms.size(); ++t) {

@@ -30,6 +30,12 @@ struct ExecResult {
   /// Exact cardinality observed for every node of the executed tree
   /// (interior temporaries included); these harden c(r) entries in S.
   std::vector<std::pair<ExprSig, uint64_t>> observed_counts;
+  /// Σ passes that failed with a transient fault (injected fault or
+  /// per-UDF timeout) and were skipped instead of aborting the tree: one
+  /// human-readable reason each. The MDP plans those d(F, r|_s) from the
+  /// spike-and-slab prior alone (graceful degradation). Empty on clean
+  /// runs; budget trips, cancellation and hard errors never land here.
+  std::vector<std::string> degraded;
 };
 
 /// The mini relational engine. Executes logical plan trees against a

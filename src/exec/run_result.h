@@ -34,8 +34,20 @@ struct RunResult {
   uint64_t udf_cache_bytes = 0;
   std::vector<std::string> action_log;
 
+  // Graceful degradation: true when at least one Σ statistics pass failed
+  // (injected fault, transient error, per-UDF timeout) and the optimizer
+  // fell back to the spike-and-slab prior-only estimate instead of
+  // aborting. `degraded_reasons` records one human-readable entry per
+  // skipped observation. The run's status stays OK — degraded runs
+  // complete; they just planned with less information.
+  bool degraded = false;
+  std::vector<std::string> degraded_reasons;
+
   bool ok() const { return status.ok(); }
-  bool timed_out() const { return status.code() == StatusCode::kResourceExhausted; }
+  bool timed_out() const {
+    return status.code() == StatusCode::kResourceExhausted ||
+           status.code() == StatusCode::kDeadlineExceeded;
+  }
 };
 
 }  // namespace monsoon

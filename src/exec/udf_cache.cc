@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "fault/injector.h"
 #include "parallel/parallel_for.h"
 
 namespace monsoon {
@@ -53,7 +54,8 @@ void UdfColumnCache::EvictToFit(size_t incoming_bytes) {
 
 StatusOr<CachedUdfColumnPtr> UdfColumnCache::GetOrBuild(
     const ExprSig& sig, int term_id, const BoundTerm& bound,
-    const TablePtr& table, parallel::ThreadPool* pool, size_t morsel_size) {
+    const TablePtr& table, parallel::ThreadPool* pool, size_t morsel_size,
+    fault::CancellationToken* token) {
   Key key{sig.rels, sig.preds, term_id};
   {
     MutexLock lock(mu_);
@@ -103,12 +105,13 @@ StatusOr<CachedUdfColumnPtr> UdfColumnCache::GetOrBuild(
   // is the only parallel section and is never charged to the work/object
   // counters (the cache is invisible to the paper's cost model).
   MONSOON_RETURN_IF_ERROR(parallel::ParallelFor(
-      pool, n, morsel_size == 0 ? 1 : morsel_size,
+      pool, n, morsel_size == 0 ? 1 : morsel_size, token,
       [&](size_t, size_t begin, size_t end) -> Status {
         // Disjoint-range fill: writing past the presized column would race
         // with the neighbouring morsel.
         MONSOON_DCHECK(begin <= end && end <= n) << "morsel out of bounds";
         for (size_t row = begin; row < end; ++row) {
+          MONSOON_FAULT_POINT("exec.udf_cache.fill", row);
           Value v = bound.Eval(t, row);
           if (v.type() != column->type_) {
             return Status::Internal("UDF produced a value of unexpected type");

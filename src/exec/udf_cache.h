@@ -13,6 +13,7 @@
 #include "common/sync.h"
 #include "common/thread_annotations.h"
 #include "exec/bound_term.h"
+#include "fault/cancellation.h"
 #include "parallel/thread_pool.h"
 #include "plan/plan_node.h"
 #include "storage/table.h"
@@ -163,14 +164,18 @@ class UdfColumnCache {
 
   /// The cached column for `term_id` over the expression `sig`
   /// materialized as `table`, building it with `bound` on a miss (filled
-  /// via pool-parallel morsels when `pool` != nullptr). Returns nullptr
-  /// when the cache is disabled. Errors only if the UDF's declared result
-  /// type disagrees with a produced value.
+  /// via pool-parallel morsels when `pool` != nullptr, polling `token`
+  /// at morsel boundaries when one is supplied). Returns nullptr when the
+  /// cache is disabled. Errors if the UDF's declared result type disagrees
+  /// with a produced value, on an injected exec.udf_cache.fill fault, or
+  /// on cancellation; a failed fill publishes nothing — the partial
+  /// column is discarded and the entry stays absent.
   StatusOr<CachedUdfColumnPtr> GetOrBuild(const ExprSig& sig, int term_id,
                                           const BoundTerm& bound,
                                           const TablePtr& table,
                                           parallel::ThreadPool* pool,
-                                          size_t morsel_size);
+                                          size_t morsel_size,
+                                          fault::CancellationToken* token = nullptr);
 
   /// Snapshot of the activity counters (by value: the counters are
   /// guarded, and a reference would escape the lock).

@@ -1,0 +1,89 @@
+#ifndef MONSOON_FAULT_CANCELLATION_H_
+#define MONSOON_FAULT_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace monsoon::fault {
+
+/// Cooperative cancellation + wall-clock deadline, shared between the query
+/// driver and every worker lane touching the query. Workers poll Check() at
+/// morsel boundaries / per MCTS iteration; the fast path is one relaxed
+/// load of the cancel flag (the deadline clock is only read every
+/// kDeadlineStride polls, keeping steady_clock::now() off the per-morsel
+/// path).
+///
+/// Thread-safe: Cancel() may race with any number of Check() calls.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// Arms a wall-clock deadline `deadline_ms` milliseconds from now.
+  /// 0 disarms.
+  void SetDeadlineMs(uint64_t deadline_ms) {
+    if (deadline_ms == 0) {
+      has_deadline_ = false;
+      return;
+    }
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(deadline_ms);
+    has_deadline_ = true;
+  }
+
+  /// Requests cancellation. `reason` is reported by every subsequent
+  /// Check(); first caller wins (later reasons are dropped — sibling
+  /// cascades all cancel for the same root cause anyway).
+  void Cancel(StatusCode code, std::string reason) {
+    bool expected = false;
+    if (reason_claimed_.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+      code_ = code;
+      reason_ = std::move(reason);
+      // Publish flag last: a Check() that sees cancelled_ also sees the
+      // reason written above (release/acquire pair).
+      cancelled_.store(true, std::memory_order_release);
+    }
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// OK while live; Cancelled/DeadlineExceeded once tripped. Deadline
+  /// expiry converts to a Cancel() so sibling lanes stop on their next
+  /// poll too.
+  Status Check() {
+    if (cancelled_.load(std::memory_order_acquire)) {
+      return Status(code_, reason_);
+    }
+    if (has_deadline_ &&
+        polls_.fetch_add(1, std::memory_order_relaxed) % kDeadlineStride ==
+            0 &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      Cancel(StatusCode::kDeadlineExceeded, "query deadline exceeded");
+      return Status(code_, reason_);
+    }
+    return Status::OK();
+  }
+
+ private:
+  // Deadline expiry detection may lag by up to kDeadlineStride morsel
+  // boundaries; with 2048-row morsels that is well under a millisecond.
+  static constexpr uint64_t kDeadlineStride = 16;
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> reason_claimed_{false};
+  StatusCode code_ = StatusCode::kCancelled;
+  std::string reason_;
+  std::atomic<uint64_t> polls_{0};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace monsoon::fault
+
+#endif  // MONSOON_FAULT_CANCELLATION_H_

@@ -7,6 +7,7 @@
 
 #include "common/string_util.h"
 #include "exec/udf_cache.h"
+#include "fault/injector.h"
 #include "obs/trace.h"
 #include "parallel/runtime.h"
 
@@ -30,6 +31,8 @@ obs::QueryReport MakeQueryReport(const QueryRecord& record) {
   report.udf_cache_hits = r.udf_cache_hits;
   report.udf_cache_misses = r.udf_cache_misses;
   report.udf_cache_bytes = r.udf_cache_bytes;
+  report.degraded = r.degraded;
+  report.degraded_reasons = r.degraded_reasons;
   report.metrics = record.metrics_delta;
   return report;
 }
@@ -58,6 +61,25 @@ Status BenchRunner::RunAll(const Workload& workload) {
   }
   if (options_.udf_cache_bytes >= 0) {
     SetDefaultUdfCacheBytes(static_cast<size_t>(options_.udf_cache_bytes));
+  }
+  // Fault injection: an explicit spec wins, MONSOON_FAULTS is the ambient
+  // knob, and with neither set the installed state is left alone (tests
+  // install their own specs directly).
+  std::string faults = options_.faults;
+  if (faults.empty()) {
+    const char* env = std::getenv("MONSOON_FAULTS");
+    if (env != nullptr) faults = env;
+  }
+  if (!faults.empty()) {
+    fault::FaultConfig base;
+    if (const char* env = std::getenv("MONSOON_FAULT_SEED")) {
+      base.seed = std::strtoull(env, nullptr, 10);
+    }
+    if (const char* env = std::getenv("MONSOON_UDF_TIMEOUT_MS")) {
+      base.udf_timeout_ms = std::strtoull(env, nullptr, 10);
+    }
+    MONSOON_RETURN_IF_ERROR(
+        fault::InstallSpec(faults, base).WithContext("installing fault spec"));
   }
   for (const BenchQuery& query : workload.queries) {
     if (!query_filter_.empty() &&

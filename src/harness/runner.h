@@ -39,6 +39,13 @@ struct HarnessOptions {
   /// (obs::WriteRunReport) here after the last record. Empty honors the
   /// MONSOON_REPORT environment knob instead.
   std::string report_out;
+  /// Fault-injection spec (fault::ParseFaultSpec grammar, e.g.
+  /// "exec.udf_eval*=0.01"). Non-empty installs it process-wide before the
+  /// first query, seeded from MONSOON_FAULT_SEED and honoring
+  /// MONSOON_UDF_TIMEOUT_MS; empty honors the MONSOON_FAULTS environment
+  /// knob, and leaves the current injector state untouched when that is
+  /// unset too (so tests can pre-install their own specs).
+  std::string faults;
 };
 
 /// One (query, strategy) execution. `metrics_delta` is the global metrics

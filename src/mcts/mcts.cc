@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -279,6 +280,13 @@ StatusOr<MdpAction> MctsSearch::SearchBestAction(const MdpState& root_state) {
   info_ = SearchInfo{};
   bounds_init_ = false;
   for (iteration_ = 0; iteration_ < options_.iterations; ++iteration_) {
+    if (options_.cancel_token != nullptr) {
+      MONSOON_RETURN_IF_ERROR(options_.cancel_token->Check());
+    }
+    // Coordinate = (seed, iteration): each root-parallel worker draws its
+    // own deterministic firing schedule from its seed stream.
+    MONSOON_FAULT_POINT("mcts.rollout",
+                        options_.seed + static_cast<uint64_t>(iteration_));
     MONSOON_RETURN_IF_ERROR(RunIteration(root_.get()));
     ++info_.iterations_run;
   }

@@ -8,6 +8,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "fault/cancellation.h"
 #include "mdp/mdp.h"
 
 namespace monsoon {
@@ -43,6 +44,12 @@ class MctsSearch {
     /// terminal state are scored with the worst return seen so far.
     int max_rollout_depth = 96;
     uint64_t seed = 0xf00d;
+    /// When non-null, polled once per iteration: a tripped token aborts
+    /// the search with its Cancelled / DeadlineExceeded status. Root-
+    /// parallel workers share the query's token, so a deadline (or a
+    /// failing sibling) stops every worker at its next rollout boundary.
+    /// Not owned.
+    fault::CancellationToken* cancel_token = nullptr;
   };
 
   /// Per-root-action statistics after a search (for tests, diagnostics

@@ -32,8 +32,9 @@ StatusOr<MdpAction> RootParallelMcts::SearchBestAction(const MdpState& root) {
 
   std::vector<std::unique_ptr<MctsSearch>> searches(workers);
   std::vector<Status> statuses(workers, Status::OK());
+  fault::CancellationToken* token = options_.search.cancel_token;
   {
-    parallel::TaskGroup group(pool_);
+    parallel::TaskGroup group(pool_, token);
     for (int w = 0; w < workers; ++w) {
       MctsSearch::Options opts = options_.search;
       opts.iterations = per_worker;
@@ -41,19 +42,37 @@ StatusOr<MdpAction> RootParallelMcts::SearchBestAction(const MdpState& root) {
       // base seed so K=1 degenerates to the serial search bit-for-bit.
       opts.seed = options_.search.seed + static_cast<uint64_t>(w);
       searches[w] = std::make_unique<MctsSearch>(mdp_, opts);
-      group.Run([&search = *searches[w], &status = statuses[w], &root, w] {
+      group.Run([&search = *searches[w], &status = statuses[w], &root, token,
+                 w] {
         // Trace onto the worker's own lane regardless of which pool thread
         // picked the task up, so same-seed runs produce identical lanes.
         obs::TraceLaneScope lane(obs::kMctsLaneBase + w,
                                  "mcts-w" + std::to_string(w));
         StatusOr<MdpAction> best = search.SearchBestAction(root);
         status = best.status();  // actions are re-derived from merged edges
+        // First failure cancels the siblings: they stop at their next
+        // rollout boundary instead of burning the full iteration budget.
+        if (!status.ok() && status.code() != StatusCode::kCancelled &&
+            token != nullptr) {
+          token->Cancel(StatusCode::kCancelled, "sibling MCTS worker failed");
+        }
       });
     }
     group.Wait();
   }
-  for (int w = 0; w < workers; ++w) {
-    MONSOON_RETURN_IF_ERROR(statuses[w]);
+  // Report the first *real* error by worker index. Cancelled statuses are
+  // usually the echo of a sibling's failure (or of the query deadline) —
+  // deterministic error reporting must not depend on which sibling
+  // happened to observe the cascade first, so a genuine error wins over
+  // any kCancelled even when the cancelled worker has a lower index.
+  {
+    const Status* first_cancelled = nullptr;
+    for (int w = 0; w < workers; ++w) {
+      if (statuses[w].ok()) continue;
+      if (statuses[w].code() != StatusCode::kCancelled) return statuses[w];
+      if (first_cancelled == nullptr) first_cancelled = &statuses[w];
+    }
+    if (first_cancelled != nullptr) return *first_cancelled;
   }
 
   // Merge root edges by action identity, in worker order.

@@ -1,7 +1,10 @@
 #include "monsoon/monsoon_optimizer.h"
 
+#include <cstdlib>
+#include <exception>
 #include <map>
 
+#include "fault/cancellation.h"
 #include "mcts/root_parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -10,12 +13,24 @@
 namespace monsoon {
 
 MonsoonOptimizer::MonsoonOptimizer(const Catalog* catalog, Options options)
-    : catalog_(catalog), options_(options) {}
+    : catalog_(catalog), options_(options) {
+  if (options_.deadline_ms == 0) {
+    const char* env = std::getenv("MONSOON_DEADLINE_MS");
+    if (env != nullptr) options_.deadline_ms = std::strtoull(env, nullptr, 10);
+  }
+}
 
 RunResult MonsoonOptimizer::Run(const QuerySpec& query) const {
   RunResult result;
   WallTimer total;
-  result.status = RunImpl(query, &result);
+  // Exceptions (kThrow fault injections, rethrown task-group failures)
+  // are contained here so a faulty UDF can never unwind past the harness.
+  try {
+    result.status = RunImpl(query, &result);
+  } catch (const std::exception& e) {
+    result.status =
+        Status::Internal(std::string("uncaught exception: ") + e.what());
+  }
   result.total_seconds = total.Seconds();
   return result;
 }
@@ -39,6 +54,9 @@ Status MonsoonOptimizer::RunImpl(const QuerySpec& query, RunResult* result) cons
 
   Executor executor(query, &UdfRegistry::Global());
   ExecContext ctx(options_.work_budget);
+  fault::CancellationToken cancel_token;
+  if (options_.deadline_ms > 0) cancel_token.SetDeadlineMs(options_.deadline_ms);
+  ctx.SetCancelToken(&cancel_token);
 
   auto run_execute = [&](const std::vector<PlanNode::Ptr>& planned) -> Status {
     static obs::Counter* const executes_metric =
@@ -59,6 +77,18 @@ Status MonsoonOptimizer::RunImpl(const QuerySpec& query, RunResult* result) cons
         return exec_or.status();
       }
       ExecResult exec = std::move(exec_or).value();
+      // Σ passes skipped on transient faults degrade the run instead of
+      // failing it: the MDP keeps planning those terms from the prior.
+      if (!exec.degraded.empty()) {
+        static obs::Counter* const degraded_metric =
+            obs::Registry::Global().GetCounter("faults.degraded_runs");
+        if (!result->degraded) degraded_metric->Add(1);
+        result->degraded = true;
+        for (std::string& reason : exec.degraded) {
+          result->action_log.push_back("DEGRADED: " + reason);
+          result->degraded_reasons.push_back(std::move(reason));
+        }
+      }
       // Harden observed statistics into S, mirroring the simulated
       // transition: every node cardinality, plus Σ distinct counts as
       // partner-independent observations.
@@ -91,6 +121,7 @@ Status MonsoonOptimizer::RunImpl(const QuerySpec& query, RunResult* result) cons
 
   int decision = 0;
   while (!mdp.IsTerminal(state)) {
+    MONSOON_RETURN_IF_ERROR(cancel_token.Check());
     if (decision++ >= options_.max_decisions) {
       return Status::Internal("exceeded the decision cap without finishing");
     }
@@ -121,6 +152,7 @@ Status MonsoonOptimizer::RunImpl(const QuerySpec& query, RunResult* result) cons
       WallTimer mcts_timer;
       MctsSearch::Options mcts_options = options_.mcts;
       mcts_options.seed = options_.seed + 0x9e37 * static_cast<uint64_t>(decision);
+      mcts_options.cancel_token = &cancel_token;
       RootParallelMcts::Options rp_options;
       rp_options.search = mcts_options;
       rp_options.workers = options_.mcts_workers > 0

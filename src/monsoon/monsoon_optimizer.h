@@ -34,6 +34,12 @@ class MonsoonOptimizer {
     /// parallel::DefaultConfig() (so --threads=N parallelizes planning and
     /// execution together); 1 forces the serial search.
     int mcts_workers = 0;
+    /// Wall-clock deadline for the whole query in milliseconds. Expiry
+    /// cancels planning and execution cooperatively and the run returns
+    /// DeadlineExceeded with whatever accounting accumulated. 0 honors
+    /// the MONSOON_DEADLINE_MS environment knob, or no deadline when that
+    /// is unset too.
+    uint64_t deadline_ms = 0;
   };
 
   MonsoonOptimizer(const Catalog* catalog, Options options);

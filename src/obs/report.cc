@@ -74,6 +74,13 @@ void WriteRunReport(std::ostream& out, const std::vector<QueryReport>& queries,
         q.total_seconds - q.plan_seconds - q.stats_seconds - q.exec_seconds;
     writer.KV("other", other > 0 ? other : 0.0);
     writer.EndObject();
+    writer.KV("degraded", q.degraded);
+    if (q.degraded) {
+      writer.Key("degraded_reasons");
+      writer.BeginArray();
+      for (const std::string& reason : q.degraded_reasons) writer.String(reason);
+      writer.EndArray();
+    }
     writer.KV("execute_rounds", q.execute_rounds);
     writer.KV("stats_collections", q.stats_collections);
     writer.Key("udf_cache");

@@ -36,6 +36,14 @@ struct QueryReport {
   uint64_t udf_cache_misses = 0;
   uint64_t udf_cache_bytes = 0;
 
+  /// Graceful degradation: true when the run completed but one or more Σ
+  /// statistics passes were skipped on transient faults, with one
+  /// human-readable reason per skipped pass. Reported in the JSON run
+  /// report only — the harness CSV stays byte-identical across fault
+  /// configurations.
+  bool degraded = false;
+  std::vector<std::string> degraded_reasons;
+
   /// Registry delta captured around this run (SnapshotDelta of the global
   /// registry before/after).
   MetricsSnapshot metrics;

@@ -146,7 +146,11 @@ uint64_t NowUs() {
           .count());
 }
 
-void StopTracingAtExit() { StopTracing(); }
+void StopTracingAtExit() {
+  // Process teardown: nowhere to report a flush failure, drop it.
+  Status flush = StopTracing();
+  (void)flush;
+}
 
 }  // namespace
 

@@ -12,12 +12,19 @@ namespace monsoon::parallel {
 
 Status ParallelFor(ThreadPool* pool, size_t n, size_t morsel_size,
                    const std::function<Status(size_t, size_t, size_t)>& fn) {
+  return ParallelFor(pool, n, morsel_size, /*token=*/nullptr, fn);
+}
+
+Status ParallelFor(ThreadPool* pool, size_t n, size_t morsel_size,
+                   fault::CancellationToken* token,
+                   const std::function<Status(size_t, size_t, size_t)>& fn) {
   if (n == 0) return Status::OK();
   morsel_size = std::max<size_t>(1, morsel_size);
   size_t num_morsels = NumMorsels(n, morsel_size);
 
   if (pool == nullptr || pool->num_workers() == 0 || num_morsels <= 1) {
     for (size_t i = 0; i < num_morsels; ++i) {
+      if (token != nullptr) MONSOON_RETURN_IF_ERROR(token->Check());
       size_t begin = i * morsel_size;
       size_t end = std::min(n, begin + morsel_size);
       MONSOON_RETURN_IF_ERROR(fn(i, begin, end));
@@ -34,9 +41,10 @@ Status ParallelFor(ThreadPool* pool, size_t n, size_t morsel_size,
   };
   Shared shared;
 
-  auto lane = [&shared, &fn, n, morsel_size, num_morsels] {
+  auto lane = [&shared, &fn, token, n, morsel_size, num_morsels] {
     for (;;) {
       if (shared.failed.load(std::memory_order_relaxed)) return;
+      if (token != nullptr && !token->Check().ok()) return;
       size_t i = shared.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= num_morsels) return;
       size_t begin = i * morsel_size;
@@ -62,8 +70,16 @@ Status ParallelFor(ThreadPool* pool, size_t n, size_t morsel_size,
   lane();  // the calling thread is a lane too
   group.Wait();
 
-  MutexLock lock(shared.mu);
-  return shared.error;
+  {
+    MutexLock lock(shared.mu);
+    if (shared.error_index != std::numeric_limits<size_t>::max()) {
+      return shared.error;
+    }
+  }
+  // No morsel failed, but the token may have tripped mid-loop and left
+  // morsels unclaimed; surface that instead of returning a partial OK.
+  if (token != nullptr && token->cancelled()) return token->Check();
+  return Status::OK();
 }
 
 }  // namespace monsoon::parallel

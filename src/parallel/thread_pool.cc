@@ -174,8 +174,15 @@ void TaskGroup::Execute(const std::function<void()>& fn) {
   try {
     fn();
   } catch (...) {
-    MutexLock lock(mu_);
-    if (!error_) error_ = std::current_exception();
+    {
+      MutexLock lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    // Cancel outside mu_: token Cancel is lock-free but keeping the
+    // group lock narrow avoids ordering it against token internals.
+    if (token_ != nullptr) {
+      token_->Cancel(StatusCode::kCancelled, "sibling task failed");
+    }
   }
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/sync.h"
 #include "common/thread_annotations.h"
+#include "fault/cancellation.h"
 
 namespace monsoon::parallel {
 
@@ -55,6 +56,13 @@ class ThreadPool {
   /// when every deque is empty.
   bool TryRunOne();
 
+  /// Queued-but-unclaimed tasks. 0 once the pool is drained — the fault
+  /// tests use this to assert cancelled parallel sections leak no tasks.
+  size_t pending_tasks() {
+    MutexLock lock(idle_mu_);
+    return pending_;
+  }
+
   /// Worker index of the calling thread, or -1 for external threads.
   /// Distinct per pool worker; stable for the worker's lifetime.
   static int CurrentWorker();
@@ -90,12 +98,19 @@ class ThreadPool {
 /// parallel sections keep the repo's error contract at the boundary
 /// (callers convert to Status; see ParallelFor).
 ///
+/// When constructed with a CancellationToken, the first captured failure
+/// also cancels the token, so sibling tasks polling it stop claiming work
+/// instead of running to completion (first-error-wins: the rethrown
+/// exception is still the first one captured, which under a seeded fault
+/// spec is the same failure at every thread count).
+///
 /// With a null pool (or a pool with no workers) Run() executes inline on
 /// the calling thread, making serial mode structurally identical to the
 /// parallel path.
 class TaskGroup {
  public:
-  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  explicit TaskGroup(ThreadPool* pool, fault::CancellationToken* token = nullptr)
+      : pool_(pool), token_(token) {}
   ~TaskGroup();
 
   TaskGroup(const TaskGroup&) = delete;
@@ -117,6 +132,7 @@ class TaskGroup {
   void Execute(const std::function<void()>& fn);
 
   ThreadPool* pool_;
+  fault::CancellationToken* token_;
   Mutex mu_;
   CondVar cv_;
   int outstanding_ GUARDED_BY(mu_) = 0;

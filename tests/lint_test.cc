@@ -135,6 +135,60 @@ TEST(LintRawNewTest, FlagsNewAndDeleteButNotDeletedMembers) {
   EXPECT_TRUE(Lint("tests/t.cc", "int* p = new int;\n").empty());
 }
 
+TEST(LintStatusTest, FlagsThrowInStatusSpineScope) {
+  auto diags =
+      Lint("src/exec/e.cc", "void f() { throw std::runtime_error(\"x\"); }\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "monsoon-status");
+  EXPECT_EQ(diags[0].line, 1);
+
+  EXPECT_TRUE(HasRule(Lint("src/parallel/p.cc", "void f() { throw 1; }\n"),
+                      "monsoon-status"));
+  EXPECT_TRUE(HasRule(Lint("src/monsoon/m.cc", "void f() { throw 1; }\n"),
+                      "monsoon-status"));
+}
+
+TEST(LintStatusTest, FaultLayerAndOutOfScopePathsMayThrow) {
+  // src/fault/ is the one layer allowed to throw (kThrow injection).
+  EXPECT_TRUE(Lint("src/fault/injector.cc", "void f() { throw 1; }\n").empty());
+  // Other subsystems are out of the no-throw scope entirely.
+  EXPECT_TRUE(Lint("src/sql/s.cc", "void f() { throw 1; }\n").empty());
+  EXPECT_TRUE(Lint("tests/t.cc", "void f() { throw 1; }\n").empty());
+  // "throw" inside strings / comments is not an identifier token.
+  EXPECT_TRUE(
+      Lint("src/exec/e.cc", "const char* s = \"throw\";  // throw\n").empty());
+  // NOLINT suppresses.
+  EXPECT_TRUE(
+      Lint("src/exec/e.cc", "void f() { throw 1; }  // NOLINT(monsoon-status)\n")
+          .empty());
+}
+
+TEST(LintStatusTest, StatusClassesMustBeNodiscard) {
+  // The real header declares both classes [[nodiscard]]; a plain
+  // declaration of either is flagged.
+  EXPECT_TRUE(HasRule(Lint("src/common/status.h",
+                           "#ifndef MONSOON_COMMON_STATUS_H_\n"
+                           "#define MONSOON_COMMON_STATUS_H_\n"
+                           "class Status {};\n"
+                           "#endif  // MONSOON_COMMON_STATUS_H_\n"),
+                      "monsoon-status"));
+  EXPECT_TRUE(Lint("src/common/status.h",
+                   "#ifndef MONSOON_COMMON_STATUS_H_\n"
+                   "#define MONSOON_COMMON_STATUS_H_\n"
+                   "class [[nodiscard]] Status {};\n"
+                   "class [[nodiscard]] StatusOr {};\n"
+                   "enum class StatusCode { kOk };\n"
+                   "#endif  // MONSOON_COMMON_STATUS_H_\n")
+                  .empty());
+  // Other headers may declare plain classes named whatever they like.
+  EXPECT_TRUE(Lint("src/common/other.h",
+                   "#ifndef MONSOON_COMMON_OTHER_H_\n"
+                   "#define MONSOON_COMMON_OTHER_H_\n"
+                   "class Status {};\n"
+                   "#endif  // MONSOON_COMMON_OTHER_H_\n")
+                  .empty());
+}
+
 TEST(LintPinnedGetTest, FlagsGetOnColumnPointersInExec) {
   auto diags =
       Lint("src/exec/e.cc", "void f() { use(cached_col.get()); }\n");
@@ -257,7 +311,7 @@ TEST(LintFilesTest, DiagnosticsSortedAndRuleListStable) {
   EXPECT_EQ(diags[1].line, 2);
   EXPECT_EQ(diags[2].path, "src/b.cc");
 
-  EXPECT_EQ(RuleNames().size(), 8u);
+  EXPECT_EQ(RuleNames().size(), 9u);
 }
 
 }  // namespace

@@ -183,6 +183,54 @@ void CheckRawNew(const ScannedFile& f, Reporter& r) {
 }
 
 // ---------------------------------------------------------------------------
+// monsoon-status
+// ---------------------------------------------------------------------------
+
+/// The error spine is Status-based: the execution stack (src/exec/,
+/// src/parallel/, src/monsoon/) must not throw — exceptions bypass the
+/// cancellation token, the retry/backoff machinery and the degraded-run
+/// accounting. Only src/fault/ may throw (the kThrow injection kind
+/// exercises the harness' exception containment). Additionally, the
+/// Status / StatusOr class definitions themselves must stay [[nodiscard]]
+/// so dropped errors fail the -Werror build.
+void CheckStatus(const ScannedFile& f, Reporter& r) {
+  const bool no_throw_scope = StartsWith(f.path, "src/exec/") ||
+                              StartsWith(f.path, "src/parallel/") ||
+                              StartsWith(f.path, "src/monsoon/");
+  const auto& toks = f.tokens;
+  if (no_throw_scope) {
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier || toks[i].text != "throw") {
+        continue;
+      }
+      // `throw()` exception specifications (legacy) would be fine, but the
+      // codebase has none; flag every throw expression uniformly.
+      r.Report("monsoon-status", toks[i].line,
+               "'throw' in the Status-spine scope (src/exec/, src/parallel/, "
+               "src/monsoon/): return a Status so cancellation, retries and "
+               "degraded-run accounting see the failure (fault injection "
+               "lives in src/fault/, which may throw)");
+    }
+  }
+  if (EndsWith(f.path, "src/common/status.h")) {
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].text != "class") continue;
+      if (i > 0 && toks[i - 1].text == "enum") continue;  // enum class
+      // Accept `class [[nodiscard]] Name`; flag `class Name` when Name is
+      // Status or StatusOr.
+      const Token& next = toks[i + 1];
+      if (next.kind == TokenKind::kIdentifier &&
+          (next.text == "Status" || next.text == "StatusOr")) {
+        r.Report("monsoon-status", toks[i].line,
+                 "class " + next.text +
+                     " must be declared [[nodiscard]] so ignoring an error "
+                     "Status fails the build");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // monsoon-pinned-get
 // ---------------------------------------------------------------------------
 
@@ -438,8 +486,8 @@ void CheckLockRank(const ScannedFile& f, Reporter& r) {
 
 std::vector<std::string> RuleNames() {
   return {"monsoon-rng",        "monsoon-accounting", "monsoon-obs",
-          "monsoon-thread",     "monsoon-raw-new",    "monsoon-pinned-get",
-          "monsoon-include",    "monsoon-lock-rank"};
+          "monsoon-thread",     "monsoon-raw-new",    "monsoon-status",
+          "monsoon-pinned-get", "monsoon-include",    "monsoon-lock-rank"};
 }
 
 std::vector<Diagnostic> LintFiles(const std::vector<SourceFile>& files) {
@@ -455,6 +503,7 @@ std::vector<Diagnostic> LintFiles(const std::vector<SourceFile>& files) {
     CheckObs(f, r);
     CheckThread(f, r);
     CheckRawNew(f, r);
+    CheckStatus(f, r);
     CheckPinnedGet(f, r);
     CheckLockRank(f, r);
   }

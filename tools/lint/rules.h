@@ -46,6 +46,13 @@ std::vector<std::string> RuleNames();
 ///   monsoon-raw-new     (src/)          no raw new / delete expressions;
 ///                       use make_unique / make_shared (deliberately leaked
 ///                       singletons carry a NOLINT).
+///   monsoon-status      (src/exec/, src/parallel/, src/monsoon/)  no
+///                       'throw': the execution stack propagates errors as
+///                       Status so cancellation / retries / degradation see
+///                       them (src/fault/ may throw — the kThrow injection
+///                       kind exercises exception containment); and in
+///                       src/common/status.h, Status / StatusOr must be
+///                       declared [[nodiscard]].
 ///   monsoon-pinned-get  (src/exec/)     no .get() on cache-pinned column
 ///                       shared_ptrs — a raw pointer escapes the pin and
 ///                       dangles after eviction.
