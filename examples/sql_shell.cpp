@@ -4,17 +4,23 @@
 //
 // Usage:
 //   ./build/examples/sql_shell [tpch|imdb|ott|udf]
+//   ./build/examples/sql_shell --connect=host:port
 //
 //   monsoon> .strategy monsoon          (or defaults/greedy/sampling/...)
 //   monsoon> .tables
 //   monsoon> SELECT * FROM orders o, customer c WHERE o.o_custkey = c.c_custkey
 //   monsoon> .quit
 //
-// Piped input works too:
+// With --connect the shell is a thin client for a running monsoon-serve:
+// every line goes over the wire and the server's JSON response line is
+// printed verbatim (.ping/.stats are served remotely; .quit closes the
+// connection). Piped input works in both modes:
 //   echo "SELECT * FROM region r, nation n WHERE ..." | ./build/examples/sql_shell tpch
 
 #include <unistd.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -23,6 +29,7 @@
 #include "exec/executor.h"
 #include "exec/projection.h"
 #include "monsoon/monsoon_optimizer.h"
+#include "server/net.h"
 #include "sql/parser.h"
 #include "workloads/imdb.h"
 #include "workloads/ott.h"
@@ -106,9 +113,64 @@ void RunQuery(const Catalog& catalog, const std::string& strategy_name,
       result.plan_seconds, result.stats_seconds, result.exec_seconds);
 }
 
+/// Client mode: forwards each input line to a monsoon-serve endpoint and
+/// prints the JSON response lines. Returns the process exit code.
+int RunConnected(const std::string& endpoint) {
+  size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    std::cerr << "--connect expects host:port, got '" << endpoint << "'\n";
+    return 2;
+  }
+  std::string host = endpoint.substr(0, colon);
+  uint16_t port = static_cast<uint16_t>(
+      std::strtoul(endpoint.c_str() + colon + 1, nullptr, 10));
+  auto fd_or = server::ConnectTo(host, port);
+  if (!fd_or.ok()) {
+    std::cerr << fd_or.status().ToString() << "\n";
+    return 1;
+  }
+  int fd = fd_or.value();
+  server::LineReader reader(fd);
+  bool interactive = isatty(0);
+  if (interactive) {
+    std::cout << "Monsoon SQL shell — connected to " << host << ":" << port
+              << ". Lines are sent verbatim; responses are JSON. "
+                 ".ping, .stats, .quit\n";
+  }
+  std::string line;
+  int exit_code = 0;
+  while (true) {
+    if (interactive) std::cout << "monsoon> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(TrimString(line));
+    if (trimmed.empty()) continue;
+    if (!server::WriteAll(fd, trimmed + "\n").ok()) {
+      std::cerr << "connection lost\n";
+      exit_code = 1;
+      break;
+    }
+    std::string response;
+    auto got = reader.ReadLine(&response);
+    if (!got.ok() || !got.value()) {
+      std::cerr << "server closed the connection\n";
+      exit_code = trimmed == ".quit" ? 0 : 1;
+      break;
+    }
+    std::cout << response << "\n";
+    if (trimmed == ".quit") break;
+  }
+  server::CloseFd(fd);
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+      return RunConnected(argv[i] + 10);
+    }
+  }
   std::string workload_name = argc > 1 ? argv[1] : "tpch";
   auto workload = LoadWorkload(workload_name);
   if (!workload.ok()) {

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI pipeline, seven stages:
+# CI pipeline, eight stages:
 #
 #   release  Release build (warnings as errors) + full ctest suite
 #   tsan     ThreadSanitizer build + `ctest -L tsan` (concurrency suites)
@@ -15,12 +15,17 @@
 #            retried or degraded, never crash), a traced faulty run through
 #            monsoon-trace-check, and the bench_fault_overhead
 #            disabled-path gate (BENCH_fault_overhead.json)
+#   server   query-server smoke: monsoon-serve + concurrent monsoon-client
+#            runs — two sessions held mid-query, one more rejected past the
+#            admission limit (kUnavailable), one cancelled by client
+#            disconnect — then SIGINT drain (pool pending must reach 0)
+#            and monsoon-trace-check over the traced run
 #
 # Run from anywhere in the repository:
 #
 #   ./scripts/ci.sh            # all stages
 #   ./scripts/ci.sh release    # one stage by name
-#                              # (release|tsan|asan|ubsan|lint|obs|fault)
+#                              # (release|tsan|asan|ubsan|lint|obs|fault|server)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,27 +38,29 @@ fi
 STAGE="${1:-all}"
 
 release_stage() {
-  echo "=== [1/7] Release build (-Werror) + full test suite ==="
+  echo "=== [1/8] Release build (-Werror) + full test suite ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}"
   ctest --test-dir build-ci-release --output-on-failure -j "${JOBS}"
 }
 
 tsan_stage() {
-  echo "=== [2/7] ThreadSanitizer build + concurrency tests ==="
+  echo "=== [2/8] ThreadSanitizer build + concurrency tests ==="
   cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=thread
   cmake --build build-ci-tsan -j "${JOBS}" \
-    --target parallel_test exec_test determinism_test obs_test fault_test
+    --target parallel_test exec_test determinism_test obs_test fault_test \
+    server_test
   # Everything that crosses the src/parallel/ runtime: the pool/TaskGroup/
   # ParallelFor unit tests, the serial-vs-parallel equivalence suite
   # (morsel scans, partitioned hash join, parallel Σ), the same-seed
-  # cross-run determinism suite, and the cancellation stress tests.
+  # cross-run determinism suite, the cancellation stress tests, and the
+  # concurrent-session query-server suite.
   ctest --test-dir build-ci-tsan --output-on-failure -L tsan
 }
 
 asan_stage() {
-  echo "=== [3/7] AddressSanitizer build + UDF cache tests ==="
+  echo "=== [3/8] AddressSanitizer build + UDF cache tests ==="
   cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=address
   cmake --build build-ci-asan -j "${JOBS}" \
@@ -66,7 +73,7 @@ asan_stage() {
 }
 
 ubsan_stage() {
-  echo "=== [4/7] UndefinedBehaviorSanitizer build + full test suite ==="
+  echo "=== [4/8] UndefinedBehaviorSanitizer build + full test suite ==="
   # -fno-sanitize-recover=all (set by the CMake option) turns any UB hit
   # into a test failure rather than a log line.
   cmake -B build-ci-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -76,7 +83,7 @@ ubsan_stage() {
 }
 
 lint_stage() {
-  echo "=== [5/7] monsoon-lint + clang-tidy ==="
+  echo "=== [5/8] monsoon-lint + clang-tidy ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}" --target monsoon-lint
   # Repo invariants (RNG discipline, accounting isolation, lock ranks,
@@ -92,7 +99,7 @@ lint_stage() {
 }
 
 obs_stage() {
-  echo "=== [6/7] Observability smoke: trace + run report + overhead gate ==="
+  echo "=== [6/8] Observability smoke: trace + run report + overhead gate ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}" \
     --target quickstart monsoon-trace-check bench_obs_overhead
@@ -110,7 +117,7 @@ obs_stage() {
 }
 
 fault_stage() {
-  echo "=== [7/7] Fault-injection soak (ASan) + overhead gate ==="
+  echo "=== [7/8] Fault-injection soak (ASan) + overhead gate ==="
   cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=address
   cmake --build build-ci-asan -j "${JOBS}" \
@@ -147,6 +154,66 @@ fault_stage() {
     "${fault_dir}/BENCH_fault_overhead.json"
 }
 
+server_stage() {
+  echo "=== [8/8] Query-server smoke: admission, cancellation, drain ==="
+  cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
+  cmake --build build-ci-release -j "${JOBS}" \
+    --target monsoon-serve monsoon-client monsoon-trace-check
+  local server_dir="build-ci-release/server-smoke"
+  mkdir -p "${server_dir}"
+  local serve="./build-ci-release/examples/monsoon-serve"
+  local client="./build-ci-release/tools/client/monsoon-client"
+  # 200k MCTS iterations stretch each session to multiple seconds, giving
+  # the overflow / disconnect clients a wide deterministic window while
+  # both admission slots are provably occupied. Shared state is off so the
+  # second heavy query cannot warm-start and finish early.
+  local sql='SELECT * FROM docs d, docinfo di, authorinfo ai WHERE extract_id(d.d_text) = di.di_key AND extract_author(d.d_text) = ai.ai_key'
+  "${serve}" --workload=udf --max-sessions=2 --queue-depth=0 \
+    --iterations=200000 --no-shared-state \
+    --trace-out="${server_dir}/trace.json" \
+    > "${server_dir}/serve.log" 2>&1 &
+  local serve_pid=$!
+  local port=""
+  for _ in $(seq 1 200); do
+    port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "${server_dir}/serve.log" | head -1)"
+    [ -n "${port}" ] && break
+    sleep 0.1
+  done
+  if [ -z "${port}" ]; then
+    echo "FAIL: monsoon-serve never reported its port" >&2
+    cat "${server_dir}/serve.log" >&2
+    exit 1
+  fi
+  # Protocol smoke first: ping + stats round-trip on a control connection.
+  "${client}" --port="${port}" --ping --stats --quiet
+  # Session A holds slot 1 to completion; session C holds slot 2 until its
+  # client disconnects after 4s, which must cancel the query server-side.
+  "${client}" --port="${port}" --query="${sql}" --expect=OK --quiet &
+  local client_a=$!
+  "${client}" --port="${port}" --query="${sql}" --cancel-after-ms=4000 \
+    --quiet &
+  local client_c=$!
+  sleep 1.5
+  # Both slots busy, queue depth 0: one more client must be turned away
+  # with a structured kUnavailable, not an error or a hang.
+  "${client}" --port="${port}" --query="${sql}" --expect=Unavailable --quiet
+  wait "${client_c}"
+  wait "${client_a}"
+  # Graceful drain on SIGINT: the serve process must exit 0, report zero
+  # leaked pool tasks, and have seen both the rejection and the
+  # disconnect-triggered cancellation.
+  kill -INT "${serve_pid}"
+  wait "${serve_pid}"
+  grep -q 'pool pending=0' "${server_dir}/serve.log"
+  grep -q 'rejected=[1-9]' "${server_dir}/serve.log"
+  grep -q 'cancelled=[1-9]' "${server_dir}/serve.log"
+  # The traced run must carry the usual span categories (sessions run as
+  # pool tasks, hence --expect-pool) alongside the server's own spans.
+  ./build-ci-release/tools/obs/monsoon-trace-check \
+    --trace "${server_dir}/trace.json" --expect-pool
+}
+
 case "${STAGE}" in
   release) release_stage ;;
   tsan) tsan_stage ;;
@@ -155,6 +222,7 @@ case "${STAGE}" in
   lint) lint_stage ;;
   obs) obs_stage ;;
   fault) fault_stage ;;
+  server) server_stage ;;
   all)
     release_stage
     tsan_stage
@@ -163,9 +231,10 @@ case "${STAGE}" in
     lint_stage
     obs_stage
     fault_stage
+    server_stage
     ;;
   *)
-    echo "usage: $0 [release|tsan|asan|ubsan|lint|obs|fault|all]" >&2
+    echo "usage: $0 [release|tsan|asan|ubsan|lint|obs|fault|server|all]" >&2
     exit 2
     ;;
 esac

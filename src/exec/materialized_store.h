@@ -52,6 +52,14 @@ class MaterializedStore {
   /// snapshotted from DefaultUdfCacheBytes() at construction.
   UdfColumnCache* udf_cache() const { return udf_cache_.get(); }
 
+  /// Replaces the per-store cache with a shared one (the server installs a
+  /// cross-session cache here). Safe across queries: entries are keyed by
+  /// exact Table identity, so a colliding signature from another query is
+  /// detected as stale and rebuilt rather than served.
+  void SetUdfCache(std::shared_ptr<UdfColumnCache> cache) {
+    if (cache != nullptr) udf_cache_ = std::move(cache);
+  }
+
  private:
   std::map<ExprSig, MaterializedExpr> exprs_;
   std::shared_ptr<UdfColumnCache> udf_cache_;

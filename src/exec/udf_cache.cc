@@ -1,9 +1,9 @@
 #include "exec/udf_cache.h"
 
 #include <atomic>
-#include <cstdlib>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/hash.h"
 #include "fault/injector.h"
 #include "parallel/parallel_for.h"
@@ -15,13 +15,8 @@ namespace {
 constexpr size_t kDefaultUdfCacheBytes = size_t{256} << 20;  // 256 MiB
 
 std::atomic<size_t>& DefaultBytesHolder() {
-  static std::atomic<size_t> holder = [] {
-    const char* env = std::getenv("MONSOON_UDF_CACHE");
-    if (env != nullptr) {
-      return static_cast<size_t>(std::strtoull(env, nullptr, 10));
-    }
-    return kDefaultUdfCacheBytes;
-  }();
+  static std::atomic<size_t> holder = static_cast<size_t>(
+      EnvUint64("MONSOON_UDF_CACHE", kDefaultUdfCacheBytes));
   return holder;
 }
 

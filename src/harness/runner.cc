@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 #include <fstream>
 
+#include "common/env.h"
 #include "common/string_util.h"
 #include "exec/udf_cache.h"
 #include "fault/injector.h"
@@ -50,10 +50,7 @@ Status BenchRunner::RunAll(const Workload& workload) {
   // run without touching the bench binaries (no-op when already tracing).
   obs::MaybeStartTracingFromEnv();
   int threads = options_.threads;
-  if (threads <= 0) {
-    const char* env = std::getenv("MONSOON_THREADS");
-    if (env != nullptr) threads = std::atoi(env);
-  }
+  if (threads <= 0) threads = EnvInt("MONSOON_THREADS", 0);
   if (threads > 0) {
     parallel::Config config = parallel::DefaultConfig();
     config.num_threads = threads;
@@ -66,18 +63,12 @@ Status BenchRunner::RunAll(const Workload& workload) {
   // knob, and with neither set the installed state is left alone (tests
   // install their own specs directly).
   std::string faults = options_.faults;
-  if (faults.empty()) {
-    const char* env = std::getenv("MONSOON_FAULTS");
-    if (env != nullptr) faults = env;
-  }
+  if (faults.empty()) faults = EnvString("MONSOON_FAULTS").value_or("");
   if (!faults.empty()) {
     fault::FaultConfig base;
-    if (const char* env = std::getenv("MONSOON_FAULT_SEED")) {
-      base.seed = std::strtoull(env, nullptr, 10);
-    }
-    if (const char* env = std::getenv("MONSOON_UDF_TIMEOUT_MS")) {
-      base.udf_timeout_ms = std::strtoull(env, nullptr, 10);
-    }
+    base.seed = EnvUint64("MONSOON_FAULT_SEED", base.seed);
+    base.udf_timeout_ms =
+        EnvUint64("MONSOON_UDF_TIMEOUT_MS", base.udf_timeout_ms);
     MONSOON_RETURN_IF_ERROR(
         fault::InstallSpec(faults, base).WithContext("installing fault spec"));
   }
@@ -106,8 +97,7 @@ Status BenchRunner::RunAll(const Workload& workload) {
   }
   std::string report_path = options_.report_out;
   if (report_path.empty()) {
-    const char* env = std::getenv("MONSOON_REPORT");
-    if (env != nullptr) report_path = env;
+    report_path = EnvString("MONSOON_REPORT").value_or("");
   }
   if (!report_path.empty()) {
     MONSOON_RETURN_IF_ERROR(WriteRunReportFile(report_path));

@@ -1,9 +1,9 @@
 #include "monsoon/monsoon_optimizer.h"
 
-#include <cstdlib>
 #include <exception>
 #include <map>
 
+#include "common/env.h"
 #include "fault/cancellation.h"
 #include "mcts/root_parallel.h"
 #include "obs/metrics.h"
@@ -15,8 +15,7 @@ namespace monsoon {
 MonsoonOptimizer::MonsoonOptimizer(const Catalog* catalog, Options options)
     : catalog_(catalog), options_(options) {
   if (options_.deadline_ms == 0) {
-    const char* env = std::getenv("MONSOON_DEADLINE_MS");
-    if (env != nullptr) options_.deadline_ms = std::strtoull(env, nullptr, 10);
+    options_.deadline_ms = EnvUint64("MONSOON_DEADLINE_MS", 0);
   }
 }
 
@@ -39,6 +38,7 @@ Status MonsoonOptimizer::RunImpl(const QuerySpec& query, RunResult* result) cons
   MONSOON_RETURN_IF_ERROR(catalog_->ValidateQuery(query));
   MONSOON_ASSIGN_OR_RETURN(MaterializedStore store,
                            MaterializedStore::ForQuery(*catalog_, query));
+  store.SetUdfCache(options_.udf_cache);
 
   std::unique_ptr<Prior> prior = MakePrior(options_.prior);
   QueryMdp mdp(query, prior.get(), options_.mdp);
@@ -50,13 +50,19 @@ Status MonsoonOptimizer::RunImpl(const QuerySpec& query, RunResult* result) cons
                              catalog_->RowCount(query.relation(i).table_name));
     base_counts[ExprSig::Of(RelSet::Single(i), 0)] = static_cast<double>(rows);
   }
-  MdpState state = mdp.InitialState(StatsStore(), base_counts);
+  MdpState state = mdp.InitialState(
+      options_.warm_stats != nullptr ? *options_.warm_stats : StatsStore(),
+      base_counts);
 
   Executor executor(query, &UdfRegistry::Global());
   ExecContext ctx(options_.work_budget);
-  fault::CancellationToken cancel_token;
-  if (options_.deadline_ms > 0) cancel_token.SetDeadlineMs(options_.deadline_ms);
-  ctx.SetCancelToken(&cancel_token);
+  fault::CancellationToken local_token;
+  fault::CancellationToken* cancel_token =
+      options_.cancel_token != nullptr ? options_.cancel_token : &local_token;
+  if (options_.deadline_ms > 0) {
+    cancel_token->SetDeadlineMs(options_.deadline_ms);
+  }
+  ctx.SetCancelToken(cancel_token);
 
   auto run_execute = [&](const std::vector<PlanNode::Ptr>& planned) -> Status {
     static obs::Counter* const executes_metric =
@@ -121,7 +127,7 @@ Status MonsoonOptimizer::RunImpl(const QuerySpec& query, RunResult* result) cons
 
   int decision = 0;
   while (!mdp.IsTerminal(state)) {
-    MONSOON_RETURN_IF_ERROR(cancel_token.Check());
+    MONSOON_RETURN_IF_ERROR(cancel_token->Check());
     if (decision++ >= options_.max_decisions) {
       return Status::Internal("exceeded the decision cap without finishing");
     }
@@ -152,7 +158,7 @@ Status MonsoonOptimizer::RunImpl(const QuerySpec& query, RunResult* result) cons
       WallTimer mcts_timer;
       MctsSearch::Options mcts_options = options_.mcts;
       mcts_options.seed = options_.seed + 0x9e37 * static_cast<uint64_t>(decision);
-      mcts_options.cancel_token = &cancel_token;
+      mcts_options.cancel_token = cancel_token;
       RootParallelMcts::Options rp_options;
       rp_options.search = mcts_options;
       rp_options.workers = options_.mcts_workers > 0
@@ -194,6 +200,9 @@ Status MonsoonOptimizer::RunImpl(const QuerySpec& query, RunResult* result) cons
   result->result_rows = final_expr->table->num_rows();
   result->result_table = final_expr->table;
   CaptureAccounting(ctx, result);
+  if (options_.learned_stats_out != nullptr) {
+    *options_.learned_stats_out = state.stats;
+  }
   return Status::OK();
 }
 

@@ -1,0 +1,69 @@
+#include "server/admission.h"
+
+namespace monsoon::server {
+
+Status AdmissionController::Acquire() {
+  MutexLock lock(admission_mu_);
+  if (draining_) {
+    ++rejected_;
+    return Status::Unavailable("server draining");
+  }
+  if (active_ < max_active_) {
+    ++active_;
+    ++admitted_;
+    return Status::OK();
+  }
+  if (queued_ >= queue_depth_) {
+    ++rejected_;
+    return Status::Unavailable(
+        "server overloaded: " + std::to_string(active_) + " active, " +
+        std::to_string(queued_) + " queued (queue depth " +
+        std::to_string(queue_depth_) + ")");
+  }
+  ++queued_;
+  while (active_ >= max_active_ && !draining_) {
+    slot_cv_.Wait(admission_mu_);
+  }
+  --queued_;
+  if (draining_) {
+    ++rejected_;
+    idle_cv_.NotifyAll();
+    return Status::Unavailable("server draining");
+  }
+  ++active_;
+  ++admitted_;
+  return Status::OK();
+}
+
+void AdmissionController::Release() {
+  MutexLock lock(admission_mu_);
+  --active_;
+  slot_cv_.NotifyOne();
+  if (active_ == 0 && queued_ == 0) idle_cv_.NotifyAll();
+}
+
+void AdmissionController::BeginDrain() {
+  MutexLock lock(admission_mu_);
+  draining_ = true;
+  slot_cv_.NotifyAll();
+  if (active_ == 0 && queued_ == 0) idle_cv_.NotifyAll();
+}
+
+void AdmissionController::WaitIdle() {
+  MutexLock lock(admission_mu_);
+  while (active_ > 0 || queued_ > 0) {
+    idle_cv_.Wait(admission_mu_);
+  }
+}
+
+AdmissionStats AdmissionController::stats() const {
+  MutexLock lock(admission_mu_);
+  AdmissionStats s;
+  s.admitted = admitted_;
+  s.rejected = rejected_;
+  s.active = active_;
+  s.queued = queued_;
+  return s;
+}
+
+}  // namespace monsoon::server

@@ -1,0 +1,77 @@
+#ifndef MONSOON_SERVER_ADMISSION_H_
+#define MONSOON_SERVER_ADMISSION_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
+
+namespace monsoon::server {
+
+/// Snapshot of the admission state machine, for .stats and metrics.
+struct AdmissionStats {
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  int active = 0;
+  int queued = 0;
+};
+
+/// Bounded admission control for query sessions. A session is in exactly
+/// one of three states:
+///
+///   REJECTED  — the wait queue is full (or the server is draining):
+///               Acquire returns kUnavailable immediately; the caller
+///               turns that into a structured protocol error. Overload
+///               never queues unboundedly and never blocks the client
+///               forever.
+///   QUEUED    — a wait-queue slot is free but all `max_active` run slots
+///               are busy: Acquire blocks on the slot condvar.
+///   ACTIVE    — a run slot is held; Release() frees it and wakes one
+///               queued waiter.
+///
+/// BeginDrain() flips the controller into draining mode: every queued
+/// waiter and every later Acquire gets kUnavailable, while already-active
+/// sessions keep their slots until Release. WaitIdle() then blocks until
+/// the last active session releases — the server's drain barrier.
+class AdmissionController {
+ public:
+  AdmissionController(int max_active, int queue_depth)
+      : max_active_(max_active < 1 ? 1 : max_active),
+        queue_depth_(queue_depth < 0 ? 0 : queue_depth) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Blocks until a run slot is held (OK) or the session is rejected
+  /// (kUnavailable, with a reason naming overload vs. drain).
+  Status Acquire();
+
+  /// Releases a run slot previously acquired.
+  void Release();
+
+  /// Rejects all queued and future sessions; active ones drain normally.
+  void BeginDrain();
+
+  /// Blocks until no session is active or queued. Call after BeginDrain.
+  void WaitIdle();
+
+  AdmissionStats stats() const;
+
+ private:
+  const int max_active_;
+  const int queue_depth_;
+
+  mutable Mutex admission_mu_;
+  CondVar slot_cv_;
+  CondVar idle_cv_;
+  int active_ GUARDED_BY(admission_mu_) = 0;
+  int queued_ GUARDED_BY(admission_mu_) = 0;
+  uint64_t admitted_ GUARDED_BY(admission_mu_) = 0;
+  uint64_t rejected_ GUARDED_BY(admission_mu_) = 0;
+  bool draining_ GUARDED_BY(admission_mu_) = false;
+};
+
+}  // namespace monsoon::server
+
+#endif  // MONSOON_SERVER_ADMISSION_H_

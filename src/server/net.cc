@@ -1,0 +1,144 @@
+#include "server/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace monsoon::server {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+StatusOr<int> ListenOn(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("bind 127.0.0.1:" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+StatusOr<uint16_t> LocalPort(int listen_fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+StatusOr<int> AcceptConnection(int listen_fd) {
+  for (;;) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    // EINVAL is what a shut-down listening socket reports; treat every
+    // persistent failure as "stop accepting".
+    return Status::Unavailable(std::string("accept: ") + std::strerror(errno));
+  }
+}
+
+StatusOr<int> ConnectTo(const std::string& host, uint16_t port) {
+  std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparseable IPv4 host '" + host + "'");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Unavailable("connect " + numeric + ":" +
+                                        std::to_string(port) + ": " +
+                                        std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      data.remove_prefix(static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Unavailable(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+bool PeerClosed(int fd) {
+  char probe;
+  ssize_t n = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (n == 0) return true;                       // orderly shutdown
+  if (n > 0) return false;                       // pipelined data waiting
+  return errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR;
+}
+
+void ShutdownRead(int fd) { ::shutdown(fd, SHUT_RD); }
+
+void ShutdownFd(int fd) { ::shutdown(fd, SHUT_RDWR); }
+
+void CloseFd(int fd) { ::close(fd); }
+
+StatusOr<bool> LineReader::ReadLine(std::string* line) {
+  for (;;) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line->assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      bytes_read_ += static_cast<uint64_t>(n);
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      if (buffer_.empty()) return false;  // clean EOF at a line boundary
+      line->assign(std::move(buffer_));
+      buffer_.clear();
+      return true;  // final unterminated line
+    }
+    if (errno == EINTR) continue;
+    return Status::Unavailable(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+}  // namespace monsoon::server

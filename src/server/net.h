@@ -1,0 +1,74 @@
+#ifndef MONSOON_SERVER_NET_H_
+#define MONSOON_SERVER_NET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace monsoon::server {
+
+/// Thin POSIX socket wrappers for the line-protocol server and client.
+/// Everything is loopback-oriented (the server binds 127.0.0.1 only) and
+/// blocking; cancellation happens by shutting the fd down from another
+/// thread, which wakes any blocked read with EOF.
+///
+/// THREADING RULE (enforced by monsoon-lint's monsoon-server rule): none
+/// of these calls may run while an annotated Mutex is held — socket I/O
+/// blocks for arbitrarily long on the peer.
+
+/// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and listens.
+StatusOr<int> ListenOn(uint16_t port);
+
+/// The port a listening fd actually bound (resolves port 0).
+StatusOr<uint16_t> LocalPort(int listen_fd);
+
+/// Blocks for the next connection. Unavailable once the listening fd has
+/// been shut down (the accept loop's exit signal).
+StatusOr<int> AcceptConnection(int listen_fd);
+
+/// Connects to host:port. Numeric IPv4 hosts only ("127.0.0.1"); the
+/// alias "localhost" is rewritten to 127.0.0.1 so shells can use either.
+StatusOr<int> ConnectTo(const std::string& host, uint16_t port);
+
+/// Writes all of `data`, retrying short writes. SIGPIPE is suppressed per
+/// call (MSG_NOSIGNAL); a closed peer surfaces as Unavailable instead.
+Status WriteAll(int fd, std::string_view data);
+
+/// True when the peer has performed an orderly shutdown (a non-blocking
+/// MSG_PEEK sees EOF). Pending unread data means "not closed".
+bool PeerClosed(int fd);
+
+/// Half-closes the read side: a thread blocked in a read on `fd` wakes
+/// with EOF, while in-flight writes (e.g. a final response) still land.
+void ShutdownRead(int fd);
+
+/// Full shutdown: wakes readers and writers. Used on the listening fd to
+/// break the accept loop.
+void ShutdownFd(int fd);
+
+void CloseFd(int fd);
+
+/// Buffered newline-framed reader over a blocking fd.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Reads the next '\n'-terminated line into `line` (terminator
+  /// stripped). Returns false on clean EOF with no buffered partial line;
+  /// errors surface as a non-OK status.
+  StatusOr<bool> ReadLine(std::string* line);
+
+  /// Raw bytes consumed from the fd so far (includes terminators).
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  int fd_;
+  std::string buffer_;
+  uint64_t bytes_read_ = 0;
+};
+
+}  // namespace monsoon::server
+
+#endif  // MONSOON_SERVER_NET_H_

@@ -1,0 +1,55 @@
+#ifndef MONSOON_SERVER_PROTOCOL_H_
+#define MONSOON_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "exec/run_result.h"
+#include "server/admission.h"
+
+namespace monsoon::server {
+
+/// The wire protocol: one newline-terminated request per line, one
+/// newline-terminated JSON object per response, in order. A request line
+/// is either a dot-command (".ping", ".stats", ".quit") or SQL handed to
+/// src/sql/parser verbatim. Responses always carry:
+///
+///   id      request ordinal within the connection (1-based)
+///   status  "ok" | "timeout" | "error"
+///   code    StatusCode name ("OK", "Unavailable", "Cancelled", ...)
+///
+/// Query responses add the full accounting block (rows, objects,
+/// work_units, execute_rounds, stats_collections, udf_cache hits/misses,
+/// degraded, seconds breakdown); failures add "error" with the status
+/// message. An admission rejection is the error response with code
+/// "Unavailable" — never a dropped connection.
+
+struct Request {
+  enum class Kind { kSql, kPing, kStats, kQuit };
+  Kind kind = Kind::kSql;
+  std::string sql;
+};
+
+/// Classifies a request line. Unknown dot-commands surface as SQL (the
+/// parser's error message names the offending token).
+Request ParseRequestLine(const std::string& line);
+
+/// Response for a completed (successfully or not) optimizer run.
+std::string RenderRunResponse(uint64_t id, const RunResult& result);
+
+/// Response for a request that never reached the optimizer (parse error,
+/// admission rejection, drain).
+std::string RenderErrorResponse(uint64_t id, const Status& status);
+
+std::string RenderPong(uint64_t id);
+
+/// Acknowledges `.quit` just before the server closes the connection.
+std::string RenderBye(uint64_t id);
+
+std::string RenderStatsResponse(uint64_t id, const AdmissionStats& admission,
+                                uint64_t sessions_total, size_t memo_entries);
+
+}  // namespace monsoon::server
+
+#endif  // MONSOON_SERVER_PROTOCOL_H_

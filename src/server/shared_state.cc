@@ -1,0 +1,35 @@
+#include "server/shared_state.h"
+
+namespace monsoon::server {
+
+bool SharedServerState::LookupStats(const std::string& fingerprint,
+                                    StatsStore* out) const {
+  MutexLock lock(memo_mu_);
+  auto it = memo_.find(fingerprint);
+  if (it == memo_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void SharedServerState::StoreStats(const std::string& fingerprint,
+                                   StatsStore stats) {
+  MutexLock lock(memo_mu_);
+  auto it = memo_.find(fingerprint);
+  if (it != memo_.end()) {
+    it->second = std::move(stats);
+    return;
+  }
+  while (memo_.size() >= max_memo_entries_ && !memo_order_.empty()) {
+    memo_.erase(memo_order_.front());
+    memo_order_.pop_front();
+  }
+  memo_.emplace(fingerprint, std::move(stats));
+  memo_order_.push_back(fingerprint);
+}
+
+size_t SharedServerState::memo_size() const {
+  MutexLock lock(memo_mu_);
+  return memo_.size();
+}
+
+}  // namespace monsoon::server

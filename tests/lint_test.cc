@@ -117,6 +117,9 @@ TEST(LintThreadTest, StdThreadOnlyInParallel) {
   EXPECT_TRUE(HasRule(Lint("src/harness/h.cc", "auto f = std::async(g);\n"),
                       "monsoon-thread"));
   EXPECT_TRUE(Lint("src/parallel/pool.cc", "std::thread t([] {});\n").empty());
+  // The server's accept / per-connection threads block on sockets, which a
+  // pool task must never do, so src/server/ owns real std::threads too.
+  EXPECT_TRUE(Lint("src/server/server.cc", "std::thread t([] {});\n").empty());
   // An unqualified member named `thread` is fine.
   EXPECT_TRUE(Lint("src/a.cc", "int thread = 0;\n").empty());
 }
@@ -301,6 +304,44 @@ TEST(LintLockRankTest, AcquisitionOrderFollowsRankTable) {
                   .empty());
 }
 
+TEST(LintServerTest, SocketCallUnderLock) {
+  const std::string bad =
+      "void f() {\n"
+      "  MutexLock lock(sessions_mu_);\n"
+      "  WriteAll(fd, response);\n"
+      "}\n";
+  auto diags = Lint("src/server/server.cc", bad);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "monsoon-server");
+  EXPECT_EQ(diags[0].line, 3);
+
+  // Raw POSIX calls are flagged the same way, in tools/ too.
+  EXPECT_TRUE(HasRule(Lint("tools/client/c.cc",
+                           "void f() {\n  MutexLock lock(mu_);\n"
+                           "  recv(fd, buf, n, 0);\n}\n"),
+                      "monsoon-server"));
+  // Socket I/O after the guard's scope closes: allowed.
+  EXPECT_TRUE(Lint("src/server/server.cc",
+                   "void f() {\n  { MutexLock lock(sessions_mu_); x = 1; }\n"
+                   "  WriteAll(fd, response);\n}\n")
+                  .empty());
+  // Waiting on a condition variable releases the mutex: allowed.
+  EXPECT_TRUE(Lint("src/server/admission.cc",
+                   "void f() {\n  MutexLock lock(admission_mu_);\n"
+                   "  slot_cv_.Wait(admission_mu_);\n}\n")
+                  .empty());
+  // A member-function definition is a declaration, not a blocking call.
+  EXPECT_TRUE(Lint("src/server/net.cc",
+                   "StatusOr<bool> LineReader::ReadLine(std::string* s) {\n"
+                   "  return true;\n}\n")
+                  .empty());
+  // NOLINT suppresses.
+  EXPECT_TRUE(Lint("src/server/server.cc",
+                   "void f() {\n  MutexLock lock(mu_);\n"
+                   "  send(fd, b, n, 0);  // NOLINT(monsoon-server)\n}\n")
+                  .empty());
+}
+
 TEST(LintFilesTest, DiagnosticsSortedAndRuleListStable) {
   auto diags = LintFiles({{"src/b.cc", "int* p = new int;\n"},
                           {"src/a.cc", "int x = rand();\nint* q = new int;\n"}});
@@ -311,7 +352,7 @@ TEST(LintFilesTest, DiagnosticsSortedAndRuleListStable) {
   EXPECT_EQ(diags[1].line, 2);
   EXPECT_EQ(diags[2].path, "src/b.cc");
 
-  EXPECT_EQ(RuleNames().size(), 9u);
+  EXPECT_EQ(RuleNames().size(), 10u);
 }
 
 }  // namespace

@@ -1,0 +1,434 @@
+// Concurrency tests for the query server front-end (src/server/): N
+// concurrent clients against one in-process server, pinning that
+// per-session accounting is bit-identical to one-shot harness runs, that
+// overload yields structured kUnavailable rejections, and that shutdown
+// drains active sessions through their CancellationTokens without leaking
+// pool tasks. Runs under TSan in CI (LABELS tsan).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "expr/udf.h"
+#include "monsoon/monsoon_optimizer.h"
+#include "obs/json.h"
+#include "server/net.h"
+#include "server/server.h"
+#include "sql/parser.h"
+
+namespace monsoon {
+namespace {
+
+using server::ConnectTo;
+using server::LineReader;
+using server::QueryServer;
+using server::ServerOptions;
+using server::WriteAll;
+
+// --------------------------------------------------------------------------
+// The gate UDF: lets a test hold a session "mid-query" deterministically.
+// The first evaluation latches entered() and every evaluation blocks until
+// Open(); cancellation then trips at the next morsel boundary.
+// --------------------------------------------------------------------------
+
+std::atomic<bool> g_gate_open{false};
+std::atomic<int> g_gate_entered{0};
+
+void RegisterGateUdf() {
+  UdfFunction gate;
+  gate.name = "server_gate";
+  gate.result_type = ValueType::kInt64;
+  gate.fn = [](const RowRef& row, const std::vector<size_t>& arg_cols) {
+    g_gate_entered.fetch_add(1, std::memory_order_acq_rel);
+    while (!g_gate_open.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    (void)row;
+    (void)arg_cols;
+    return Value(int64_t{1});
+  };
+  UdfRegistry::Global().RegisterOrReplace(std::move(gate));
+}
+
+void WaitUntil(const std::function<bool()>& predicate) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!predicate()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "condition not reached within 30s";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+// --------------------------------------------------------------------------
+// A minimal blocking client.
+// --------------------------------------------------------------------------
+
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    auto fd = ConnectTo("127.0.0.1", port);
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    fd_ = fd.ok() ? fd.value() : -1;
+    reader_ = std::make_unique<LineReader>(fd_);
+  }
+  ~TestClient() { Close(); }
+
+  bool connected() const { return fd_ >= 0; }
+
+  void Send(const std::string& line) {
+    Status status = WriteAll(fd_, line + "\n");
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+
+  /// Blocks for the next response line, parsed as JSON.
+  obs::JsonValue Read() {
+    std::string line;
+    auto got = reader_->ReadLine(&line);
+    EXPECT_TRUE(got.ok() && got.value()) << "no response line";
+    auto doc = obs::JsonParse(line);
+    EXPECT_TRUE(doc.ok()) << line;
+    return doc.ok() ? std::move(doc).value() : obs::JsonValue();
+  }
+
+  obs::JsonValue RoundTrip(const std::string& line) {
+    Send(line);
+    return Read();
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      server::CloseFd(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::unique_ptr<LineReader> reader_;
+};
+
+uint64_t Num(const obs::JsonValue& doc, const std::string& key) {
+  const obs::JsonValue* v = doc.Find(key);
+  EXPECT_NE(v, nullptr) << "missing field '" << key << "'";
+  return v == nullptr ? 0 : static_cast<uint64_t>(v->number);
+}
+
+std::string Str(const obs::JsonValue& doc, const std::string& key) {
+  const obs::JsonValue* v = doc.Find(key);
+  EXPECT_NE(v, nullptr) << "missing field '" << key << "'";
+  return v == nullptr ? "" : v->string_value;
+}
+
+// --------------------------------------------------------------------------
+// Fixture: the monsoon_test database plus a gated table, served in-process.
+// --------------------------------------------------------------------------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterGateUdf();
+    g_gate_open.store(false);
+    g_gate_entered.store(0);
+
+    auto fact = std::make_shared<Table>(
+        Schema({{"x", ValueType::kInt64}, {"y", ValueType::kInt64}}));
+    for (int64_t i = 0; i < 20000; ++i) {
+      ASSERT_TRUE(fact->AppendRow({Value(i % 500), Value(i % 700)}).ok());
+    }
+    ASSERT_TRUE(catalog_.AddTable("fact", fact).ok());
+
+    auto dim = std::make_shared<Table>(
+        Schema({{"k", ValueType::kInt64}, {"tag", ValueType::kString}}));
+    for (int64_t i = 0; i < 800; ++i) {
+      ASSERT_TRUE(dim->AppendRow({Value(i), Value("g")}).ok());
+    }
+    ASSERT_TRUE(catalog_.AddTable("dim", dim).ok());
+
+    // > 1 morsel (2048 rows) so a cancelled gate query stops at a morsel
+    // boundary instead of running to completion.
+    auto gated = std::make_shared<Table>(Schema({{"x", ValueType::kInt64}}));
+    for (int64_t i = 0; i < 8192; ++i) {
+      ASSERT_TRUE(gated->AppendRow({Value(i)}).ok());
+    }
+    ASSERT_TRUE(catalog_.AddTable("gated", gated).ok());
+
+    auto small = std::make_shared<Table>(Schema({{"x", ValueType::kInt64}}));
+    for (int64_t i = 0; i < 64; ++i) {
+      ASSERT_TRUE(small->AppendRow({Value(i % 8)}).ok());
+    }
+    ASSERT_TRUE(catalog_.AddTable("small", small).ok());
+  }
+
+  ServerOptions BaseOptions() {
+    ServerOptions options;
+    options.optimizer.mcts.iterations = 150;
+    options.optimizer.seed = 42;
+    return options;
+  }
+
+  Catalog catalog_;
+  const std::string join_sql_ =
+      "SELECT * FROM fact f, dim d WHERE f.x = d.k";
+  const std::string udf_sql_ =
+      "SELECT * FROM fact f, dim d WHERE identity(f.y) = d.k";
+  const std::string gate_sql_ =
+      "SELECT * FROM gated g WHERE server_gate(g.x) = 1";
+  const std::string small_sql_ =
+      "SELECT * FROM small s WHERE identity(s.x) = 3";
+};
+
+// (a) Per-session accounting of concurrent sessions is bit-identical to
+// one-shot harness runs of the same queries. Shared state is off so every
+// session, like every one-shot run, starts cold.
+TEST_F(ServerTest, ConcurrentAccountingMatchesOneShot) {
+  ServerOptions options = BaseOptions();
+  options.share_state = false;
+  options.max_sessions = 4;
+
+  // One-shot references through the optimizer exactly as the harness runs
+  // it, with the same options the server applies per session.
+  std::vector<std::string> sqls = {join_sql_, udf_sql_, small_sql_};
+  std::vector<RunResult> reference;
+  for (const std::string& sql : sqls) {
+    auto spec = SqlParser(&catalog_).Parse(sql);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    RunResult result = MonsoonOptimizer(&catalog_, options.optimizer).Run(*spec);
+    ASSERT_TRUE(result.ok()) << result.status.ToString();
+    reference.push_back(std::move(result));
+  }
+
+  QueryServer query_server(&catalog_, options);
+  ASSERT_TRUE(query_server.Start().ok());
+
+  // Two concurrent clients per query, each session on its own connection.
+  constexpr int kClientsPerQuery = 2;
+  std::vector<obs::JsonValue> responses(sqls.size() * kClientsPerQuery);
+  std::vector<std::thread> clients;
+  for (size_t q = 0; q < sqls.size(); ++q) {
+    for (int c = 0; c < kClientsPerQuery; ++c) {
+      clients.emplace_back([&, q, c] {
+        TestClient client(query_server.port());
+        ASSERT_TRUE(client.connected());
+        responses[q * kClientsPerQuery + c] = client.RoundTrip(sqls[q]);
+      });
+    }
+  }
+  for (std::thread& t : clients) t.join();
+  query_server.Shutdown();
+
+  for (size_t q = 0; q < sqls.size(); ++q) {
+    const RunResult& ref = reference[q];
+    for (int c = 0; c < kClientsPerQuery; ++c) {
+      const obs::JsonValue& doc = responses[q * kClientsPerQuery + c];
+      SCOPED_TRACE("query " + sqls[q]);
+      EXPECT_EQ(Str(doc, "status"), "ok");
+      EXPECT_EQ(Num(doc, "rows"), ref.result_rows);
+      EXPECT_EQ(Num(doc, "objects"), ref.objects_processed);
+      EXPECT_EQ(Num(doc, "work_units"), ref.work_units);
+      EXPECT_EQ(Num(doc, "execute_rounds"),
+                static_cast<uint64_t>(ref.execute_rounds));
+      EXPECT_EQ(Num(doc, "stats_collections"),
+                static_cast<uint64_t>(ref.stats_collections));
+      const obs::JsonValue* cache = doc.Find("udf_cache");
+      ASSERT_NE(cache, nullptr);
+      EXPECT_EQ(Num(*cache, "hits"), ref.udf_cache_hits);
+      EXPECT_EQ(Num(*cache, "misses"), ref.udf_cache_misses);
+    }
+  }
+  EXPECT_EQ(query_server.pool_pending(), 0u);
+}
+
+// Shared-state mode: a repeated identical query hits the cross-session UDF
+// cache and warm-starts from the statistics memo; results stay identical.
+TEST_F(ServerTest, SharedStateWarmStartsRepeatQueries) {
+  ServerOptions options = BaseOptions();
+  options.share_state = true;
+  QueryServer query_server(&catalog_, options);
+  ASSERT_TRUE(query_server.Start().ok());
+
+  TestClient client(query_server.port());
+  ASSERT_TRUE(client.connected());
+  obs::JsonValue first = client.RoundTrip(udf_sql_);
+  EXPECT_EQ(Str(first, "status"), "ok");
+  EXPECT_EQ(query_server.shared_state().memo_size(), 1u);
+
+  obs::JsonValue second = client.RoundTrip(udf_sql_);
+  EXPECT_EQ(Str(second, "status"), "ok");
+  EXPECT_EQ(Num(second, "rows"), Num(first, "rows"));
+  const obs::JsonValue* cache = second.Find("udf_cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GT(Num(*cache, "hits"), 0u)
+      << "second identical query must hit the shared UDF cache";
+
+  client.Close();
+  query_server.Shutdown();
+  EXPECT_EQ(query_server.pool_pending(), 0u);
+}
+
+// (b) A query beyond the admission limit gets a structured kUnavailable
+// rejection — not a crash, not an unbounded queue.
+TEST_F(ServerTest, OverloadRejectsWithUnavailable) {
+  ServerOptions options = BaseOptions();
+  options.max_sessions = 1;
+  options.queue_depth = 0;
+  QueryServer query_server(&catalog_, options);
+  ASSERT_TRUE(query_server.Start().ok());
+
+  TestClient holder(query_server.port());
+  ASSERT_TRUE(holder.connected());
+  holder.Send(gate_sql_);
+  WaitUntil([] { return g_gate_entered.load(std::memory_order_acquire) > 0; });
+
+  TestClient rejected(query_server.port());
+  ASSERT_TRUE(rejected.connected());
+  obs::JsonValue rejection = rejected.RoundTrip(small_sql_);
+  EXPECT_EQ(Str(rejection, "status"), "error");
+  EXPECT_EQ(Str(rejection, "code"), "Unavailable");
+  EXPECT_EQ(query_server.admission_stats().rejected, 1u);
+
+  g_gate_open.store(true, std::memory_order_release);
+  obs::JsonValue held = holder.Read();
+  EXPECT_EQ(Str(held, "status"), "ok");
+  EXPECT_EQ(Num(held, "rows"), 8192u);
+
+  query_server.Shutdown();
+  EXPECT_EQ(query_server.pool_pending(), 0u);
+}
+
+// A session past max_sessions but within queue_depth waits (bounded) and
+// then runs; it is never rejected and never lost.
+TEST_F(ServerTest, QueuedSessionRunsAfterSlotFrees) {
+  ServerOptions options = BaseOptions();
+  options.max_sessions = 1;
+  options.queue_depth = 4;
+  QueryServer query_server(&catalog_, options);
+  ASSERT_TRUE(query_server.Start().ok());
+
+  TestClient holder(query_server.port());
+  ASSERT_TRUE(holder.connected());
+  holder.Send(gate_sql_);
+  WaitUntil([] { return g_gate_entered.load(std::memory_order_acquire) > 0; });
+
+  TestClient queued(query_server.port());
+  ASSERT_TRUE(queued.connected());
+  queued.Send(small_sql_);
+  WaitUntil([&] { return query_server.admission_stats().queued == 1; });
+
+  g_gate_open.store(true, std::memory_order_release);
+  obs::JsonValue held = holder.Read();
+  EXPECT_EQ(Str(held, "status"), "ok");
+  obs::JsonValue ran = queued.Read();
+  EXPECT_EQ(Str(ran, "status"), "ok");
+  EXPECT_EQ(Num(ran, "rows"), 8u);  // small: x % 8 == 3 -> 8 of 64 rows
+
+  query_server.Shutdown();
+  EXPECT_EQ(query_server.pool_pending(), 0u);
+}
+
+// (c) Shutdown drains: queued sessions get kUnavailable, active sessions
+// are cancelled through their CancellationToken and still deliver a final
+// structured response, and the session pool ends empty.
+TEST_F(ServerTest, ShutdownCancelsActiveAndRejectsQueued) {
+  ServerOptions options = BaseOptions();
+  options.max_sessions = 1;
+  options.queue_depth = 4;
+  QueryServer query_server(&catalog_, options);
+  ASSERT_TRUE(query_server.Start().ok());
+
+  TestClient active(query_server.port());
+  ASSERT_TRUE(active.connected());
+  active.Send(gate_sql_);
+  WaitUntil([] { return g_gate_entered.load(std::memory_order_acquire) > 0; });
+
+  TestClient queued(query_server.port());
+  ASSERT_TRUE(queued.connected());
+  queued.Send(small_sql_);
+  WaitUntil([&] { return query_server.admission_stats().queued == 1; });
+
+  std::thread shutdown_thread([&] { query_server.Shutdown(); });
+
+  // The queued session is rejected as soon as the drain begins.
+  obs::JsonValue rejection = queued.Read();
+  EXPECT_EQ(Str(rejection, "status"), "error");
+  EXPECT_EQ(Str(rejection, "code"), "Unavailable");
+
+  // The active session's token is cancelled; releasing the gate lets it
+  // reach the next morsel boundary and stop.
+  WaitUntil([&] { return query_server.cancelled_sessions() > 0; });
+  g_gate_open.store(true, std::memory_order_release);
+  obs::JsonValue cancelled = active.Read();
+  EXPECT_EQ(Str(cancelled, "status"), "error");
+  EXPECT_EQ(Str(cancelled, "code"), "Cancelled");
+
+  shutdown_thread.join();
+  EXPECT_EQ(query_server.pool_pending(), 0u)
+      << "drain must not leak session pool tasks";
+  EXPECT_EQ(query_server.admission_stats().active, 0);
+
+  // The drained server no longer accepts connections.
+  auto refused = ConnectTo("127.0.0.1", query_server.port());
+  EXPECT_FALSE(refused.ok());
+}
+
+// A client that disconnects mid-query cancels its session and frees the
+// admission slot for the next client.
+TEST_F(ServerTest, ClientDisconnectCancelsSession) {
+  ServerOptions options = BaseOptions();
+  options.max_sessions = 1;
+  options.queue_depth = 4;
+  QueryServer query_server(&catalog_, options);
+  ASSERT_TRUE(query_server.Start().ok());
+
+  {
+    TestClient vanishing(query_server.port());
+    ASSERT_TRUE(vanishing.connected());
+    vanishing.Send(gate_sql_);
+    WaitUntil(
+        [] { return g_gate_entered.load(std::memory_order_acquire) > 0; });
+    vanishing.Close();
+  }
+  WaitUntil([&] { return query_server.cancelled_sessions() > 0; });
+  g_gate_open.store(true, std::memory_order_release);
+  WaitUntil([&] { return query_server.admission_stats().active == 0; });
+
+  TestClient next(query_server.port());
+  ASSERT_TRUE(next.connected());
+  obs::JsonValue ok = next.RoundTrip(small_sql_);
+  EXPECT_EQ(Str(ok, "status"), "ok");
+
+  query_server.Shutdown();
+  EXPECT_EQ(query_server.pool_pending(), 0u);
+}
+
+// Protocol edges: ping, stats, parse errors — all structured, in order.
+TEST_F(ServerTest, ProtocolControlAndErrors) {
+  QueryServer query_server(&catalog_, BaseOptions());
+  ASSERT_TRUE(query_server.Start().ok());
+
+  TestClient client(query_server.port());
+  ASSERT_TRUE(client.connected());
+  obs::JsonValue pong = client.RoundTrip(".ping");
+  EXPECT_EQ(Str(pong, "status"), "ok");
+  EXPECT_EQ(Num(pong, "id"), 1u);
+
+  obs::JsonValue bad = client.RoundTrip("SELECT FROM nothing");
+  EXPECT_EQ(Str(bad, "status"), "error");
+  EXPECT_EQ(Num(bad, "id"), 2u);
+
+  obs::JsonValue stats = client.RoundTrip(".stats");
+  EXPECT_EQ(Str(stats, "status"), "ok");
+  EXPECT_EQ(Num(stats, "id"), 3u);
+
+  obs::JsonValue bye = client.RoundTrip(".quit");
+  EXPECT_EQ(Str(bye, "status"), "ok");
+  EXPECT_NE(bye.Find("bye"), nullptr);
+
+  query_server.Shutdown();
+  EXPECT_EQ(query_server.pool_pending(), 0u);
+}
+
+}  // namespace
+}  // namespace monsoon

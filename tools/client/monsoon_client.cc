@@ -1,0 +1,170 @@
+// monsoon-client: scripted line-protocol client for monsoon-serve.
+//
+//   monsoon-client --port=N [--host=127.0.0.1] --query="SELECT ..."
+//       [--query="..."]... [--repeat=N] [--threads=N]
+//       [--cancel-after-ms=N] [--expect=CODE] [--ping] [--stats] [--quiet]
+//
+// Each thread opens its own connection and sends every --query (in order)
+// --repeat times, reading one JSON response line per request. With
+// --expect=CODE the process exits 0 only when every response carries that
+// status code ("OK", "Unavailable", "Cancelled", ...) — the CI stage uses
+// this to assert structured admission rejections. --cancel-after-ms sends
+// the first query, waits, then drops the connection without reading the
+// response, exercising the server's disconnect-cancellation path.
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "server/net.h"
+
+using namespace monsoon;
+
+namespace {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::vector<std::string> queries;
+  int repeat = 1;
+  int threads = 1;
+  int cancel_after_ms = -1;
+  std::string expect;
+  bool ping = false;
+  bool stats = false;
+  bool quiet = false;
+};
+
+bool FlagValue(const char* arg, const char* name, std::string* value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *value = arg + len;
+  return true;
+}
+
+/// Sends `line` + '\n' and reads one response line. Validates --expect.
+/// Returns false on any transport, parse, or expectation failure.
+bool RoundTrip(int fd, server::LineReader* reader, const ClientConfig& config,
+               const std::string& line, std::atomic<int>* failures) {
+  Status sent = server::WriteAll(fd, line + "\n");
+  if (!sent.ok()) {
+    std::cerr << "monsoon-client: " << sent.ToString() << "\n";
+    failures->fetch_add(1);
+    return false;
+  }
+  std::string response;
+  StatusOr<bool> got = reader->ReadLine(&response);
+  if (!got.ok() || !got.value()) {
+    std::cerr << "monsoon-client: connection closed before a response\n";
+    failures->fetch_add(1);
+    return false;
+  }
+  if (!config.quiet) std::cout << response << "\n";
+  if (config.expect.empty()) return true;
+  StatusOr<obs::JsonValue> doc = obs::JsonParse(response);
+  const obs::JsonValue* code = doc.ok() ? doc->Find("code") : nullptr;
+  if (code == nullptr || !code->is_string() ||
+      code->string_value != config.expect) {
+    std::cerr << "monsoon-client: expected code '" << config.expect
+              << "', got: " << response << "\n";
+    failures->fetch_add(1);
+    return false;
+  }
+  return true;
+}
+
+void RunConnection(const ClientConfig& config, std::atomic<int>* failures) {
+  StatusOr<int> fd_or = server::ConnectTo(config.host, config.port);
+  if (!fd_or.ok()) {
+    std::cerr << "monsoon-client: " << fd_or.status().ToString() << "\n";
+    failures->fetch_add(1);
+    return;
+  }
+  int fd = fd_or.value();
+  server::LineReader reader(fd);
+
+  if (config.cancel_after_ms >= 0) {
+    // Fire the first query, linger, then vanish: the server must notice
+    // the disconnect and cancel the session.
+    std::string query = config.queries.empty() ? ".ping" : config.queries[0];
+    Status sent = server::WriteAll(fd, query + "\n");
+    if (!sent.ok()) failures->fetch_add(1);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config.cancel_after_ms));
+    server::CloseFd(fd);
+    return;
+  }
+
+  bool alive = true;
+  if (config.ping) alive = RoundTrip(fd, &reader, config, ".ping", failures);
+  for (int round = 0; alive && round < config.repeat; ++round) {
+    for (const std::string& query : config.queries) {
+      if (!RoundTrip(fd, &reader, config, query, failures)) {
+        alive = false;
+        break;
+      }
+    }
+  }
+  if (alive && config.stats) {
+    RoundTrip(fd, &reader, config, ".stats", failures);
+  }
+  server::CloseFd(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClientConfig config;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    if (FlagValue(argv[i], "--host=", &value)) {
+      config.host = value;
+    } else if (FlagValue(argv[i], "--port=", &value)) {
+      config.port = static_cast<uint16_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (FlagValue(argv[i], "--query=", &value)) {
+      config.queries.push_back(value);
+    } else if (FlagValue(argv[i], "--repeat=", &value)) {
+      config.repeat = std::atoi(value.c_str());
+    } else if (FlagValue(argv[i], "--threads=", &value)) {
+      config.threads = std::atoi(value.c_str());
+    } else if (FlagValue(argv[i], "--cancel-after-ms=", &value)) {
+      config.cancel_after_ms = std::atoi(value.c_str());
+    } else if (FlagValue(argv[i], "--expect=", &value)) {
+      config.expect = value;
+    } else if (std::strcmp(argv[i], "--ping") == 0) {
+      config.ping = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      config.stats = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      config.quiet = true;
+    } else {
+      std::cerr << "unknown flag '" << argv[i] << "'\n";
+      return 2;
+    }
+  }
+  if (config.port == 0) {
+    std::cerr << "monsoon-client: --port is required\n";
+    return 2;
+  }
+
+  std::atomic<int> failures{0};
+  if (config.threads <= 1) {
+    RunConnection(config, &failures);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(config.threads));
+    for (int i = 0; i < config.threads; ++i) {
+      workers.emplace_back([&config, &failures] {
+        RunConnection(config, &failures);
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  return failures.load() == 0 ? 0 : 1;
+}

@@ -17,15 +17,22 @@ namespace monsoon::lint {
 /// a rank; that is intentional — TaskGroup::mu_ and UdfColumnCache::mu_ sit
 /// at the same level because neither may be held across pool work.
 ///
-///   rank 40  rt.mu       parallel::Runtime config/pool registry
-///   rank 30  mu_         TaskGroup bookkeeping; UdfColumnCache tables
-///   rank 25  submit_mu_  ThreadPool round-robin submission cursor
-///   rank 20  idle_mu_    ThreadPool pending-count / shutdown flag
-///   rank 10  q.mu        a single WorkQueue's deque (innermost)
+///   rank 48  conns_mu_      QueryServer connection registry (outermost:
+///                           held only in accept/reap/shutdown paths)
+///   rank 46  sessions_mu_   QueryServer active-session token map
+///   rank 44  admission_mu_  AdmissionController slot accounting
+///   rank 40  rt.mu          parallel::Runtime config/pool registry
+///   rank 35  memo_mu_       SharedServerState stats memo (leaf on the
+///                           server side; never held across pool work)
+///   rank 30  mu_            TaskGroup bookkeeping; UdfColumnCache tables
+///   rank 25  submit_mu_     ThreadPool round-robin submission cursor
+///   rank 20  idle_mu_       ThreadPool pending-count / shutdown flag
+///   rank 10  q.mu           a single WorkQueue's deque (innermost)
 inline const std::map<std::string, int>& LockRankTable() {
   static const std::map<std::string, int> table = {
-      {"rt.mu", 40}, {"mu_", 30}, {"submit_mu_", 25},
-      {"idle_mu_", 20}, {"q.mu", 10},
+      {"conns_mu_", 48}, {"sessions_mu_", 46}, {"admission_mu_", 44},
+      {"rt.mu", 40},     {"memo_mu_", 35},     {"mu_", 30},
+      {"submit_mu_", 25}, {"idle_mu_", 20},    {"q.mu", 10},
   };
   return table;
 }

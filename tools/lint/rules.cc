@@ -144,7 +144,13 @@ void CheckObs(const ScannedFile& f, Reporter& r) {
 // ---------------------------------------------------------------------------
 
 void CheckThread(const ScannedFile& f, Reporter& r) {
-  if (!StartsWith(f.path, "src/") || StartsWith(f.path, "src/parallel/")) return;
+  // src/parallel/ owns the pool workers; src/server/ owns the accept and
+  // per-connection threads, which spend their lives blocked on socket
+  // I/O — exactly what a pool task must never do.
+  if (!StartsWith(f.path, "src/") || StartsWith(f.path, "src/parallel/") ||
+      StartsWith(f.path, "src/server/")) {
+    return;
+  }
   static const std::set<std::string> kBanned = {"thread", "jthread", "async"};
   const auto& toks = f.tokens;
   for (size_t i = 0; i + 3 < toks.size(); ++i) {
@@ -154,8 +160,8 @@ void CheckThread(const ScannedFile& f, Reporter& r) {
         kBanned.count(toks[i + 3].text) != 0) {
       r.Report("monsoon-thread", toks[i].line,
                "std::" + toks[i + 3].text +
-                   " outside src/parallel/: route work through "
-                   "parallel::ThreadPool / TaskGroup");
+                   " outside src/parallel/ and src/server/: route work "
+                   "through parallel::ThreadPool / TaskGroup");
     }
   }
 }
@@ -482,12 +488,98 @@ void CheckLockRank(const ScannedFile& f, Reporter& r) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// monsoon-server
+// ---------------------------------------------------------------------------
+
+/// Socket I/O blocks on the peer for arbitrarily long, so it must never
+/// run while an annotated Mutex is held: one stalled client would extend
+/// the critical section indefinitely and back up every thread contending
+/// for that lock (the server's session registries are global). Flags the
+/// raw POSIX calls and the server/net.h wrappers under any held guard,
+/// using the same guard tracking as monsoon-lock-rank.
+void CheckServer(const ScannedFile& f, Reporter& r) {
+  if (!StartsWith(f.path, "src/") && !StartsWith(f.path, "tools/")) return;
+  static const std::set<std::string> kSocketCalls = {
+      "accept",  "recv",      "recvfrom",         "send",
+      "sendto",  "connect",   "AcceptConnection", "ConnectTo",
+      "ReadLine", "WriteAll", "PeerClosed",
+  };
+  const auto& toks = f.tokens;
+  std::vector<HeldLock> held;
+  int depth = 0;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokenKind::kPreprocessor) continue;
+    if (t.text == "{") {
+      ++depth;
+      continue;
+    }
+    if (t.text == "}") {
+      --depth;
+      while (!held.empty() && held.back().brace_depth > depth) held.pop_back();
+      continue;
+    }
+    if (t.kind != TokenKind::kIdentifier) continue;
+
+    if (IsGuardKeyword(t.text)) {
+      size_t j = i + 1;
+      if (j < toks.size() && toks[j].text == "<") {
+        int angle = 1;
+        ++j;
+        while (j < toks.size() && angle > 0) {
+          if (toks[j].text == "<") ++angle;
+          if (toks[j].text == ">") --angle;
+          ++j;
+        }
+      }
+      if (j < toks.size() && toks[j].kind == TokenKind::kIdentifier) ++j;
+      if (j >= toks.size() || toks[j].text != "(") continue;
+      std::string arg;
+      int paren = 1;
+      for (++j; j < toks.size() && paren > 0; ++j) {
+        if (toks[j].text == "(") ++paren;
+        if (toks[j].text == ")") --paren;
+        if (paren == 0) break;
+        if (toks[j].text == "," && paren == 1) break;
+        arg += toks[j].text;
+      }
+      if (arg.empty() || arg.find('&') != std::string::npos ||
+          arg.find("const") != std::string::npos) {
+        i = j;
+        continue;
+      }
+      held.push_back({depth, arg, -1, t.line});
+      i = j;
+      continue;
+    }
+
+    if (kSocketCalls.count(t.text) != 0 && i + 1 < toks.size() &&
+        toks[i + 1].text == "(" && !held.empty()) {
+      // Skip member-function *definitions* (`LineReader::ReadLine(...) {`):
+      // they open at file scope where nothing is held anyway, but a stray
+      // `Type::Fn` mention inside a locked region is still just a name.
+      if (i >= 2 && toks[i - 1].text == ":" && toks[i - 2].text == ":" &&
+          i >= 3 && toks[i - 3].kind == TokenKind::kIdentifier &&
+          toks[i - 3].text != "server") {
+        continue;
+      }
+      const HeldLock& h = held.back();
+      r.Report("monsoon-server", t.line,
+               "blocking socket I/O '" + t.text + "' while holding '" + h.arg +
+                   "' (acquired line " + std::to_string(h.line) +
+                   "): release the lock before touching the network");
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> RuleNames() {
   return {"monsoon-rng",        "monsoon-accounting", "monsoon-obs",
           "monsoon-thread",     "monsoon-raw-new",    "monsoon-status",
-          "monsoon-pinned-get", "monsoon-include",    "monsoon-lock-rank"};
+          "monsoon-pinned-get", "monsoon-include",    "monsoon-lock-rank",
+          "monsoon-server"};
 }
 
 std::vector<Diagnostic> LintFiles(const std::vector<SourceFile>& files) {
@@ -506,6 +598,7 @@ std::vector<Diagnostic> LintFiles(const std::vector<SourceFile>& files) {
     CheckStatus(f, r);
     CheckPinnedGet(f, r);
     CheckLockRank(f, r);
+    CheckServer(f, r);
   }
   CheckIncludes(scanned, out);
   std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {

@@ -40,9 +40,11 @@ std::vector<std::string> RuleNames();
 ///                       counters (plain arithmetic members named *_hits_,
 ///                       *_units_, *_seconds_, ...); use the obs:: metrics
 ///                       types so they land in snapshots and run reports.
-///   monsoon-thread      (src/ minus src/parallel/)  no std::thread /
-///                       std::async / std::jthread; parallelism goes
-///                       through parallel::ThreadPool.
+///   monsoon-thread      (src/ minus src/parallel/, src/server/)  no
+///                       std::thread / std::async / std::jthread;
+///                       parallelism goes through parallel::ThreadPool
+///                       (the server's accept / per-connection threads
+///                       block on sockets, which pool tasks must not).
 ///   monsoon-raw-new     (src/)          no raw new / delete expressions;
 ///                       use make_unique / make_shared (deliberately leaked
 ///                       singletons carry a NOLINT).
@@ -62,6 +64,11 @@ std::vector<std::string> RuleNames();
 ///   monsoon-lock-rank   (src/)          locks acquire in descending
 ///                       lock_ranks.h order and no blocking call
 ///                       (TaskGroup::Wait / TryRunOne) runs under a lock.
+///   monsoon-server      (src/, tools/)  no blocking socket I/O (accept /
+///                       recv / send / server::WriteAll / LineReader::
+///                       ReadLine...) while holding any annotated Mutex —
+///                       a stalled peer must never extend a critical
+///                       section.
 std::vector<Diagnostic> LintFiles(const std::vector<SourceFile>& files);
 
 }  // namespace monsoon::lint
