@@ -10,8 +10,8 @@
 // Usage:
 //   ./build/examples/monsoon-serve [--workload=tpch|imdb|ott|udf]
 //       [--port=N] [--max-sessions=N] [--queue-depth=N] [--threads=N]
-//       [--deadline-ms=N] [--work-budget=N] [--iterations=N]
-//       [--trace-out=FILE] [--no-shared-state]
+//       [--batch-size=N] [--deadline-ms=N] [--work-budget=N]
+//       [--iterations=N] [--trace-out=FILE] [--no-shared-state]
 //
 // Every knob follows flag > MONSOON_SERVER_* env > default precedence
 // (see the README knob table). Drive it with tools/monsoon-client or
@@ -72,6 +72,7 @@ int main(int argc, char** argv) {
   std::string workload_name = "tpch";
   std::string trace_out;
   int threads = 0;
+  int batch_size = 0;
   std::string value;
   for (int i = 1; i < argc; ++i) {
     if (FlagValue(argv[i], "--workload=", &value)) {
@@ -84,6 +85,8 @@ int main(int argc, char** argv) {
       options.queue_depth = std::atoi(value.c_str());
     } else if (FlagValue(argv[i], "--threads=", &value)) {
       threads = std::atoi(value.c_str());
+    } else if (FlagValue(argv[i], "--batch-size=", &value)) {
+      batch_size = std::atoi(value.c_str());
     } else if (FlagValue(argv[i], "--deadline-ms=", &value)) {
       options.optimizer.deadline_ms = std::strtoull(value.c_str(), nullptr, 10);
     } else if (FlagValue(argv[i], "--work-budget=", &value)) {
@@ -100,9 +103,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (threads > 0) {
+  if (threads > 0 || batch_size > 0) {
+    // Explicit flags win over MONSOON_THREADS / MONSOON_BATCH_SIZE
+    // (common/env.h rule); unset flags keep the env-derived defaults.
     parallel::Config config = parallel::DefaultConfig();
-    config.num_threads = threads;
+    if (threads > 0) config.num_threads = threads;
+    if (batch_size > 0) config.batch_size = static_cast<size_t>(batch_size);
     parallel::SetDefaultConfig(config);
   }
   if (!trace_out.empty()) {

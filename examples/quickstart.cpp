@@ -2,14 +2,17 @@
 // are obscured by UDFs, and let the Monsoon optimizer interleave
 // statistics collection with execution.
 //
-// Run:  ./build/examples/quickstart [--threads=N] [--udf-cache-bytes=B]
+// Run:  ./build/examples/quickstart [--threads=N] [--batch-size=N]
+//                                   [--udf-cache-bytes=B]
 //                                   [--trace-out=F] [--report-out=F]
 //
 // --threads=N runs the morsel-driven executor and root-parallel MCTS on
-// N threads (default 1 = fully serial). --udf-cache-bytes=B sets the
-// evaluate-once UDF column cache budget (0 disables it; the default also
-// honors MONSOON_UDF_CACHE). The result rows and Mobjects are the same
-// either way; only wall-clock time changes.
+// N threads (default 1 = fully serial). --batch-size=N sets the rows per
+// vectorized executor batch (1 = row-at-a-time; flag wins over
+// MONSOON_BATCH_SIZE). --udf-cache-bytes=B sets the evaluate-once UDF
+// column cache budget (0 disables it; the default also honors
+// MONSOON_UDF_CACHE). The result rows and Mobjects are the same either
+// way; only wall-clock time changes.
 //
 // --trace-out=F writes a Chrome trace_event JSON to F: open it in Perfetto
 // (https://ui.perfetto.dev) or chrome://tracing to see every MDP step,
@@ -276,6 +279,16 @@ int main(int argc, char** argv) {
       config.num_threads = threads;
       parallel::SetDefaultConfig(config);
       std::cout << "Running with " << threads << " thread(s)\n";
+    } else if (std::strncmp(argv[i], "--batch-size=", 13) == 0) {
+      int batch_size = std::atoi(argv[i] + 13);
+      if (batch_size < 1) {
+        std::cerr << "--batch-size expects a positive integer (1 = row-at-a-time)\n";
+        return 1;
+      }
+      // Explicit flag wins over MONSOON_BATCH_SIZE (common/env.h rule).
+      parallel::Config config = parallel::DefaultConfig();
+      config.batch_size = static_cast<size_t>(batch_size);
+      parallel::SetDefaultConfig(config);
     } else if (std::strncmp(argv[i], "--udf-cache-bytes=", 18) == 0) {
       SetDefaultUdfCacheBytes(
           static_cast<size_t>(std::strtoull(argv[i] + 18, nullptr, 10)));
@@ -291,9 +304,10 @@ int main(int argc, char** argv) {
       workload = argv[i] + 11;
     } else {
       std::cerr << "unknown flag: " << argv[i]
-                << " (supported: --threads=N, --udf-cache-bytes=B, "
-                   "--trace-out=F, --report-out=F, --faults=SPEC, "
-                   "--deadline-ms=N, --workload=tpch|imdb|ott|udf)\n";
+                << " (supported: --threads=N, --batch-size=N, "
+                   "--udf-cache-bytes=B, --trace-out=F, --report-out=F, "
+                   "--faults=SPEC, --deadline-ms=N, "
+                   "--workload=tpch|imdb|ott|udf)\n";
       return 1;
     }
   }

@@ -49,8 +49,8 @@ tsan_stage() {
   cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=thread
   cmake --build build-ci-tsan -j "${JOBS}" \
-    --target parallel_test exec_test determinism_test obs_test fault_test \
-    server_test
+    --target parallel_test exec_test exec_batch_test determinism_test \
+    obs_test fault_test server_test
   # Everything that crosses the src/parallel/ runtime: the pool/TaskGroup/
   # ParallelFor unit tests, the serial-vs-parallel equivalence suite
   # (morsel scans, partitioned hash join, parallel Σ), the same-seed
@@ -64,12 +64,22 @@ asan_stage() {
   cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=address
   cmake --build build-ci-asan -j "${JOBS}" \
-    --target udf_cache_test exec_test fault_test
-  # The cache-on/off/serial/parallel equivalence suite plus the executor
-  # and fault suites: every cached column read (join build/probe, residual
-  # filters, Σ passes), every LRU eviction, and every injected-fault
-  # error path runs under ASan.
+    --target udf_cache_test exec_test exec_batch_test fault_test
+  # The cache-on/off/serial/parallel equivalence suite plus the executor,
+  # batch-execution, and fault suites: every cached column read (join
+  # build/probe, residual filters, Σ passes), every selection-vector and
+  # Bloom-probe path, every LRU eviction, and every injected-fault error
+  # path runs under ASan.
   ctest --test-dir build-ci-asan --output-on-failure -L asan
+  # Vectorized-execution smoke: the batch/row sweep must keep rows and
+  # accounting bit-identical and hold its speed gates (>= 2x on filtered
+  # scans, <= 5% loss on UDF-heavy plans at threads=1). Timing gates need
+  # an optimized binary, so this runs from the release build.
+  cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
+  cmake --build build-ci-release -j "${JOBS}" --target bench_exec_batch
+  local batch_dir="build-ci-release/batch-smoke"
+  mkdir -p "${batch_dir}"
+  (cd "${batch_dir}" && ../../build-ci-release/bench/bench_exec_batch)
 }
 
 ubsan_stage() {

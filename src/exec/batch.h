@@ -1,0 +1,130 @@
+#ifndef MONSOON_EXEC_BATCH_H_
+#define MONSOON_EXEC_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/bound_term.h"
+#include "exec/udf_cache.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace monsoon {
+
+/// A typed flat column of UDF results, batch-local or whole-side: the same
+/// representation as the evaluate-once CachedUdfColumn (int64/double flat,
+/// strings alongside a precomputed Value::Hash()-identical hash column),
+/// but owned by one operator instead of the cache. The batch executor uses
+/// it to unbox uncached term results once per fill instead of boxing a
+/// Value per row per use (join probe keys, sort-merge keys).
+class FlatColumn {
+ public:
+  /// Resets to `n` uninitialized slots of `type`. Slots are written by
+  /// Fill; strings are default-constructed so partial fills stay safe.
+  void Resize(ValueType type, size_t n);
+
+  /// Evaluates `bound` over rows [row_begin, row_end) of `table`, writing
+  /// results to slots [out_begin, out_begin + (row_end - row_begin)).
+  /// Disjoint ranges may be filled from different morsels concurrently.
+  /// Errors if a produced value disagrees with the column's type — the
+  /// same contract as the UDF cache fill (a UDF that violates its declared
+  /// result type is a hard error on every vectorized path).
+  Status Fill(const BoundTerm& bound, const Table& table, size_t row_begin,
+              size_t row_end, size_t out_begin);
+
+  ValueType type() const { return type_; }
+  size_t size() const { return size_; }
+
+  int64_t Int64At(size_t i) const { return int64s_[i]; }
+  double DoubleAt(size_t i) const { return doubles_[i]; }
+  const std::string& StringAt(size_t i) const { return strings_[i]; }
+
+  const int64_t* Int64Data() const { return int64s_.data(); }
+  const double* DoubleData() const { return doubles_.data(); }
+  const std::string* StringData() const { return strings_.data(); }
+  const uint64_t* HashData() const { return hashes_.data(); }
+
+ private:
+  ValueType type_ = ValueType::kInt64;
+  size_t size_ = 0;
+  std::vector<int64_t> int64s_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<uint64_t> hashes_;  // string columns only
+};
+
+/// Uniform read-only view over either flat representation (a cache-pinned
+/// CachedUdfColumn or an operator-owned FlatColumn), so join compare /
+/// hash loops are written once. Plain pointers: the viewed column must
+/// outlive the view (the executor pins cached columns for the operator's
+/// duration and owns its FlatColumns directly).
+struct FlatView {
+  ValueType type = ValueType::kInt64;
+  const int64_t* i64 = nullptr;
+  const double* dbl = nullptr;
+  const std::string* str = nullptr;
+  const uint64_t* str_hash = nullptr;  // precomputed string hashes
+
+  static FlatView Of(const CachedUdfColumn& col);
+  static FlatView Of(const FlatColumn& col);
+
+  /// Value::Hash() of entry i without boxing.
+  uint64_t HashAt(size_t i) const {
+    switch (type) {
+      case ValueType::kInt64:
+        return HashInt64Value(i64[i]);
+      case ValueType::kDouble:
+        return HashDoubleValue(dbl[i]);
+      case ValueType::kString:
+        return str_hash[i];
+    }
+    return 0;
+  }
+
+  /// a(ai) == b(bi), matching Value::operator== (false across types;
+  /// string compares check the hash columns first).
+  static bool Equal(const FlatView& a, size_t ai, const FlatView& b, size_t bi) {
+    if (a.type != b.type) return false;
+    switch (a.type) {
+      case ValueType::kInt64:
+        return a.i64[ai] == b.i64[bi];
+      case ValueType::kDouble:
+        return a.dbl[ai] == b.dbl[bi];
+      case ValueType::kString:
+        return a.str_hash[ai] == b.str_hash[bi] && a.str[ai] == b.str[bi];
+    }
+    return false;
+  }
+
+  /// Three-way compare matching Value::operator< exactly: values of
+  /// different types order by type index (the std::variant rule), doubles
+  /// compare by value (so -0.0 ties 0.0 and NaN is unordered: Compare
+  /// returns 0 for NaN-vs-anything ties exactly where the variant's
+  /// operator< reports neither side smaller).
+  static int Compare(const FlatView& a, size_t ai, const FlatView& b, size_t bi) {
+    if (a.type != b.type) {
+      return static_cast<int>(a.type) < static_cast<int>(b.type) ? -1 : 1;
+    }
+    switch (a.type) {
+      case ValueType::kInt64:
+        if (a.i64[ai] < b.i64[bi]) return -1;
+        if (b.i64[bi] < a.i64[ai]) return 1;
+        return 0;
+      case ValueType::kDouble:
+        if (a.dbl[ai] < b.dbl[bi]) return -1;
+        if (b.dbl[bi] < a.dbl[ai]) return 1;
+        return 0;
+      case ValueType::kString:
+        if (a.str[ai] < b.str[bi]) return -1;
+        if (b.str[bi] < a.str[ai]) return 1;
+        return 0;
+    }
+    return 0;
+  }
+};
+
+}  // namespace monsoon
+
+#endif  // MONSOON_EXEC_BATCH_H_

@@ -93,6 +93,15 @@ class ExecContext {
     morsel_size_ = morsel_size == 0 ? 1 : morsel_size;
   }
 
+  /// Rows per executor pipeline batch (see exec/pipeline.h). 1 = the
+  /// legacy row-at-a-time strategy; snapshotted from the process default
+  /// (MONSOON_BATCH_SIZE / --batch-size) at construction. Tests pin
+  /// batch-on/off configurations with the setter.
+  size_t batch_size() const { return batch_size_; }
+  void SetBatchSize(size_t batch_size) {
+    batch_size_ = batch_size == 0 ? 1 : batch_size;
+  }
+
   /// Work units still chargeable before the budget trips (max() when
   /// unlimited). Parallel operators bound their shared tallies with this.
   uint64_t RemainingWork() const {
@@ -128,6 +137,7 @@ class ExecContext {
   obs::LocalGauge stats_collect_seconds_;
   parallel::ThreadPool* pool_ = parallel::SharedPool();
   size_t morsel_size_ = parallel::DefaultConfig().morsel_size;
+  size_t batch_size_ = parallel::DefaultConfig().batch_size;
   fault::CancellationToken* cancel_token_ = nullptr;
 };
 

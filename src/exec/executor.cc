@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <unordered_map>
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "exec/batch.h"
+#include "exec/bloom.h"
+#include "exec/pipeline.h"
+#include "exec/selection.h"
 #include "fault/injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -143,6 +148,469 @@ constexpr uint64_t kJoinHashSeed = 0xabcdef0123456789ULL;
 /// unordered_multimap (bottom-bit based) does not reuse.
 constexpr size_t kBuildPartitions = 64;
 constexpr int kBuildPartitionShift = 58;  // 64 - log2(kBuildPartitions)
+
+// ---------------------------------------------------------------------------
+// Batch pipeline operators (DESIGN.md §12). batch_size == 1 drives the same
+// operators with one-row batches, which reproduces the row-at-a-time seed
+// executor exactly — there is no separate legacy code path to diverge from.
+// ---------------------------------------------------------------------------
+
+/// Narrows the batch to rows satisfying `pass` (absolute row ids). The
+/// first filter scans the whole range and materializes the selection;
+/// later filters compact the selection in place, so a conjunction touches
+/// each row once per filter it survives to — the row path's short-circuit
+/// evaluation set, just column-at-a-time.
+template <typename Pred>
+void RefineSelection(Batch* batch, Pred&& pass) {
+  if (!batch->filtered) {
+    batch->sel.Reserve(batch->end - batch->begin);
+    for (size_t row = batch->begin; row < batch->end; ++row) {
+      if (pass(row)) batch->sel.Append(static_cast<uint32_t>(row));
+    }
+    batch->filtered = true;
+    return;
+  }
+  uint32_t* rows = batch->sel.mutable_data();
+  const size_t n = batch->sel.size();
+  size_t w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t row = rows[i];
+    if (pass(row)) rows[w++] = row;
+  }
+  batch->sel.Truncate(w);
+}
+
+/// Applies one bound residual to the batch's selection. Cached filters run
+/// type-specialized loops over the flat columns (mirroring EqualsValue /
+/// CachedUdfColumn::Equal exactly, hash-first for strings); uncached
+/// filters fall back to per-row evaluation.
+void ApplyResidualBatch(const BoundResidual& f, Batch* batch) {
+  const Table& in = *batch->table;
+  if (f.left_col == nullptr) {
+    RefineSelection(batch, [&](size_t row) { return f.Eval(in, row); });
+    return;
+  }
+  const CachedUdfColumn& lcol = *f.left_col;
+  if (f.kind == BoundResidual::Kind::kSelectionEq) {
+    if (f.constant.type() != lcol.type()) {
+      RefineSelection(batch, [](size_t) { return false; });
+      return;
+    }
+    switch (lcol.type()) {
+      case ValueType::kInt64: {
+        const int64_t want = f.constant.AsInt64();
+        const int64_t* data = lcol.Int64Data();
+        RefineSelection(batch, [&](size_t row) { return data[row] == want; });
+        return;
+      }
+      case ValueType::kDouble: {
+        const double want = f.constant.AsDouble();
+        const double* data = lcol.DoubleData();
+        RefineSelection(batch, [&](size_t row) { return data[row] == want; });
+        return;
+      }
+      case ValueType::kString: {
+        const std::string& want = f.constant.AsString();
+        const uint64_t want_hash = HashString(want);
+        const uint64_t* hashes = lcol.HashData();
+        const std::string* strs = lcol.StringData();
+        RefineSelection(batch, [&](size_t row) {
+          return hashes[row] == want_hash && strs[row] == want;
+        });
+        return;
+      }
+    }
+    return;
+  }
+  const bool keep_equal = f.kind == BoundResidual::Kind::kJoinEq;
+  const CachedUdfColumn& rcol = *f.right_col;
+  if (lcol.type() != rcol.type()) {
+    // Equal() is false across types on every row.
+    RefineSelection(batch, [keep_equal](size_t) { return !keep_equal; });
+    return;
+  }
+  switch (lcol.type()) {
+    case ValueType::kInt64: {
+      const int64_t* a = lcol.Int64Data();
+      const int64_t* b = rcol.Int64Data();
+      RefineSelection(
+          batch, [&](size_t row) { return (a[row] == b[row]) == keep_equal; });
+      return;
+    }
+    case ValueType::kDouble: {
+      const double* a = lcol.DoubleData();
+      const double* b = rcol.DoubleData();
+      RefineSelection(
+          batch, [&](size_t row) { return (a[row] == b[row]) == keep_equal; });
+      return;
+    }
+    case ValueType::kString: {
+      const uint64_t* ha = lcol.HashData();
+      const uint64_t* hb = rcol.HashData();
+      const std::string* sa = lcol.StringData();
+      const std::string* sb = rcol.StringData();
+      RefineSelection(batch, [&](size_t row) {
+        return (ha[row] == hb[row] && sa[row] == sb[row]) == keep_equal;
+      });
+      return;
+    }
+  }
+}
+
+/// Stateless filter stage, shared across morsels. Fires the per-row fault
+/// point over the whole range first (firing is a pure function of the
+/// coordinate, so hoisting it out of the filter loops leaves fault
+/// behavior identical to the row path), then refines the selection one
+/// filter at a time.
+class FilterOperator : public PipelineOperator {
+ public:
+  explicit FilterOperator(const std::vector<BoundResidual>* filters)
+      : filters_(filters) {}
+  const char* name() const override { return "filter"; }
+
+  Status ProcessBatch(Batch* batch, ExecContext* /*ctx*/) override {
+    for (size_t row = batch->begin; row < batch->end; ++row) {
+      MONSOON_FAULT_POINT("exec.udf_eval.filter", row);
+    }
+    for (const auto& filter : *filters_) {
+      ApplyResidualBatch(filter, batch);
+      if (batch->sel.empty()) break;
+    }
+    return Status::OK();
+  }
+
+ private:
+  const std::vector<BoundResidual>* filters_;
+};
+
+/// Sink stage: gathers the batch's surviving rows into a Table — the whole
+/// range column-wise when no filter ran, a selection-vector gather
+/// otherwise. One per morsel (the destination is morsel-local).
+class GatherOperator : public PipelineOperator {
+ public:
+  explicit GatherOperator(Table* dst) : dst_(dst) {}
+  const char* name() const override { return "gather"; }
+
+  Status ProcessBatch(Batch* batch, ExecContext* /*ctx*/) override {
+    if (!batch->filtered) {
+      dst_->AppendRangeFrom(*batch->table, batch->begin, batch->end);
+    } else if (!batch->sel.empty()) {
+      dst_->AppendSelectedFrom(*batch->table, batch->sel.data(),
+                               batch->sel.size());
+    }
+    return Status::OK();
+  }
+
+ private:
+  Table* dst_;
+};
+
+/// Σ sink: folds the batch's rows into one HLL per term — precomputed
+/// hashes from the evaluate-once column when available, per-row evaluation
+/// otherwise (each value is consumed exactly once, so there is nothing to
+/// unbox ahead of time).
+class SigmaOperator : public PipelineOperator {
+ public:
+  SigmaOperator(const std::vector<std::pair<int, BoundTerm>>* terms,
+                const std::vector<CachedUdfColumnPtr>* cols,
+                std::vector<HyperLogLog>* sketches)
+      : terms_(terms), cols_(cols), sketches_(sketches) {}
+  const char* name() const override { return "sigma"; }
+
+  Status ProcessBatch(Batch* batch, ExecContext* /*ctx*/) override {
+    const Table& table = *batch->table;
+    const size_t b = batch->begin;
+    const size_t e = batch->end;
+    for (size_t row = b; row < e; ++row) {
+      MONSOON_FAULT_POINT("exec.udf_eval.sigma", row);
+    }
+    for (size_t t = 0; t < terms_->size(); ++t) {
+      HyperLogLog& sketch = (*sketches_)[t];
+      const CachedUdfColumnPtr& col = (*cols_)[t];
+      if (col != nullptr) {
+        const FlatView v = FlatView::Of(*col);
+        for (size_t row = b; row < e; ++row) sketch.AddHash(v.HashAt(row));
+      } else {
+        const BoundTerm& bound = (*terms_)[t].second;
+        for (size_t row = b; row < e; ++row) {
+          sketch.AddHash(bound.Eval(table, row).Hash());
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  const std::vector<std::pair<int, BoundTerm>>* terms_;
+  const std::vector<CachedUdfColumnPtr>* cols_;
+  std::vector<HyperLogLog>* sketches_;
+};
+
+/// acc[i] = HashCombine(acc[i], hash of view[(begin + i) - base]) for i in
+/// [0, end - begin). `base` is the view's index of absolute row 0: 0 for
+/// whole-side views, batch->begin for batch-local fills. Callers invoke
+/// this once per key column in k-ascending order, which reproduces the row
+/// path's per-row HashCombine chain bit-for-bit.
+void CombineKeyHashes(const FlatView& v, size_t begin, size_t end, size_t base,
+                      uint64_t* acc) {
+  switch (v.type) {
+    case ValueType::kInt64:
+      for (size_t row = begin; row < end; ++row) {
+        acc[row - begin] =
+            HashCombine(acc[row - begin], HashInt64Value(v.i64[row - base]));
+      }
+      return;
+    case ValueType::kDouble:
+      for (size_t row = begin; row < end; ++row) {
+        acc[row - begin] =
+            HashCombine(acc[row - begin], HashDoubleValue(v.dbl[row - base]));
+      }
+      return;
+    case ValueType::kString:
+      for (size_t row = begin; row < end; ++row) {
+        acc[row - begin] = HashCombine(acc[row - begin], v.str_hash[row - base]);
+      }
+      return;
+  }
+}
+
+/// Build-side key stage of the hash join: fires the join_build fault point
+/// for the batch, fills uncached key columns, and writes each row's
+/// composite key hash. Shared across morsels — morsels write disjoint row
+/// ranges of the same whole-side arrays.
+class HashBuildOperator : public PipelineOperator {
+ public:
+  HashBuildOperator(const std::vector<const BoundTerm*>* terms,
+                    bool keys_cached, std::vector<FlatColumn>* flat,
+                    const std::vector<FlatView>* views,
+                    std::vector<uint64_t>* hashes)
+      : terms_(terms),
+        keys_cached_(keys_cached),
+        flat_(flat),
+        views_(views),
+        hashes_(hashes) {}
+  const char* name() const override { return "hash-build"; }
+
+  Status ProcessBatch(Batch* batch, ExecContext* /*ctx*/) override {
+    const size_t b = batch->begin;
+    const size_t e = batch->end;
+    for (size_t row = b; row < e; ++row) {
+      MONSOON_FAULT_POINT("exec.udf_eval.join_build", row);
+    }
+    if (!keys_cached_) {
+      for (size_t k = 0; k < terms_->size(); ++k) {
+        MONSOON_RETURN_IF_ERROR(
+            (*flat_)[k].Fill(*(*terms_)[k], *batch->table, b, e, b));
+      }
+    }
+    uint64_t* acc = hashes_->data() + b;
+    std::fill(acc, acc + (e - b), kJoinHashSeed);
+    for (size_t k = 0; k < views_->size(); ++k) {
+      CombineKeyHashes((*views_)[k], b, e, /*base=*/0, acc);
+    }
+    return Status::OK();
+  }
+
+ private:
+  const std::vector<const BoundTerm*>* terms_;
+  bool keys_cached_;
+  std::vector<FlatColumn>* flat_;
+  const std::vector<FlatView>* views_;
+  std::vector<uint64_t>* hashes_;
+};
+
+/// Serial build sink: appends (hash, row) pairs in row order, preserving
+/// the row path's multimap insertion order — and therefore the candidate
+/// enumeration order the probe observes.
+class IndexInsertOperator : public PipelineOperator {
+ public:
+  IndexInsertOperator(const std::vector<uint64_t>* hashes,
+                      std::unordered_multimap<uint64_t, size_t>* index)
+      : hashes_(hashes), index_(index) {}
+  const char* name() const override { return "hash-insert"; }
+
+  Status ProcessBatch(Batch* batch, ExecContext* /*ctx*/) override {
+    for (size_t row = batch->begin; row < batch->end; ++row) {
+      index_->emplace((*hashes_)[row], row);
+    }
+    return Status::OK();
+  }
+
+ private:
+  const std::vector<uint64_t>* hashes_;
+  std::unordered_multimap<uint64_t, size_t>* index_;
+};
+
+/// Probe stage of the hash join. Per batch: fills uncached probe-key
+/// columns, computes composite hashes column-wise, probes per row (fault
+/// point, work charge, Bloom pre-check, per-candidate charge and
+/// hash-confirm), and emits matched pairs column-wise — straight into the
+/// output, or through a residual staging table whose survivors gather in.
+/// The per-row charge sequence is exactly the row path's, so budget trips
+/// land on the same work unit; the Bloom filter stores exactly the hashes
+/// in the index, so a reject only skips an equal_range that would have
+/// found nothing — zero candidates charged either way.
+class HashProbeOperator : public PipelineOperator {
+ public:
+  struct Spec {
+    const Table* lt = nullptr;
+    const Table* rt = nullptr;
+    bool build_left = false;
+    bool keys_cached = false;
+    const std::vector<const BoundTerm*>* probe_terms = nullptr;
+    const std::vector<FlatView>* build_views = nullptr;
+    const std::vector<FlatView>* probe_views = nullptr;  // cached keys only
+    // Exactly one of the two index shapes is set (serial / partitioned).
+    const std::unordered_multimap<uint64_t, size_t>* index = nullptr;
+    const std::vector<std::unordered_multimap<uint64_t, size_t>>* partitions =
+        nullptr;
+    const JoinBloomFilter* bloom = nullptr;  // null when batching is off
+    const std::vector<BoundResidual>* residual = nullptr;
+    const Schema* out_schema = nullptr;
+  };
+
+  /// `work_tally` null = serial mode (every unit charged through ctx, so
+  /// the budget trips mid-probe exactly as the row path does); non-null =
+  /// parallel mode (units accumulate morsel-locally, the morsel loop
+  /// flushes to the shared tally at its barrier).
+  HashProbeOperator(const Spec& spec, Table* dst, uint64_t* work_tally)
+      : s_(spec),
+        dst_(dst),
+        work_tally_(work_tally),
+        candidates_(*s_.out_schema) {}
+  const char* name() const override { return "hash-probe"; }
+
+  Status ProcessBatch(Batch* batch, ExecContext* ctx) override {
+    static obs::Counter* const bloom_checks_metric =
+        obs::Registry::Global().GetCounter("exec.bloom_checks");
+    static obs::Counter* const bloom_rejects_metric =
+        obs::Registry::Global().GetCounter("exec.bloom_rejects");
+
+    const Table& probe = *batch->table;
+    const size_t begin = batch->begin;
+    const size_t end = batch->end;
+    const size_t n = end - begin;
+    const size_t nkeys = s_.probe_terms->size();
+
+    // Composite key hashes for the whole batch, column-wise.
+    const std::vector<FlatView>* views;
+    size_t base;
+    if (s_.keys_cached) {
+      views = s_.probe_views;
+      base = 0;
+    } else {
+      probe_flat_.resize(nkeys);
+      probe_flat_views_.clear();
+      for (size_t k = 0; k < nkeys; ++k) {
+        const BoundTerm& term = *(*s_.probe_terms)[k];
+        probe_flat_[k].Resize(term.result_type(), n);
+        MONSOON_RETURN_IF_ERROR(probe_flat_[k].Fill(term, probe, begin, end, 0));
+        probe_flat_views_.push_back(FlatView::Of(probe_flat_[k]));
+      }
+      views = &probe_flat_views_;
+      base = begin;
+    }
+    hashes_.assign(n, kJoinHashSeed);
+    for (size_t k = 0; k < nkeys; ++k) {
+      CombineKeyHashes((*views)[k], begin, end, base, hashes_.data());
+    }
+
+    match_build_.clear();
+    match_probe_.clear();
+    uint64_t bloom_checked = 0;
+    uint64_t bloom_rejected = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t row = begin + i;
+      MONSOON_FAULT_POINT("exec.udf_eval.join_probe", row);
+      if (work_tally_ != nullptr) {
+        ++*work_tally_;
+      } else {
+        MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(1));
+      }
+      const uint64_t h = hashes_[i];
+      if (s_.bloom != nullptr) {
+        ++bloom_checked;
+        if (!s_.bloom->MayContain(h)) {
+          ++bloom_rejected;
+          continue;
+        }
+      }
+      const auto& index = s_.partitions != nullptr
+                              ? (*s_.partitions)[h >> kBuildPartitionShift]
+                              : *s_.index;
+      auto [it, last] = index.equal_range(h);
+      for (; it != last; ++it) {
+        if (work_tally_ != nullptr) {
+          ++*work_tally_;
+        } else {
+          MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(1));
+        }
+        const size_t build_row = it->second;
+        bool match = true;
+        for (size_t k = 0; k < nkeys; ++k) {
+          if (!FlatView::Equal((*s_.build_views)[k], build_row, (*views)[k],
+                               row - base)) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          match_build_.push_back(static_cast<uint32_t>(build_row));
+          match_probe_.push_back(static_cast<uint32_t>(row));
+        }
+      }
+    }
+    if (bloom_checked != 0) {
+      bloom_checks_metric->Add(bloom_checked);
+      bloom_rejects_metric->Add(bloom_rejected);
+    }
+
+    const size_t nmatch = match_probe_.size();
+    if (nmatch == 0) return Status::OK();
+    const uint32_t* lrows =
+        s_.build_left ? match_build_.data() : match_probe_.data();
+    const uint32_t* rrows =
+        s_.build_left ? match_probe_.data() : match_build_.data();
+    if (s_.residual->empty()) {
+      dst_->AppendConcatSelected(*s_.lt, lrows, *s_.rt, rrows, nmatch);
+      return Status::OK();
+    }
+    // Residual filters see the concatenated schema: candidates stage in a
+    // scratch table (allocation reused across batches) and survivors
+    // gather into the output. The row path appended then retracted; the
+    // accepted row sequence and filter evaluation set are identical.
+    candidates_.ClearRows();
+    candidates_.AppendConcatSelected(*s_.lt, lrows, *s_.rt, rrows, nmatch);
+    keep_.Clear();
+    keep_.Reserve(nmatch);
+    for (size_t i = 0; i < nmatch; ++i) {
+      bool pass = true;
+      for (const auto& filter : *s_.residual) {
+        if (!filter.Eval(candidates_, i)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) keep_.Append(static_cast<uint32_t>(i));
+    }
+    if (!keep_.empty()) {
+      dst_->AppendSelectedFrom(candidates_, keep_.data(), keep_.size());
+    }
+    return Status::OK();
+  }
+
+ private:
+  Spec s_;
+  Table* dst_;
+  uint64_t* work_tally_;
+  std::vector<FlatColumn> probe_flat_;       // uncached batch-local keys
+  std::vector<FlatView> probe_flat_views_;
+  std::vector<uint64_t> hashes_;
+  std::vector<uint32_t> match_build_;
+  std::vector<uint32_t> match_probe_;
+  Table candidates_;
+  SelectionVector keep_;
+};
 
 }  // namespace
 
@@ -290,45 +758,29 @@ StatusOr<MaterializedExpr> Executor::ExecuteLeaf(const PlanNode::Ptr& node,
 
   auto out = std::make_shared<Table>(source->schema);
   const Table& in = *source->table;
-  // The per-row fault point models the residual UDF call failing for that
-  // row; `row` is the global input index, so the firing site is the same
-  // at every thread count.
-  auto filter_range = [&filters, &in](Table* dst, size_t begin,
-                                      size_t end) -> Status {
-    for (size_t row = begin; row < end; ++row) {
-      MONSOON_FAULT_POINT("exec.udf_eval.filter", row);
-      bool keep = true;
-      for (const auto& filter : filters) {
-        if (!filter.Eval(in, row)) {
-          keep = false;
-          break;
-        }
-      }
-      if (keep) dst->AppendRowFrom(in, row);
-    }
-    return Status::OK();
-  };
+  // FilterOperator fires the per-row fault point with the global input
+  // index as its coordinate, so the firing site is the same at every
+  // thread count and batch size.
+  FilterOperator filter_op(&filters);
   if (WorthParallel(ctx, in.num_rows())) {
-    // Morsel-driven scan: each morsel filters into a local table; the
-    // barrier concatenates them in morsel order, so the output row order
-    // is identical to the serial scan's.
+    // Morsel-driven scan: each morsel drives its own pipeline into a local
+    // table; the barrier concatenates them in morsel order, so the output
+    // row order is identical to the serial scan's.
     size_t num_morsels = parallel::NumMorsels(in.num_rows(), ctx->morsel_size());
     std::vector<Table> locals(num_morsels, Table(source->schema));
     MONSOON_RETURN_IF_ERROR(parallel::ParallelFor(
         ctx->pool(), in.num_rows(), ctx->morsel_size(), ctx->cancel_token(),
         [&](size_t m, size_t begin, size_t end) {
           MONSOON_DCHECK(m < locals.size());
-          return filter_range(&locals[m], begin, end);
+          GatherOperator gather(&locals[m]);
+          return Pipeline().Add(&filter_op).Add(&gather).Run(in, begin, end,
+                                                             ctx);
         }));
     for (Table& local : locals) out->TakeRowsFrom(&local);
   } else {
-    // Serial scan in morsel-sized chunks so cancellation latency matches
-    // the parallel path (one poll per morsel boundary).
-    for (size_t begin = 0; begin < in.num_rows(); begin += ctx->morsel_size()) {
-      MONSOON_RETURN_IF_ERROR(ctx->CheckCancelled());
-      size_t end = std::min(in.num_rows(), begin + ctx->morsel_size());
-      MONSOON_RETURN_IF_ERROR(filter_range(out.get(), begin, end));
-    }
+    GatherOperator gather(out.get());
+    MONSOON_RETURN_IF_ERROR(
+        Pipeline().Add(&filter_op).Add(&gather).Run(in, 0, in.num_rows(), ctx));
   }
 
   span.Arg("rows_out", static_cast<uint64_t>(out->num_rows()));
@@ -494,21 +946,40 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     // bench_micro's ablation of the (default, parallelized) hash join.
     algo = "sort-merge";
     size_t nkeys = equi.size();
+    const size_t key_batch = std::max<size_t>(1, ctx->batch_size());
+    // Keys live in flat typed columns (cached columns viewed in place,
+    // uncached terms filled batch-wise) instead of a boxed Value per row
+    // per key; sort and merge compare flat entries via FlatView, whose
+    // ordering matches Value's variant ordering exactly.
+    std::vector<FlatColumn> lflat, rflat;
+    std::vector<FlatView> lviews(nkeys), rviews(nkeys);
     auto make_keys = [&](const Table& table, bool is_left,
-                         std::vector<Value>* keys,
+                         std::vector<FlatColumn>* flat,
+                         std::vector<FlatView>* views,
                          std::vector<size_t>* order) -> Status {
       const auto& cols = is_left ? left_cols : right_cols;
-      keys->reserve(table.num_rows() * nkeys);
-      for (size_t row = 0; row < table.num_rows(); ++row) {
-        if (row % 2048 == 0) MONSOON_RETURN_IF_ERROR(ctx->CheckCancelled());
-        MONSOON_FAULT_POINT("exec.udf_eval.join_key", row);
+      if (keys_cached) {
+        for (size_t k = 0; k < nkeys; ++k) (*views)[k] = FlatView::Of(*cols[k]);
+      } else {
+        flat->resize(nkeys);
         for (size_t k = 0; k < nkeys; ++k) {
-          if (keys_cached) {
-            keys->push_back(cols[k]->ValueAt(row));
-          } else {
+          const auto& pair = equi[k];
+          const BoundTerm& key = is_left ? pair.left_key : pair.right_key;
+          (*flat)[k].Resize(key.result_type(), table.num_rows());
+          (*views)[k] = FlatView::Of((*flat)[k]);
+        }
+      }
+      for (size_t b = 0; b < table.num_rows(); b += key_batch) {
+        MONSOON_RETURN_IF_ERROR(ctx->CheckCancelled());
+        size_t e = std::min(table.num_rows(), b + key_batch);
+        for (size_t row = b; row < e; ++row) {
+          MONSOON_FAULT_POINT("exec.udf_eval.join_key", row);
+        }
+        if (!keys_cached) {
+          for (size_t k = 0; k < nkeys; ++k) {
             const auto& pair = equi[k];
             const BoundTerm& key = is_left ? pair.left_key : pair.right_key;
-            keys->push_back(key.Eval(table, row));
+            MONSOON_RETURN_IF_ERROR((*flat)[k].Fill(key, table, b, e, b));
           }
         }
       }
@@ -516,49 +987,43 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
       for (size_t i = 0; i < order->size(); ++i) (*order)[i] = i;
       std::sort(order->begin(), order->end(), [&](size_t a, size_t b) {
         for (size_t k = 0; k < nkeys; ++k) {
-          const Value& va = (*keys)[a * nkeys + k];
-          const Value& vb = (*keys)[b * nkeys + k];
-          if (va < vb) return true;
-          if (vb < va) return false;
+          int c = FlatView::Compare((*views)[k], a, (*views)[k], b);
+          if (c != 0) return c < 0;
         }
         return false;
       });
       return Status::OK();
     };
-    std::vector<Value> lkeys, rkeys;
     std::vector<size_t> lorder, rorder;
-    MONSOON_RETURN_IF_ERROR(make_keys(lt, /*is_left=*/true, &lkeys, &lorder));
-    MONSOON_RETURN_IF_ERROR(make_keys(rt, /*is_left=*/false, &rkeys, &rorder));
+    MONSOON_RETURN_IF_ERROR(make_keys(lt, /*is_left=*/true, &lflat, &lviews, &lorder));
+    MONSOON_RETURN_IF_ERROR(make_keys(rt, /*is_left=*/false, &rflat, &rviews, &rorder));
     MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(lt.num_rows() + rt.num_rows()));
 
     auto key_equal = [&](size_t li, size_t ri) {
       for (size_t k = 0; k < nkeys; ++k) {
-        if (!(lkeys[li * nkeys + k] == rkeys[ri * nkeys + k])) return false;
+        if (!FlatView::Equal(lviews[k], li, rviews[k], ri)) return false;
       }
       return true;
     };
     // Lexicographic comparison of a left-side key against a right-side key.
     auto key_less = [&](size_t li, size_t ri) {
       for (size_t k = 0; k < nkeys; ++k) {
-        const Value& a = lkeys[li * nkeys + k];
-        const Value& b = rkeys[ri * nkeys + k];
-        if (a < b) return true;
-        if (b < a) return false;
+        int c = FlatView::Compare(lviews[k], li, rviews[k], ri);
+        if (c != 0) return c < 0;
       }
       return false;
     };
     auto key_greater = [&](size_t li, size_t ri) {
       for (size_t k = 0; k < nkeys; ++k) {
-        const Value& a = lkeys[li * nkeys + k];
-        const Value& b = rkeys[ri * nkeys + k];
-        if (b < a) return true;
-        if (a < b) return false;
+        int c = FlatView::Compare(lviews[k], li, rviews[k], ri);
+        if (c != 0) return c > 0;
       }
       return false;
     };
-    auto same_side_equal = [&](const std::vector<Value>& keys, size_t a, size_t b) {
+    auto same_side_equal = [&](const std::vector<FlatView>& views, size_t a,
+                               size_t b) {
       for (size_t k = 0; k < nkeys; ++k) {
-        if (!(keys[a * nkeys + k] == keys[b * nkeys + k])) return false;
+        if (!FlatView::Equal(views[k], a, views[k], b)) return false;
       }
       return true;
     };
@@ -576,17 +1041,17 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
         continue;
       }
       if (!key_equal(lrow, rrow)) {
-        // Keys of different types compare unordered-equal; skip safely.
+        // NaN keys compare unordered-equal; skip safely.
         ++li;
         continue;
       }
       // Extents of the equal run on both sides.
       size_t lend = li + 1;
-      while (lend < lorder.size() && same_side_equal(lkeys, lorder[lend], lrow)) {
+      while (lend < lorder.size() && same_side_equal(lviews, lorder[lend], lrow)) {
         ++lend;
       }
       size_t rend = ri + 1;
-      while (rend < rorder.size() && same_side_equal(rkeys, rorder[rend], rrow)) {
+      while (rend < rorder.size() && same_side_equal(rviews, rorder[rend], rrow)) {
         ++rend;
       }
       for (size_t a = li; a < lend; ++a) {
@@ -624,29 +1089,30 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     const auto& probe_cols = build_left ? right_cols : left_cols;
 
     // Build phase 1 (parallel): composite key hashes, from cached hash
-    // columns when available (strings never re-hashed, no Value boxing);
-    // the fallback additionally materializes the key Values for the
-    // probe's confirm step. Morsels write disjoint ranges.
-    std::vector<Value> build_keys(keys_cached ? 0 : build.num_rows() * nkeys);
+    // columns when available (strings never re-hashed); the fallback fills
+    // whole-side FlatColumns the probe's confirm step compares against —
+    // no boxed key Values on either path. Morsels drive the shared
+    // HashBuildOperator over disjoint row ranges.
+    std::vector<FlatColumn> build_flat;
+    std::vector<FlatView> build_views(nkeys);
+    if (keys_cached) {
+      for (size_t k = 0; k < nkeys; ++k) {
+        build_views[k] = FlatView::Of(*build_cols[k]);
+      }
+    } else {
+      build_flat.resize(nkeys);
+      for (size_t k = 0; k < nkeys; ++k) {
+        build_flat[k].Resize(build_terms[k]->result_type(), build.num_rows());
+        build_views[k] = FlatView::Of(build_flat[k]);
+      }
+    }
     std::vector<uint64_t> build_hashes(build.num_rows());
+    HashBuildOperator build_op(&build_terms, keys_cached, &build_flat,
+                               &build_views, &build_hashes);
     MONSOON_RETURN_IF_ERROR(parallel::ParallelFor(
         pool, build.num_rows(), morsel, ctx->cancel_token(),
-        [&](size_t, size_t begin, size_t end) -> Status {
-          for (size_t row = begin; row < end; ++row) {
-            MONSOON_FAULT_POINT("exec.udf_eval.join_build", row);
-            uint64_t h = kJoinHashSeed;
-            for (size_t k = 0; k < nkeys; ++k) {
-              if (keys_cached) {
-                h = HashCombine(h, build_cols[k]->HashAt(row));
-              } else {
-                Value v = build_terms[k]->Eval(build, row);
-                h = HashCombine(h, v.Hash());
-                build_keys[row * nkeys + k] = std::move(v);
-              }
-            }
-            build_hashes[row] = h;
-          }
-          return Status::OK();
+        [&](size_t, size_t begin, size_t end) {
+          return Pipeline().Add(&build_op).Run(build, begin, end, ctx);
         }));
 
     // Build phase 2: scatter rows to partitions in row order (serial, a
@@ -673,6 +1139,15 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
           }
           return Status::OK();
         }));
+    // Build-side Bloom filter (vectorized mode only): pre-screens probe
+    // hashes so misses never touch a partition's hash table. It stores
+    // exactly the hashes in the index, so a reject implies an empty
+    // equal_range — the cost model cannot observe the difference.
+    std::unique_ptr<JoinBloomFilter> bloom;
+    if (ctx->batch_size() > 1) {
+      bloom = std::make_unique<JoinBloomFilter>(build.num_rows());
+      for (uint64_t h : build_hashes) bloom->AddHash(h);
+    }
     MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(build.num_rows()));
     build_span.Arg("rows", static_cast<uint64_t>(build.num_rows()));
     build_span.End();
@@ -687,50 +1162,30 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     std::vector<Table> locals(num_morsels, Table(out_schema));
     std::atomic<uint64_t> shared_work{0};
     const uint64_t work_limit = ctx->RemainingWork();
+    std::vector<FlatView> probe_views(keys_cached ? nkeys : 0);
+    for (size_t k = 0; k < probe_views.size(); ++k) {
+      probe_views[k] = FlatView::Of(*probe_cols[k]);
+    }
+    HashProbeOperator::Spec spec;
+    spec.lt = &lt;
+    spec.rt = &rt;
+    spec.build_left = build_left;
+    spec.keys_cached = keys_cached;
+    spec.probe_terms = &probe_terms;
+    spec.build_views = &build_views;
+    spec.probe_views = &probe_views;
+    spec.partitions = &partitions;
+    spec.bloom = bloom.get();
+    spec.residual = &residual;
+    spec.out_schema = &out_schema;
     Status loop = parallel::ParallelFor(
         pool, probe.num_rows(), morsel, ctx->cancel_token(),
         [&](size_t m, size_t begin, size_t end) -> Status {
           MONSOON_DCHECK(m < locals.size());
-          Table& local = locals[m];
-          // Scratch key buffer for the fallback path, reused across the
-          // whole morsel (Value assignment recycles string capacity).
-          std::vector<Value> probe_key(keys_cached ? 0 : nkeys);
           uint64_t local_work = 0;
-          for (size_t row = begin; row < end; ++row) {
-            MONSOON_FAULT_POINT("exec.udf_eval.join_probe", row);
-            ++local_work;
-            uint64_t h = kJoinHashSeed;
-            if (keys_cached) {
-              for (size_t k = 0; k < nkeys; ++k) {
-                h = HashCombine(h, probe_cols[k]->HashAt(row));
-              }
-            } else {
-              for (size_t k = 0; k < nkeys; ++k) {
-                probe_key[k] = probe_terms[k]->Eval(probe, row);
-                h = HashCombine(h, probe_key[k].Hash());
-              }
-            }
-            const auto& index = partitions[h >> kBuildPartitionShift];
-            auto [it, last] = index.equal_range(h);
-            for (; it != last; ++it) {
-              ++local_work;
-              size_t build_row = it->second;
-              bool match = true;
-              for (size_t k = 0; k < nkeys; ++k) {
-                bool eq = keys_cached
-                              ? CachedUdfColumn::Equal(*build_cols[k], build_row,
-                                                       *probe_cols[k], row)
-                              : build_keys[build_row * nkeys + k] == probe_key[k];
-                if (!eq) {
-                  match = false;
-                  break;
-                }
-              }
-              if (!match) continue;
-              EmitIfPasses(&local, lt, build_left ? build_row : row, rt,
-                           build_left ? row : build_row, residual);
-            }
-          }
+          HashProbeOperator probe_op(spec, &locals[m], &local_work);
+          MONSOON_RETURN_IF_ERROR(
+              Pipeline().Add(&probe_op).Run(probe, begin, end, ctx));
           uint64_t before = shared_work.fetch_add(local_work);
           if (before + local_work > work_limit) {
             return Status::ResourceExhausted("work budget exceeded");
@@ -763,26 +1218,34 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
     const auto& build_cols = build_left ? left_cols : right_cols;
     const auto& probe_cols = build_left ? right_cols : left_cols;
 
-    // Evaluate the composite key for every build row (from cached columns
-    // when available — the Value vector is then skipped entirely).
-    std::vector<Value> build_keys;
-    if (!keys_cached) build_keys.reserve(build.num_rows() * nkeys);
+    // Build through the same operator as the parallel join, plus a serial
+    // index-insert sink that emplaces rows in order; uncached keys land in
+    // whole-side FlatColumns the probe compares against (no boxed Values).
+    std::vector<FlatColumn> build_flat;
+    std::vector<FlatView> build_views(nkeys);
+    if (keys_cached) {
+      for (size_t k = 0; k < nkeys; ++k) {
+        build_views[k] = FlatView::Of(*build_cols[k]);
+      }
+    } else {
+      build_flat.resize(nkeys);
+      for (size_t k = 0; k < nkeys; ++k) {
+        build_flat[k].Resize(build_terms[k]->result_type(), build.num_rows());
+        build_views[k] = FlatView::Of(build_flat[k]);
+      }
+    }
+    std::vector<uint64_t> build_hashes(build.num_rows());
     std::unordered_multimap<uint64_t, size_t> index;
     index.reserve(build.num_rows() * 2);
-    for (size_t row = 0; row < build.num_rows(); ++row) {
-      if (row % 2048 == 0) MONSOON_RETURN_IF_ERROR(ctx->CheckCancelled());
-      MONSOON_FAULT_POINT("exec.udf_eval.join_build", row);
-      uint64_t h = kJoinHashSeed;
-      for (size_t k = 0; k < nkeys; ++k) {
-        if (keys_cached) {
-          h = HashCombine(h, build_cols[k]->HashAt(row));
-        } else {
-          Value v = build_terms[k]->Eval(build, row);
-          h = HashCombine(h, v.Hash());
-          build_keys.push_back(std::move(v));
-        }
-      }
-      index.emplace(h, row);
+    HashBuildOperator build_op(&build_terms, keys_cached, &build_flat,
+                               &build_views, &build_hashes);
+    IndexInsertOperator insert_op(&build_hashes, &index);
+    MONSOON_RETURN_IF_ERROR(Pipeline().Add(&build_op).Add(&insert_op).Run(
+        build, 0, build.num_rows(), ctx));
+    std::unique_ptr<JoinBloomFilter> bloom;
+    if (ctx->batch_size() > 1) {
+      bloom = std::make_unique<JoinBloomFilter>(build.num_rows());
+      for (uint64_t h : build_hashes) bloom->AddHash(h);
     }
     MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(build.num_rows()));
     build_span.Arg("rows", static_cast<uint64_t>(build.num_rows()));
@@ -790,43 +1253,25 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
 
     obs::TraceSpan probe_span("exec", "join.probe");
     probe_span.Arg("rows", static_cast<uint64_t>(probe.num_rows()));
-    std::vector<Value> probe_key(keys_cached ? 0 : nkeys);
-    for (size_t row = 0; row < probe.num_rows(); ++row) {
-      if (row % 2048 == 0) MONSOON_RETURN_IF_ERROR(ctx->CheckCancelled());
-      MONSOON_FAULT_POINT("exec.udf_eval.join_probe", row);
-      MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(1));
-      uint64_t h = kJoinHashSeed;
-      if (keys_cached) {
-        for (size_t k = 0; k < nkeys; ++k) {
-          h = HashCombine(h, probe_cols[k]->HashAt(row));
-        }
-      } else {
-        for (size_t k = 0; k < nkeys; ++k) {
-          probe_key[k] = probe_terms[k]->Eval(probe, row);
-          h = HashCombine(h, probe_key[k].Hash());
-        }
-      }
-      auto [begin, end] = index.equal_range(h);
-      for (auto it = begin; it != end; ++it) {
-        size_t build_row = it->second;
-        MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(1));
-        bool match = true;
-        for (size_t k = 0; k < nkeys; ++k) {
-          bool eq = keys_cached
-                        ? CachedUdfColumn::Equal(*build_cols[k], build_row,
-                                                 *probe_cols[k], row)
-                        : build_keys[build_row * nkeys + k] == probe_key[k];
-          if (!eq) {
-            match = false;
-            break;
-          }
-        }
-        if (!match) continue;
-        size_t li = build_left ? build_row : row;
-        size_t ri = build_left ? row : build_row;
-        EmitIfPasses(out.get(), lt, li, rt, ri, residual);
-      }
+    std::vector<FlatView> probe_views(keys_cached ? nkeys : 0);
+    for (size_t k = 0; k < probe_views.size(); ++k) {
+      probe_views[k] = FlatView::Of(*probe_cols[k]);
     }
+    HashProbeOperator::Spec spec;
+    spec.lt = &lt;
+    spec.rt = &rt;
+    spec.build_left = build_left;
+    spec.keys_cached = keys_cached;
+    spec.probe_terms = &probe_terms;
+    spec.build_views = &build_views;
+    spec.probe_views = &probe_views;
+    spec.index = &index;
+    spec.bloom = bloom.get();
+    spec.residual = &residual;
+    spec.out_schema = &out_schema;
+    HashProbeOperator probe_op(spec, out.get(), /*work_tally=*/nullptr);
+    MONSOON_RETURN_IF_ERROR(
+        Pipeline().Add(&probe_op).Run(probe, 0, probe.num_rows(), ctx));
   }
 
   // The join's output objects are the paper's cost for this node.
@@ -898,12 +1343,6 @@ Status Executor::CollectStats(const MaterializedExpr& expr,
                    term_cols[t]->size() == expr.table->num_rows())
         << "cached column for term " << terms[t].first << " is stale";
   }
-  auto term_hash = [&](size_t t, size_t row) {
-    return term_cols[t] != nullptr
-               ? term_cols[t]->HashAt(row)
-               : terms[t].second.Eval(*expr.table, row).Hash();
-  };
-
   std::vector<HyperLogLog> sketches(terms.size(),
                                     HyperLogLog(options_.hll_precision));
   const Table& table = *expr.table;
@@ -925,14 +1364,9 @@ Status Executor::CollectStats(const MaterializedExpr& expr,
     MONSOON_RETURN_IF_ERROR(parallel::ParallelFor(
         pool, table.num_rows(), morsel, ctx->cancel_token(),
         [&](size_t m, size_t begin, size_t end) -> Status {
-          std::vector<HyperLogLog>& local = morsel_sketches[m];
-          for (size_t row = begin; row < end; ++row) {
-            MONSOON_FAULT_POINT("exec.udf_eval.sigma", row);
-            for (size_t t = 0; t < terms.size(); ++t) {
-              local[t].AddHash(term_hash(t, row));
-            }
-          }
-          return Status::OK();
+          MONSOON_DCHECK(m < morsel_sketches.size());
+          SigmaOperator sigma_op(&terms, &term_cols, &morsel_sketches[m]);
+          return Pipeline().Add(&sigma_op).Run(table, begin, end, ctx);
         }));
     for (const std::vector<HyperLogLog>& local : morsel_sketches) {
       // Register-wise max requires equal precision on every per-morsel
@@ -943,13 +1377,9 @@ Status Executor::CollectStats(const MaterializedExpr& expr,
       }
     }
   } else {
-    for (size_t row = 0; row < table.num_rows(); ++row) {
-      if (row % 2048 == 0) MONSOON_RETURN_IF_ERROR(ctx->CheckCancelled());
-      MONSOON_FAULT_POINT("exec.udf_eval.sigma", row);
-      for (size_t t = 0; t < terms.size(); ++t) {
-        sketches[t].AddHash(term_hash(t, row));
-      }
-    }
+    SigmaOperator sigma_op(&terms, &term_cols, &sketches);
+    MONSOON_RETURN_IF_ERROR(
+        Pipeline().Add(&sigma_op).Run(table, 0, table.num_rows(), ctx));
   }
   // Statistics collection is another pass over the data (Sec. 4.4). The
   // charge stays at the END of the pass on purpose: a Σ pass lost to a

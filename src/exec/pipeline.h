@@ -1,0 +1,74 @@
+#ifndef MONSOON_EXEC_PIPELINE_H_
+#define MONSOON_EXEC_PIPELINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "exec/selection.h"
+#include "storage/table.h"
+
+namespace monsoon {
+
+/// One unit of flow through an executor pipeline: a contiguous row range
+/// of a source table, plus the selection of rows still alive after the
+/// filters applied so far. Until the first filter runs, `filtered` is
+/// false and every row of [begin, end) is implicitly selected — filters
+/// materialize the selection lazily so an unfiltered pass never builds an
+/// identity vector.
+struct Batch {
+  const Table* table = nullptr;
+  size_t begin = 0;
+  size_t end = 0;
+  SelectionVector sel;
+  bool filtered = false;
+
+  size_t ActiveRows() const { return filtered ? sel.size() : end - begin; }
+};
+
+/// A composable executor stage. Operators either refine the batch's
+/// selection (filters), consume surviving rows into operator-owned state
+/// (sinks: gather into a Table, Σ sketch updates, join probes), or both.
+/// The batch and legacy row execution strategies share this interface:
+/// batch_size == 1 drives the same operators one row at a time, which is
+/// the seed executor's behavior, so "row path" equivalence runs exercise
+/// identical operator code with degenerate batches.
+///
+/// ProcessBatch may be called from pool workers (one pipeline per morsel);
+/// an operator shared across morsels must therefore be stateless apart
+/// from the Batch it is handed, while per-morsel operators (sinks) own
+/// their morsel-local state outright.
+class PipelineOperator {
+ public:
+  virtual ~PipelineOperator() = default;
+  virtual const char* name() const = 0;
+  virtual Status ProcessBatch(Batch* batch, ExecContext* ctx) = 0;
+};
+
+/// Drives rows of a table through an operator chain in ctx->batch_size()
+/// chunks. Cancellation is polled once per batch (morsel boundaries are
+/// always batch boundaries: the executor runs one pipeline per morsel, so
+/// a morsel's final short batch ends exactly at the morsel edge). When a
+/// filter leaves a batch empty, the remaining operators are skipped — by
+/// then every per-row obligation (fault points) has already fired.
+class Pipeline {
+ public:
+  Pipeline() = default;
+
+  /// Operators run in insertion order; not owned.
+  Pipeline& Add(PipelineOperator* op) {
+    ops_.push_back(op);
+    return *this;
+  }
+
+  Status Run(const Table& table, size_t begin, size_t end,
+             ExecContext* ctx) const;
+
+ private:
+  std::vector<PipelineOperator*> ops_;
+};
+
+}  // namespace monsoon
+
+#endif  // MONSOON_EXEC_PIPELINE_H_

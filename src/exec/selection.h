@@ -1,0 +1,42 @@
+#ifndef MONSOON_EXEC_SELECTION_H_
+#define MONSOON_EXEC_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace monsoon {
+
+/// Row indices of a batch that survive the filters applied so far, in
+/// ascending order. Filters refine a selection instead of copying survivor
+/// rows; only the terminal sink of a pipeline (gather into an output
+/// Table, Σ sketch updates, join probes) touches column data, and only for
+/// survivors.
+///
+/// Indices are absolute row ids of the batch's source table (not offsets
+/// into the batch), so sinks gather straight from the source columns
+/// without rebasing. 32-bit ids keep a full selection of the default
+/// 1024-row batch inside one cache line pair; tables past 2^32 rows are
+/// out of scope for this engine (the generators top out in the millions).
+class SelectionVector {
+ public:
+  void Clear() { rows_.clear(); }
+  void Reserve(size_t n) { rows_.reserve(n); }
+  void Append(uint32_t row) { rows_.push_back(row); }
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  uint32_t operator[](size_t i) const { return rows_[i]; }
+  const uint32_t* data() const { return rows_.data(); }
+
+  /// In-place refinement: a later filter reads entry i and compacts
+  /// survivors to the front, then truncates to the surviving count.
+  uint32_t* mutable_data() { return rows_.data(); }
+  void Truncate(size_t n) { rows_.resize(n); }
+
+ private:
+  std::vector<uint32_t> rows_;
+};
+
+}  // namespace monsoon
+
+#endif  // MONSOON_EXEC_SELECTION_H_

@@ -46,6 +46,14 @@ class CachedUdfColumn {
   double DoubleAt(size_t row) const { return doubles_[row]; }
   const std::string& StringAt(size_t row) const { return strings_[row]; }
 
+  // Raw column storage for the batch executor's FlatView (exec/batch.h):
+  // tight per-type loops read these directly instead of paying a type
+  // switch per row. Only the vector matching type() is populated.
+  const int64_t* Int64Data() const { return int64s_.data(); }
+  const double* DoubleData() const { return doubles_.data(); }
+  const std::string* StringData() const { return strings_.data(); }
+  const uint64_t* HashData() const { return hashes_.data(); }
+
   /// Value::Hash() of the row's result without boxing a Value. Strings
   /// read the precomputed hash column; numerics mix inline.
   uint64_t HashAt(size_t row) const {

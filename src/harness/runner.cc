@@ -51,9 +51,12 @@ Status BenchRunner::RunAll(const Workload& workload) {
   obs::MaybeStartTracingFromEnv();
   int threads = options_.threads;
   if (threads <= 0) threads = EnvInt("MONSOON_THREADS", 0);
-  if (threads > 0) {
+  if (threads > 0 || options_.batch_size > 0) {
     parallel::Config config = parallel::DefaultConfig();
-    config.num_threads = threads;
+    if (threads > 0) config.num_threads = threads;
+    if (options_.batch_size > 0) {
+      config.batch_size = static_cast<size_t>(options_.batch_size);
+    }
     parallel::SetDefaultConfig(config);
   }
   if (options_.udf_cache_bytes >= 0) {

@@ -30,6 +30,11 @@ struct HarnessOptions {
   /// honors the MONSOON_THREADS environment knob, or leaves the current
   /// config untouched when that is unset too.
   int threads = 0;
+  /// Rows per vectorized executor batch. > 0 installs the value as the
+  /// process-wide parallel::DefaultConfig().batch_size before running
+  /// (1 = row-at-a-time ablation); 0 honors the MONSOON_BATCH_SIZE
+  /// environment knob already folded into the default config.
+  int batch_size = 0;
   /// UDF column cache byte budget per MaterializedStore. >= 0 installs the
   /// value as the process-wide default before running (0 disables the
   /// cache entirely); < 0 leaves the current default, which itself honors

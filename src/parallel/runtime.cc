@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/env.h"
 #include "common/sync.h"
 #include "common/thread_annotations.h"
 
@@ -14,6 +15,11 @@ struct Runtime {
   Mutex mu;
   Config config GUARDED_BY(mu);
   std::unique_ptr<ThreadPool> pool GUARDED_BY(mu);
+
+  Runtime() {
+    config.batch_size = std::max<uint64_t>(
+        1, EnvUint64("MONSOON_BATCH_SIZE", config.batch_size));
+  }
 };
 
 Runtime& GlobalRuntime() {
@@ -35,6 +41,7 @@ void SetDefaultConfig(const Config& config) {
   rt.config = config;
   rt.config.num_threads = std::max(1, config.num_threads);
   rt.config.morsel_size = std::max<size_t>(1, config.morsel_size);
+  rt.config.batch_size = std::max<size_t>(1, config.batch_size);
   // Rebuild eagerly so the old pool's workers wind down now rather than
   // under a later query.
   if (rt.config.num_threads <= 1 || rt.config.deterministic) {

@@ -19,6 +19,15 @@ struct Config {
   /// L2 while leaving enough morsels for stealing to balance skew; see
   /// DESIGN.md "Parallel runtime".
   size_t morsel_size = 2048;
+  /// Rows per batch for the vectorized executor pipeline (DESIGN.md §12).
+  /// 1 selects the legacy row-at-a-time strategy (same operators driven
+  /// with degenerate batches — the seed executor's behavior, kept as the
+  /// equivalence/ablation baseline). Morsel boundaries are always batch
+  /// boundaries: batches chunk within a morsel and the final short batch
+  /// ends at the morsel edge, where cancellation was already polled.
+  /// Initialized from MONSOON_BATCH_SIZE (default 1024); an explicit
+  /// --batch-size=N flag wins over the environment (common/env.h rule).
+  size_t batch_size = 1024;
   /// Debug escape hatch: run every parallel construct inline on the
   /// calling thread, regardless of num_threads. Results are identical
   /// either way (merges are ordered and HLL/visit merges are exact); the

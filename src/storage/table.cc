@@ -113,6 +113,63 @@ void Table::TakeRowsFrom(Table* src) {
   *src = Table(src->schema_);
 }
 
+void Table::AppendRangeFrom(const Table& src, size_t begin, size_t end) {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::visit(
+        [&](auto& dst) {
+          using VecT = std::remove_reference_t<decltype(dst)>;
+          const VecT& from = std::get<VecT>(src.columns_[c]);
+          dst.insert(dst.end(), from.begin() + begin, from.begin() + end);
+        },
+        columns_[c]);
+  }
+  num_rows_ += end - begin;
+}
+
+void Table::AppendSelectedFrom(const Table& src, const uint32_t* rows,
+                               size_t n) {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::visit(
+        [&](auto& dst) {
+          using VecT = std::remove_reference_t<decltype(dst)>;
+          const VecT& from = std::get<VecT>(src.columns_[c]);
+          dst.reserve(dst.size() + n);
+          for (size_t i = 0; i < n; ++i) dst.push_back(from[rows[i]]);
+        },
+        columns_[c]);
+  }
+  num_rows_ += n;
+}
+
+void Table::AppendConcatSelected(const Table& left, const uint32_t* lrows,
+                                 const Table& right, const uint32_t* rrows,
+                                 size_t n) {
+  auto gather = [n](Column& dst_col, const Column& src_col,
+                    const uint32_t* rows) {
+    std::visit(
+        [&](auto& dst) {
+          using VecT = std::remove_reference_t<decltype(dst)>;
+          const VecT& from = std::get<VecT>(src_col);
+          dst.reserve(dst.size() + n);
+          for (size_t i = 0; i < n; ++i) dst.push_back(from[rows[i]]);
+        },
+        dst_col);
+  };
+  size_t nl = left.num_columns();
+  for (size_t c = 0; c < nl; ++c) gather(columns_[c], left.columns_[c], lrows);
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    gather(columns_[nl + c], right.columns_[c], rrows);
+  }
+  num_rows_ += n;
+}
+
+void Table::ClearRows() {
+  for (auto& col : columns_) {
+    std::visit([](auto& vec) { vec.clear(); }, col);
+  }
+  num_rows_ = 0;
+}
+
 void Table::PopRow() {
   for (auto& col : columns_) {
     std::visit([](auto& vec) { vec.pop_back(); }, col);

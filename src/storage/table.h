@@ -68,6 +68,26 @@ class Table {
   /// table is still empty.
   void TakeRowsFrom(Table* src);
 
+  /// Appends rows [begin, end) of src in order (column-wise bulk copy;
+  /// schemas must match). Unfiltered-batch gather path.
+  void AppendRangeFrom(const Table& src, size_t begin, size_t end);
+
+  /// Appends src[rows[0]], ..., src[rows[n-1]] in order (column-wise
+  /// gather; schemas must match). Selection-vector gather path: one type
+  /// dispatch per column per batch instead of per cell per row.
+  void AppendSelectedFrom(const Table& src, const uint32_t* rows, size_t n);
+
+  /// Appends the concatenations left[lrows[i]] ⧺ right[rrows[i]] for
+  /// i in [0, n), column-wise. The schema must be
+  /// Schema::Concat(left.schema(), right.schema()). Batch join emission.
+  void AppendConcatSelected(const Table& left, const uint32_t* lrows,
+                            const Table& right, const uint32_t* rrows,
+                            size_t n);
+
+  /// Drops every row but keeps the schema and column capacity — scratch
+  /// tables (join candidate staging) reuse their allocations per batch.
+  void ClearRows();
+
   /// Removes the last row. Used by the join executor to retract a
   /// candidate row that failed a residual filter. Requires num_rows() > 0.
   void PopRow();

@@ -209,6 +209,40 @@ TEST(LintPinnedGetTest, FlagsGetOnColumnPointersInExec) {
           .empty());
 }
 
+TEST(LintBatchTest, FlagsValueBoxingInsideBatchFunctionBodies) {
+  auto diags = Lint(
+      "src/exec/op.cc",
+      "Status FilterOp::ProcessBatch(Batch* batch, ExecContext* ctx) {\n"
+      "  Value v = term.Eval(*batch->table, row);\n"
+      "  return Status::OK();\n"
+      "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "monsoon-batch");
+  EXPECT_EQ(diags[0].line, 2);
+
+  // ValueType is a distinct token; Value outside a Batch-named function and
+  // batch functions outside src/exec/ are out of scope.
+  EXPECT_TRUE(Lint("src/exec/op.cc",
+                   "void ApplyResidualBatch(Batch* b) { ValueType t = c.type(); }\n")
+                  .empty());
+  EXPECT_TRUE(Lint("src/exec/op.cc",
+                   "Value EvalRow(const Table& t, size_t row) { return Value(); }\n")
+                  .empty());
+  EXPECT_TRUE(
+      Lint("src/sql/s.cc", "void ProcessBatch(Batch* b) { Value v; }\n").empty());
+  // Declarations and calls anchor nothing — only definitions have bodies.
+  EXPECT_TRUE(Lint("src/exec/op.cc",
+                   "Status ProcessBatch(Batch* batch, ExecContext* ctx);\n"
+                   "Status Run() { return op->ProcessBatch(&b, ctx); }\n")
+                  .empty());
+  EXPECT_TRUE(Lint("src/exec/op.cc",
+                   "Status Op::ProcessBatch(Batch* b, ExecContext* c) {\n"
+                   "  Value k = f.constant;  // NOLINT(monsoon-batch)\n"
+                   "  return Status::OK();\n"
+                   "}\n")
+                  .empty());
+}
+
 TEST(LintIncludeTest, GuardNamingFollowsPath) {
   const std::string good =
       "#ifndef MONSOON_EXEC_FOO_H_\n#define MONSOON_EXEC_FOO_H_\n"
@@ -352,7 +386,7 @@ TEST(LintFilesTest, DiagnosticsSortedAndRuleListStable) {
   EXPECT_EQ(diags[1].line, 2);
   EXPECT_EQ(diags[2].path, "src/b.cc");
 
-  EXPECT_EQ(RuleNames().size(), 10u);
+  EXPECT_EQ(RuleNames().size(), 11u);
 }
 
 }  // namespace

@@ -277,6 +277,60 @@ void CheckPinnedGet(const ScannedFile& f, Reporter& r) {
 }
 
 // ---------------------------------------------------------------------------
+// monsoon-batch
+// ---------------------------------------------------------------------------
+
+/// The batch pipeline's speedup comes from keeping rows in typed columns;
+/// a single `Value v = ...` inside a ProcessBatch loop reintroduces one
+/// heap-boxed variant per row and silently voids the win. Flags the `Value`
+/// type anywhere in the body of a src/exec/ function whose name contains
+/// "Batch" (ProcessBatch, ApplyResidualBatch, ...). Columns expose
+/// FlatColumn / FlatView for exactly this reason; a deliberate scalar
+/// escape carries a NOLINT.
+void CheckBatch(const ScannedFile& f, Reporter& r) {
+  if (!StartsWith(f.path, "src/exec/")) return;
+  const auto& toks = f.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier ||
+        toks[i].text.find("Batch") == std::string::npos ||
+        toks[i + 1].text != "(") {
+      continue;
+    }
+    // Skip the balanced parameter list.
+    size_t j = i + 1;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) break;
+    }
+    if (j >= toks.size()) break;
+    // A definition follows qualifiers with '{'; a call or declaration hits
+    // ';', ',' or an operator first and anchors nothing.
+    ++j;
+    while (j < toks.size() &&
+           (toks[j].text == "const" || toks[j].text == "override" ||
+            toks[j].text == "final" || toks[j].text == "noexcept")) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].text != "{") continue;
+    depth = 0;
+    for (size_t k = j; k < toks.size(); ++k) {
+      if (toks[k].text == "{") ++depth;
+      if (toks[k].text == "}" && --depth == 0) {
+        i = k;  // resume past this body
+        break;
+      }
+      if (toks[k].kind == TokenKind::kIdentifier && toks[k].text == "Value") {
+        r.Report("monsoon-batch", toks[k].line,
+                 "per-row Value inside batch function '" + toks[i].text +
+                     "': batches carry typed columns — use FlatColumn / "
+                     "FlatView (exec/batch.h) instead of boxing rows");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // monsoon-include
 // ---------------------------------------------------------------------------
 
@@ -578,8 +632,8 @@ void CheckServer(const ScannedFile& f, Reporter& r) {
 std::vector<std::string> RuleNames() {
   return {"monsoon-rng",        "monsoon-accounting", "monsoon-obs",
           "monsoon-thread",     "monsoon-raw-new",    "monsoon-status",
-          "monsoon-pinned-get", "monsoon-include",    "monsoon-lock-rank",
-          "monsoon-server"};
+          "monsoon-pinned-get", "monsoon-batch",      "monsoon-include",
+          "monsoon-lock-rank",  "monsoon-server"};
 }
 
 std::vector<Diagnostic> LintFiles(const std::vector<SourceFile>& files) {
@@ -597,6 +651,7 @@ std::vector<Diagnostic> LintFiles(const std::vector<SourceFile>& files) {
     CheckRawNew(f, r);
     CheckStatus(f, r);
     CheckPinnedGet(f, r);
+    CheckBatch(f, r);
     CheckLockRank(f, r);
     CheckServer(f, r);
   }

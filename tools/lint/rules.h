@@ -58,6 +58,11 @@ std::vector<std::string> RuleNames();
 ///   monsoon-pinned-get  (src/exec/)     no .get() on cache-pinned column
 ///                       shared_ptrs — a raw pointer escapes the pin and
 ///                       dangles after eviction.
+///   monsoon-batch       (src/exec/)     no per-row Value boxing inside
+///                       the body of a batch function (name containing
+///                       "Batch": ProcessBatch, ApplyResidualBatch, ...);
+///                       batches carry typed columns — use FlatColumn /
+///                       FlatView from exec/batch.h.
 ///   monsoon-include     (src/, tools/)  headers carry MONSOON_<PATH>_H_
 ///                       guards, a .cc includes its own header first, and
 ///                       quoted includes must be acyclic.
