@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Fast pre-commit check: build and run the two static-analysis tools
+# (monsoon-lint, monsoon-analyze) over the repository. Seconds, not the
+# minutes the full ./scripts/ci.sh pipeline takes — this is the loop to run
+# before every commit; CI runs the same tools as its blocking lint/analyze
+# stages, so a clean check.sh means those stages will pass.
+#
+#   ./scripts/check.sh           # incremental build + both tools
+#   ./scripts/check.sh paths...  # restrict both tools to specific paths
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if command -v nproc >/dev/null 2>&1; then
+  JOBS="${JOBS:-$(nproc)}"
+else
+  JOBS="${JOBS:-2}"
+fi
+
+# Reuse the developer build tree when it exists; CI's release tree is the
+# fallback so check.sh works in a fresh CI checkout too.
+BUILD_DIR="build"
+if [ ! -d "${BUILD_DIR}" ] && [ -d "build-ci-release" ]; then
+  BUILD_DIR="build-ci-release"
+fi
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+  --target monsoon-lint monsoon-analyze >/dev/null
+
+"./${BUILD_DIR}/tools/lint/monsoon-lint" --root . "$@"
+"./${BUILD_DIR}/tools/analyze/monsoon-analyze" --root . "$@"
+echo "check.sh: lint + analyze clean"

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI pipeline, eight stages:
+# CI pipeline, nine stages:
 #
 #   release  Release build (warnings as errors) + full ctest suite
 #   tsan     ThreadSanitizer build + `ctest -L tsan` (concurrency suites)
@@ -7,6 +7,10 @@
 #   ubsan    UBSan build (-fno-sanitize-recover) + full ctest suite
 #   lint     monsoon-lint over src/ tools/ tests/, plus clang-tidy when
 #            a clang-tidy binary is on PATH
+#   analyze  monsoon-analyze over src/ tools/ tests/: the flow-sensitive
+#            CFG passes (must-poll, lock-scope, status-flow, accounting);
+#            findings are CI-blocking, plus a self-check that injects one
+#            violation per pass and expects the analyzer to catch it
 #   obs      observability smoke: quickstart with --trace-out/--report-out,
 #            monsoon-trace-check over both artifacts, and the
 #            bench_obs_overhead disabled-path gate (BENCH_obs_overhead.json)
@@ -25,7 +29,8 @@
 #
 #   ./scripts/ci.sh            # all stages
 #   ./scripts/ci.sh release    # one stage by name
-#                              # (release|tsan|asan|ubsan|lint|obs|fault|server)
+#                              # (release|tsan|asan|ubsan|lint|analyze|obs|
+#                              #  fault|server)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,14 +43,14 @@ fi
 STAGE="${1:-all}"
 
 release_stage() {
-  echo "=== [1/8] Release build (-Werror) + full test suite ==="
+  echo "=== [1/9] Release build (-Werror) + full test suite ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}"
   ctest --test-dir build-ci-release --output-on-failure -j "${JOBS}"
 }
 
 tsan_stage() {
-  echo "=== [2/8] ThreadSanitizer build + concurrency tests ==="
+  echo "=== [2/9] ThreadSanitizer build + concurrency tests ==="
   cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=thread
   cmake --build build-ci-tsan -j "${JOBS}" \
@@ -60,7 +65,7 @@ tsan_stage() {
 }
 
 asan_stage() {
-  echo "=== [3/8] AddressSanitizer build + UDF cache tests ==="
+  echo "=== [3/9] AddressSanitizer build + UDF cache tests ==="
   cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=address
   cmake --build build-ci-asan -j "${JOBS}" \
@@ -83,7 +88,7 @@ asan_stage() {
 }
 
 ubsan_stage() {
-  echo "=== [4/8] UndefinedBehaviorSanitizer build + full test suite ==="
+  echo "=== [4/9] UndefinedBehaviorSanitizer build + full test suite ==="
   # -fno-sanitize-recover=all (set by the CMake option) turns any UB hit
   # into a test failure rather than a log line.
   cmake -B build-ci-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -93,10 +98,10 @@ ubsan_stage() {
 }
 
 lint_stage() {
-  echo "=== [5/8] monsoon-lint + clang-tidy ==="
+  echo "=== [5/9] monsoon-lint + clang-tidy ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}" --target monsoon-lint
-  # Repo invariants (RNG discipline, accounting isolation, lock ranks,
+  # Syntactic repo invariants (RNG discipline, accounting isolation,
   # include hygiene, ...): findings are CI-blocking. See tools/lint/rules.h.
   ./build-ci-release/tools/lint/monsoon-lint --root .
   if command -v clang-tidy >/dev/null 2>&1; then
@@ -108,8 +113,68 @@ lint_stage() {
   fi
 }
 
+analyze_stage() {
+  echo "=== [6/9] monsoon-analyze (flow-sensitive CFG passes) ==="
+  cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
+  cmake --build build-ci-release -j "${JOBS}" --target monsoon-analyze
+  # Execution invariants the token linter cannot see (cancellation polls on
+  # every loop path, lock scopes, Status consumption, append/charge
+  # balance): findings are CI-blocking. See tools/analyze/analysis.h.
+  ./build-ci-release/tools/analyze/monsoon-analyze --root .
+  # Self-check: each pass must catch a deliberately injected violation.
+  # A pass that silently stops firing would otherwise rot unnoticed.
+  local inject_dir="build-ci-release/analyze-inject"
+  rm -rf "${inject_dir}"
+  mkdir -p "${inject_dir}/src/exec" "${inject_dir}/src/server"
+  cat > "${inject_dir}/src/exec/inject_poll.cc" <<'EOS'
+Status Run(ExecContext* ctx, const Table& t) {
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(1));
+  }
+  return Status::OK();
+}
+EOS
+  cat > "${inject_dir}/src/server/inject_lock.cc" <<'EOS'
+void Reply() {
+  MutexLock lock(sessions_mu_);
+  WriteAll(fd, response);
+}
+EOS
+  cat > "${inject_dir}/src/exec/inject_status.cc" <<'EOS'
+void Close() {
+  Status s = conn.Close();
+  log("closed");
+}
+EOS
+  cat > "${inject_dir}/src/exec/inject_accounting.cc" <<'EOS'
+Status Emit(Table* dst, ExecContext* ctx) {
+  dst->AppendRangeFrom(src, 0, n);
+  return Status::OK();
+}
+EOS
+  local pass file found
+  for pass in must-poll lock-scope status-flow accounting; do
+    case "${pass}" in
+      must-poll) file="src/exec/inject_poll.cc" ;;
+      lock-scope) file="src/server/inject_lock.cc" ;;
+      status-flow) file="src/exec/inject_status.cc" ;;
+      accounting) file="src/exec/inject_accounting.cc" ;;
+    esac
+    # The analyzer exits 1 on findings — the expected outcome here — so
+    # capture its output instead of piping (pipefail would fail the if).
+    found="$(./build-ci-release/tools/analyze/monsoon-analyze \
+        --root "${inject_dir}" "${file}" || true)"
+    if echo "${found}" | grep -q "monsoon-analyze-${pass}"; then
+      echo "self-check: ${pass} caught the injected violation"
+    else
+      echo "FAIL: monsoon-analyze-${pass} missed an injected violation" >&2
+      exit 1
+    fi
+  done
+}
+
 obs_stage() {
-  echo "=== [6/8] Observability smoke: trace + run report + overhead gate ==="
+  echo "=== [7/9] Observability smoke: trace + run report + overhead gate ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}" \
     --target quickstart monsoon-trace-check bench_obs_overhead
@@ -127,7 +192,7 @@ obs_stage() {
 }
 
 fault_stage() {
-  echo "=== [7/8] Fault-injection soak (ASan) + overhead gate ==="
+  echo "=== [8/9] Fault-injection soak (ASan) + overhead gate ==="
   cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=address
   cmake --build build-ci-asan -j "${JOBS}" \
@@ -165,7 +230,7 @@ fault_stage() {
 }
 
 server_stage() {
-  echo "=== [8/8] Query-server smoke: admission, cancellation, drain ==="
+  echo "=== [9/9] Query-server smoke: admission, cancellation, drain ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}" \
     --target monsoon-serve monsoon-client monsoon-trace-check
@@ -230,6 +295,7 @@ case "${STAGE}" in
   asan) asan_stage ;;
   ubsan) ubsan_stage ;;
   lint) lint_stage ;;
+  analyze) analyze_stage ;;
   obs) obs_stage ;;
   fault) fault_stage ;;
   server) server_stage ;;
@@ -239,12 +305,13 @@ case "${STAGE}" in
     asan_stage
     ubsan_stage
     lint_stage
+    analyze_stage
     obs_stage
     fault_stage
     server_stage
     ;;
   *)
-    echo "usage: $0 [release|tsan|asan|ubsan|lint|obs|fault|server|all]" >&2
+    echo "usage: $0 [release|tsan|asan|ubsan|lint|analyze|obs|fault|server|all]" >&2
     exit 2
     ;;
 esac

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "exec/bound_term.h"
+#include "exec/flat_compare.h"
 #include "exec/udf_cache.h"
 #include "storage/table.h"
 #include "storage/value.h"
@@ -55,75 +56,10 @@ class FlatColumn {
   std::vector<uint64_t> hashes_;  // string columns only
 };
 
-/// Uniform read-only view over either flat representation (a cache-pinned
-/// CachedUdfColumn or an operator-owned FlatColumn), so join compare /
-/// hash loops are written once. Plain pointers: the viewed column must
-/// outlive the view (the executor pins cached columns for the operator's
-/// duration and owns its FlatColumns directly).
-struct FlatView {
-  ValueType type = ValueType::kInt64;
-  const int64_t* i64 = nullptr;
-  const double* dbl = nullptr;
-  const std::string* str = nullptr;
-  const uint64_t* str_hash = nullptr;  // precomputed string hashes
-
-  static FlatView Of(const CachedUdfColumn& col);
-  static FlatView Of(const FlatColumn& col);
-
-  /// Value::Hash() of entry i without boxing.
-  uint64_t HashAt(size_t i) const {
-    switch (type) {
-      case ValueType::kInt64:
-        return HashInt64Value(i64[i]);
-      case ValueType::kDouble:
-        return HashDoubleValue(dbl[i]);
-      case ValueType::kString:
-        return str_hash[i];
-    }
-    return 0;
-  }
-
-  /// a(ai) == b(bi), matching Value::operator== (false across types;
-  /// string compares check the hash columns first).
-  static bool Equal(const FlatView& a, size_t ai, const FlatView& b, size_t bi) {
-    if (a.type != b.type) return false;
-    switch (a.type) {
-      case ValueType::kInt64:
-        return a.i64[ai] == b.i64[bi];
-      case ValueType::kDouble:
-        return a.dbl[ai] == b.dbl[bi];
-      case ValueType::kString:
-        return a.str_hash[ai] == b.str_hash[bi] && a.str[ai] == b.str[bi];
-    }
-    return false;
-  }
-
-  /// Three-way compare matching Value::operator< exactly: values of
-  /// different types order by type index (the std::variant rule), doubles
-  /// compare by value (so -0.0 ties 0.0 and NaN is unordered: Compare
-  /// returns 0 for NaN-vs-anything ties exactly where the variant's
-  /// operator< reports neither side smaller).
-  static int Compare(const FlatView& a, size_t ai, const FlatView& b, size_t bi) {
-    if (a.type != b.type) {
-      return static_cast<int>(a.type) < static_cast<int>(b.type) ? -1 : 1;
-    }
-    switch (a.type) {
-      case ValueType::kInt64:
-        if (a.i64[ai] < b.i64[bi]) return -1;
-        if (b.i64[bi] < a.i64[ai]) return 1;
-        return 0;
-      case ValueType::kDouble:
-        if (a.dbl[ai] < b.dbl[bi]) return -1;
-        if (b.dbl[bi] < a.dbl[ai]) return 1;
-        return 0;
-      case ValueType::kString:
-        if (a.str[ai] < b.str[bi]) return -1;
-        if (b.str[bi] < a.str[ai]) return 1;
-        return 0;
-    }
-    return 0;
-  }
-};
+// The uniform read-only view over either flat representation (FlatView:
+// hash / equality / three-way compare with Value-identical semantics)
+// lives in exec/flat_compare.h, shared with the UDF cache; its Of()
+// constructors are defined in batch.cc.
 
 }  // namespace monsoon
 

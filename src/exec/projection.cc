@@ -101,7 +101,9 @@ StatusOr<TablePtr> ApplySelect(const Table& input,
   auto out = std::make_shared<Table>(Schema(columns));
   out->Reserve(input.num_rows());
   std::vector<Value> row(source_cols.size());
-  for (size_t r = 0; r < input.num_rows(); ++r) {
+  // Projection runs on the final result after the executor (and its
+  // cancellation scope) has completed; no token reaches this layer.
+  for (size_t r = 0; r < input.num_rows(); ++r) {  // NOLINT(monsoon-analyze-must-poll)
     for (size_t c = 0; c < source_cols.size(); ++c) {
       row[c] = input.ValueAt(source_cols[c], r);
     }

@@ -106,6 +106,15 @@ StatusOr<CachedUdfColumnPtr> UdfColumnCache::GetOrBuild(
         // with the neighbouring morsel.
         MONSOON_DCHECK(begin <= end && end <= n) << "morsel out of bounds";
         for (size_t row = begin; row < end; ++row) {
+          // UDF evaluation dominates each iteration, so a per-row poll is
+          // noise here — and a slow UDF is exactly when cancellation
+          // latency matters. (Spelled without MONSOON_RETURN_IF_ERROR:
+          // this lambda already sits inside that macro's expansion and the
+          // nested temporary would shadow it.)
+          if (token != nullptr) {
+            Status polled = token->Check();
+            if (!polled.ok()) return polled;
+          }
           MONSOON_FAULT_POINT("exec.udf_cache.fill", row);
           Value v = bound.Eval(t, row);
           if (v.type() != column->type_) {

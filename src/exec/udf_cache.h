@@ -13,6 +13,7 @@
 #include "common/sync.h"
 #include "common/thread_annotations.h"
 #include "exec/bound_term.h"
+#include "exec/flat_compare.h"
 #include "fault/cancellation.h"
 #include "parallel/thread_pool.h"
 #include "plan/plan_node.h"
@@ -54,63 +55,40 @@ class CachedUdfColumn {
   const std::string* StringData() const { return strings_.data(); }
   const uint64_t* HashData() const { return hashes_.data(); }
 
+  // The per-type switches (hash / box / equality) are written once on
+  // FlatView (exec/flat_compare.h); these wrappers keep the column's
+  // historical call sites working on a stack-built view.
+
   /// Value::Hash() of the row's result without boxing a Value. Strings
   /// read the precomputed hash column; numerics mix inline.
-  uint64_t HashAt(size_t row) const {
-    switch (type_) {
-      case ValueType::kInt64:
-        return HashInt64Value(int64s_[row]);
-      case ValueType::kDouble:
-        return HashDoubleValue(doubles_[row]);
-      case ValueType::kString:
-        return hashes_[row];
-    }
-    return 0;
-  }
+  uint64_t HashAt(size_t row) const { return View().HashAt(row); }
 
   /// Boxes the row's result (sort-merge key extraction only).
-  Value ValueAt(size_t row) const {
-    switch (type_) {
-      case ValueType::kInt64:
-        return Value(int64s_[row]);
-      case ValueType::kDouble:
-        return Value(doubles_[row]);
-      case ValueType::kString:
-        return Value(strings_[row]);
-    }
-    return Value();
-  }
+  Value ValueAt(size_t row) const { return View().ValueAt(row); }
 
   /// result(row) == v, matching Value::operator== (false across types).
   bool EqualsValue(size_t row, const Value& v) const {
-    switch (type_) {
-      case ValueType::kInt64:
-        return v.is_int64() && int64s_[row] == v.AsInt64();
-      case ValueType::kDouble:
-        return v.is_double() && doubles_[row] == v.AsDouble();
-      case ValueType::kString:
-        return v.is_string() && strings_[row] == v.AsString();
-    }
-    return false;
+    return View().EqualsValue(row, v);
   }
 
   /// a.result(ai) == b.result(bi). String compares check the hash columns
   /// first so mismatches never touch character data.
   static bool Equal(const CachedUdfColumn& a, size_t ai,
                     const CachedUdfColumn& b, size_t bi) {
-    if (a.type_ != b.type_) return false;
-    switch (a.type_) {
-      case ValueType::kInt64:
-        return a.int64s_[ai] == b.int64s_[bi];
-      case ValueType::kDouble:
-        return a.doubles_[ai] == b.doubles_[bi];
-      case ValueType::kString:
-        return a.hashes_[ai] == b.hashes_[bi] && a.strings_[ai] == b.strings_[bi];
-    }
-    return false;
+    return FlatView::Equal(a.View(), ai, b.View(), bi);
   }
 
  private:
+  FlatView View() const {
+    FlatView view;
+    view.type = type_;
+    view.i64 = int64s_.data();
+    view.dbl = doubles_.data();
+    view.str = strings_.data();
+    view.str_hash = hashes_.data();
+    return view;
+  }
+
   friend class UdfColumnCache;
 
   ValueType type_ = ValueType::kInt64;

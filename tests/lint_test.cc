@@ -291,90 +291,10 @@ TEST(LintIncludeTest, OwnHeaderFirstAndCycleDetection) {
   EXPECT_TRUE(HasRule(cyc, "monsoon-include"));
 }
 
-TEST(LintLockRankTest, BlockingCallUnderLock) {
-  const std::string bad =
-      "void f() {\n"
-      "  MutexLock lock(mu_);\n"
-      "  group.Wait();\n"
-      "}\n";
-  auto diags = Lint("src/exec/e.cc", bad);
-  ASSERT_EQ(diags.size(), 1u);
-  EXPECT_EQ(diags[0].rule, "monsoon-lock-rank");
-  EXPECT_EQ(diags[0].line, 3);
-
-  // Waiting on a condition variable releases the mutex: allowed.
-  EXPECT_TRUE(Lint("src/parallel/p.cc",
-                   "void f() {\n  MutexLock lock(idle_mu_);\n"
-                   "  idle_cv_.Wait(idle_mu_);\n}\n")
-                  .empty());
-  // Wait after the guard's scope closes: allowed.
-  EXPECT_TRUE(Lint("src/exec/e.cc",
-                   "void f() {\n  { MutexLock lock(mu_); x = 1; }\n"
-                   "  group.Wait();\n}\n")
-                  .empty());
-  EXPECT_TRUE(Lint("src/exec/e.cc",
-                   "void f() {\n  MutexLock lock(mu_);\n"
-                   "  group.Wait();  // NOLINT(monsoon-lock-rank)\n}\n")
-                  .empty());
-}
-
-TEST(LintLockRankTest, AcquisitionOrderFollowsRankTable) {
-  // q.mu (rank 10) is the innermost lock; taking rt.mu (rank 40) under it
-  // inverts the order.
-  auto diags = Lint("src/parallel/p.cc",
-                    "void f() {\n  MutexLock a(q.mu);\n  MutexLock b(rt.mu);\n}\n");
-  ASSERT_EQ(diags.size(), 1u);
-  EXPECT_EQ(diags[0].rule, "monsoon-lock-rank");
-  EXPECT_EQ(diags[0].line, 3);
-
-  // Descending order is the sanctioned direction.
-  EXPECT_TRUE(Lint("src/parallel/p.cc",
-                   "void f() {\n  MutexLock a(rt.mu);\n  MutexLock b(q.mu);\n}\n")
-                  .empty());
-  // Sequential (non-nested) scopes never interact.
-  EXPECT_TRUE(Lint("src/parallel/p.cc",
-                   "void f() {\n  { MutexLock a(q.mu); }\n"
-                   "  { MutexLock b(rt.mu); }\n}\n")
-                  .empty());
-}
-
-TEST(LintServerTest, SocketCallUnderLock) {
-  const std::string bad =
-      "void f() {\n"
-      "  MutexLock lock(sessions_mu_);\n"
-      "  WriteAll(fd, response);\n"
-      "}\n";
-  auto diags = Lint("src/server/server.cc", bad);
-  ASSERT_EQ(diags.size(), 1u);
-  EXPECT_EQ(diags[0].rule, "monsoon-server");
-  EXPECT_EQ(diags[0].line, 3);
-
-  // Raw POSIX calls are flagged the same way, in tools/ too.
-  EXPECT_TRUE(HasRule(Lint("tools/client/c.cc",
-                           "void f() {\n  MutexLock lock(mu_);\n"
-                           "  recv(fd, buf, n, 0);\n}\n"),
-                      "monsoon-server"));
-  // Socket I/O after the guard's scope closes: allowed.
-  EXPECT_TRUE(Lint("src/server/server.cc",
-                   "void f() {\n  { MutexLock lock(sessions_mu_); x = 1; }\n"
-                   "  WriteAll(fd, response);\n}\n")
-                  .empty());
-  // Waiting on a condition variable releases the mutex: allowed.
-  EXPECT_TRUE(Lint("src/server/admission.cc",
-                   "void f() {\n  MutexLock lock(admission_mu_);\n"
-                   "  slot_cv_.Wait(admission_mu_);\n}\n")
-                  .empty());
-  // A member-function definition is a declaration, not a blocking call.
-  EXPECT_TRUE(Lint("src/server/net.cc",
-                   "StatusOr<bool> LineReader::ReadLine(std::string* s) {\n"
-                   "  return true;\n}\n")
-                  .empty());
-  // NOLINT suppresses.
-  EXPECT_TRUE(Lint("src/server/server.cc",
-                   "void f() {\n  MutexLock lock(mu_);\n"
-                   "  send(fd, b, n, 0);  // NOLINT(monsoon-server)\n}\n")
-                  .empty());
-}
+// Lock-scope fixtures (blocking calls / socket I/O under a guard, rank
+// order) moved to tests/analyze_test.cc when the token-level
+// monsoon-lock-rank / monsoon-server rules were superseded by the
+// flow-sensitive monsoon-analyze-lock-scope pass.
 
 TEST(LintFilesTest, DiagnosticsSortedAndRuleListStable) {
   auto diags = LintFiles({{"src/b.cc", "int* p = new int;\n"},
@@ -386,7 +306,7 @@ TEST(LintFilesTest, DiagnosticsSortedAndRuleListStable) {
   EXPECT_EQ(diags[1].line, 2);
   EXPECT_EQ(diags[2].path, "src/b.cc");
 
-  EXPECT_EQ(RuleNames().size(), 11u);
+  EXPECT_EQ(RuleNames().size(), 9u);
 }
 
 }  // namespace

@@ -1,0 +1,155 @@
+#include "cfg.h"
+
+namespace monsoon::analyze {
+
+namespace {
+
+/// Recursive CFG builder. `Build` returns the fall-through node of the
+/// statement (the node subsequent statements hang off), or -1 when control
+/// never falls through (return / break / continue on every path).
+class Builder {
+ public:
+  explicit Builder(Cfg* cfg) : cfg_(cfg) {}
+
+  int NewNode(const Stmt* s) {
+    Cfg::Node n;
+    n.stmt = s;
+    n.line = s != nullptr ? s->line : 0;
+    cfg_->nodes.push_back(std::move(n));
+    return static_cast<int>(cfg_->nodes.size() - 1);
+  }
+
+  void Link(int from, int to) {
+    if (from >= 0) cfg_->nodes[from].succ.push_back(to);
+  }
+
+  // Builds `s` with incoming edge from `pred` (-1: unreachable, build
+  // anyway so nested structure exists but leave it unlinked).
+  int Build(const Stmt& s, int pred, int brk, int cont) {
+    switch (s.kind) {
+      case StmtKind::kExpr: {
+        int n = NewNode(&s);
+        Link(pred, n);
+        return n;
+      }
+      case StmtKind::kReturn: {
+        int n = NewNode(&s);
+        Link(pred, n);
+        Link(n, return_target_);
+        return -1;
+      }
+      case StmtKind::kBreak: {
+        int n = NewNode(&s);
+        Link(pred, n);
+        if (brk >= 0) Link(n, brk);
+        return -1;
+      }
+      case StmtKind::kContinue: {
+        int n = NewNode(&s);
+        Link(pred, n);
+        if (cont >= 0) Link(n, cont);
+        return -1;
+      }
+      case StmtKind::kBlock: {
+        int cur = pred;
+        for (const Stmt& child : s.children) {
+          cur = Build(child, cur, brk, cont);
+        }
+        return cur;
+      }
+      case StmtKind::kIf: {
+        int h = NewNode(&s);
+        Link(pred, h);
+        int t = s.children.empty() ? h : Build(s.children[0], h, brk, cont);
+        int e = h;
+        if (s.has_else && s.children.size() > 1) {
+          e = Build(s.children[1], h, brk, cont);
+        }
+        if (t == -1 && s.has_else && e == -1) return -1;
+        int join = NewNode(nullptr);
+        if (t != -1) Link(t, join);
+        if (s.has_else) {
+          if (e != -1) Link(e, join);
+        } else {
+          Link(h, join);  // false edge
+        }
+        return join;
+      }
+      case StmtKind::kLoop: {
+        int x = NewNode(nullptr);  // loop exit
+        if (!s.is_do_while) {
+          int h = NewNode(&s);  // header: init/cond
+          Link(pred, h);
+          int body = s.children.empty()
+                         ? h
+                         : Build(s.children[0], h, x, h);
+          if (body != -1) Link(body, h);  // back edge
+          if (!s.cond_always_true) Link(h, x);
+        } else {
+          int l = NewNode(nullptr);  // body entry
+          Link(pred, l);
+          int c = NewNode(&s);  // trailing condition
+          int body = s.children.empty()
+                         ? l
+                         : Build(s.children[0], l, x, c);
+          if (body != -1) Link(body, c);
+          Link(c, l);  // back edge
+          if (!s.cond_always_true) Link(c, x);
+        }
+        return x;
+      }
+      case StmtKind::kSwitch: {
+        int h = NewNode(&s);
+        Link(pred, h);
+        int x = NewNode(nullptr);  // switch exit
+        int fall = -1;
+        for (const Stmt& arm : s.children) {
+          int a = NewNode(nullptr);  // arm entry (case label)
+          Link(h, a);
+          if (fall != -1) Link(fall, a);  // fallthrough from previous arm
+          fall = Build(arm, a, x, cont);
+        }
+        if (fall != -1) Link(fall, x);
+        if (!s.has_default) Link(h, x);
+        return x;
+      }
+    }
+    return pred;
+  }
+
+  void SetReturnTarget(int n) { return_target_ = n; }
+
+ private:
+  Cfg* cfg_;
+  int return_target_ = 1;
+};
+
+}  // namespace
+
+Cfg BuildCfg(const Stmt& body) {
+  Cfg cfg;
+  cfg.nodes.resize(2);  // 0 = entry, 1 = exit
+  Builder b(&cfg);
+  b.SetReturnTarget(cfg.exit);
+  int fall = b.Build(body, cfg.entry, -1, -1);
+  if (fall != -1) b.Link(fall, cfg.exit);
+  return cfg;
+}
+
+LoopBodyCfg BuildLoopBodyCfg(const Stmt& loop) {
+  LoopBodyCfg out;
+  Cfg& cfg = out.cfg;
+  cfg.nodes.resize(2);  // 0 = entry, 1 = exit (break/return escape)
+  Builder b(&cfg);
+  b.SetReturnTarget(cfg.exit);
+  Cfg::Node back;
+  cfg.nodes.push_back(back);
+  out.backedge = 2;
+  if (loop.children.empty()) return out;
+  // break -> exit, continue -> backedge, fallthrough -> backedge.
+  int fall = b.Build(loop.children[0], cfg.entry, cfg.exit, out.backedge);
+  if (fall != -1) b.Link(fall, out.backedge);
+  return out;
+}
+
+}  // namespace monsoon::analyze

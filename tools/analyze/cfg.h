@@ -1,0 +1,43 @@
+#ifndef MONSOON_TOOLS_ANALYZE_CFG_H_
+#define MONSOON_TOOLS_ANALYZE_CFG_H_
+
+#include <vector>
+
+#include "ast.h"
+
+namespace monsoon::analyze {
+
+/// A per-function control-flow graph. Nodes are single statements (or the
+/// header of an if/loop/switch); synthetic nodes (entry, exit, joins, loop
+/// exits) carry a null `stmt`. Edges follow execution order: loop back
+/// edges, branch joins, switch fallthrough, break/continue targets, and
+/// `return` -> exit are all explicit.
+struct Cfg {
+  struct Node {
+    const Stmt* stmt = nullptr;  // null for synthetic nodes
+    int line = 0;
+    std::vector<int> succ;
+  };
+  std::vector<Node> nodes;
+  int entry = 0;
+  int exit = 1;
+};
+
+/// Builds the CFG of a function body (a kBlock). Falling off the end of
+/// the body flows to `exit`, as does every `return`.
+Cfg BuildCfg(const Stmt& body);
+
+/// Builds the CFG of one loop's body for per-iteration analysis. Two
+/// synthetic sinks replace the loop's own wiring:
+///   - completing the body (fallthrough or `continue`) flows to `backedge`
+///   - leaving the loop (`break` or `return`) flows to `exit`
+/// A path entry -> backedge is one full iteration that will run again.
+struct LoopBodyCfg {
+  Cfg cfg;
+  int backedge = 0;  // node id within cfg
+};
+LoopBodyCfg BuildLoopBodyCfg(const Stmt& loop);
+
+}  // namespace monsoon::analyze
+
+#endif  // MONSOON_TOOLS_ANALYZE_CFG_H_

@@ -1,0 +1,121 @@
+// monsoon-analyze: flow-sensitive checker for the MONSOON code base's
+// execution invariants. Reuses the lint lexer, parses function bodies into
+// a lightweight AST, lowers them to per-function control-flow graphs, and
+// runs four dataflow passes (see analysis.h): must-poll, lock-scope,
+// status-flow, accounting. No compiler front end — the statement grammar
+// this repo uses is small enough to parse directly, and it keeps CI
+// dependency-free.
+//
+// Usage: monsoon-analyze [--root DIR] [--list-passes] [paths...]
+//   paths default to src tools tests under --root (default: cwd). Each path
+//   may be a directory (walked recursively for .h/.cc/.cpp) or a file.
+// Exit status: 0 clean, 1 findings, 2 usage/IO error.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsSourcePath(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+std::string RepoRelative(const fs::path& root, const fs::path& p) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  std::string s = (ec || rel.empty() ? p : rel).generic_string();
+  while (s.rfind("./", 0) == 0) s = s.substr(2);
+  return s;
+}
+
+bool ReadFile(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "monsoon-analyze: --root needs a directory\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--list-passes") {
+      for (const std::string& pass : monsoon::analyze::PassNames()) {
+        std::cout << pass << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout
+          << "usage: monsoon-analyze [--root DIR] [--list-passes] [paths...]\n"
+             "       (paths default to src tools tests under --root)\n";
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "tools", "tests"};
+
+  std::vector<monsoon::lint::SourceFile> files;
+  for (const std::string& path : paths) {
+    fs::path abs = fs::path(path).is_absolute() ? fs::path(path) : root / path;
+    std::error_code ec;
+    if (fs::is_directory(abs, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(abs, ec)) {
+        if (entry.is_regular_file() && IsSourcePath(entry.path())) {
+          monsoon::lint::SourceFile sf;
+          sf.path = RepoRelative(root, entry.path());
+          if (!ReadFile(entry.path(), &sf.text)) {
+            std::cerr << "monsoon-analyze: cannot read " << entry.path() << "\n";
+            return 2;
+          }
+          files.push_back(std::move(sf));
+        }
+      }
+    } else if (fs::is_regular_file(abs, ec)) {
+      monsoon::lint::SourceFile sf;
+      sf.path = RepoRelative(root, abs);
+      if (!ReadFile(abs, &sf.text)) {
+        std::cerr << "monsoon-analyze: cannot read " << abs << "\n";
+        return 2;
+      }
+      files.push_back(std::move(sf));
+    } else {
+      std::cerr << "monsoon-analyze: no such file or directory: " << abs << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<monsoon::lint::Diagnostic> diags =
+      monsoon::analyze::AnalyzeFiles(files);
+  for (const auto& d : diags) {
+    std::cout << d.path << ":" << d.line << ": [" << d.rule << "] " << d.message
+              << "\n";
+  }
+  if (!diags.empty()) {
+    std::cout << diags.size() << " finding" << (diags.size() == 1 ? "" : "s")
+              << " across " << files.size() << " files\n";
+    return 1;
+  }
+  return 0;
+}

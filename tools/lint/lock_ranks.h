@@ -6,13 +6,15 @@
 
 namespace monsoon::lint {
 
-/// Lock-rank table for the monsoon-lock-rank rule. Locks must be acquired
+/// Lock-rank table for the monsoon-analyze-lock-scope pass (tools/analyze;
+/// this header stays with the lint lexer so both tools build from one
+/// static-analysis base). Locks must be acquired
 /// in strictly DESCENDING rank order, and no blocking call (TaskGroup::Wait,
 /// ThreadPool::TryRunOne — both may execute arbitrary stolen tasks) may run
 /// while any lock is held.
 ///
 /// Keys are the literal guard-argument spelling at the acquisition site
-/// (`MutexLock lock(idle_mu_)` -> "idle_mu_"), which is what a token-level
+/// (`MutexLock lock(idle_mu_)` -> "idle_mu_"), which is what a syntactic
 /// checker can see. Same-named members in different classes therefore share
 /// a rank; that is intentional — TaskGroup::mu_ and UdfColumnCache::mu_ sit
 /// at the same level because neither may be held across pool work.

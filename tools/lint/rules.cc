@@ -6,8 +6,6 @@
 #include <map>
 #include <set>
 
-#include "lock_ranks.h"
-
 namespace monsoon::lint {
 
 namespace {
@@ -430,210 +428,12 @@ void CheckIncludes(const std::map<std::string, ScannedFile>& files,
   }
 }
 
-// ---------------------------------------------------------------------------
-// monsoon-lock-rank
-// ---------------------------------------------------------------------------
-
-struct HeldLock {
-  int brace_depth;   // depth the guard was declared at
-  std::string arg;   // literal spelling of the guarded mutex
-  int rank;          // -1 when not in the rank table
-  int line;
-};
-
-/// True for RAII guard spellings whose constructor acquires the lock.
-bool IsGuardKeyword(const std::string& text) {
-  return text == "MutexLock" || text == "lock_guard" || text == "unique_lock" ||
-         text == "scoped_lock";
-}
-
-void CheckLockRank(const ScannedFile& f, Reporter& r) {
-  if (!StartsWith(f.path, "src/")) return;
-  const auto& ranks = LockRankTable();
-  const auto& toks = f.tokens;
-  std::vector<HeldLock> held;
-  int depth = 0;
-
-  for (size_t i = 0; i < toks.size(); ++i) {
-    const Token& t = toks[i];
-    if (t.kind == TokenKind::kPreprocessor) continue;
-    if (t.text == "{") {
-      ++depth;
-      continue;
-    }
-    if (t.text == "}") {
-      --depth;
-      while (!held.empty() && held.back().brace_depth > depth) held.pop_back();
-      continue;
-    }
-    if (t.kind != TokenKind::kIdentifier) continue;
-
-    // Guard construction: KEYWORD [<...>] [varname] ( first_arg ...
-    if (IsGuardKeyword(t.text)) {
-      size_t j = i + 1;
-      if (j < toks.size() && toks[j].text == "<") {
-        int angle = 1;
-        ++j;
-        while (j < toks.size() && angle > 0) {
-          if (toks[j].text == "<") ++angle;
-          if (toks[j].text == ">") --angle;
-          ++j;
-        }
-      }
-      if (j < toks.size() && toks[j].kind == TokenKind::kIdentifier) ++j;
-      if (j >= toks.size() || toks[j].text != "(") continue;
-      // Concatenate the first constructor argument ("rt" "." "mu" -> "rt.mu").
-      std::string arg;
-      int paren = 1;
-      for (++j; j < toks.size() && paren > 0; ++j) {
-        if (toks[j].text == "(") ++paren;
-        if (toks[j].text == ")") --paren;
-        if (paren == 0) break;
-        if (toks[j].text == "," && paren == 1) break;
-        arg += toks[j].text;
-      }
-      // Constructor declarations (`MutexLock(Mutex& mu)`, deleted copies)
-      // match the same token shape; a real acquisition site names a plain
-      // object, never a type-qualified parameter.
-      if (arg.empty() || arg.find('&') != std::string::npos ||
-          arg.find("const") != std::string::npos) {
-        i = j;
-        continue;
-      }
-      auto rank_it = ranks.find(arg);
-      int rank = rank_it == ranks.end() ? -1 : rank_it->second;
-      if (rank >= 0) {
-        for (const HeldLock& h : held) {
-          if (h.rank >= 0 && rank >= h.rank) {
-            r.Report("monsoon-lock-rank", t.line,
-                     "acquires '" + arg + "' (rank " + std::to_string(rank) +
-                         ") while holding '" + h.arg + "' (rank " +
-                         std::to_string(h.rank) +
-                         "); locks must be taken in descending rank order");
-          }
-        }
-      }
-      held.push_back({depth, arg, rank, t.line});
-      i = j;
-      continue;
-    }
-
-    // Blocking call under a lock: TaskGroup::Wait / WaitFor / TryRunOne may
-    // execute arbitrary stolen tasks, which can acquire any lock.
-    if ((t.text == "Wait" || t.text == "WaitFor" || t.text == "TryRunOne") &&
-        i + 1 < toks.size() && toks[i + 1].text == "(" && !held.empty()) {
-      // Skip qualified names (definitions like `void TaskGroup::Wait()`).
-      if (i >= 2 && toks[i - 1].text == ":" && toks[i - 2].text == ":") continue;
-      // Skip condition-variable waits: they release the mutex while parked.
-      if (i >= 2 && (toks[i - 1].text == "." ||
-                     (toks[i - 1].text == ">" && toks[i - 2].text == "-"))) {
-        size_t recv = ReceiverIndex(toks, toks[i - 1].text == "." ? i - 1 : i - 2);
-        if (recv != std::string::npos &&
-            Lower(toks[recv].text).find("cv") != std::string::npos) {
-          continue;
-        }
-      }
-      const HeldLock& h = held.back();
-      r.Report("monsoon-lock-rank", t.line,
-               "blocking call '" + t.text + "' while holding '" + h.arg +
-                   "' (acquired line " + std::to_string(h.line) +
-                   "): helper threads may steal a task that needs that lock");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// monsoon-server
-// ---------------------------------------------------------------------------
-
-/// Socket I/O blocks on the peer for arbitrarily long, so it must never
-/// run while an annotated Mutex is held: one stalled client would extend
-/// the critical section indefinitely and back up every thread contending
-/// for that lock (the server's session registries are global). Flags the
-/// raw POSIX calls and the server/net.h wrappers under any held guard,
-/// using the same guard tracking as monsoon-lock-rank.
-void CheckServer(const ScannedFile& f, Reporter& r) {
-  if (!StartsWith(f.path, "src/") && !StartsWith(f.path, "tools/")) return;
-  static const std::set<std::string> kSocketCalls = {
-      "accept",  "recv",      "recvfrom",         "send",
-      "sendto",  "connect",   "AcceptConnection", "ConnectTo",
-      "ReadLine", "WriteAll", "PeerClosed",
-  };
-  const auto& toks = f.tokens;
-  std::vector<HeldLock> held;
-  int depth = 0;
-  for (size_t i = 0; i < toks.size(); ++i) {
-    const Token& t = toks[i];
-    if (t.kind == TokenKind::kPreprocessor) continue;
-    if (t.text == "{") {
-      ++depth;
-      continue;
-    }
-    if (t.text == "}") {
-      --depth;
-      while (!held.empty() && held.back().brace_depth > depth) held.pop_back();
-      continue;
-    }
-    if (t.kind != TokenKind::kIdentifier) continue;
-
-    if (IsGuardKeyword(t.text)) {
-      size_t j = i + 1;
-      if (j < toks.size() && toks[j].text == "<") {
-        int angle = 1;
-        ++j;
-        while (j < toks.size() && angle > 0) {
-          if (toks[j].text == "<") ++angle;
-          if (toks[j].text == ">") --angle;
-          ++j;
-        }
-      }
-      if (j < toks.size() && toks[j].kind == TokenKind::kIdentifier) ++j;
-      if (j >= toks.size() || toks[j].text != "(") continue;
-      std::string arg;
-      int paren = 1;
-      for (++j; j < toks.size() && paren > 0; ++j) {
-        if (toks[j].text == "(") ++paren;
-        if (toks[j].text == ")") --paren;
-        if (paren == 0) break;
-        if (toks[j].text == "," && paren == 1) break;
-        arg += toks[j].text;
-      }
-      if (arg.empty() || arg.find('&') != std::string::npos ||
-          arg.find("const") != std::string::npos) {
-        i = j;
-        continue;
-      }
-      held.push_back({depth, arg, -1, t.line});
-      i = j;
-      continue;
-    }
-
-    if (kSocketCalls.count(t.text) != 0 && i + 1 < toks.size() &&
-        toks[i + 1].text == "(" && !held.empty()) {
-      // Skip member-function *definitions* (`LineReader::ReadLine(...) {`):
-      // they open at file scope where nothing is held anyway, but a stray
-      // `Type::Fn` mention inside a locked region is still just a name.
-      if (i >= 2 && toks[i - 1].text == ":" && toks[i - 2].text == ":" &&
-          i >= 3 && toks[i - 3].kind == TokenKind::kIdentifier &&
-          toks[i - 3].text != "server") {
-        continue;
-      }
-      const HeldLock& h = held.back();
-      r.Report("monsoon-server", t.line,
-               "blocking socket I/O '" + t.text + "' while holding '" + h.arg +
-                   "' (acquired line " + std::to_string(h.line) +
-                   "): release the lock before touching the network");
-    }
-  }
-}
-
 }  // namespace
 
 std::vector<std::string> RuleNames() {
   return {"monsoon-rng",        "monsoon-accounting", "monsoon-obs",
           "monsoon-thread",     "monsoon-raw-new",    "monsoon-status",
-          "monsoon-pinned-get", "monsoon-batch",      "monsoon-include",
-          "monsoon-lock-rank",  "monsoon-server"};
+          "monsoon-pinned-get", "monsoon-batch",      "monsoon-include"};
 }
 
 std::vector<Diagnostic> LintFiles(const std::vector<SourceFile>& files) {
@@ -652,8 +452,6 @@ std::vector<Diagnostic> LintFiles(const std::vector<SourceFile>& files) {
     CheckStatus(f, r);
     CheckPinnedGet(f, r);
     CheckBatch(f, r);
-    CheckLockRank(f, r);
-    CheckServer(f, r);
   }
   CheckIncludes(scanned, out);
   std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {

@@ -66,14 +66,11 @@ std::vector<std::string> RuleNames();
 ///   monsoon-include     (src/, tools/)  headers carry MONSOON_<PATH>_H_
 ///                       guards, a .cc includes its own header first, and
 ///                       quoted includes must be acyclic.
-///   monsoon-lock-rank   (src/)          locks acquire in descending
-///                       lock_ranks.h order and no blocking call
-///                       (TaskGroup::Wait / TryRunOne) runs under a lock.
-///   monsoon-server      (src/, tools/)  no blocking socket I/O (accept /
-///                       recv / send / server::WriteAll / LineReader::
-///                       ReadLine...) while holding any annotated Mutex —
-///                       a stalled peer must never extend a critical
-///                       section.
+///
+/// Lock-scope invariants (descending lock_ranks.h acquisition order, no
+/// blocking call or socket I/O under a held guard) used to live here as
+/// the token-level monsoon-lock-rank / monsoon-server rules; they are now
+/// the flow-sensitive monsoon-analyze-lock-scope pass in tools/analyze.
 std::vector<Diagnostic> LintFiles(const std::vector<SourceFile>& files);
 
 }  // namespace monsoon::lint
