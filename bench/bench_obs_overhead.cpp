@@ -8,6 +8,7 @@
 //   plain_uint64    — the raw `x += n` the LocalCounter replaced
 //   counter_add     — obs::Counter::Add (sharded relaxed atomic)
 //   histogram_obs   — obs::Histogram::Observe (bucket + count + sum)
+//   tail_hooks      — BeginQueryTrace + EndQueryTrace, tail sampling off
 //
 // Writes BENCH_obs_overhead.json (or argv[1]) and exits non-zero when the
 // disabled-span overhead exceeds a generous CI bound — catching an
@@ -114,7 +115,23 @@ int Main(int argc, char** argv) {
     DoNotOptimize(histogram);
   });
 
+  if (obs::TailSamplingActive()) {
+    std::fprintf(stderr, "tail sampling must be off for this bench\n");
+    return 2;
+  }
+  double disabled_tail_ns = MeasureNs([&](int i) {
+    uint64_t serial = obs::BeginQueryTrace();
+    DoNotOptimize(serial);
+    obs::QueryTraceVerdict verdict;
+    verdict.elapsed_us = static_cast<uint64_t>(i);
+    obs::QueryTraceDecision decision = obs::EndQueryTrace(serial, verdict);
+    DoNotOptimize(decision);
+    sink += static_cast<uint64_t>(i);
+    DoNotOptimize(sink);
+  });
+
   double disabled_overhead_ns = disabled_span_ns - baseline_ns;
+  double disabled_tail_overhead_ns = disabled_tail_ns - baseline_ns;
 
   {
     std::ofstream out(out_path);
@@ -133,6 +150,8 @@ int Main(int argc, char** argv) {
     writer.KV("plain_uint64_add", plain_uint64_ns);
     writer.KV("counter_add", counter_add_ns);
     writer.KV("histogram_observe", histogram_obs_ns);
+    writer.KV("disabled_tail_hooks", disabled_tail_ns);
+    writer.KV("disabled_tail_hooks_overhead", disabled_tail_overhead_ns);
     writer.EndObject();
     writer.EndObject();
     out << "\n";
@@ -146,6 +165,8 @@ int Main(int argc, char** argv) {
               local_counter_ns, local_counter_ns - plain_uint64_ns);
   std::printf("Counter::Add         %8.2f ns/op\n", counter_add_ns);
   std::printf("Histogram::Observe   %8.2f ns/op\n", histogram_obs_ns);
+  std::printf("tail hooks (off)     %8.2f ns/op (overhead %+.2f ns)\n",
+              disabled_tail_ns, disabled_tail_overhead_ns);
   std::printf("wrote %s\n", out_path.c_str());
 
   // A disabled span is a load + branch per Arg/ctor/End; tens of
@@ -156,6 +177,17 @@ int Main(int argc, char** argv) {
                  "FAIL: disabled TraceSpan overhead %.2f ns/op exceeds the "
                  "50 ns bound\n",
                  disabled_overhead_ns);
+    return 1;
+  }
+  // Same contract for the per-query tail-sampling scope: with sampling
+  // off, BeginQueryTrace returns 0 after one relaxed load and
+  // EndQueryTrace(0, ...) returns a default decision — a pair of calls
+  // that allocates or locks has broken the disabled path.
+  if (disabled_tail_overhead_ns > 50.0) {
+    std::fprintf(stderr,
+                 "FAIL: disabled tail-sampling hook overhead %.2f ns/op "
+                 "exceeds the 50 ns bound\n",
+                 disabled_tail_overhead_ns);
     return 1;
   }
   DoNotOptimize(sink);

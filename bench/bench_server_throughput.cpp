@@ -10,9 +10,14 @@
 // admission controller's bounded wait queue (depth 128) is what's being
 // exercised.
 //
+// After the sweep, a telemetry A/B runs the 16-client point against a
+// telemetry-off and a fully-instrumented server (sampler ticks, armed
+// tail sampling, open slow log) and gates on the qps drop.
+//
 // Knobs: MONSOON_SERVER_CLIENTS (comma list, default "1,4,16,64"),
 // MONSOON_SERVER_REQUESTS (total requests per sweep point, default 96),
-// MONSOON_BENCH_ITERS (MCTS iterations per session, default 120).
+// MONSOON_BENCH_ITERS (MCTS iterations per session, default 120),
+// MONSOON_OBS_AB_MAX_DROP_PCT (A/B gate, default 50).
 // Output path may be overridden as argv[1] (default BENCH_server.json).
 //
 // Note: on a single-core container concurrency cannot add throughput —
@@ -30,6 +35,7 @@
 
 #include "bench/bench_common.h"
 #include "obs/json.h"
+#include "obs/trace.h"
 #include "server/net.h"
 #include "server/server.h"
 
@@ -112,6 +118,74 @@ void RunClient(uint16_t port, const std::string& sql, int requests,
         std::chrono::duration<double, std::milli>(end - start).count());
   }
   server::CloseFd(fd);
+}
+
+/// One self-contained A/B point: fresh server (so telemetry state cannot
+/// leak between arms), one warm-up query, then `clients` closed-loop
+/// clients of `per_client` requests each. With `telemetry` the full
+/// observability stack is live: 25 ms sampler ticks, tail sampling armed
+/// with an unreachable threshold (every query buffers spans, then drops
+/// them — the steady-state cost), and an open slow-query log that nothing
+/// qualifies for.
+StatusOr<SweepPoint> RunAbArm(Catalog* catalog, const std::string& sql,
+                              int clients, int per_client, bool telemetry) {
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string tmp_dir = tmp != nullptr ? tmp : "/tmp";
+  if (telemetry) {
+    obs::TailSamplingOptions tail;
+    tail.dir = tmp_dir;
+    tail.slow_us = 3600ull * 1000 * 1000;  // 1h: buffer + drop every query
+    MONSOON_RETURN_IF_ERROR(obs::StartTailSampling(tail));
+  }
+  server::ServerOptions options;
+  options.port = 0;
+  options.max_sessions = 16;
+  options.queue_depth = 128;
+  options.optimizer.mcts.iterations = bench::BenchIters(120);
+  options.optimizer.seed = 42;
+  options.telemetry_interval_ms = telemetry ? 25 : 0;
+  if (telemetry) {
+    options.slow_log_path = tmp_dir + "/BENCH_server_ab_slow.jsonl";
+    options.slow_query_ms = 0;  // nothing degrades: eligibility checks only
+  }
+  server::QueryServer server(catalog, options);
+  MONSOON_RETURN_IF_ERROR(server.Start());
+
+  std::vector<double> warm;
+  std::atomic<uint64_t> warm_errors{0};
+  RunClient(server.port(), sql, 1, &warm, &warm_errors);
+  if (warm_errors.load() != 0) {
+    server.Shutdown();
+    return Status::Internal("A/B warm-up query failed");
+  }
+
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(clients));
+  std::atomic<uint64_t> errors{0};
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back(RunClient, server.port(), sql, per_client,
+                         &latencies[static_cast<size_t>(c)], &errors);
+  }
+  for (std::thread& t : threads) t.join();
+  auto end = std::chrono::steady_clock::now();
+  server.Shutdown();
+  if (telemetry) MONSOON_RETURN_IF_ERROR(obs::StopTailSampling());
+
+  std::vector<double> all;
+  for (const auto& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  SweepPoint point;
+  point.clients = clients;
+  point.requests = all.size();
+  point.errors = errors.load();
+  point.p50_ms = PercentileMs(all, 0.50);
+  point.p99_ms = PercentileMs(all, 0.99);
+  double elapsed = std::chrono::duration<double>(end - start).count();
+  point.qps = elapsed > 0 ? static_cast<double>(all.size()) / elapsed : 0;
+  return point;
 }
 
 }  // namespace
@@ -197,6 +271,32 @@ int main(int argc, char** argv) {
   server.Shutdown();
   uint64_t leaked = server.pool_pending();
 
+  // Telemetry A/B: the same 16-client point against a telemetry-off and a
+  // fully-instrumented server. On a single-core CI container wall-clock
+  // throughput is noisy, so the gate is deliberately loose (default: the
+  // instrumented arm must keep >= 50% of baseline qps — catching a
+  // catastrophic regression like a lock on the hot path, not a percent);
+  // tighten with MONSOON_OBS_AB_MAX_DROP_PCT on quiet hardware.
+  const char* drop_env = std::getenv("MONSOON_OBS_AB_MAX_DROP_PCT");
+  const double max_drop_pct =
+      drop_env != nullptr ? std::atof(drop_env) : 50.0;
+  const int ab_clients = 16;
+  const int ab_per_client = std::max(1, total_requests / ab_clients);
+  std::cout << "[a/b]   " << ab_clients << " client(s) x " << ab_per_client
+            << " request(s), telemetry off vs on...\n";
+  auto ab_off = RunAbArm(&catalog.value(), sql, ab_clients, ab_per_client,
+                         /*telemetry=*/false);
+  auto ab_on = RunAbArm(&catalog.value(), sql, ab_clients, ab_per_client,
+                        /*telemetry=*/true);
+  if (!ab_off.ok() || !ab_on.ok()) {
+    std::cerr << "A/B arm failed: "
+              << (ab_off.ok() ? ab_on.status() : ab_off.status()).ToString()
+              << "\n";
+    return 1;
+  }
+  const double drop_pct =
+      ab_off->qps > 0 ? (1.0 - ab_on->qps / ab_off->qps) * 100.0 : 0.0;
+
   TablePrinter table({"Clients", "Requests", "Errors", "p50(ms)", "p99(ms)",
                       "qps"});
   for (const SweepPoint& point : sweep) {
@@ -209,6 +309,22 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n";
   table.Print(std::cout);
+
+  TablePrinter ab_table({"Telemetry", "Requests", "Errors", "p50(ms)",
+                         "p99(ms)", "qps"});
+  for (const auto* arm : {&*ab_off, &*ab_on}) {
+    ab_table.AddRow({arm == &*ab_off ? "off" : "on",
+                     std::to_string(arm->requests),
+                     std::to_string(arm->errors),
+                     StrFormat("%.1f", arm->p50_ms),
+                     StrFormat("%.1f", arm->p99_ms),
+                     StrFormat("%.1f", arm->qps)});
+  }
+  std::cout << "\n";
+  ab_table.Print(std::cout);
+  std::cout << "telemetry qps delta: " << StrFormat("%+.1f%%", -drop_pct)
+            << " (gate: drop <= " << StrFormat("%.0f%%", max_drop_pct)
+            << ")\n";
 
   std::ofstream out(out_path);
   obs::JsonWriter json(out);
@@ -230,6 +346,16 @@ int main(int argc, char** argv) {
     json.EndObject();
   }
   json.EndArray();
+  json.Key("telemetry_ab");
+  json.BeginObject();
+  json.KV("clients", static_cast<uint64_t>(ab_clients));
+  json.KV("qps_off", ab_off->qps);
+  json.KV("qps_on", ab_on->qps);
+  json.KV("p99_ms_off", ab_off->p99_ms);
+  json.KV("p99_ms_on", ab_on->p99_ms);
+  json.KV("drop_pct", drop_pct);
+  json.KV("max_drop_pct", max_drop_pct);
+  json.EndObject();
   json.EndObject();
   out << "\n";
   out.close();
@@ -239,9 +365,16 @@ int main(int argc, char** argv) {
   for (const SweepPoint& point : sweep) {
     if (point.errors != 0 || point.requests == 0) failed = true;
   }
+  if (ab_off->errors != 0 || ab_on->errors != 0) failed = true;
   if (failed) {
     std::cerr << "FAIL: errors or leaked pool tasks (pending=" << leaked
               << ")\n";
+    return 1;
+  }
+  if (drop_pct > max_drop_pct) {
+    std::cerr << "FAIL: telemetry-on qps dropped "
+              << StrFormat("%.1f%%", drop_pct) << " (> "
+              << StrFormat("%.0f%%", max_drop_pct) << " bound)\n";
     return 1;
   }
   return 0;

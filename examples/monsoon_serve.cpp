@@ -12,10 +12,14 @@
 //       [--port=N] [--max-sessions=N] [--queue-depth=N] [--threads=N]
 //       [--batch-size=N] [--deadline-ms=N] [--work-budget=N]
 //       [--iterations=N] [--trace-out=FILE] [--no-shared-state]
+//       [--telemetry-ms=N] [--trace-tail-ms=N] [--trace-tail-dir=DIR]
+//       [--slow-log=FILE] [--slow-ms=N] [--faults=SPEC]
 //
 // Every knob follows flag > MONSOON_SERVER_* env > default precedence
-// (see the README knob table). Drive it with tools/monsoon-client or
-// `sql_shell --connect=127.0.0.1:PORT`.
+// (see the README knob table). Drive it with tools/monsoon-client,
+// `sql_shell --connect=127.0.0.1:PORT`, or watch it live with
+// tools/top/monsoon-top. --trace-out (whole-process trace) and
+// --trace-tail-ms (per-query tail sampling) are mutually exclusive.
 
 #include <csignal>
 #include <cstdlib>
@@ -24,6 +28,8 @@
 #include <string>
 #include <thread>
 
+#include "common/env.h"
+#include "fault/injector.h"
 #include "obs/trace.h"
 #include "parallel/runtime.h"
 #include "server/server.h"
@@ -71,6 +77,9 @@ int main(int argc, char** argv) {
   server::ServerOptions options = server::ServerOptions::FromEnv();
   std::string workload_name = "tpch";
   std::string trace_out;
+  obs::TailSamplingOptions tail;
+  bool tail_requested = false;
+  std::string faults;
   int threads = 0;
   int batch_size = 0;
   std::string value;
@@ -95,6 +104,20 @@ int main(int argc, char** argv) {
       options.optimizer.mcts.iterations = std::atoi(value.c_str());
     } else if (FlagValue(argv[i], "--trace-out=", &value)) {
       trace_out = value;
+    } else if (FlagValue(argv[i], "--telemetry-ms=", &value)) {
+      options.telemetry_interval_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (FlagValue(argv[i], "--trace-tail-ms=", &value)) {
+      tail.slow_us = std::strtoull(value.c_str(), nullptr, 10) * 1000;
+      tail_requested = true;
+    } else if (FlagValue(argv[i], "--trace-tail-dir=", &value)) {
+      tail.dir = value;
+      tail_requested = true;
+    } else if (FlagValue(argv[i], "--slow-log=", &value)) {
+      options.slow_log_path = value;
+    } else if (FlagValue(argv[i], "--slow-ms=", &value)) {
+      options.slow_query_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (FlagValue(argv[i], "--faults=", &value)) {
+      faults = value;
     } else if (std::strcmp(argv[i], "--no-shared-state") == 0) {
       options.share_state = false;
     } else {
@@ -115,6 +138,28 @@ int main(int argc, char** argv) {
     Status status = obs::StartTracing(trace_out);
     if (!status.ok()) {
       std::cerr << "trace: " << status.ToString() << "\n";
+      return 1;
+    }
+  }
+  if (tail_requested) {
+    Status status = obs::StartTailSampling(tail);
+    if (!status.ok()) {
+      std::cerr << "trace-tail: " << status.ToString() << "\n";
+      return 1;
+    }
+  } else {
+    // MONSOON_TRACE_TAIL_MS / _DIR / _BUDGET still apply without flags.
+    obs::MaybeStartTailSamplingFromEnv();
+  }
+  if (faults.empty()) faults = EnvString("MONSOON_FAULTS").value_or("");
+  if (!faults.empty()) {
+    fault::FaultConfig base;
+    base.seed = EnvUint64("MONSOON_FAULT_SEED", base.seed);
+    base.udf_timeout_ms =
+        EnvUint64("MONSOON_UDF_TIMEOUT_MS", base.udf_timeout_ms);
+    Status status = fault::InstallSpec(faults, base);
+    if (!status.ok()) {
+      std::cerr << "faults: " << status.ToString() << "\n";
       return 1;
     }
   }
@@ -160,6 +205,15 @@ int main(int argc, char** argv) {
       std::cerr << "trace: " << status.ToString() << "\n";
       return 1;
     }
+  }
+  if (obs::TailSamplingActive()) {
+    Status status = obs::StopTailSampling();
+    if (!status.ok()) std::cerr << "trace-tail: " << status.ToString() << "\n";
+  }
+  if (query_server.slow_log() != nullptr) {
+    std::cout << "monsoon-serve: slow-query log entries="
+              << query_server.slow_log()->entries_written() << "\n"
+              << std::flush;
   }
   return query_server.pool_pending() == 0 ? 0 : 3;
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI pipeline, nine stages:
+# CI pipeline, ten stages:
 #
 #   release  Release build (warnings as errors) + full ctest suite
 #   tsan     ThreadSanitizer build + `ctest -L tsan` (concurrency suites)
@@ -24,13 +24,18 @@
 #            admission limit (kUnavailable), one cancelled by client
 #            disconnect — then SIGINT drain (pool pending must reach 0)
 #            and monsoon-trace-check over the traced run
+#   telemetry  live-telemetry smoke: monsoon-serve under load with an
+#            injected Σ fault, .metrics scraped through monsoon-top --once
+#            and validated as Prometheus exposition, tail sampling keeping
+#            exactly the degraded query's trace, and the slow-query log
+#            capturing the same query
 #
 # Run from anywhere in the repository:
 #
 #   ./scripts/ci.sh            # all stages
 #   ./scripts/ci.sh release    # one stage by name
 #                              # (release|tsan|asan|ubsan|lint|analyze|obs|
-#                              #  fault|server)
+#                              #  fault|server|telemetry)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,14 +48,14 @@ fi
 STAGE="${1:-all}"
 
 release_stage() {
-  echo "=== [1/9] Release build (-Werror) + full test suite ==="
+  echo "=== [1/10] Release build (-Werror) + full test suite ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}"
   ctest --test-dir build-ci-release --output-on-failure -j "${JOBS}"
 }
 
 tsan_stage() {
-  echo "=== [2/9] ThreadSanitizer build + concurrency tests ==="
+  echo "=== [2/10] ThreadSanitizer build + concurrency tests ==="
   cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=thread
   cmake --build build-ci-tsan -j "${JOBS}" \
@@ -65,7 +70,7 @@ tsan_stage() {
 }
 
 asan_stage() {
-  echo "=== [3/9] AddressSanitizer build + UDF cache tests ==="
+  echo "=== [3/10] AddressSanitizer build + UDF cache tests ==="
   cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=address
   cmake --build build-ci-asan -j "${JOBS}" \
@@ -88,7 +93,7 @@ asan_stage() {
 }
 
 ubsan_stage() {
-  echo "=== [4/9] UndefinedBehaviorSanitizer build + full test suite ==="
+  echo "=== [4/10] UndefinedBehaviorSanitizer build + full test suite ==="
   # -fno-sanitize-recover=all (set by the CMake option) turns any UB hit
   # into a test failure rather than a log line.
   cmake -B build-ci-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -98,7 +103,7 @@ ubsan_stage() {
 }
 
 lint_stage() {
-  echo "=== [5/9] monsoon-lint + clang-tidy ==="
+  echo "=== [5/10] monsoon-lint + clang-tidy ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}" --target monsoon-lint
   # Syntactic repo invariants (RNG discipline, accounting isolation,
@@ -114,7 +119,7 @@ lint_stage() {
 }
 
 analyze_stage() {
-  echo "=== [6/9] monsoon-analyze (flow-sensitive CFG passes) ==="
+  echo "=== [6/10] monsoon-analyze (flow-sensitive CFG passes) ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}" --target monsoon-analyze
   # Execution invariants the token linter cannot see (cancellation polls on
@@ -174,7 +179,7 @@ EOS
 }
 
 obs_stage() {
-  echo "=== [7/9] Observability smoke: trace + run report + overhead gate ==="
+  echo "=== [7/10] Observability smoke: trace + run report + overhead gate ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}" \
     --target quickstart monsoon-trace-check bench_obs_overhead
@@ -192,7 +197,7 @@ obs_stage() {
 }
 
 fault_stage() {
-  echo "=== [8/9] Fault-injection soak (ASan) + overhead gate ==="
+  echo "=== [8/10] Fault-injection soak (ASan) + overhead gate ==="
   cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=address
   cmake --build build-ci-asan -j "${JOBS}" \
@@ -230,7 +235,7 @@ fault_stage() {
 }
 
 server_stage() {
-  echo "=== [9/9] Query-server smoke: admission, cancellation, drain ==="
+  echo "=== [9/10] Query-server smoke: admission, cancellation, drain ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}" \
     --target monsoon-serve monsoon-client monsoon-trace-check
@@ -289,6 +294,78 @@ server_stage() {
     --trace "${server_dir}/trace.json" --expect-pool
 }
 
+telemetry_stage() {
+  echo "=== [10/10] Telemetry: exposition, tail sampling, slow log, top ==="
+  cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
+  cmake --build build-ci-release -j "${JOBS}" \
+    --target monsoon-serve monsoon-client monsoon-top monsoon-trace-check
+  local telem_dir="build-ci-release/telemetry-smoke"
+  rm -rf "${telem_dir}"
+  mkdir -p "${telem_dir}/tail"
+  local serve="./build-ci-release/examples/monsoon-serve"
+  local client="./build-ci-release/tools/client/monsoon-client"
+  local top="./build-ci-release/tools/top/monsoon-top"
+  # Full telemetry stack: 50 ms sampler ticks, tail sampling with an
+  # unreachable slow threshold (only degraded/faulted queries keep traces),
+  # a slow log at threshold 0 (logs only degraded/cancelled/failed), and a
+  # permanent Σ fault. Shared state is off so every session plans cold and
+  # which queries degrade stays deterministic: the three-way obscured join
+  # below never executes a Σ pass under these options (clean), while the
+  # single-table obscured filter always does (degraded).
+  "${serve}" --workload=udf --max-sessions=4 --iterations=120 \
+    --no-shared-state --telemetry-ms=50 \
+    --trace-tail-ms=3600000 --trace-tail-dir="${telem_dir}/tail" \
+    --slow-log="${telem_dir}/slow.jsonl" \
+    --faults='exec.sigma.pass=1:permanent' \
+    > "${telem_dir}/serve.log" 2>&1 &
+  local serve_pid=$!
+  local port=""
+  for _ in $(seq 1 200); do
+    port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "${telem_dir}/serve.log" | head -1)"
+    [ -n "${port}" ] && break
+    sleep 0.1
+  done
+  if [ -z "${port}" ]; then
+    echo "FAIL: monsoon-serve never reported its port" >&2
+    cat "${telem_dir}/serve.log" >&2
+    exit 1
+  fi
+  local clean_sql='SELECT * FROM docs d, docinfo di, authorinfo ai WHERE extract_id(d.d_text) = di.di_key AND extract_author(d.d_text) = ai.ai_key'
+  local degraded_sql="SELECT * FROM docs d WHERE extract_date(d.d_when) = '2019-01-11'"
+  # Load: four clean sessions feed the latency histogram and the sampler
+  # window, then the fault-injected query completes degraded.
+  for _ in 1 2 3 4; do
+    "${client}" --port="${port}" --query="${clean_sql}" --expect=OK --quiet
+  done
+  "${client}" --port="${port}" --query="${degraded_sql}" --expect=OK --quiet
+  # Scrape .metrics through monsoon-top (--once validates the exposition
+  # client-side and renders one dashboard frame; --metrics-out keeps the
+  # raw scrape for the checks below).
+  "${top}" --port="${port}" --once --metrics-out="${telem_dir}/metrics.txt"
+  # The scrape is well-formed Prometheus text, the degraded run reached the
+  # registry, and the sampler window has real latency percentiles.
+  ./build-ci-release/tools/obs/monsoon-trace-check \
+    --exposition "${telem_dir}/metrics.txt"
+  grep -q '^monsoon_server_degraded_total 1$' "${telem_dir}/metrics.txt"
+  grep -q '^monsoon_server_sessions_total 5$' "${telem_dir}/metrics.txt"
+  # Tail sampling kept exactly the degraded query's trace: every file in
+  # the tail dir validates in --tail mode with reason "degraded" (the four
+  # clean queries were dropped — one kept trace total).
+  ./build-ci-release/tools/obs/monsoon-trace-check \
+    --expect-sampled "${telem_dir}/tail" --reason degraded
+  [ "$(ls "${telem_dir}/tail" | wc -l)" -eq 1 ]
+  # The slow log captured the same query — one entry, reason degraded,
+  # pointing at the kept trace file.
+  [ "$(wc -l < "${telem_dir}/slow.jsonl")" -eq 1 ]
+  grep -q '"reason":"degraded"' "${telem_dir}/slow.jsonl"
+  grep -q '"trace":"[^"]*tail-[0-9]*-degraded\.json"' "${telem_dir}/slow.jsonl"
+  # Graceful drain; the shutdown line reports the telemetry tallies.
+  kill -INT "${serve_pid}"
+  wait "${serve_pid}"
+  grep -q 'pool pending=0' "${telem_dir}/serve.log"
+}
+
 case "${STAGE}" in
   release) release_stage ;;
   tsan) tsan_stage ;;
@@ -299,6 +376,7 @@ case "${STAGE}" in
   obs) obs_stage ;;
   fault) fault_stage ;;
   server) server_stage ;;
+  telemetry) telemetry_stage ;;
   all)
     release_stage
     tsan_stage
@@ -309,9 +387,10 @@ case "${STAGE}" in
     obs_stage
     fault_stage
     server_stage
+    telemetry_stage
     ;;
   *)
-    echo "usage: $0 [release|tsan|asan|ubsan|lint|analyze|obs|fault|server|all]" >&2
+    echo "usage: $0 [release|tsan|asan|ubsan|lint|analyze|obs|fault|server|telemetry|all]" >&2
     exit 2
     ;;
 esac

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <memory>
 
 #include "common/env.h"
 #include "common/string_util.h"
 #include "exec/udf_cache.h"
 #include "fault/injector.h"
+#include "obs/slowlog.h"
 #include "obs/trace.h"
 #include "parallel/runtime.h"
 
@@ -47,8 +49,24 @@ void BenchRunner::SetQueryFilter(std::vector<std::string> names) {
 
 Status BenchRunner::RunAll(const Workload& workload) {
   // MONSOON_TRACE=file.json turns on Chrome-trace capture for the whole
-  // run without touching the bench binaries (no-op when already tracing).
+  // run without touching the bench binaries (no-op when already tracing);
+  // MONSOON_TRACE_TAIL_MS flips to tail sampling instead (one trace file
+  // per kept record). The two are mutually exclusive — full tracing wins
+  // because it started first.
   obs::MaybeStartTracingFromEnv();
+  obs::MaybeStartTailSamplingFromEnv();
+  std::string slow_log_path = options_.slow_log;
+  if (slow_log_path.empty()) {
+    slow_log_path = EnvString("MONSOON_SLOW_LOG").value_or("");
+  }
+  std::unique_ptr<obs::SlowQueryLog> slow_log;
+  if (!slow_log_path.empty()) {
+    uint64_t slow_ms = options_.slow_ms;
+    if (slow_ms == 0) slow_ms = EnvUint64("MONSOON_SLOW_MS", 0);
+    slow_log =
+        std::make_unique<obs::SlowQueryLog>(slow_log_path, slow_ms * 1000);
+    MONSOON_RETURN_IF_ERROR(slow_log->Open());
+  }
   int threads = options_.threads;
   if (threads <= 0) threads = EnvInt("MONSOON_THREADS", 0);
   if (threads > 0 || options_.batch_size > 0) {
@@ -89,9 +107,41 @@ Status BenchRunner::RunAll(const Workload& workload) {
       record.query = query.name;
       record.strategy = name;
       obs::MetricsSnapshot before = obs::Registry::Global().Snapshot();
+      uint64_t tail_serial = obs::BeginQueryTrace();
       record.result = fn(workload, query);
       record.metrics_delta =
           obs::SnapshotDelta(before, obs::Registry::Global().Snapshot());
+      const RunResult& r = record.result;
+      uint64_t elapsed_us = static_cast<uint64_t>(r.total_seconds * 1e6);
+      obs::QueryTraceVerdict verdict;
+      verdict.elapsed_us = elapsed_us;
+      verdict.degraded = r.degraded;
+      verdict.cancelled = r.status.code() == StatusCode::kCancelled;
+      verdict.faulted = !r.ok() && !verdict.cancelled;
+      obs::QueryTraceDecision decision =
+          obs::EndQueryTrace(tail_serial, verdict);
+      if (slow_log != nullptr &&
+          slow_log->Eligible(elapsed_us, r.ok(), r.degraded,
+                             verdict.cancelled)) {
+        obs::SlowLogEntry entry;
+        entry.sql = query.name;
+        entry.fingerprint = name;
+        entry.reason = verdict.cancelled ? "cancelled"
+                       : !r.ok()         ? "error"
+                       : r.degraded      ? "degraded"
+                                         : "slow";
+        entry.status = r.ok() ? "ok" : (r.timed_out() ? "timeout" : "error");
+        entry.elapsed_us = elapsed_us;
+        entry.result_rows = r.result_rows;
+        entry.objects_processed = r.objects_processed;
+        entry.work_units = r.work_units;
+        entry.udf_cache_hits = r.udf_cache_hits;
+        entry.udf_cache_misses = r.udf_cache_misses;
+        entry.degraded = r.degraded;
+        entry.degraded_reasons = r.degraded_reasons;
+        entry.trace_path = decision.path;
+        slow_log->Log(entry);
+      }
       if (options_.verbose && !record.result.ok()) {
         std::cerr << "      -> " << record.result.status.ToString() << "\n";
       }

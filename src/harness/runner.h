@@ -51,6 +51,13 @@ struct HarnessOptions {
   /// knob, and leaves the current injector state untouched when that is
   /// unset too (so tests can pre-install their own specs).
   std::string faults;
+  /// Structured slow-query log path (JSONL, obs/slowlog.h). Non-empty
+  /// opens the log before the first query and appends an entry for every
+  /// eligible record; empty honors the MONSOON_SLOW_LOG environment knob.
+  std::string slow_log;
+  /// Clean records at/over this latency count as slow for the slow-query
+  /// log; 0 logs only degraded / failed records. Env: MONSOON_SLOW_MS.
+  uint64_t slow_ms = 0;
 };
 
 /// One (query, strategy) execution. `metrics_delta` is the global metrics

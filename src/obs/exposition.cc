@@ -1,0 +1,275 @@
+#include "obs/exposition.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace monsoon::obs {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+std::string ExpositionName(const std::string& registry_name) {
+  std::string name;
+  name.reserve(registry_name.size());
+  for (char c : registry_name) {
+    name.push_back(IsNameChar(c) ? c : '_');
+  }
+  if (name.empty() || !IsNameStartChar(name[0])) name.insert(name.begin(), '_');
+  return name;
+}
+
+void RenderHistogram(std::ostringstream& out, const std::string& name,
+                     const HistogramSnapshot& snap) {
+  out << "# TYPE " << name << " histogram\n";
+  size_t highest = 0;
+  for (size_t i = 0; i < snap.buckets.size(); ++i) {
+    if (snap.buckets[i] != 0) highest = i;
+  }
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i <= highest && i < snap.buckets.size(); ++i) {
+    cumulative += snap.buckets[i];
+    if (i == 0 && snap.buckets[0] == 0 && highest > 0) continue;
+    // Inclusive upper bound of the log2 bucket: 0 for the zeros bucket,
+    // 2^i - 1 for [2^(i-1), 2^i) over integer samples.
+    uint64_t le = i == 0 ? 0 : (uint64_t{2} << (i - 1)) - 1;
+    out << name << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+  }
+  out << name << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
+  out << name << "_sum " << snap.sum << "\n";
+  out << name << "_count " << snap.count << "\n";
+}
+
+struct LineParse {
+  std::string name;
+  std::string le;  // value of the "le" label, empty when absent
+  double value = 0;
+  bool has_le = false;
+};
+
+Status ParseSampleLine(const std::string& line, int line_no, LineParse* out) {
+  size_t pos = 0;
+  if (pos >= line.size() || !IsNameStartChar(line[pos])) {
+    return Status::InvalidArgument(
+        StrFormat("exposition line %d: bad metric name start", line_no));
+  }
+  while (pos < line.size() && IsNameChar(line[pos])) ++pos;
+  out->name = line.substr(0, pos);
+  if (pos < line.size() && line[pos] == '{') {
+    size_t close = line.find('}', pos);
+    if (close == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("exposition line %d: unterminated label set", line_no));
+    }
+    std::string labels = line.substr(pos + 1, close - pos - 1);
+    // Only the "le" label matters for validation; reject label text with
+    // no '=' to catch truncated writes.
+    size_t label_pos = 0;
+    while (label_pos < labels.size()) {
+      size_t eq = labels.find('=', label_pos);
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument(
+            StrFormat("exposition line %d: malformed label", line_no));
+      }
+      std::string label_name = labels.substr(label_pos, eq - label_pos);
+      if (eq + 1 >= labels.size() || labels[eq + 1] != '"') {
+        return Status::InvalidArgument(
+            StrFormat("exposition line %d: unquoted label value", line_no));
+      }
+      size_t end_quote = labels.find('"', eq + 2);
+      if (end_quote == std::string::npos) {
+        return Status::InvalidArgument(
+            StrFormat("exposition line %d: unterminated label value", line_no));
+      }
+      if (label_name == "le") {
+        out->le = labels.substr(eq + 2, end_quote - eq - 2);
+        out->has_le = true;
+      }
+      label_pos = end_quote + 1;
+      if (label_pos < labels.size() && labels[label_pos] == ',') ++label_pos;
+    }
+    pos = close + 1;
+  }
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  if (pos >= line.size()) {
+    return Status::InvalidArgument(
+        StrFormat("exposition line %d: missing sample value", line_no));
+  }
+  std::string value_text = line.substr(pos);
+  // Trim an optional trailing timestamp (second whitespace-separated token).
+  size_t space = value_text.find_first_of(" \t");
+  if (space != std::string::npos) value_text = value_text.substr(0, space);
+  if (value_text == "+Inf") {
+    out->value = std::numeric_limits<double>::infinity();
+    return Status::OK();
+  }
+  char* end = nullptr;
+  out->value = std::strtod(value_text.c_str(), &end);
+  if (end == value_text.c_str() || *end != '\0') {
+    return Status::InvalidArgument(StrFormat(
+        "exposition line %d: unparseable value '%s'", line_no,
+        value_text.c_str()));
+  }
+  return Status::OK();
+}
+
+double ParseLe(const std::string& le) {
+  if (le == "+Inf") return std::numeric_limits<double>::infinity();
+  return std::strtod(le.c_str(), nullptr);
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const MetricsSnapshot& snap,
+                                 const std::vector<ExpositionExtra>& extras) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snap.counters) {
+    std::string exp_name = ExpositionName(name) + "_total";
+    out << "# TYPE " << exp_name << " counter\n";
+    out << exp_name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    std::string exp_name = ExpositionName(name);
+    out << "# TYPE " << exp_name << " gauge\n";
+    out << exp_name << " " << value << "\n";
+  }
+  for (const auto& [name, histogram] : snap.histograms) {
+    RenderHistogram(out, ExpositionName(name), histogram);
+  }
+  for (const ExpositionExtra& extra : extras) {
+    std::string exp_name = ExpositionName(extra.name);
+    out << "# TYPE " << exp_name << " gauge\n";
+    out << exp_name << " " << StrFormat("%.17g", extra.value) << "\n";
+  }
+  return out.str();
+}
+
+Status ValidateExposition(const std::string& text) {
+  std::map<std::string, std::string> family_type;
+  struct HistogramChecks {
+    std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+    bool has_sum = false;
+    bool has_count = false;
+    double count = 0;
+  };
+  std::map<std::string, HistogramChecks> histograms;
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  int samples = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream comment(line);
+      std::string hash, keyword, name, rest;
+      comment >> hash >> keyword >> name >> rest;
+      if (keyword == "TYPE") {
+        if (name.empty() || rest.empty()) {
+          return Status::InvalidArgument(
+              StrFormat("exposition line %d: malformed TYPE line", line_no));
+        }
+        if (family_type.count(name) != 0) {
+          return Status::InvalidArgument(StrFormat(
+              "exposition line %d: duplicate TYPE for '%s'", line_no,
+              name.c_str()));
+        }
+        family_type[name] = rest;
+      }
+      continue;  // HELP and free comments pass through
+    }
+    LineParse sample;
+    MONSOON_RETURN_IF_ERROR(ParseSampleLine(line, line_no, &sample));
+    ++samples;
+
+    // Resolve the family: histogram children strip _bucket/_sum/_count.
+    std::string family = sample.name;
+    std::string suffix;
+    for (const char* candidate : {"_bucket", "_sum", "_count"}) {
+      std::string c = candidate;
+      if (family.size() > c.size() &&
+          family.compare(family.size() - c.size(), c.size(), c) == 0) {
+        std::string base = family.substr(0, family.size() - c.size());
+        auto it = family_type.find(base);
+        if (it != family_type.end() && it->second == "histogram") {
+          family = base;
+          suffix = c;
+          break;
+        }
+      }
+    }
+    auto it = family_type.find(family);
+    if (it == family_type.end()) {
+      return Status::InvalidArgument(StrFormat(
+          "exposition line %d: sample '%s' precedes its TYPE line", line_no,
+          sample.name.c_str()));
+    }
+    if (it->second == "histogram") {
+      if (suffix.empty()) {
+        return Status::InvalidArgument(StrFormat(
+            "exposition line %d: bare sample for histogram family '%s'",
+            line_no, family.c_str()));
+      }
+      HistogramChecks& checks = histograms[family];
+      if (suffix == "_bucket") {
+        if (!sample.has_le) {
+          return Status::InvalidArgument(StrFormat(
+              "exposition line %d: histogram bucket without le label",
+              line_no));
+        }
+        checks.buckets.emplace_back(ParseLe(sample.le), sample.value);
+      } else if (suffix == "_sum") {
+        checks.has_sum = true;
+      } else {
+        checks.has_count = true;
+        checks.count = sample.value;
+      }
+    }
+  }
+  if (samples == 0) {
+    return Status::InvalidArgument("exposition has no samples");
+  }
+  for (const auto& [family, checks] : histograms) {
+    if (checks.buckets.empty()) {
+      return Status::InvalidArgument("histogram '" + family + "' has no buckets");
+    }
+    for (size_t i = 1; i < checks.buckets.size(); ++i) {
+      if (!(checks.buckets[i].first > checks.buckets[i - 1].first)) {
+        return Status::InvalidArgument(
+            "histogram '" + family + "' le labels are not increasing");
+      }
+      if (checks.buckets[i].second < checks.buckets[i - 1].second) {
+        return Status::InvalidArgument(
+            "histogram '" + family + "' cumulative counts decrease");
+      }
+    }
+    if (!std::isinf(checks.buckets.back().first)) {
+      return Status::InvalidArgument(
+          "histogram '" + family + "' is missing the +Inf bucket");
+    }
+    if (!checks.has_sum || !checks.has_count) {
+      return Status::InvalidArgument(
+          "histogram '" + family + "' is missing _sum or _count");
+    }
+    if (checks.buckets.back().second != checks.count) {
+      return Status::InvalidArgument(
+          "histogram '" + family + "' +Inf bucket disagrees with _count");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace monsoon::obs

@@ -1,0 +1,42 @@
+#ifndef MONSOON_OBS_EXPOSITION_H_
+#define MONSOON_OBS_EXPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace monsoon::obs {
+
+/// Prometheus text exposition (format version 0.0.4) for the metrics
+/// registry. Registry names use dots ("monsoon.server.latency_us"); the
+/// exposition flattens every character outside [a-zA-Z0-9_:] to '_'
+/// ("monsoon_server_latency_us"). Counters gain a "_total" suffix per the
+/// naming convention; histograms emit cumulative "le" buckets (the log2
+/// bucket i holds integer samples in [2^(i-1), 2^i), so its inclusive
+/// upper bound is 2^i - 1), a "+Inf" bucket, "_sum" and "_count".
+
+/// Extra scalar rendered as an untyped gauge line — the server appends
+/// window percentiles and rates computed from the time-series ring.
+struct ExpositionExtra {
+  std::string name;   // already in exposition spelling
+  double value = 0;
+};
+
+/// Renders `snap` (typically Registry::Global().Snapshot()) plus `extras`.
+std::string RenderPrometheusText(const MetricsSnapshot& snap,
+                                 const std::vector<ExpositionExtra>& extras = {});
+
+/// Validates exposition text: metric names match the grammar, every sample
+/// follows a "# TYPE" line for its family, values parse as numbers, and
+/// histogram families have nondecreasing cumulative buckets with strictly
+/// increasing "le" labels, a final "+Inf" bucket, and bucket("+Inf") ==
+/// family "_count". Used by the CI stage (through monsoon-trace-check
+/// --exposition) and the unit tests; deliberately strict so a format
+/// regression fails the build, not the operator's scraper.
+Status ValidateExposition(const std::string& text);
+
+}  // namespace monsoon::obs
+
+#endif  // MONSOON_OBS_EXPOSITION_H_

@@ -23,7 +23,9 @@ void WriteHistogram(JsonWriter& writer, const HistogramSnapshot& snap) {
   writer.EndObject();
 }
 
-void WriteMetrics(JsonWriter& writer, const MetricsSnapshot& snap) {
+}  // namespace
+
+void WriteMetricsJson(JsonWriter& writer, const MetricsSnapshot& snap) {
   writer.BeginObject();
   writer.Key("counters");
   writer.BeginObject();
@@ -46,8 +48,6 @@ void WriteMetrics(JsonWriter& writer, const MetricsSnapshot& snap) {
   writer.EndObject();
   writer.EndObject();
 }
-
-}  // namespace
 
 void WriteRunReport(std::ostream& out, const std::vector<QueryReport>& queries,
                     const MetricsSnapshot& registry) {
@@ -96,12 +96,12 @@ void WriteRunReport(std::ostream& out, const std::vector<QueryReport>& queries,
                         static_cast<double>(lookups));
     writer.EndObject();
     writer.Key("metrics");
-    WriteMetrics(writer, q.metrics);
+    WriteMetricsJson(writer, q.metrics);
     writer.EndObject();
   }
   writer.EndArray();
   writer.Key("registry");
-  WriteMetrics(writer, registry);
+  WriteMetricsJson(writer, registry);
   writer.EndObject();
   out << "\n";
 }

@@ -56,6 +56,14 @@ struct QueryReport {
 void WriteRunReport(std::ostream& out, const std::vector<QueryReport>& queries,
                     const MetricsSnapshot& registry);
 
+class JsonWriter;
+
+/// Writes one MetricsSnapshot as the report's {"counters":{...},
+/// "gauges":{...}, "histograms":{...}} object — the same layout the run
+/// report embeds per query. Shared with the server's `.stats` reply, which
+/// carries a per-connection registry delta in this form.
+void WriteMetricsJson(JsonWriter& writer, const MetricsSnapshot& snap);
+
 }  // namespace monsoon::obs
 
 #endif  // MONSOON_OBS_REPORT_H_

@@ -1,0 +1,61 @@
+#include "obs/slowlog.h"
+
+#include <sstream>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace monsoon::obs {
+
+SlowQueryLog::SlowQueryLog(std::string path, uint64_t slow_us)
+    : path_(std::move(path)), slow_us_(slow_us) {}
+
+Status SlowQueryLog::Open() {
+  MutexLock lock(log_mu_);
+  out_.open(path_, std::ios::app);
+  if (!out_) {
+    return Status::Internal("cannot open slow-query log '" + path_ + "'");
+  }
+  opened_ = true;
+  return Status::OK();
+}
+
+void SlowQueryLog::Log(const SlowLogEntry& entry) {
+  if (!opened_) return;
+  std::ostringstream line;
+  JsonWriter w(line);
+  w.BeginObject();
+  w.KV("sql", entry.sql);
+  w.KV("fingerprint", entry.fingerprint);
+  w.KV("reason", entry.reason);
+  w.KV("status", entry.status);
+  w.KV("elapsed_us", entry.elapsed_us);
+  w.KV("result_rows", entry.result_rows);
+  w.KV("objects_processed", entry.objects_processed);
+  w.KV("work_units", entry.work_units);
+  w.Key("udf_cache");
+  w.BeginObject();
+  w.KV("hits", entry.udf_cache_hits);
+  w.KV("misses", entry.udf_cache_misses);
+  w.EndObject();
+  w.KV("degraded", entry.degraded);
+  if (!entry.degraded_reasons.empty()) {
+    w.Key("degraded_reasons");
+    w.BeginArray();
+    for (const std::string& reason : entry.degraded_reasons) w.String(reason);
+    w.EndArray();
+  }
+  if (!entry.trace_path.empty()) w.KV("trace", entry.trace_path);
+  w.EndObject();
+  MutexLock lock(log_mu_);
+  out_ << line.str() << "\n";
+  out_.flush();
+  ++entries_;
+}
+
+uint64_t SlowQueryLog::entries_written() const {
+  MutexLock lock(log_mu_);
+  return entries_;
+}
+
+}  // namespace monsoon::obs

@@ -1,0 +1,84 @@
+#ifndef MONSOON_OBS_SLOWLOG_H_
+#define MONSOON_OBS_SLOWLOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
+
+namespace monsoon::obs {
+
+/// Structured slow-query log: one JSON object per line (JSONL), appended
+/// as queries finish. Shared by the server (--slow-log=) and the harness
+/// (MONSOON_SLOW_LOG); entries are filled by the caller so this layer
+/// stays free of executor types. A query is eligible when it ran at or
+/// over the slow threshold, degraded, was cancelled, or failed — the same
+/// predicate the tail trace sampler uses, so a logged query's `trace`
+/// field (when tail sampling is on) points at its kept trace file.
+struct SlowLogEntry {
+  std::string sql;          // the request text (query name in the harness)
+  std::string fingerprint;  // spec fingerprint / strategy label
+  std::string reason;       // "slow" | "degraded" | "cancelled" | "error"
+  std::string status;       // "ok" | "timeout" | "error" | "cancelled"
+
+  uint64_t elapsed_us = 0;
+  uint64_t result_rows = 0;
+  uint64_t objects_processed = 0;
+  uint64_t work_units = 0;
+  uint64_t udf_cache_hits = 0;
+  uint64_t udf_cache_misses = 0;
+
+  bool degraded = false;
+  std::vector<std::string> degraded_reasons;
+
+  /// Tail-sampled trace file for this query; empty when tracing was off
+  /// or the trace was dropped.
+  std::string trace_path;
+};
+
+class SlowQueryLog {
+ public:
+  /// `slow_us` = 0 logs only degraded / cancelled / failed queries; any
+  /// other value additionally logs clean queries at or over the threshold.
+  SlowQueryLog(std::string path, uint64_t slow_us);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Opens the file for append. Not re-entrant with Log.
+  Status Open();
+
+  bool open() const { return opened_; }
+  uint64_t slow_us() const { return slow_us_; }
+  const std::string& path() const { return path_; }
+
+  /// The logging predicate, exposed so callers can skip building an entry.
+  bool Eligible(uint64_t elapsed_us, bool ok, bool degraded,
+                bool cancelled) const {
+    if (degraded || cancelled || !ok) return true;
+    return slow_us_ > 0 && elapsed_us >= slow_us_;
+  }
+
+  /// Serializes one JSONL line and flushes. Thread-safe; drops silently
+  /// when the log is not open (the open failure was already reported).
+  void Log(const SlowLogEntry& entry);
+
+  uint64_t entries_written() const;
+
+ private:
+  const std::string path_;
+  const uint64_t slow_us_;
+  bool opened_ = false;
+
+  mutable Mutex log_mu_;
+  std::ofstream out_ GUARDED_BY(log_mu_);
+  uint64_t entries_ GUARDED_BY(log_mu_) = 0;
+};
+
+}  // namespace monsoon::obs
+
+#endif  // MONSOON_OBS_SLOWLOG_H_

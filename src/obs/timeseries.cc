@@ -1,0 +1,123 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace monsoon::obs {
+
+double HistogramPercentile(const HistogramSnapshot& snap, double q) {
+  if (snap.count == 0 || snap.buckets.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample, 1-based; q=0 picks the first sample.
+  double rank = q * static_cast<double>(snap.count);
+  if (rank < 1.0) rank = 1.0;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < snap.buckets.size(); ++i) {
+    if (snap.buckets[i] == 0) continue;
+    uint64_t before = cumulative;
+    cumulative += snap.buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i == 0) return 0;  // bucket 0 holds exact zeros
+    double lower = static_cast<double>(Histogram::BucketLowerBound(i));
+    double upper = lower * 2;
+    double within = (rank - static_cast<double>(before)) /
+                    static_cast<double>(snap.buckets[i]);
+    return lower + within * (upper - lower);
+  }
+  // Unreachable when count matches the buckets; be defensive anyway.
+  return static_cast<double>(
+      Histogram::BucketLowerBound(snap.buckets.size() - 1));
+}
+
+uint64_t WindowSummary::CounterDelta(const std::string& name) const {
+  auto it = delta.counters.find(name);
+  return it == delta.counters.end() ? 0 : it->second;
+}
+
+double WindowSummary::Rate(const std::string& name) const {
+  if (window_seconds <= 0) return 0;
+  return static_cast<double>(CounterDelta(name)) / window_seconds;
+}
+
+const HistogramSnapshot* WindowSummary::Histogram(
+    const std::string& name) const {
+  auto it = delta.histograms.find(name);
+  return it == delta.histograms.end() ? nullptr : &it->second;
+}
+
+double WindowSummary::Percentile(const std::string& name, double q) const {
+  const HistogramSnapshot* snap = Histogram(name);
+  return snap == nullptr ? 0 : HistogramPercentile(*snap, q);
+}
+
+TimeSeriesRing::TimeSeriesRing(size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {}
+
+void TimeSeriesRing::Record(double interval_seconds, MetricsSnapshot delta) {
+  Slot slot;
+  slot.interval_seconds = interval_seconds > 0 ? interval_seconds : 0;
+  slot.delta = std::move(delta);
+  MutexLock lock(ring_mu_);
+  if (slots_.size() < capacity_) {
+    slots_.push_back(std::move(slot));
+  } else {
+    slots_[next_ % capacity_] = std::move(slot);
+  }
+  ++next_;
+  ++ticks_;
+}
+
+WindowSummary TimeSeriesRing::Window(double seconds) const {
+  WindowSummary summary;
+  MutexLock lock(ring_mu_);
+  size_t count = slots_.size();
+  // Newest-first walk; gauges take the first (newest) slot that carries
+  // them, counters and histograms accumulate via SnapshotDelta-compatible
+  // element-wise addition.
+  for (size_t back = 0; back < count; ++back) {
+    if (summary.window_seconds >= seconds && summary.slots > 0) break;
+    const Slot& slot = slots_[(next_ + capacity_ - 1 - back) % capacity_];
+    ++summary.slots;
+    summary.window_seconds += slot.interval_seconds;
+    for (const auto& [name, value] : slot.delta.counters) {
+      summary.delta.counters[name] += value;
+    }
+    for (const auto& [name, value] : slot.delta.gauges) {
+      summary.delta.gauges.emplace(name, value);  // newest wins: no overwrite
+    }
+    for (const auto& [name, hist] : slot.delta.histograms) {
+      HistogramSnapshot& merged = summary.delta.histograms[name];
+      if (merged.buckets.empty()) {
+        merged.buckets.assign(kHistogramBuckets, 0);
+      }
+      merged.Merge(hist);
+    }
+  }
+  return summary;
+}
+
+size_t TimeSeriesRing::size() const {
+  MutexLock lock(ring_mu_);
+  return slots_.size();
+}
+
+uint64_t TimeSeriesRing::ticks() const {
+  MutexLock lock(ring_mu_);
+  return ticks_;
+}
+
+void MetricsSampler::SampleOnce() {
+  MetricsSnapshot now = Registry::Global().Snapshot();
+  std::chrono::steady_clock::time_point now_time =
+      std::chrono::steady_clock::now();
+  if (primed_) {
+    double interval =
+        std::chrono::duration<double>(now_time - last_time_).count();
+    ring_->Record(interval, SnapshotDelta(last_, now));
+  }
+  primed_ = true;
+  last_ = std::move(now);
+  last_time_ = now_time;
+}
+
+}  // namespace monsoon::obs

@@ -1,0 +1,116 @@
+#ifndef MONSOON_OBS_TIMESERIES_H_
+#define MONSOON_OBS_TIMESERIES_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+
+namespace monsoon::obs {
+
+/// Windowed time-series over the metrics registry: a fixed-capacity ring
+/// of periodic MetricsSnapshot deltas. A sampler (driven externally — the
+/// server runs one as a long-lived pool task; see MetricsSampler) appends
+/// one slot per tick; readers merge the newest slots covering the last N
+/// seconds into a WindowSummary. Because histogram deltas merge by plain
+/// element-wise addition (fixed log2 buckets), window percentiles are
+/// exact over the merged samples — no sketch error on top of the bucket
+/// resolution.
+///
+/// The ring never touches the metric hot paths: Counter::Add and
+/// Histogram::Observe are unchanged, and with no sampler running the
+/// subsystem costs nothing. Record/Window copy snapshot maps under a
+/// dedicated unranked mutex (never held across pool work or I/O).
+
+/// Percentile estimate from a log2-bucket histogram: finds the bucket
+/// containing the q-th ranked sample and interpolates linearly inside its
+/// [lower, upper) value range. Exact for bucket boundaries; at most one
+/// bucket's width of error inside. `q` in [0, 1]; 0 samples -> 0.
+double HistogramPercentile(const HistogramSnapshot& snap, double q);
+
+/// Merge of the ring slots covering a trailing window.
+struct WindowSummary {
+  /// Slots merged (0 when the sampler has not ticked yet).
+  size_t slots = 0;
+  /// Wall time actually covered (sum of slot intervals; may be shorter
+  /// than requested while the ring warms up).
+  double window_seconds = 0;
+  /// Counter / histogram deltas summed over the window; gauges hold the
+  /// newest slot's instantaneous value.
+  MetricsSnapshot delta;
+
+  /// Counter delta over the window (0 when absent).
+  uint64_t CounterDelta(const std::string& name) const;
+  /// CounterDelta / window_seconds (0 when the window is empty).
+  double Rate(const std::string& name) const;
+  /// Merged histogram delta, or nullptr when absent.
+  const HistogramSnapshot* Histogram(const std::string& name) const;
+  /// HistogramPercentile of the named merged histogram (0 when absent).
+  double Percentile(const std::string& name, double q) const;
+};
+
+class TimeSeriesRing {
+ public:
+  /// `capacity` slots; at the server's default 250ms tick, 256 slots hold
+  /// just over a minute of history.
+  explicit TimeSeriesRing(size_t capacity = 256);
+
+  TimeSeriesRing(const TimeSeriesRing&) = delete;
+  TimeSeriesRing& operator=(const TimeSeriesRing&) = delete;
+
+  /// Appends one slot: `delta` covers the `interval_seconds` ending now.
+  /// The oldest slot is overwritten when the ring is full.
+  void Record(double interval_seconds, MetricsSnapshot delta);
+
+  /// Merges the newest slots whose intervals sum to at least `seconds`
+  /// (fewer while warming up).
+  WindowSummary Window(double seconds) const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  /// Total slots ever recorded (ticks), including overwritten ones.
+  uint64_t ticks() const;
+
+ private:
+  struct Slot {
+    double interval_seconds = 0;
+    MetricsSnapshot delta;
+  };
+
+  const size_t capacity_;
+  mutable Mutex ring_mu_;
+  std::vector<Slot> slots_ GUARDED_BY(ring_mu_);
+  size_t next_ GUARDED_BY(ring_mu_) = 0;
+  uint64_t ticks_ GUARDED_BY(ring_mu_) = 0;
+};
+
+/// Turns registry snapshots into ring slots. SampleOnce diffs the global
+/// registry against the previous sample and records the delta with the
+/// measured inter-tick interval; the first call primes the baseline and
+/// records nothing. Drive it from any single thread or task — the server
+/// runs `while (!stop) { SampleOnce(); wait(interval); }` as a pool task
+/// (src/obs stays free of std::thread per the monsoon-thread rule).
+class MetricsSampler {
+ public:
+  explicit MetricsSampler(TimeSeriesRing* ring) : ring_(ring) {}
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Snapshot + diff + record. Not thread-safe: one driver at a time.
+  void SampleOnce();
+
+ private:
+  TimeSeriesRing* ring_;
+  bool primed_ = false;
+  MetricsSnapshot last_;
+  std::chrono::steady_clock::time_point last_time_;
+};
+
+}  // namespace monsoon::obs
+
+#endif  // MONSOON_OBS_TIMESERIES_H_

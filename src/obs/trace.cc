@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/sync.h"
@@ -17,6 +18,7 @@ namespace monsoon::obs {
 
 namespace internal {
 std::atomic<bool> g_trace_enabled{false};
+std::atomic<bool> g_tail_mode{false};
 }  // namespace internal
 
 namespace {
@@ -29,8 +31,18 @@ struct TraceEvent {
   uint64_t seq;
   uint64_t ts_us;
   uint64_t dur_us;
+  /// BeginQueryTrace scope the event was recorded under; 0 outside any
+  /// scope. Only consulted in tail mode.
+  uint64_t query_serial = 0;
   std::vector<std::pair<std::string, std::string>> args;
 };
+
+/// Rough in-memory footprint, charged against the tail byte budget.
+size_t ApproxEventBytes(const TraceEvent& ev) {
+  size_t bytes = sizeof(TraceEvent);
+  for (const auto& [key, value] : ev.args) bytes += key.size() + value.size();
+  return bytes;
+}
 
 /// Per-thread event buffer. The owning thread appends under the buffer's
 /// own mutex (uncontended except during a drain); StopTracing locks each
@@ -51,6 +63,8 @@ struct LaneState {
 };
 
 thread_local int tls_lane = -1;
+/// Active BeginQueryTrace scope for this thread; 0 = none.
+thread_local uint64_t tls_query_serial = 0;
 
 class Tracer {
  public:
@@ -67,6 +81,15 @@ class Tracer {
   std::string lane_names[kNumLanes] GUARDED_BY(tracer_mu);
   std::vector<std::unique_ptr<ThreadBuffer>> buffers GUARDED_BY(tracer_mu);
   std::vector<TraceEvent> orphans GUARDED_BY(tracer_mu);
+
+  /// Tail-sampling state (StartTailSampling). The atomics are read on the
+  /// span fast path without the mutex; dir/slow_us only change under it.
+  std::string tail_dir GUARDED_BY(tracer_mu);
+  uint64_t tail_slow_us GUARDED_BY(tracer_mu) = 0;
+  std::atomic<size_t> tail_byte_budget{0};
+  std::atomic<size_t> tail_bytes{0};
+  std::atomic<uint64_t> tail_dropped{0};
+  std::atomic<uint64_t> next_query_serial{0};
 
   /// Start-of-trace epoch; written before the enabled flag's release
   /// store, read by every span after its acquire load.
@@ -152,6 +175,85 @@ void StopTracingAtExit() {
   (void)flush;
 }
 
+/// Shared Chrome-trace writer: process/thread metadata, then `events` as
+/// ph:"X" complete events. `lane_names` points at kNumLanes entries (the
+/// caller holds tracer_mu, which guards them).
+Status WriteTraceJson(const std::string& path,
+                      const std::vector<TraceEvent>& events,
+                      const std::string* lane_names, uint64_t seed) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open trace file: " + path);
+  }
+
+  bool lane_used[kNumLanes] = {};
+  lane_used[kMainLane] = true;
+  for (const TraceEvent& ev : events) lane_used[ev.lane] = true;
+
+  JsonWriter writer(out);
+  writer.BeginObject();
+  writer.Key("traceEvents");
+  writer.BeginArray();
+  writer.BeginObject();
+  writer.KV("name", "process_name");
+  writer.KV("ph", "M");
+  writer.KV("pid", 1);
+  writer.Key("args");
+  writer.BeginObject();
+  writer.KV("name", "monsoon");
+  writer.EndObject();
+  writer.EndObject();
+  for (int lane = 0; lane < kNumLanes; ++lane) {
+    if (!lane_used[lane]) continue;
+    writer.BeginObject();
+    writer.KV("name", "thread_name");
+    writer.KV("ph", "M");
+    writer.KV("pid", 1);
+    writer.KV("tid", lane);
+    writer.Key("args");
+    writer.BeginObject();
+    std::string name = lane_names[lane];
+    if (name.empty()) name = StrFormat("lane-%d", lane);
+    writer.KV("name", name);
+    writer.EndObject();
+    writer.EndObject();
+  }
+  for (const TraceEvent& ev : events) {
+    writer.BeginObject();
+    writer.KV("name", ev.name);
+    writer.KV("cat", ev.category);
+    writer.KV("ph", "X");
+    writer.KV("pid", 1);
+    writer.KV("tid", ev.lane);
+    writer.KV("ts", ev.ts_us);
+    writer.KV("dur", ev.dur_us);
+    writer.Key("args");
+    writer.BeginObject();
+    writer.KV("span_id", StrFormat("0x%016llx",
+                                   static_cast<unsigned long long>(ev.span_id)));
+    writer.KV("seq", ev.seq);
+    for (const auto& [key, json_text] : ev.args) {
+      writer.Key(key);
+      writer.Raw(json_text);
+    }
+    writer.EndObject();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.KV("displayTimeUnit", "ms");
+  writer.Key("otherData");
+  writer.BeginObject();
+  writer.KV("seed", seed);
+  writer.EndObject();
+  writer.EndObject();
+  out << "\n";
+  out.flush();
+  if (!out) {
+    return Status::Internal("failed writing trace file: " + path);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 void SetThreadDefaultLane(int lane, const std::string& name) {
@@ -175,6 +277,9 @@ Status StartTracing(const std::string& path, uint64_t seed) {
   if (tracer.active) {
     return Status::AlreadyExists("tracing is already active (" + tracer.path +
                                  ")");
+  }
+  if (TailSamplingActive()) {
+    return Status::AlreadyExists("tail sampling owns the tracer");
   }
   tracer.path = path;
   tracer.seed = seed;
@@ -230,77 +335,7 @@ Status StopTracing() {
                      return a.seq < b.seq;
                    });
 
-  std::ofstream out(tracer.path);
-  if (!out) {
-    return Status::Internal("cannot open trace file: " + tracer.path);
-  }
-
-  bool lane_used[kNumLanes] = {};
-  lane_used[kMainLane] = true;
-  for (const TraceEvent& ev : events) lane_used[ev.lane] = true;
-
-  JsonWriter writer(out);
-  writer.BeginObject();
-  writer.Key("traceEvents");
-  writer.BeginArray();
-  writer.BeginObject();
-  writer.KV("name", "process_name");
-  writer.KV("ph", "M");
-  writer.KV("pid", 1);
-  writer.Key("args");
-  writer.BeginObject();
-  writer.KV("name", "monsoon");
-  writer.EndObject();
-  writer.EndObject();
-  for (int lane = 0; lane < kNumLanes; ++lane) {
-    if (!lane_used[lane]) continue;
-    writer.BeginObject();
-    writer.KV("name", "thread_name");
-    writer.KV("ph", "M");
-    writer.KV("pid", 1);
-    writer.KV("tid", lane);
-    writer.Key("args");
-    writer.BeginObject();
-    std::string name = tracer.lane_names[lane];
-    if (name.empty()) name = StrFormat("lane-%d", lane);
-    writer.KV("name", name);
-    writer.EndObject();
-    writer.EndObject();
-  }
-  for (const TraceEvent& ev : events) {
-    writer.BeginObject();
-    writer.KV("name", ev.name);
-    writer.KV("cat", ev.category);
-    writer.KV("ph", "X");
-    writer.KV("pid", 1);
-    writer.KV("tid", ev.lane);
-    writer.KV("ts", ev.ts_us);
-    writer.KV("dur", ev.dur_us);
-    writer.Key("args");
-    writer.BeginObject();
-    writer.KV("span_id", StrFormat("0x%016llx",
-                                   static_cast<unsigned long long>(ev.span_id)));
-    writer.KV("seq", ev.seq);
-    for (const auto& [key, json_text] : ev.args) {
-      writer.Key(key);
-      writer.Raw(json_text);
-    }
-    writer.EndObject();
-    writer.EndObject();
-  }
-  writer.EndArray();
-  writer.KV("displayTimeUnit", "ms");
-  writer.Key("otherData");
-  writer.BeginObject();
-  writer.KV("seed", tracer.seed);
-  writer.EndObject();
-  writer.EndObject();
-  out << "\n";
-  out.flush();
-  if (!out) {
-    return Status::Internal("failed writing trace file: " + tracer.path);
-  }
-  return Status::OK();
+  return WriteTraceJson(tracer.path, events, tracer.lane_names, tracer.seed);
 }
 
 bool MaybeStartTracingFromEnv() {
@@ -312,6 +347,172 @@ bool MaybeStartTracingFromEnv() {
     seed = std::strtoull(seed_env, nullptr, 10);
   }
   return StartTracing(path, seed).ok();
+}
+
+Status StartTailSampling(const TailSamplingOptions& options) {
+  Tracer& tracer = Tracer::Global();
+  MutexLock lock(tracer.tracer_mu);
+  if (tracer.active) {
+    return Status::AlreadyExists("full-file tracing is already active (" +
+                                 tracer.path + ")");
+  }
+  if (TailSamplingActive()) {
+    return Status::AlreadyExists("tail sampling is already active");
+  }
+  tracer.tail_dir = options.dir.empty() ? "." : options.dir;
+  tracer.tail_slow_us = options.slow_us;
+  tracer.tail_byte_budget.store(options.byte_budget,
+                                std::memory_order_relaxed);
+  tracer.tail_bytes.store(0, std::memory_order_relaxed);
+  tracer.tail_dropped.store(0, std::memory_order_relaxed);
+  tracer.seed = options.seed;
+  tracer.t0 = std::chrono::steady_clock::now();
+  for (int lane = 0; lane < kNumLanes; ++lane) {
+    tracer.lanes[lane].rng = Pcg32(options.seed + static_cast<uint64_t>(lane));
+    tracer.lanes[lane].seq = 0;
+  }
+  if (tracer.lane_names[kMainLane].empty()) {
+    tracer.lane_names[kMainLane] = "main";
+  }
+  for (const auto& buffer : tracer.buffers) {
+    MutexLock buffer_lock(buffer->bmu);
+    buffer->events.clear();
+  }
+  tracer.orphans.clear();
+  if (tls_lane < 0) tls_lane = kMainLane;
+
+  internal::g_tail_mode.store(true, std::memory_order_release);
+  internal::g_trace_enabled.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status StopTailSampling() {
+  Tracer& tracer = Tracer::Global();
+  MutexLock lock(tracer.tracer_mu);
+  if (!TailSamplingActive()) return Status::OK();
+  internal::g_trace_enabled.store(false, std::memory_order_release);
+  internal::g_tail_mode.store(false, std::memory_order_release);
+  for (const auto& buffer : tracer.buffers) {
+    MutexLock buffer_lock(buffer->bmu);
+    buffer->events.clear();
+  }
+  tracer.orphans.clear();
+  tracer.tail_bytes.store(0, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+bool MaybeStartTailSamplingFromEnv() {
+  if (TracingEnabled() || TailSamplingActive()) return false;
+  if (!HasEnv("MONSOON_TRACE_TAIL_MS")) return false;
+  TailSamplingOptions options;
+  options.slow_us = EnvUint64("MONSOON_TRACE_TAIL_MS", 0) * 1000;
+  options.dir = EnvString("MONSOON_TRACE_TAIL_DIR").value_or(".");
+  options.seed = EnvUint64("MONSOON_TRACE_SEED", kDefaultTraceSeed);
+  options.byte_budget = EnvUint64("MONSOON_TRACE_TAIL_BUDGET",
+                                  TailSamplingOptions().byte_budget);
+  return StartTailSampling(options).ok();
+}
+
+uint64_t BeginQueryTrace() {
+  if (!TailSamplingActive()) return 0;
+  Tracer& tracer = Tracer::Global();
+  uint64_t serial =
+      tracer.next_query_serial.fetch_add(1, std::memory_order_relaxed) + 1;
+  tls_query_serial = serial;
+  return serial;
+}
+
+QueryTraceDecision EndQueryTrace(uint64_t serial,
+                                 const QueryTraceVerdict& verdict) {
+  QueryTraceDecision decision;
+  if (serial == 0) return decision;
+  if (tls_query_serial == serial) tls_query_serial = 0;
+
+  Tracer& tracer = Tracer::Global();
+  MutexLock lock(tracer.tracer_mu);
+
+  // Sweep this query's events out of every buffer (they normally live in
+  // the session thread's buffer only; orphans cover a thread that exited).
+  std::vector<TraceEvent> events;
+  auto take_from = [&](std::vector<TraceEvent>& source) {
+    auto keep_end = std::stable_partition(
+        source.begin(), source.end(),
+        [&](const TraceEvent& ev) { return ev.query_serial != serial; });
+    for (auto it = keep_end; it != source.end(); ++it) {
+      events.push_back(std::move(*it));
+    }
+    source.erase(keep_end, source.end());
+  };
+  for (const auto& buffer : tracer.buffers) {
+    MutexLock buffer_lock(buffer->bmu);
+    take_from(buffer->events);
+  }
+  take_from(tracer.orphans);
+  size_t freed = 0;
+  for (const TraceEvent& ev : events) freed += ApproxEventBytes(ev);
+  tracer.tail_bytes.fetch_sub(freed, std::memory_order_relaxed);
+
+  if (!TailSamplingActive()) return decision;  // stopped while in flight
+
+  if (verdict.cancelled) {
+    decision.reason = "cancelled";
+  } else if (verdict.faulted) {
+    decision.reason = "faulted";
+  } else if (verdict.degraded) {
+    decision.reason = "degraded";
+  } else if (tracer.tail_slow_us > 0 &&
+             verdict.elapsed_us >= tracer.tail_slow_us) {
+    decision.reason = "slow";
+  } else {
+    decision.reason = "fast";
+    return decision;  // dropped: events discarded with this scope
+  }
+  decision.sampled = true;
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.lane != b.lane) return a.lane < b.lane;
+                     return a.seq < b.seq;
+                   });
+
+  // The sampling-decision marker leads the file so checkers can classify
+  // the trace without scanning it.
+  TraceEvent marker;
+  marker.category = "obs";
+  marker.name = "sampling_decision";
+  marker.lane = events.empty() ? kMainLane : events.front().lane;
+  marker.span_id = serial;
+  marker.seq = 0;
+  marker.ts_us = events.empty() ? 0 : events.front().ts_us;
+  marker.dur_us = 0;
+  marker.args.emplace_back("decision", "\"sampled\"");
+  marker.args.emplace_back("reason", "\"" + decision.reason + "\"");
+  marker.args.emplace_back(
+      "elapsed_us",
+      StrFormat("%llu", static_cast<unsigned long long>(verdict.elapsed_us)));
+  marker.args.emplace_back(
+      "serial", StrFormat("%llu", static_cast<unsigned long long>(serial)));
+  marker.args.emplace_back(
+      "budget_dropped_events",
+      StrFormat("%llu", static_cast<unsigned long long>(
+                            tracer.tail_dropped.load(std::memory_order_relaxed))));
+  events.insert(events.begin(), std::move(marker));
+
+  decision.path =
+      tracer.tail_dir +
+      StrFormat("/tail-%06llu-", static_cast<unsigned long long>(serial)) +
+      decision.reason + ".json";
+  Status written =
+      WriteTraceJson(decision.path, events, tracer.lane_names, tracer.seed);
+  if (!written.ok()) {
+    decision.sampled = false;
+    decision.path.clear();
+  }
+  return decision;
+}
+
+uint64_t TailSamplingDroppedEvents() {
+  return Tracer::Global().tail_dropped.load(std::memory_order_relaxed);
 }
 
 TraceSpan::TraceSpan(const char* category, const char* name) {
@@ -339,7 +540,23 @@ void TraceSpan::End() {
   ev.ts_us = start_us_;
   uint64_t end_us = NowUs();
   ev.dur_us = end_us >= start_us_ ? end_us - start_us_ : 0;
+  ev.query_serial = tls_query_serial;
   ev.args = std::move(args_);
+  if (internal::g_tail_mode.load(std::memory_order_acquire)) {
+    // Tail mode buffers only events inside a query scope, under the global
+    // byte budget; everything else is discarded right here so idle-time
+    // spans can never grow the buffers unboundedly.
+    if (ev.query_serial == 0) return;
+    Tracer& tracer = Tracer::Global();
+    size_t bytes = ApproxEventBytes(ev);
+    size_t budget = tracer.tail_byte_budget.load(std::memory_order_relaxed);
+    if (tracer.tail_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes >
+        budget) {
+      tracer.tail_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+      tracer.tail_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
   ThreadBuffer* buffer = CurrentBuffer();
   MutexLock lock(buffer->bmu);
   buffer->events.push_back(std::move(ev));

@@ -28,12 +28,18 @@ namespace monsoon::obs {
 
 namespace internal {
 extern std::atomic<bool> g_trace_enabled;
+extern std::atomic<bool> g_tail_mode;
 }  // namespace internal
 
 inline bool TracingEnabled() {
   // acquire pairs with the release store in StartTracing so a thread that
   // sees the flag also sees the reset lane states and trace epoch.
   return internal::g_trace_enabled.load(std::memory_order_acquire);
+}
+
+/// True while tail-based sampling (StartTailSampling) owns the tracer.
+inline bool TailSamplingActive() {
+  return internal::g_tail_mode.load(std::memory_order_acquire);
 }
 
 /// Logical lane layout. A lane is the "tid" in the trace file.
@@ -79,6 +85,78 @@ Status StopTracing();
 /// MONSOON_TRACE_SEED=<n>); returns true if tracing was started. No-op if
 /// the variable is unset or tracing is already active.
 bool MaybeStartTracingFromEnv();
+
+/// --- Tail-based trace sampling -------------------------------------------
+///
+/// Production mode: tracing stays armed for every query, but the buffered
+/// events are kept only for queries that *end* interesting — slower than a
+/// threshold, degraded, cancelled, or faulted — and are dropped at query
+/// end otherwise, under a global byte budget. Each kept query becomes its
+/// own Chrome trace file in `dir`, prefixed with a "sampling_decision"
+/// marker event recording why it was kept.
+///
+/// Scoping: BeginQueryTrace() tags the calling thread with a fresh query
+/// serial; spans recorded by that thread until the matching EndQueryTrace()
+/// carry the serial. In tail mode, spans on threads with no active serial
+/// (other sessions' pool workers, morsel tasks stolen by peers) are not
+/// buffered — a tail trace documents the session thread's timeline, which
+/// is where the MDP / Σ / executor spans of a server query live. Full-file
+/// tracing (StartTracing) and tail sampling are mutually exclusive.
+
+struct TailSamplingOptions {
+  /// Directory for kept trace files ("<dir>/tail-<serial>-<reason>.json").
+  std::string dir;
+  /// Keep queries with elapsed_us >= slow_us; 0 keeps only degraded /
+  /// cancelled / faulted queries.
+  uint64_t slow_us = 0;
+  /// Span-id stream seed, as StartTracing.
+  uint64_t seed = kDefaultTraceSeed;
+  /// Cap on bytes buffered across all in-flight queries; events past it
+  /// are dropped (counted per query and stamped into the marker event).
+  size_t byte_budget = 8 << 20;
+};
+
+/// Arms tail sampling. Fails if tracing (either mode) is already active.
+Status StartTailSampling(const TailSamplingOptions& options);
+
+/// Disarms tail sampling and discards any still-buffered events (queries
+/// that never reached EndQueryTrace). Idempotent.
+Status StopTailSampling();
+
+/// Arms tail sampling from MONSOON_TRACE_TAIL_MS (threshold, milliseconds)
+/// and MONSOON_TRACE_TAIL_DIR (default "."); returns true when armed.
+bool MaybeStartTailSamplingFromEnv();
+
+/// Opens a per-query capture scope on the calling thread and returns its
+/// serial (> 0), or 0 when tail sampling is inactive. Costs one acquire
+/// load when inactive (gated by bench_obs_overhead).
+uint64_t BeginQueryTrace();
+
+/// How the query ended; EndQueryTrace combines this with the configured
+/// threshold to reach the keep/drop decision.
+struct QueryTraceVerdict {
+  uint64_t elapsed_us = 0;
+  bool degraded = false;
+  bool cancelled = false;
+  bool faulted = false;  // finished with a non-OK, non-cancel status
+};
+
+struct QueryTraceDecision {
+  bool sampled = false;
+  /// "slow" | "degraded" | "cancelled" | "faulted" | "fast" (dropped).
+  std::string reason;
+  /// Path of the written trace file; empty when dropped.
+  std::string path;
+};
+
+/// Closes the scope opened by BeginQueryTrace: writes the query's trace
+/// file when the verdict keeps it, discards the events otherwise. Passing
+/// serial == 0 is a no-op (tail sampling inactive at Begin time).
+QueryTraceDecision EndQueryTrace(uint64_t serial,
+                                 const QueryTraceVerdict& verdict);
+
+/// Events dropped by the byte budget since StartTailSampling.
+uint64_t TailSamplingDroppedEvents();
 
 /// RAII span. Construction samples the start time and draws a span id
 /// from the current lane's stream; End() (or the destructor) samples the

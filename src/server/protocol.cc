@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "obs/json.h"
+#include "obs/report.h"
 
 namespace monsoon::server {
 
@@ -35,6 +36,10 @@ Request ParseRequestLine(const std::string& line) {
     request.kind = Request::Kind::kPing;
   } else if (trimmed == ".stats") {
     request.kind = Request::Kind::kStats;
+  } else if (trimmed == ".metrics") {
+    request.kind = Request::Kind::kMetrics;
+  } else if (trimmed == ".health") {
+    request.kind = Request::Kind::kHealth;
   } else if (trimmed == ".quit") {
     request.kind = Request::Kind::kQuit;
   } else {
@@ -44,11 +49,13 @@ Request ParseRequestLine(const std::string& line) {
   return request;
 }
 
-std::string RenderRunResponse(uint64_t id, const RunResult& result) {
+std::string RenderRunResponse(uint64_t id, const RunResult& result,
+                              const std::string& trace_path) {
   std::ostringstream out;
   obs::JsonWriter w(out);
   OpenResponse(&w, id, StatusLabel(result), result.status.code());
   if (!result.ok()) w.KV("error", result.status.message());
+  if (!trace_path.empty()) w.KV("trace", trace_path);
   w.KV("rows", result.result_rows);
   w.KV("objects", result.objects_processed);
   w.KV("work_units", result.work_units);
@@ -71,11 +78,13 @@ std::string RenderRunResponse(uint64_t id, const RunResult& result) {
   return out.str();
 }
 
-std::string RenderErrorResponse(uint64_t id, const Status& status) {
+std::string RenderErrorResponse(uint64_t id, const Status& status,
+                                const std::string& trace_path) {
   std::ostringstream out;
   obs::JsonWriter w(out);
   OpenResponse(&w, id, "error", status.code());
   w.KV("error", status.message());
+  if (!trace_path.empty()) w.KV("trace", trace_path);
   w.EndObject();
   return out.str();
 }
@@ -99,7 +108,8 @@ std::string RenderBye(uint64_t id) {
 }
 
 std::string RenderStatsResponse(uint64_t id, const AdmissionStats& admission,
-                                uint64_t sessions_total, size_t memo_entries) {
+                                uint64_t sessions_total, size_t memo_entries,
+                                const obs::MetricsSnapshot& delta) {
   std::ostringstream out;
   obs::JsonWriter w(out);
   OpenResponse(&w, id, "ok", StatusCode::kOk);
@@ -109,6 +119,42 @@ std::string RenderStatsResponse(uint64_t id, const AdmissionStats& admission,
   w.KV("active", admission.active);
   w.KV("queued", admission.queued);
   w.KV("stats_memo_entries", static_cast<uint64_t>(memo_entries));
+  w.Key("metrics_delta");
+  obs::WriteMetricsJson(w, delta);
+  w.EndObject();
+  return out.str();
+}
+
+std::string RenderMetricsResponse(uint64_t id, const std::string& exposition) {
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  OpenResponse(&w, id, "ok", StatusCode::kOk);
+  w.KV("content_type", "text/plain; version=0.0.4");
+  w.KV("body", exposition);
+  w.EndObject();
+  return out.str();
+}
+
+std::string RenderHealthResponse(uint64_t id, const HealthInfo& health) {
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  OpenResponse(&w, id, "ok", StatusCode::kOk);
+  w.KV("sessions", health.sessions_total);
+  w.KV("active", health.active);
+  w.KV("queued", health.queued);
+  w.KV("degraded_queries", health.degraded_queries);
+  w.KV("slow_queries", health.slow_queries);
+  w.KV("tail_sampled", health.tail_sampled);
+  w.KV("tail_dropped", health.tail_dropped);
+  w.KV("draining", health.draining);
+  w.Key("window");
+  w.BeginObject();
+  w.KV("seconds", health.window_seconds);
+  w.KV("qps", health.qps);
+  w.KV("latency_p50_us", health.latency_p50_us);
+  w.KV("latency_p95_us", health.latency_p95_us);
+  w.KV("latency_p99_us", health.latency_p99_us);
+  w.EndObject();
   w.EndObject();
   return out.str();
 }

@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <utility>
+#include <vector>
 
 #include "common/env.h"
+#include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/net.h"
@@ -24,6 +26,10 @@ struct ServerMetrics {
   obs::Counter* cancelled;
   obs::Counter* bytes_in;
   obs::Counter* bytes_out;
+  obs::Counter* degraded;
+  obs::Counter* slow;
+  obs::Counter* tail_sampled;
+  obs::Counter* tail_dropped;
   obs::Gauge* active;
   obs::Gauge* queued;
   obs::Histogram* latency_us;
@@ -40,6 +46,10 @@ ServerMetrics& Metrics() {
     metrics.cancelled = reg.GetCounter("monsoon.server.cancelled");
     metrics.bytes_in = reg.GetCounter("monsoon.server.bytes_in");
     metrics.bytes_out = reg.GetCounter("monsoon.server.bytes_out");
+    metrics.degraded = reg.GetCounter("monsoon.server.degraded");
+    metrics.slow = reg.GetCounter("monsoon.server.slow");
+    metrics.tail_sampled = reg.GetCounter("monsoon.server.tail_sampled");
+    metrics.tail_dropped = reg.GetCounter("monsoon.server.tail_dropped");
     metrics.active = reg.GetGauge("monsoon.server.active");
     metrics.queued = reg.GetGauge("monsoon.server.queued");
     metrics.latency_us = reg.GetHistogram("monsoon.server.latency_us");
@@ -63,6 +73,16 @@ ServerOptions ServerOptions::FromEnv(ServerOptions base) {
   if (base.queue_depth == defaults.queue_depth) {
     base.queue_depth = EnvInt("MONSOON_SERVER_QUEUE_DEPTH", defaults.queue_depth);
   }
+  if (base.telemetry_interval_ms == defaults.telemetry_interval_ms) {
+    base.telemetry_interval_ms =
+        EnvUint64("MONSOON_SERVER_TELEMETRY_MS", defaults.telemetry_interval_ms);
+  }
+  if (base.slow_log_path == defaults.slow_log_path) {
+    base.slow_log_path = EnvString("MONSOON_SLOW_LOG").value_or("");
+  }
+  if (base.slow_query_ms == defaults.slow_query_ms) {
+    base.slow_query_ms = EnvUint64("MONSOON_SLOW_MS", defaults.slow_query_ms);
+  }
   return base;
 }
 
@@ -72,9 +92,13 @@ QueryServer::QueryServer(const Catalog* catalog, ServerOptions options)
       admission_(options.max_sessions, options.queue_depth),
       shared_(options.stats_memo_entries),
       // The pool's concurrency level counts the (absent) caller slot, so
-      // max_sessions concurrent session tasks need max_sessions workers.
+      // max_sessions concurrent session tasks need max_sessions workers —
+      // plus one worker the telemetry sampler task parks on, so sampling
+      // never competes with a session for a slot.
       session_pool_(std::make_unique<parallel::ThreadPool>(
-          (options.max_sessions < 1 ? 1 : options.max_sessions) + 1)) {}
+          (options.max_sessions < 1 ? 1 : options.max_sessions) + 1 +
+          (options.telemetry_interval_ms > 0 ? 1 : 0))),
+      sampler_(&telemetry_ring_) {}
 
 QueryServer::~QueryServer() {
   Shutdown();
@@ -85,10 +109,49 @@ Status QueryServer::Start() {
   if (started_.exchange(true)) {
     return Status::Internal("QueryServer::Start called twice");
   }
+  if (!options_.slow_log_path.empty()) {
+    slow_log_ = std::make_unique<obs::SlowQueryLog>(
+        options_.slow_log_path, options_.slow_query_ms * 1000);
+    MONSOON_RETURN_IF_ERROR(slow_log_->Open());
+  }
   MONSOON_ASSIGN_OR_RETURN(listen_fd_, ListenOn(options_.port));
   MONSOON_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_));
+  if (options_.telemetry_interval_ms > 0) {
+    {
+      MutexLock lock(telemetry_mu_);
+      telemetry_running_ = true;
+    }
+    session_pool_->Submit([this] { TelemetryLoop(); });
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
+}
+
+void QueryServer::TelemetryLoop() {
+  for (;;) {
+    // Snapshot outside telemetry_mu_: SampleOnce takes the registry and
+    // ring locks, and the tick interval should not serialize with
+    // StopTelemetry's wait.
+    sampler_.SampleOnce();
+    MutexLock lock(telemetry_mu_);
+    if (telemetry_stop_) break;
+    telemetry_cv_.WaitFor(
+        telemetry_mu_,
+        std::chrono::milliseconds(options_.telemetry_interval_ms));
+    if (telemetry_stop_) break;
+  }
+  MutexLock lock(telemetry_mu_);
+  telemetry_running_ = false;
+  telemetry_cv_.NotifyAll();
+}
+
+void QueryServer::StopTelemetry() {
+  MutexLock lock(telemetry_mu_);
+  telemetry_stop_ = true;
+  telemetry_cv_.NotifyAll();
+  while (telemetry_running_) {
+    telemetry_cv_.WaitFor(telemetry_mu_, std::chrono::milliseconds(10));
+  }
 }
 
 void QueryServer::AcceptLoop() {
@@ -137,6 +200,9 @@ void QueryServer::ServeConnection(Connection* conn) {
   std::string line;
   uint64_t request_id = 0;
   uint64_t bytes_seen = 0;
+  // Baseline for `.stats`: the reply carries the registry delta since the
+  // connection opened (monsoon-top's per-session view).
+  obs::MetricsSnapshot conn_start = obs::Registry::Global().Snapshot();
   for (;;) {
     StatusOr<bool> got = reader.ReadLine(&line);
     Metrics().bytes_in->Add(reader.bytes_read() - bytes_seen);
@@ -151,9 +217,16 @@ void QueryServer::ServeConnection(Connection* conn) {
         response = RenderPong(request_id);
         break;
       case Request::Kind::kStats:
-        response = RenderStatsResponse(request_id, admission_.stats(),
-                                       Metrics().sessions->Value(),
-                                       shared_.memo_size());
+        response = RenderStatsResponse(
+            request_id, admission_.stats(), Metrics().sessions->Value(),
+            shared_.memo_size(),
+            obs::SnapshotDelta(conn_start, obs::Registry::Global().Snapshot()));
+        break;
+      case Request::Kind::kMetrics:
+        response = RenderMetricsNow(request_id);
+        break;
+      case Request::Kind::kHealth:
+        response = RenderHealthNow(request_id);
         break;
       case Request::Kind::kQuit:
         response = RenderBye(request_id);
@@ -243,19 +316,118 @@ std::string QueryServer::RunQueryOnPool(const std::string& sql,
   return response;
 }
 
+std::string QueryServer::RenderMetricsNow(uint64_t request_id) const {
+  obs::WindowSummary window =
+      telemetry_ring_.Window(options_.telemetry_window_seconds);
+  std::vector<obs::ExpositionExtra> extras = {
+      {"monsoon_window_seconds", window.window_seconds},
+      {"monsoon_window_qps", window.Rate("monsoon.server.sessions")},
+      {"monsoon_window_latency_us_p50",
+       window.Percentile("monsoon.server.latency_us", 0.50)},
+      {"monsoon_window_latency_us_p95",
+       window.Percentile("monsoon.server.latency_us", 0.95)},
+      {"monsoon_window_latency_us_p99",
+       window.Percentile("monsoon.server.latency_us", 0.99)},
+  };
+  return RenderMetricsResponse(
+      request_id,
+      obs::RenderPrometheusText(obs::Registry::Global().Snapshot(), extras));
+}
+
+std::string QueryServer::RenderHealthNow(uint64_t request_id) const {
+  HealthInfo health;
+  AdmissionStats admission = admission_.stats();
+  health.sessions_total = Metrics().sessions->Value();
+  health.active = admission.active;
+  health.queued = admission.queued;
+  health.degraded_queries = Metrics().degraded->Value();
+  health.slow_queries = Metrics().slow->Value();
+  health.tail_sampled = Metrics().tail_sampled->Value();
+  health.tail_dropped = Metrics().tail_dropped->Value();
+  health.draining = draining();
+  obs::WindowSummary window =
+      telemetry_ring_.Window(options_.telemetry_window_seconds);
+  health.window_seconds = window.window_seconds;
+  health.qps = window.Rate("monsoon.server.sessions");
+  health.latency_p50_us = window.Percentile("monsoon.server.latency_us", 0.50);
+  health.latency_p95_us = window.Percentile("monsoon.server.latency_us", 0.95);
+  health.latency_p99_us = window.Percentile("monsoon.server.latency_us", 0.99);
+  return RenderHealthResponse(request_id, health);
+}
+
 std::string QueryServer::RunSession(const std::string& sql,
                                     uint64_t request_id,
                                     fault::CancellationToken* token) {
+  // Open the tail-sampling scope before the first span so the session
+  // span itself lands in a kept trace. No-op (serial 0) when tail
+  // sampling is off.
+  uint64_t tail_serial = obs::BeginQueryTrace();
   obs::TraceSpan span("server", "session");
   span.Arg("request", request_id);
   std::chrono::steady_clock::time_point begin =
       std::chrono::steady_clock::now();
 
+  auto finish_query = [&](const RunResult& result, const std::string& spec_fp,
+                          uint64_t elapsed_us) {
+    bool cancelled = result.status.code() == StatusCode::kCancelled;
+    bool clean = result.ok() && !result.degraded;
+    bool slow = clean && options_.slow_query_ms > 0 &&
+                elapsed_us >= options_.slow_query_ms * 1000;
+    if (result.degraded) Metrics().degraded->Add(1);
+    if (slow) Metrics().slow->Add(1);
+
+    span.End();  // buffer the session span before the tail verdict sweeps
+    obs::QueryTraceVerdict verdict;
+    verdict.elapsed_us = elapsed_us;
+    verdict.degraded = result.degraded;
+    verdict.cancelled = cancelled;
+    verdict.faulted = !result.ok() && !cancelled;
+    obs::QueryTraceDecision decision = obs::EndQueryTrace(tail_serial, verdict);
+    if (tail_serial != 0) {
+      (decision.sampled ? Metrics().tail_sampled : Metrics().tail_dropped)
+          ->Add(1);
+    }
+
+    if (slow_log_ != nullptr &&
+        slow_log_->Eligible(elapsed_us, result.ok(), result.degraded,
+                            cancelled)) {
+      obs::SlowLogEntry entry;
+      entry.sql = sql;
+      entry.fingerprint = spec_fp;
+      entry.reason = cancelled ? "cancelled"
+                     : !result.ok() ? "error"
+                     : result.degraded ? "degraded"
+                                       : "slow";
+      entry.status = cancelled ? "cancelled"
+                     : result.ok() ? "ok"
+                     : result.timed_out() ? "timeout"
+                                          : "error";
+      entry.elapsed_us = elapsed_us;
+      entry.result_rows = result.result_rows;
+      entry.objects_processed = result.objects_processed;
+      entry.work_units = result.work_units;
+      entry.udf_cache_hits = result.udf_cache_hits;
+      entry.udf_cache_misses = result.udf_cache_misses;
+      entry.degraded = result.degraded;
+      entry.degraded_reasons = result.degraded_reasons;
+      entry.trace_path = decision.path;
+      slow_log_->Log(entry);
+    }
+    return decision.path;
+  };
+
   SqlParser parser(catalog_);
   StatusOr<QuerySpec> spec_or = parser.Parse(sql);
   if (!spec_or.ok()) {
     span.Arg("status", "parse_error");
-    return RenderErrorResponse(request_id, spec_or.status());
+    RunResult failed;
+    failed.status = spec_or.status();
+    uint64_t elapsed_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - begin)
+            .count());
+    std::string trace_path = finish_query(failed, std::string(), elapsed_us);
+    return RenderErrorResponse(request_id, spec_or.status(), trace_path);
   }
   QuerySpec spec = std::move(spec_or).value();
 
@@ -263,10 +435,9 @@ std::string QueryServer::RunSession(const std::string& sql,
   opt.cancel_token = token;
   StatsStore warm;
   StatsStore learned;
-  std::string fingerprint;
+  std::string fingerprint = spec.ToString();
   if (options_.share_state) {
     opt.udf_cache = shared_.udf_cache();
-    fingerprint = spec.ToString();
     if (shared_.LookupStats(fingerprint, &warm)) opt.warm_stats = &warm;
     opt.learned_stats_out = &learned;
   }
@@ -284,7 +455,8 @@ std::string QueryServer::RunSession(const std::string& sql,
   span.Arg("status", result.ok() ? "ok" : StatusCodeToString(result.status.code()))
       .Arg("rows", result.result_rows)
       .Arg("work_units", result.work_units);
-  return RenderRunResponse(request_id, result);
+  std::string trace_path = finish_query(result, fingerprint, elapsed_us);
+  return RenderRunResponse(request_id, result, trace_path);
 }
 
 void QueryServer::Shutdown() {
@@ -332,6 +504,10 @@ void QueryServer::Shutdown() {
     if (conn->thread.joinable()) conn->thread.join();
     CloseFd(conn->fd);
   }
+
+  // 6. Park the sampler so pool_pending() drains to zero.
+  StopTelemetry();
+
   Metrics().active->Set(admission_.stats().active);
   Metrics().queued->Set(admission_.stats().queued);
 }

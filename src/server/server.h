@@ -15,6 +15,8 @@
 #include "common/thread_annotations.h"
 #include "fault/cancellation.h"
 #include "monsoon/monsoon_optimizer.h"
+#include "obs/slowlog.h"
+#include "obs/timeseries.h"
 #include "parallel/thread_pool.h"
 #include "server/admission.h"
 #include "server/shared_state.h"
@@ -45,9 +47,23 @@ struct ServerOptions {
   /// (cancel_token, udf_cache, warm_stats, learned_stats_out) are
   /// overwritten by the server for each query.
   MonsoonOptimizer::Options optimizer;
+  /// Telemetry sampler tick (the time-series ring behind `.metrics` /
+  /// `.health` window percentiles). 0 disables the sampler — the ring
+  /// stays empty and window fields read as 0. Env:
+  /// MONSOON_SERVER_TELEMETRY_MS.
+  uint64_t telemetry_interval_ms = 250;
+  /// Trailing window `.metrics` / `.health` summarize, in seconds.
+  double telemetry_window_seconds = 60;
+  /// Structured slow-query log path (JSONL, obs/slowlog.h); empty
+  /// disables. Env: MONSOON_SLOW_LOG.
+  std::string slow_log_path;
+  /// Clean queries at/over this latency are logged and counted slow; 0
+  /// logs only degraded / cancelled / failed queries. Env: MONSOON_SLOW_MS.
+  uint64_t slow_query_ms = 0;
 
-  /// `base` with port / max_sessions / queue_depth filled from the
-  /// environment where the corresponding field still holds its default.
+  /// `base` with port / max_sessions / queue_depth / telemetry and
+  /// slow-log knobs filled from the environment where the corresponding
+  /// field still holds its default.
   static ServerOptions FromEnv(ServerOptions base);
   static ServerOptions FromEnv();
 };
@@ -100,6 +116,20 @@ class QueryServer {
     return cancelled_sessions_.load(std::memory_order_relaxed);
   }
 
+  /// Merged telemetry over the trailing `seconds` (empty summary until
+  /// the sampler has ticked twice). Tests compare its percentiles against
+  /// the `.metrics` exposition.
+  obs::WindowSummary TelemetryWindow(double seconds) const {
+    return telemetry_ring_.Window(seconds);
+  }
+
+  /// Sampler ticks recorded so far (tests wait on this instead of
+  /// sleeping for a fixed interval).
+  uint64_t telemetry_ticks() const { return telemetry_ring_.ticks(); }
+
+  /// The slow-query log, or nullptr when --slow-log is off.
+  const obs::SlowQueryLog* slow_log() const { return slow_log_.get(); }
+
  private:
   /// One in-flight query: the connection thread parks on `wait_mu` /
   /// done_cv while the pool task runs, then writes `response` to the
@@ -127,6 +157,12 @@ class QueryServer {
   std::string RunSession(const std::string& sql, uint64_t request_id,
                          fault::CancellationToken* token);
   void ReapFinishedConnections();
+  /// The sampler pool task: tick every telemetry_interval_ms until
+  /// StopTelemetry. Runs on a dedicated extra pool worker slot.
+  void TelemetryLoop();
+  void StopTelemetry();
+  std::string RenderMetricsNow(uint64_t request_id) const;
+  std::string RenderHealthNow(uint64_t request_id) const;
 
   const Catalog* catalog_;
   ServerOptions options_;
@@ -148,6 +184,19 @@ class QueryServer {
   Mutex sessions_mu_;
   std::map<uint64_t, fault::CancellationToken*> active_tokens_
       GUARDED_BY(sessions_mu_);
+
+  /// Windowed telemetry: the sampler task appends registry deltas to the
+  /// ring; `.metrics` / `.health` read merged windows. telemetry_mu_ is
+  /// deliberately unranked — it only parks the sampler between ticks and
+  /// never nests with other locks.
+  obs::TimeSeriesRing telemetry_ring_;
+  obs::MetricsSampler sampler_;
+  Mutex telemetry_mu_;
+  CondVar telemetry_cv_;
+  bool telemetry_stop_ GUARDED_BY(telemetry_mu_) = false;
+  bool telemetry_running_ GUARDED_BY(telemetry_mu_) = false;
+
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;
 };
 
 }  // namespace monsoon::server

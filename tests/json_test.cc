@@ -1,0 +1,203 @@
+// Edge-case tests for the src/obs/json.{h,cc} parser: escape sequences
+// (including surrogate pairs and lone surrogates), deeply nested arrays
+// and objects against the recursion guard, numeric overflow and the
+// number_text verbatim-spelling guarantee, and malformed-input rejection.
+// The happy-path round trip lives in obs_test.cc; this file is the
+// adversarial counterpart.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "obs/json.h"
+
+namespace monsoon::obs {
+namespace {
+
+StatusOr<JsonValue> Parse(const std::string& text) { return JsonParse(text); }
+
+// ---------------------------------------------------------------------------
+// String escape sequences
+// ---------------------------------------------------------------------------
+
+TEST(JsonEscapes, SimpleEscapes) {
+  auto doc = Parse(R"("a\"b\\c\/d\be\ff\ng\rh\ti")");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->string_value, "a\"b\\c/d\be\ff\ng\rh\ti");
+}
+
+TEST(JsonEscapes, UnicodeBasicMultilingualPlane) {
+  auto doc = Parse(R"("Aé中")");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->string_value, "A\xc3\xa9\xe4\xb8\xad");  // A, é, 中
+}
+
+TEST(JsonEscapes, SurrogatePairCombines) {
+  // U+1F600 encodes as 😀 and must come back as one 4-byte
+  // UTF-8 sequence, not two 3-byte surrogate encodings.
+  auto doc = Parse(R"("😀")");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->string_value, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonEscapes, LoneHighSurrogateKeptAsIs) {
+  // A high surrogate not followed by a low surrogate encodes like any
+  // other code point (documented parser behavior, not an error).
+  auto doc = Parse(R"("\ud83dX")");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->string_value, "\xed\xa0\xbdX");
+}
+
+TEST(JsonEscapes, HighSurrogateBeforeNonLowSurrogateBacktracks) {
+  // The second \u escape is not a low surrogate, so the parser must
+  // rewind and decode both units independently.
+  auto doc = Parse(R"("\ud83d\u0041")");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->string_value, "\xed\xa0\xbd"
+                               "A");
+}
+
+TEST(JsonEscapes, InvalidEscapeRejected) {
+  EXPECT_FALSE(Parse(R"("\q")").ok());
+}
+
+TEST(JsonEscapes, TruncatedUnicodeEscapeRejected) {
+  EXPECT_FALSE(Parse(R"("\u00")").ok());
+  EXPECT_FALSE(Parse(R"("\u00zz")").ok());
+}
+
+TEST(JsonEscapes, UnterminatedStringRejected) {
+  EXPECT_FALSE(Parse(R"("abc)").ok());
+  EXPECT_FALSE(Parse("\"abc\\").ok());
+}
+
+TEST(JsonEscapes, EscapeRoundTripThroughSerialize) {
+  auto doc = Parse(R"({"k":"line1\nline2\t\"quoted\""})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  auto again = Parse(doc->Serialize());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  const JsonValue* k = again->Find("k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->string_value, "line1\nline2\t\"quoted\"");
+}
+
+// ---------------------------------------------------------------------------
+// Nested arrays / objects and the recursion guard
+// ---------------------------------------------------------------------------
+
+TEST(JsonNesting, MixedNestingParses) {
+  auto doc = Parse(R"({"a":[1,[2,{"b":[3,{"c":null}]}]],"d":{"e":[]}})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 2u);
+  const JsonValue& inner = a->array[1];
+  ASSERT_TRUE(inner.is_array());
+  const JsonValue* b = inner.array[1].Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->array.size(), 2u);
+  EXPECT_EQ(b->array[0].number, 3);
+  EXPECT_NE(b->array[1].Find("c"), nullptr);
+}
+
+std::string NestedArrays(int depth) {
+  std::string text;
+  for (int i = 0; i < depth; ++i) text += '[';
+  text += '1';
+  for (int i = 0; i < depth; ++i) text += ']';
+  return text;
+}
+
+TEST(JsonNesting, DeepNestingWithinLimitParses) {
+  EXPECT_TRUE(Parse(NestedArrays(100)).ok());
+}
+
+TEST(JsonNesting, ExcessiveNestingRejectedNotCrashed) {
+  auto deep = Parse(NestedArrays(100000));
+  ASSERT_FALSE(deep.ok());
+  EXPECT_NE(deep.status().ToString().find("nesting too deep"),
+            std::string::npos);
+}
+
+TEST(JsonNesting, DeepObjectsHitTheSameGuard) {
+  std::string text;
+  for (int i = 0; i < 200; ++i) text += R"({"k":)";
+  text += "1";
+  for (int i = 0; i < 200; ++i) text += '}';
+  EXPECT_FALSE(Parse(text).ok());
+}
+
+TEST(JsonNesting, MalformedStructuresRejected) {
+  EXPECT_FALSE(Parse("[1,2").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());  // no trailing comma before the check
+  EXPECT_FALSE(Parse(R"({"a":1,)").ok());
+  EXPECT_FALSE(Parse(R"({"a" 1})").ok());
+  EXPECT_FALSE(Parse(R"({a:1})").ok());
+  EXPECT_FALSE(Parse("[1] extra").ok());
+}
+
+TEST(JsonNesting, DuplicateKeysPreservedFindReturnsFirst) {
+  auto doc = Parse(R"({"k":1,"k":2})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_EQ(doc->object.size(), 2u);
+  const JsonValue* k = doc->Find("k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->number, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Numbers: overflow, precision, and number_text preservation
+// ---------------------------------------------------------------------------
+
+TEST(JsonNumbers, LargeUint64KeepsExactSpelling) {
+  // 2^64 - 1 is not representable as a double; number_text must preserve
+  // the original token so Serialize() re-emits it bit-for-bit. The trace
+  // determinism test relies on exactly this.
+  auto doc = Parse("18446744073709551615");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->number_text, "18446744073709551615");
+  EXPECT_EQ(doc->Serialize(), "18446744073709551615");
+}
+
+TEST(JsonNumbers, OverflowingExponentSaturatesToInfinity) {
+  auto doc = Parse("1e400");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_GT(doc->number, std::numeric_limits<double>::max());
+  EXPECT_EQ(doc->number_text, "1e400");
+}
+
+TEST(JsonNumbers, NegativeAndFractionalForms) {
+  auto doc = Parse(R"([-0, -12.5, 3.25e2, 4E-2])");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_EQ(doc->array.size(), 4u);
+  EXPECT_EQ(doc->array[1].number, -12.5);
+  EXPECT_EQ(doc->array[2].number, 325.0);
+  EXPECT_EQ(doc->array[3].number, 0.04);
+  EXPECT_EQ(doc->array[0].number_text, "-0");
+}
+
+TEST(JsonNumbers, UnderflowGoesToZeroWithoutError) {
+  auto doc = Parse("1e-400");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->number, 0.0);
+}
+
+TEST(JsonNumbers, BareMinusAndGarbageRejected) {
+  EXPECT_FALSE(Parse("-").ok());
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("nul").ok());
+  EXPECT_FALSE(Parse("tru").ok());
+}
+
+TEST(JsonNumbers, SerializePreservesIntegerWidthInNestedDoc) {
+  const std::string text = R"({"big":9007199254740993,"small":1})";
+  auto doc = Parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  // 2^53 + 1 rounds under double; the serialized form must not.
+  EXPECT_EQ(doc->Serialize(), text);
+}
+
+}  // namespace
+}  // namespace monsoon::obs

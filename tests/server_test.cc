@@ -9,12 +9,19 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
 #include <thread>
 #include <vector>
 
 #include "expr/udf.h"
+#include "fault/injector.h"
 #include "monsoon/monsoon_optimizer.h"
+#include "obs/exposition.h"
 #include "obs/json.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
 #include "server/net.h"
 #include "server/server.h"
 #include "sql/parser.h"
@@ -428,6 +435,321 @@ TEST_F(ServerTest, ProtocolControlAndErrors) {
 
   query_server.Shutdown();
   EXPECT_EQ(query_server.pool_pending(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Telemetry: .stats delta, .metrics exposition, .health, window percentiles
+// --------------------------------------------------------------------------
+
+// `.stats` carries the registry delta since the connection opened: a fresh
+// connection that ran one query sees exactly its own session counted.
+TEST_F(ServerTest, StatsCarriesConnectionScopedRegistryDelta) {
+  ServerOptions options = BaseOptions();
+  options.telemetry_interval_ms = 0;  // sampler off: pure protocol test
+  QueryServer query_server(&catalog_, options);
+  ASSERT_TRUE(query_server.Start().ok());
+
+  // A first connection runs queries that must NOT appear in the second
+  // connection's delta.
+  TestClient warmup(query_server.port());
+  ASSERT_TRUE(warmup.connected());
+  EXPECT_EQ(Str(warmup.RoundTrip(small_sql_), "status"), "ok");
+  warmup.Close();
+
+  TestClient client(query_server.port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_EQ(Str(client.RoundTrip(small_sql_), "status"), "ok");
+  obs::JsonValue stats = client.RoundTrip(".stats");
+  EXPECT_EQ(Str(stats, "status"), "ok");
+  const obs::JsonValue* delta = stats.Find("metrics_delta");
+  ASSERT_NE(delta, nullptr);
+  const obs::JsonValue* counters = delta->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::JsonValue* sessions = counters->Find("monsoon.server.sessions");
+  ASSERT_NE(sessions, nullptr)
+      << "delta since connection open must count this connection's session";
+  EXPECT_EQ(static_cast<uint64_t>(sessions->number), 1u);
+  ASSERT_NE(delta->Find("gauges"), nullptr);
+  ASSERT_NE(delta->Find("histograms"), nullptr);
+
+  query_server.Shutdown();
+  EXPECT_EQ(query_server.pool_pending(), 0u);
+}
+
+double ExpositionGauge(const std::string& text, const std::string& name) {
+  size_t pos = text.find("\n" + name + " ");
+  if (pos == std::string::npos) return -1;
+  return std::strtod(text.c_str() + pos + 1 + name.size(), nullptr);
+}
+
+// `.metrics` returns a valid Prometheus exposition whose window-percentile
+// gauges match the histogram-merge ground truth from TelemetryWindow.
+TEST_F(ServerTest, MetricsExpositionMatchesWindowGroundTruth) {
+  ServerOptions options = BaseOptions();
+  options.telemetry_interval_ms = 25;
+  QueryServer query_server(&catalog_, options);
+  ASSERT_TRUE(query_server.Start().ok());
+
+  TestClient client(query_server.port());
+  ASSERT_TRUE(client.connected());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(Str(client.RoundTrip(small_sql_), "status"), "ok");
+  }
+  // Wait until the sampler has recorded the finished queries' latencies.
+  WaitUntil([&] {
+    return query_server.TelemetryWindow(3600.0)
+               .CounterDelta("monsoon.server.sessions") >= 3;
+  });
+
+  // The sampler keeps ticking, so sandwich the .metrics call between two
+  // ground-truth reads and only require equality when the window was
+  // stable across the read; queries have stopped, so it stabilizes.
+  bool compared = false;
+  for (int attempt = 0; attempt < 50 && !compared; ++attempt) {
+    obs::WindowSummary before = query_server.TelemetryWindow(
+        options.telemetry_window_seconds);
+    obs::JsonValue metrics = client.RoundTrip(".metrics");
+    EXPECT_EQ(Str(metrics, "status"), "ok");
+    EXPECT_EQ(Str(metrics, "content_type"), "text/plain; version=0.0.4");
+    std::string body = Str(metrics, "body");
+    Status valid = obs::ValidateExposition(body);
+    ASSERT_TRUE(valid.ok()) << valid.ToString() << "\n" << body;
+    obs::WindowSummary after = query_server.TelemetryWindow(
+        options.telemetry_window_seconds);
+    const std::string kLatency = "monsoon.server.latency_us";
+    if (before.Percentile(kLatency, 0.50) != after.Percentile(kLatency, 0.50) ||
+        before.Rate("monsoon.server.sessions") !=
+            after.Rate("monsoon.server.sessions")) {
+      continue;  // a sampler tick landed mid-read; try again
+    }
+    for (auto [gauge, q] :
+         std::map<std::string, double>{{"monsoon_window_latency_us_p50", 0.50},
+                                       {"monsoon_window_latency_us_p95", 0.95},
+                                       {"monsoon_window_latency_us_p99",
+                                        0.99}}) {
+      EXPECT_DOUBLE_EQ(ExpositionGauge(body, gauge),
+                       after.Percentile(kLatency, q))
+          << gauge;
+    }
+    EXPECT_DOUBLE_EQ(ExpositionGauge(body, "monsoon_window_qps"),
+                     after.Rate("monsoon.server.sessions"));
+    EXPECT_GT(ExpositionGauge(body, "monsoon_window_latency_us_p50"), 0.0);
+    compared = true;
+  }
+  EXPECT_TRUE(compared) << "window never stabilized across 50 attempts";
+
+  query_server.Shutdown();
+  EXPECT_EQ(query_server.pool_pending(), 0u);
+}
+
+TEST_F(ServerTest, HealthSummarizesServerState) {
+  ServerOptions options = BaseOptions();
+  options.telemetry_interval_ms = 25;
+  QueryServer query_server(&catalog_, options);
+  ASSERT_TRUE(query_server.Start().ok());
+
+  TestClient client(query_server.port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_EQ(Str(client.RoundTrip(small_sql_), "status"), "ok");
+  WaitUntil([&] { return query_server.telemetry_ticks() >= 2; });
+
+  obs::JsonValue health = client.RoundTrip(".health");
+  EXPECT_EQ(Str(health, "status"), "ok");
+  EXPECT_GE(Num(health, "sessions"), 1u);
+  EXPECT_EQ(Num(health, "degraded_queries"), 0u);
+  const obs::JsonValue* draining = health.Find("draining");
+  ASSERT_NE(draining, nullptr);
+  EXPECT_FALSE(draining->bool_value);
+  const obs::JsonValue* window = health.Find("window");
+  ASSERT_NE(window, nullptr);
+  EXPECT_GT(window->Find("seconds")->number, 0.0);
+  ASSERT_NE(window->Find("latency_p99_us"), nullptr);
+  ASSERT_NE(window->Find("qps"), nullptr);
+
+  query_server.Shutdown();
+  EXPECT_EQ(query_server.pool_pending(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Tail-sampled traces + slow-query log: the pinned sampling contract.
+// --------------------------------------------------------------------------
+
+std::map<std::string, std::string> TailTracesByReason(const std::string& dir) {
+  // filename: tail-NNNNNN-<reason>.json -> reason -> full path.
+  std::map<std::string, std::string> by_reason;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::string name = entry.path().filename().string();
+    size_t dash = name.rfind('-');
+    size_t dot = name.rfind(".json");
+    if (name.compare(0, 5, "tail-") != 0 || dash == std::string::npos ||
+        dot == std::string::npos) {
+      continue;
+    }
+    by_reason[name.substr(dash + 1, dot - dash - 1)] = entry.path().string();
+  }
+  return by_reason;
+}
+
+// Four concurrent clients — fast clean ×2, parse-fault, fault-injected
+// degraded — under tail sampling with an unreachably high slow threshold:
+// trace files must exist for exactly the degraded and faulted queries and
+// for none of the fast clean ones, and the slow-query log must hold
+// exactly the same two queries.
+TEST_F(ServerTest, TailSamplingKeepsExactlySlowDegradedFaultedTraces) {
+  std::string dir = testing::TempDir() + "/tail_pinned";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::string slow_log = testing::TempDir() + "/tail_pinned_slow.jsonl";
+  std::remove(slow_log.c_str());
+
+  // Force every Σ statistics pass to fail: the fault-injected query
+  // completes degraded (prior-only statistics) instead of erroring.
+  fault::FaultConfig fault_base;
+  fault_base.seed = 21;
+  ASSERT_TRUE(fault::InstallSpec("exec.sigma.pass=1:permanent", fault_base).ok());
+
+  obs::TailSamplingOptions tail;
+  tail.dir = dir;
+  tail.slow_us = 3600u * 1000 * 1000;  // 1h: nothing qualifies as "slow"
+  ASSERT_TRUE(obs::StartTailSampling(tail).ok());
+
+  ServerOptions options = BaseOptions();
+  options.max_sessions = 4;
+  options.share_state = false;  // cold per-session plans: deterministic Σ passes
+  options.telemetry_interval_ms = 0;
+  options.slow_log_path = slow_log;
+  options.slow_query_ms = 0;  // log only degraded / cancelled / failed
+  QueryServer query_server(&catalog_, options);
+  ASSERT_TRUE(query_server.Start().ok());
+
+  // Which queries degrade under the Σ fault is a property of the plan the
+  // (seeded, cold) optimizer picks: the single-table obscured filter
+  // executes a Σ pass over `small`, while neither join plan executes one,
+  // so the joins stay clean even with every Σ pass poisoned. share_state
+  // is off below so each session plans cold and this stays deterministic.
+  const std::string fault_sql = small_sql_;
+  const std::string parse_sql = "SELECT FROM nothing";
+  std::vector<std::string> sqls = {join_sql_, udf_sql_, parse_sql, fault_sql};
+  std::vector<obs::JsonValue> responses(sqls.size());
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    clients.emplace_back([&, i] {
+      TestClient client(query_server.port());
+      ASSERT_TRUE(client.connected());
+      responses[i] = client.RoundTrip(sqls[i]);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  query_server.Shutdown();
+  ASSERT_TRUE(obs::StopTailSampling().ok());
+  fault::Clear();
+
+  // Fast clean queries: ok, no trace field.
+  for (size_t i : {0u, 1u}) {
+    SCOPED_TRACE(sqls[i]);
+    EXPECT_EQ(Str(responses[i], "status"), "ok");
+    EXPECT_EQ(responses[i].Find("degraded")->bool_value, false);
+    EXPECT_EQ(responses[i].Find("trace"), nullptr)
+        << "fast clean query must not keep a trace";
+  }
+  // Parse error: faulted, trace kept and advertised.
+  EXPECT_EQ(Str(responses[2], "status"), "error");
+  ASSERT_NE(responses[2].Find("trace"), nullptr)
+      << "faulted query must keep its trace";
+  // Fault-injected query: completes ok but degraded, trace kept.
+  EXPECT_EQ(Str(responses[3], "status"), "ok");
+  ASSERT_TRUE(responses[3].Find("degraded")->bool_value)
+      << "Σ-pass fault must degrade the obscured-filter query";
+  ASSERT_NE(responses[3].Find("trace"), nullptr);
+
+  std::map<std::string, std::string> traces = TailTracesByReason(dir);
+  ASSERT_EQ(traces.size(), 2u) << "exactly faulted + degraded traces";
+  ASSERT_TRUE(traces.count("faulted"));
+  ASSERT_TRUE(traces.count("degraded"));
+  EXPECT_EQ(traces["faulted"], Str(responses[2], "trace"));
+  EXPECT_EQ(traces["degraded"], Str(responses[3], "trace"));
+  for (const auto& [reason, path] : traces) {
+    EXPECT_TRUE(std::filesystem::exists(path)) << path;
+  }
+
+  // The slow-query log holds exactly the same two queries.
+  std::ifstream in(slow_log);
+  ASSERT_TRUE(in.is_open());
+  std::map<std::string, int> log_reasons;
+  std::string line;
+  while (std::getline(in, line)) {
+    auto doc = obs::JsonParse(line);
+    ASSERT_TRUE(doc.ok()) << line;
+    std::string reason = Str(*doc, "reason");
+    ++log_reasons[reason];
+    // The slow log says "error" where the sampler's filename says
+    // "faulted" (the log mirrors the response status family, the sampler
+    // its verdict); the trace paths must still agree.
+    EXPECT_EQ(Str(*doc, "trace"),
+              traces[reason == "error" ? "faulted" : reason]);
+  }
+  EXPECT_EQ(log_reasons.size(), 2u);
+  EXPECT_EQ(log_reasons["error"], 1);
+  EXPECT_EQ(log_reasons["degraded"], 1);
+  EXPECT_EQ(query_server.slow_log()->entries_written(), 2u);
+}
+
+// The "slow" side of the sampling decision: with a 1us threshold every
+// clean query ends slow, keeps its trace, and lands in the slow log.
+TEST_F(ServerTest, TailSamplingKeepsSlowQueries) {
+  std::string dir = testing::TempDir() + "/tail_slow";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  obs::TailSamplingOptions tail;
+  tail.dir = dir;
+  tail.slow_us = 1;
+  ASSERT_TRUE(obs::StartTailSampling(tail).ok());
+
+  ServerOptions options = BaseOptions();
+  options.telemetry_interval_ms = 0;
+  QueryServer query_server(&catalog_, options);
+  ASSERT_TRUE(query_server.Start().ok());
+
+  TestClient client(query_server.port());
+  ASSERT_TRUE(client.connected());
+  obs::JsonValue response = client.RoundTrip(small_sql_);
+  EXPECT_EQ(Str(response, "status"), "ok");
+  ASSERT_NE(response.Find("trace"), nullptr);
+  EXPECT_NE(Str(response, "trace").find("-slow.json"), std::string::npos);
+
+  query_server.Shutdown();
+  ASSERT_TRUE(obs::StopTailSampling().ok());
+
+  std::map<std::string, std::string> traces = TailTracesByReason(dir);
+  ASSERT_EQ(traces.size(), 1u);
+  ASSERT_TRUE(traces.count("slow"));
+
+  // The kept trace file is a well-formed Chrome trace holding the
+  // sampling_decision marker and the session span.
+  std::ifstream in(traces["slow"]);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto doc = obs::JsonParse(buffer.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_marker = false;
+  bool saw_session = false;
+  for (const obs::JsonValue& event : events->array) {
+    const obs::JsonValue* name = event.Find("name");
+    if (name == nullptr) continue;
+    if (name->string_value == "sampling_decision") {
+      saw_marker = true;
+      const obs::JsonValue* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->Find("decision")->string_value, "sampled");
+      EXPECT_EQ(args->Find("reason")->string_value, "slow");
+    }
+    if (name->string_value == "session") saw_session = true;
+  }
+  EXPECT_TRUE(saw_marker) << "kept trace must carry the decision marker";
+  EXPECT_TRUE(saw_session) << "kept trace must include the session span";
 }
 
 }  // namespace

@@ -1,16 +1,29 @@
 // monsoon-trace-check: CI validator for the observability artifacts.
 //
-//   monsoon-trace-check --trace FILE [--expect-pool]
+//   monsoon-trace-check --trace FILE [--expect-pool] [--tail]
 //   monsoon-trace-check --report FILE
+//   monsoon-trace-check --expect-sampled DIR [--reason R]
+//   monsoon-trace-check --expect-dropped DIR
+//   monsoon-trace-check --exposition FILE
 //
 // --trace checks that FILE is a Chrome trace_event JSON document with the
 // span categories the instrumented loop must emit (mdp, mcts, exec; pool
 // only when --expect-pool is given, since a --threads=1 run never enqueues
 // a pool task) and that every complete event carries the stable identity
-// fields (span_id, seq). --report checks the per-query run report schema.
+// fields (span_id, seq). With --tail the file is a per-query tail-sampled
+// trace instead: the category requirement relaxes to the "obs"
+// sampling_decision marker (a cheap query may never enter the planner) and
+// the marker's decision must be "sampled" with a non-"fast" reason.
+// --report checks the per-query run report schema. --expect-sampled asserts
+// DIR holds at least one tail-*.json file and validates each in --tail mode
+// (--reason additionally pins every file's sampling reason);
+// --expect-dropped asserts DIR holds none — the fast-clean-query side of
+// the tail-sampling contract. --exposition runs obs::ValidateExposition
+// over a scraped Prometheus text file.
 // Exit status 0 = all checks passed; 1 = a check failed; 2 = usage error.
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <set>
@@ -18,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/exposition.h"
 #include "obs/json.h"
 
 namespace monsoon::obs {
@@ -36,7 +50,9 @@ StatusOr<JsonValue> ParseFile(const std::string& path) {
   return JsonParse(buffer.str());
 }
 
-bool CheckTrace(const std::string& path, bool expect_pool) {
+/// In tail mode `reason` ("" = any) pins the marker's sampling reason.
+bool CheckTrace(const std::string& path, bool expect_pool, bool tail,
+                const std::string& reason) {
   auto doc = ParseFile(path);
   if (!doc.ok()) return Fail(doc.status().ToString());
   const JsonValue* events = doc->Find("traceEvents");
@@ -50,6 +66,7 @@ bool CheckTrace(const std::string& path, bool expect_pool) {
   std::set<std::string> cats;
   size_t complete_events = 0;
   bool saw_process_name = false;
+  const JsonValue* marker_args = nullptr;
   for (const JsonValue& event : events->array) {
     const JsonValue* ph = event.Find("ph");
     if (ph == nullptr || !ph->is_string()) {
@@ -84,19 +101,94 @@ bool CheckTrace(const std::string& path, bool expect_pool) {
       return Fail("complete event missing the per-lane seq");
     }
     cats.insert(event.Find("cat")->string_value);
+    const JsonValue* name = event.Find("name");
+    if (name != nullptr && name->is_string() &&
+        name->string_value == "sampling_decision") {
+      marker_args = args;
+    }
   }
 
   if (complete_events == 0) return Fail("'" + path + "' holds no spans");
   if (!saw_process_name) return Fail("missing process_name metadata event");
-  std::vector<std::string> required = {"mdp", "mcts", "exec"};
-  if (expect_pool) required.push_back("pool");
-  for (const std::string& cat : required) {
-    if (cats.count(cat) == 0) {
-      return Fail("'" + path + "' has no spans in category '" + cat + "'");
+  if (tail) {
+    if (marker_args == nullptr) {
+      return Fail("'" + path + "' lacks the obs sampling_decision marker");
+    }
+    const JsonValue* decision = marker_args->Find("decision");
+    const JsonValue* why = marker_args->Find("reason");
+    if (decision == nullptr || !decision->is_string() ||
+        decision->string_value != "sampled") {
+      return Fail("'" + path + "' sampling_decision is not 'sampled'");
+    }
+    if (why == nullptr || !why->is_string() || why->string_value == "fast") {
+      return Fail("'" + path + "' kept trace carries a 'fast' (drop) reason");
+    }
+    if (!reason.empty() && why->string_value != reason) {
+      return Fail("'" + path + "' sampling reason '" + why->string_value +
+                  "' != expected '" + reason + "'");
+    }
+  } else {
+    std::vector<std::string> required = {"mdp", "mcts", "exec"};
+    if (expect_pool) required.push_back("pool");
+    for (const std::string& cat : required) {
+      if (cats.count(cat) == 0) {
+        return Fail("'" + path + "' has no spans in category '" + cat + "'");
+      }
     }
   }
   std::cout << "trace ok: " << complete_events << " spans across "
-            << cats.size() << " categories\n";
+            << cats.size() << " categories"
+            << (tail ? " (tail-sampled)" : "") << "\n";
+  return true;
+}
+
+std::vector<std::string> TailTraceFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.compare(0, 5, "tail-") == 0 && name.size() > 5 &&
+        name.rfind(".json") == name.size() - 5) {
+      files.push_back(entry.path().string());
+    }
+  }
+  return files;
+}
+
+bool CheckSampledDir(const std::string& dir, const std::string& reason) {
+  std::vector<std::string> files = TailTraceFiles(dir);
+  if (files.empty()) {
+    return Fail("'" + dir + "' holds no tail-*.json trace files");
+  }
+  for (const std::string& file : files) {
+    if (!CheckTrace(file, /*expect_pool=*/false, /*tail=*/true, reason)) {
+      return false;
+    }
+  }
+  std::cout << "tail ok: " << files.size() << " sampled trace(s) in '" << dir
+            << "'\n";
+  return true;
+}
+
+bool CheckDroppedDir(const std::string& dir) {
+  std::vector<std::string> files = TailTraceFiles(dir);
+  if (!files.empty()) {
+    return Fail("'" + dir + "' unexpectedly holds " +
+                std::to_string(files.size()) + " tail trace(s), e.g. '" +
+                files.front() + "'");
+  }
+  std::cout << "tail ok: no sampled traces in '" << dir << "'\n";
+  return true;
+}
+
+bool CheckExposition(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Fail("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Status status = ValidateExposition(buffer.str());
+  if (!status.ok()) return Fail(status.ToString());
+  std::cout << "exposition ok: '" << path << "'\n";
   return true;
 }
 
@@ -162,28 +254,51 @@ bool CheckReport(const std::string& path) {
 int Run(int argc, char** argv) {
   std::string trace_path;
   std::string report_path;
+  std::string sampled_dir;
+  std::string dropped_dir;
+  std::string exposition_path;
+  std::string reason;
   bool expect_pool = false;
+  bool tail = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
       report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--expect-sampled") == 0 && i + 1 < argc) {
+      sampled_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--expect-dropped") == 0 && i + 1 < argc) {
+      dropped_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--exposition") == 0 && i + 1 < argc) {
+      exposition_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--reason") == 0 && i + 1 < argc) {
+      reason = argv[++i];
     } else if (std::strcmp(argv[i], "--expect-pool") == 0) {
       expect_pool = true;
+    } else if (std::strcmp(argv[i], "--tail") == 0) {
+      tail = true;
     } else {
-      std::cerr << "usage: monsoon-trace-check [--trace FILE [--expect-pool]] "
-                   "[--report FILE]\n";
+      std::cerr << "usage: monsoon-trace-check [--trace FILE [--expect-pool] "
+                   "[--tail]] [--report FILE] [--expect-sampled DIR [--reason "
+                   "R]] [--expect-dropped DIR] [--exposition FILE]\n";
       return 2;
     }
   }
-  if (trace_path.empty() && report_path.empty()) {
-    std::cerr << "monsoon-trace-check: nothing to check (pass --trace and/or "
-                 "--report)\n";
+  if (trace_path.empty() && report_path.empty() && sampled_dir.empty() &&
+      dropped_dir.empty() && exposition_path.empty()) {
+    std::cerr << "monsoon-trace-check: nothing to check (pass --trace, "
+                 "--report, --expect-sampled, --expect-dropped, and/or "
+                 "--exposition)\n";
     return 2;
   }
   bool ok = true;
-  if (!trace_path.empty()) ok = CheckTrace(trace_path, expect_pool) && ok;
+  if (!trace_path.empty()) {
+    ok = CheckTrace(trace_path, expect_pool, tail, reason) && ok;
+  }
   if (!report_path.empty()) ok = CheckReport(report_path) && ok;
+  if (!sampled_dir.empty()) ok = CheckSampledDir(sampled_dir, reason) && ok;
+  if (!dropped_dir.empty()) ok = CheckDroppedDir(dropped_dir) && ok;
+  if (!exposition_path.empty()) ok = CheckExposition(exposition_path) && ok;
   return ok ? 0 : 1;
 }
 
