@@ -10,7 +10,7 @@
 // Usage:
 //   ./build/examples/monsoon-serve [--workload=tpch|imdb|ott|udf]
 //       [--port=N] [--max-sessions=N] [--queue-depth=N] [--threads=N]
-//       [--batch-size=N] [--deadline-ms=N] [--work-budget=N]
+//       [--batch-size=N] [--shards=N] [--deadline-ms=N] [--work-budget=N]
 //       [--iterations=N] [--trace-out=FILE] [--no-shared-state]
 //       [--telemetry-ms=N] [--trace-tail-ms=N] [--trace-tail-dir=DIR]
 //       [--slow-log=FILE] [--slow-ms=N] [--faults=SPEC]
@@ -33,6 +33,7 @@
 #include "obs/trace.h"
 #include "parallel/runtime.h"
 #include "server/server.h"
+#include "shard/shard.h"
 #include "workloads/imdb.h"
 #include "workloads/ott.h"
 #include "workloads/tpch.h"
@@ -82,6 +83,7 @@ int main(int argc, char** argv) {
   std::string faults;
   int threads = 0;
   int batch_size = 0;
+  int shards = 0;
   std::string value;
   for (int i = 1; i < argc; ++i) {
     if (FlagValue(argv[i], "--workload=", &value)) {
@@ -96,6 +98,8 @@ int main(int argc, char** argv) {
       threads = std::atoi(value.c_str());
     } else if (FlagValue(argv[i], "--batch-size=", &value)) {
       batch_size = std::atoi(value.c_str());
+    } else if (FlagValue(argv[i], "--shards=", &value)) {
+      shards = std::atoi(value.c_str());
     } else if (FlagValue(argv[i], "--deadline-ms=", &value)) {
       options.optimizer.deadline_ms = std::strtoull(value.c_str(), nullptr, 10);
     } else if (FlagValue(argv[i], "--work-budget=", &value)) {
@@ -133,6 +137,10 @@ int main(int argc, char** argv) {
     if (threads > 0) config.num_threads = threads;
     if (batch_size > 0) config.batch_size = static_cast<size_t>(batch_size);
     parallel::SetDefaultConfig(config);
+  }
+  if (shards > 0) {
+    // Explicit flag wins over MONSOON_SHARDS (common/env.h rule).
+    shard::SetDefaultShardCount(shards);
   }
   if (!trace_out.empty()) {
     Status status = obs::StartTracing(trace_out);

@@ -3,16 +3,18 @@
 // statistics collection with execution.
 //
 // Run:  ./build/examples/quickstart [--threads=N] [--batch-size=N]
-//                                   [--udf-cache-bytes=B]
+//                                   [--shards=N] [--udf-cache-bytes=B]
 //                                   [--trace-out=F] [--report-out=F]
 //
 // --threads=N runs the morsel-driven executor and root-parallel MCTS on
 // N threads (default 1 = fully serial). --batch-size=N sets the rows per
 // vectorized executor batch (1 = row-at-a-time; flag wins over
-// MONSOON_BATCH_SIZE). --udf-cache-bytes=B sets the evaluate-once UDF
-// column cache budget (0 disables it; the default also honors
-// MONSOON_UDF_CACHE). The result rows and Mobjects are the same either
-// way; only wall-clock time changes.
+// MONSOON_BATCH_SIZE). --shards=N splits every materialized table into N
+// hash-range shards executed as independently supervised tasks (1 = the
+// unsharded layout; flag wins over MONSOON_SHARDS). --udf-cache-bytes=B
+// sets the evaluate-once UDF column cache budget (0 disables it; the
+// default also honors MONSOON_UDF_CACHE). The result rows and Mobjects
+// are the same either way; only wall-clock time changes.
 //
 // --trace-out=F writes a Chrome trace_event JSON to F: open it in Perfetto
 // (https://ui.perfetto.dev) or chrome://tracing to see every MDP step,
@@ -48,6 +50,7 @@
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "parallel/runtime.h"
+#include "shard/shard.h"
 #include "sql/parser.h"
 #include "workloads/genutil.h"
 #include "workloads/imdb.h"
@@ -111,6 +114,10 @@ obs::QueryReport MakeReport(const char* strategy, const RunResult& result,
   report.udf_cache_hits = result.udf_cache_hits;
   report.udf_cache_misses = result.udf_cache_misses;
   report.udf_cache_bytes = result.udf_cache_bytes;
+  report.fault_retries = result.fault_retries;
+  report.shard_retries = result.shard_retries;
+  report.shard_failures = result.shard_failures;
+  report.shard_recoveries = result.shard_recoveries;
   report.metrics = obs::SnapshotDelta(before, obs::Registry::Global().Snapshot());
   return report;
 }
@@ -289,6 +296,14 @@ int main(int argc, char** argv) {
       parallel::Config config = parallel::DefaultConfig();
       config.batch_size = static_cast<size_t>(batch_size);
       parallel::SetDefaultConfig(config);
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      int shards = std::atoi(argv[i] + 9);
+      if (shards < 1) {
+        std::cerr << "--shards expects a positive integer (1 = unsharded)\n";
+        return 1;
+      }
+      // Explicit flag wins over MONSOON_SHARDS (common/env.h rule).
+      shard::SetDefaultShardCount(shards);
     } else if (std::strncmp(argv[i], "--udf-cache-bytes=", 18) == 0) {
       SetDefaultUdfCacheBytes(
           static_cast<size_t>(std::strtoull(argv[i] + 18, nullptr, 10)));
@@ -304,7 +319,7 @@ int main(int argc, char** argv) {
       workload = argv[i] + 11;
     } else {
       std::cerr << "unknown flag: " << argv[i]
-                << " (supported: --threads=N, --batch-size=N, "
+                << " (supported: --threads=N, --batch-size=N, --shards=N, "
                    "--udf-cache-bytes=B, --trace-out=F, --report-out=F, "
                    "--faults=SPEC, --deadline-ms=N, "
                    "--workload=tpch|imdb|ott|udf)\n";

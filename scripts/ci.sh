@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI pipeline, ten stages:
+# CI pipeline, eleven stages:
 #
 #   release  Release build (warnings as errors) + full ctest suite
 #   tsan     ThreadSanitizer build + `ctest -L tsan` (concurrency suites)
@@ -29,13 +29,20 @@
 #            and validated as Prometheus exposition, tail sampling keeping
 #            exactly the degraded query's trace, and the slow-query log
 #            capturing the same query
+#   shard    shard-failover soak under ASan: quickstart over all four
+#            workloads at shards=4 with 1% shard.exec faults (a seeded
+#            shard kill per pass) — every run must recover, never degrade,
+#            and its accounting must equal a clean shards=1 run — plus a
+#            monsoon-analyze self-check that a per-shard morsel loop
+#            without a cancellation poll is caught, and the bench_shard
+#            shard-invariance / kill-and-recover gate (BENCH_shard.json)
 #
 # Run from anywhere in the repository:
 #
 #   ./scripts/ci.sh            # all stages
 #   ./scripts/ci.sh release    # one stage by name
 #                              # (release|tsan|asan|ubsan|lint|analyze|obs|
-#                              #  fault|server|telemetry)
+#                              #  fault|server|telemetry|shard)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,14 +55,14 @@ fi
 STAGE="${1:-all}"
 
 release_stage() {
-  echo "=== [1/10] Release build (-Werror) + full test suite ==="
+  echo "=== [1/11] Release build (-Werror) + full test suite ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}"
   ctest --test-dir build-ci-release --output-on-failure -j "${JOBS}"
 }
 
 tsan_stage() {
-  echo "=== [2/10] ThreadSanitizer build + concurrency tests ==="
+  echo "=== [2/11] ThreadSanitizer build + concurrency tests ==="
   cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=thread
   cmake --build build-ci-tsan -j "${JOBS}" \
@@ -70,7 +77,7 @@ tsan_stage() {
 }
 
 asan_stage() {
-  echo "=== [3/10] AddressSanitizer build + UDF cache tests ==="
+  echo "=== [3/11] AddressSanitizer build + UDF cache tests ==="
   cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=address
   cmake --build build-ci-asan -j "${JOBS}" \
@@ -93,7 +100,7 @@ asan_stage() {
 }
 
 ubsan_stage() {
-  echo "=== [4/10] UndefinedBehaviorSanitizer build + full test suite ==="
+  echo "=== [4/11] UndefinedBehaviorSanitizer build + full test suite ==="
   # -fno-sanitize-recover=all (set by the CMake option) turns any UB hit
   # into a test failure rather than a log line.
   cmake -B build-ci-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -103,7 +110,7 @@ ubsan_stage() {
 }
 
 lint_stage() {
-  echo "=== [5/10] monsoon-lint + clang-tidy ==="
+  echo "=== [5/11] monsoon-lint + clang-tidy ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}" --target monsoon-lint
   # Syntactic repo invariants (RNG discipline, accounting isolation,
@@ -119,7 +126,7 @@ lint_stage() {
 }
 
 analyze_stage() {
-  echo "=== [6/10] monsoon-analyze (flow-sensitive CFG passes) ==="
+  echo "=== [6/11] monsoon-analyze (flow-sensitive CFG passes) ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}" --target monsoon-analyze
   # Execution invariants the token linter cannot see (cancellation polls on
@@ -179,7 +186,7 @@ EOS
 }
 
 obs_stage() {
-  echo "=== [7/10] Observability smoke: trace + run report + overhead gate ==="
+  echo "=== [7/11] Observability smoke: trace + run report + overhead gate ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}" \
     --target quickstart monsoon-trace-check bench_obs_overhead
@@ -197,7 +204,7 @@ obs_stage() {
 }
 
 fault_stage() {
-  echo "=== [8/10] Fault-injection soak (ASan) + overhead gate ==="
+  echo "=== [8/11] Fault-injection soak (ASan) + overhead gate ==="
   cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMONSOON_SANITIZE=address
   cmake --build build-ci-asan -j "${JOBS}" \
@@ -235,7 +242,7 @@ fault_stage() {
 }
 
 server_stage() {
-  echo "=== [9/10] Query-server smoke: admission, cancellation, drain ==="
+  echo "=== [9/11] Query-server smoke: admission, cancellation, drain ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}" \
     --target monsoon-serve monsoon-client monsoon-trace-check
@@ -295,7 +302,7 @@ server_stage() {
 }
 
 telemetry_stage() {
-  echo "=== [10/10] Telemetry: exposition, tail sampling, slow log, top ==="
+  echo "=== [10/11] Telemetry: exposition, tail sampling, slow log, top ==="
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
   cmake --build build-ci-release -j "${JOBS}" \
     --target monsoon-serve monsoon-client monsoon-top monsoon-trace-check
@@ -366,6 +373,106 @@ telemetry_stage() {
   grep -q 'pool pending=0' "${telem_dir}/serve.log"
 }
 
+shard_stage() {
+  echo "=== [11/11] Shard failover soak (ASan) + analyze self-check + bench ==="
+  cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMONSOON_SANITIZE=address
+  cmake --build build-ci-asan -j "${JOBS}" --target quickstart
+  cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release -DMONSOON_WERROR=ON
+  cmake --build build-ci-release -j "${JOBS}" \
+    --target bench_shard monsoon-analyze
+  local shard_dir="build-ci-asan/shard-soak"
+  rm -rf "${shard_dir}"
+  mkdir -p "${shard_dir}"
+  # One line per query: the status always, plus the accounting scalars
+  # that must be shard- and failover-invariant when the query completes
+  # OK — including shard_failures, which pins the recovered run to zero
+  # shards lost (the clean shards=1 side is structurally zero). Budget-
+  # exhausted (TO) queries contribute status only: partial accounting is
+  # documented as nondeterministic (the budget trips at morsel/shard
+  # granularity), and their shards legitimately record non-transient
+  # ResourceExhausted failures. udf_cache hit/miss and shard_retries are
+  # deliberately excluded: shard-range cache keys are a different key
+  # population, and retries are exactly what differs on a recovered run.
+  acct() {
+    sed 's/{"query":/\n{"query":/g' "$1" | tail -n +2 | while IFS= read -r q; do
+      if printf '%s' "${q}" | grep -q '"status":"ok"'; then
+        printf '%s' "${q}" | grep -o \
+          '"\(status\|result_rows\|objects_processed\|work_units\|execute_rounds\|stats_collections\|degraded\|shard_failures\)":"\?[A-Za-z0-9]*"\?' \
+          | tr '\n' ' '
+        echo
+      else
+        printf '%s' "${q}" | grep -o '"status":"[^"]*"' | head -1
+      fi
+    done
+  }
+  # Fault draws are a pure function of (seed, point, coord=shard,
+  # attempt): seed 4 at p=0.01 fires exactly shard 2's attempt 0 and
+  # clears its retry, so EVERY sharded pass in every workload kills one
+  # shard once and the supervisor must recover it — deterministically,
+  # never exhausting the retry budget.
+  local seed=4
+  local fired=0
+  for wl in tpch imdb ott udf; do
+    ./build-ci-asan/examples/quickstart --workload="${wl}" \
+      --report-out="${shard_dir}/clean_${wl}.json"
+    MONSOON_FAULT_SEED="${seed}" \
+      ./build-ci-asan/examples/quickstart --workload="${wl}" --shards=4 \
+      --faults='shard.exec=0.01' \
+      --report-out="${shard_dir}/shard_${wl}.json"
+    if grep -q '"shard_retries":[1-9]' "${shard_dir}/shard_${wl}.json"; then
+      fired=1
+    fi
+    # The recovered shards=4 run must match the clean shards=1 run query
+    # for query: same status sequence, and for every OK query the same
+    # accounting with zero failed shards (recovered, never degraded).
+    if ! diff <(acct "${shard_dir}/clean_${wl}.json") \
+              <(acct "${shard_dir}/shard_${wl}.json"); then
+      echo "FAIL: ${wl}: recovered shards=4 accounting differs from the" \
+           "clean shards=1 run" >&2
+      exit 1
+    fi
+    echo "shard soak: ${wl} recovered with clean-run-identical accounting"
+  done
+  if [ "${fired}" -ne 1 ]; then
+    echo "FAIL: the seeded shard kill never fired — the soak proved nothing" >&2
+    exit 1
+  fi
+  # The shipped per-shard morsel loops must satisfy must-poll...
+  ./build-ci-release/tools/analyze/monsoon-analyze --root . \
+    src/shard/shard.cc src/exec/executor.cc
+  # ...and the pass must still CATCH a per-shard loop that drops its
+  # cancellation poll (same self-check contract as the analyze stage).
+  local inject_dir="build-ci-asan/shard-inject"
+  rm -rf "${inject_dir}"
+  mkdir -p "${inject_dir}/src/exec"
+  cat > "${inject_dir}/src/exec/inject_shard_poll.cc" <<'EOS'
+Status RunShards(ExecContext* ctx, const ShardMap& map, const Table& t) {
+  for (size_t s = 0; s < map.num_shards(); ++s) {
+    for (size_t i = map.begin(s); i < map.end(s); ++i) {
+      MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(1));
+    }
+  }
+  return Status::OK();
+}
+EOS
+  local found
+  found="$(./build-ci-release/tools/analyze/monsoon-analyze \
+      --root "${inject_dir}" src/exec/inject_shard_poll.cc || true)"
+  if echo "${found}" | grep -q "monsoon-analyze-must-poll"; then
+    echo "self-check: must-poll caught the poll-free per-shard loop"
+  else
+    echo "FAIL: monsoon-analyze-must-poll missed a per-shard morsel loop" \
+         "without a cancellation poll" >&2
+    exit 1
+  fi
+  # Shard sweep + kill-and-recover gate; hard-fails unless every arm's
+  # outputs equal shards=1 and the kill arm recovered (BENCH_shard.json).
+  local bench_dir="build-ci-release/shard-bench"
+  mkdir -p "${bench_dir}"
+  (cd "${bench_dir}" && ../../build-ci-release/bench/bench_shard)
+}
+
 case "${STAGE}" in
   release) release_stage ;;
   tsan) tsan_stage ;;
@@ -377,6 +484,7 @@ case "${STAGE}" in
   fault) fault_stage ;;
   server) server_stage ;;
   telemetry) telemetry_stage ;;
+  shard) shard_stage ;;
   all)
     release_stage
     tsan_stage
@@ -388,9 +496,10 @@ case "${STAGE}" in
     fault_stage
     server_stage
     telemetry_stage
+    shard_stage
     ;;
   *)
-    echo "usage: $0 [release|tsan|asan|ubsan|lint|analyze|obs|fault|server|telemetry|all]" >&2
+    echo "usage: $0 [release|tsan|asan|ubsan|lint|analyze|obs|fault|server|telemetry|shard|all]" >&2
     exit 2
     ;;
 esac

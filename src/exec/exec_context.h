@@ -9,6 +9,7 @@
 #include "fault/cancellation.h"
 #include "obs/metrics.h"
 #include "parallel/runtime.h"
+#include "shard/shard.h"
 
 namespace monsoon {
 
@@ -93,6 +94,28 @@ class ExecContext {
     morsel_size_ = morsel_size == 0 ? 1 : morsel_size;
   }
 
+  /// Hash-range shards per table (see shard/shard.h). 1 = unsharded, the
+  /// exact pre-shard code path. Snapshotted from the process default
+  /// (MONSOON_SHARDS / --shards) at construction; tests pin shard counts
+  /// with the setter.
+  size_t num_shards() const { return num_shards_; }
+  void SetShards(size_t num_shards) {
+    num_shards_ = num_shards == 0 ? 1 : num_shards;
+  }
+
+  /// Shard-supervisor recovery accounting for this query (retried shard
+  /// attempts, shards failed past the retry budget, shards recovered).
+  /// Same single-owner contract as the counters above: the executor folds
+  /// each pass's ShardRunStats in from the orchestrating thread only.
+  uint64_t shard_retries() const { return shard_retries_.Value(); }
+  uint64_t shard_failures() const { return shard_failures_.Value(); }
+  uint64_t shard_recoveries() const { return shard_recoveries_.Value(); }
+  void AddShardStats(const shard::ShardRunStats& stats) {
+    shard_retries_.Add(stats.retries);
+    shard_failures_.Add(stats.failures);
+    shard_recoveries_.Add(stats.recoveries);
+  }
+
   /// Rows per executor pipeline batch (see exec/pipeline.h). 1 = the
   /// legacy row-at-a-time strategy; snapshotted from the process default
   /// (MONSOON_BATCH_SIZE / --batch-size) at construction. Tests pin
@@ -135,9 +158,13 @@ class ExecContext {
   obs::LocalCounter udf_cache_evictions_;
   obs::LocalCounter udf_cache_bytes_;
   obs::LocalGauge stats_collect_seconds_;
+  obs::LocalCounter shard_retries_;
+  obs::LocalCounter shard_failures_;
+  obs::LocalCounter shard_recoveries_;
   parallel::ThreadPool* pool_ = parallel::SharedPool();
   size_t morsel_size_ = parallel::DefaultConfig().morsel_size;
   size_t batch_size_ = parallel::DefaultConfig().batch_size;
+  size_t num_shards_ = static_cast<size_t>(shard::DefaultShardCount());
   fault::CancellationToken* cancel_token_ = nullptr;
 };
 
@@ -151,6 +178,9 @@ inline void CaptureAccounting(const ExecContext& ctx, RunResult* result) {
   result->udf_cache_hits = ctx.udf_cache_hits();
   result->udf_cache_misses = ctx.udf_cache_misses();
   result->udf_cache_bytes = ctx.udf_cache_bytes();
+  result->shard_retries = ctx.shard_retries();
+  result->shard_failures = ctx.shard_failures();
+  result->shard_recoveries = ctx.shard_recoveries();
 }
 
 /// Monotonic wall-clock timer helper.

@@ -16,6 +16,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
+#include "shard/shard.h"
 #include "sketch/hyperloglog.h"
 
 namespace monsoon {
@@ -46,16 +47,21 @@ struct BoundResidual {
   Value constant;   // selection only
   CachedUdfColumnPtr left_col;   // indexes the leaf's source table
   CachedUdfColumnPtr right_col;  // join kinds only
+  // Index of absolute row 0 in the cached columns: 0 for whole-table
+  // columns, the shard's first row for shard-scoped columns (which store
+  // their range at local slots — see UdfColumnCache::GetOrBuildShard).
+  size_t col_base = 0;
 
   bool Eval(const Table& table, size_t row) const {
     if (left_col != nullptr) {
+      const size_t i = row - col_base;
       switch (kind) {
         case Kind::kJoinEq:
-          return CachedUdfColumn::Equal(*left_col, row, *right_col, row);
+          return CachedUdfColumn::Equal(*left_col, i, *right_col, i);
         case Kind::kJoinNeq:
-          return !CachedUdfColumn::Equal(*left_col, row, *right_col, row);
+          return !CachedUdfColumn::Equal(*left_col, i, *right_col, i);
         case Kind::kSelectionEq:
-          return left_col->EqualsValue(row, constant);
+          return left_col->EqualsValue(i, constant);
       }
       return false;
     }
@@ -141,6 +147,35 @@ StatusOr<CachedUdfColumnPtr> TolerateCacheFault(
   return CachedUdfColumnPtr();
 }
 
+/// Resolves the shard layout a pass iterates for an input of `rows` rows:
+/// the materialized expression's own hash-range map when it matches both
+/// the table and the configured shard count, else an even contiguous
+/// split. The per-shard accounting invariant holds for ANY contiguous
+/// decomposition (DESIGN.md §15), so the fallback is always correct — it
+/// only loses hash-range placement.
+shard::ShardMapPtr ResolveShardMap(const shard::ShardMapPtr& hint, size_t rows,
+                                   size_t num_shards) {
+  if (hint != nullptr && hint->num_shards() == num_shards &&
+      hint->total_rows() == rows) {
+    return hint;
+  }
+  return shard::EvenMap(rows, num_shards);
+}
+
+/// Shard map describing the output a sharded pass merged: offsets are the
+/// cumulative per-shard output sizes, so downstream sharded passes split
+/// the intermediate along the boundaries its producer emitted (a function
+/// of shard contents only — independent of thread count and recovery).
+shard::ShardMapPtr MapFromShardOutputs(const std::vector<Table>& locals) {
+  auto map = std::make_shared<shard::ShardMap>();
+  map->offsets.reserve(locals.size() + 1);
+  map->offsets.push_back(0);
+  for (const Table& local : locals) {
+    map->offsets.push_back(map->offsets.back() + local.num_rows());
+  }
+  return map;
+}
+
 constexpr uint64_t kJoinHashSeed = 0xabcdef0123456789ULL;
 /// Partition count for the parallel hash join's partitioned build. Fixed
 /// (not thread-derived) so the output is bit-identical across thread
@@ -191,6 +226,9 @@ void ApplyResidualBatch(const BoundResidual& f, Batch* batch) {
     return;
   }
   const CachedUdfColumn& lcol = *f.left_col;
+  // Shard-scoped columns store their range at local slots; `base` shifts
+  // the batch's absolute rows into them (0 for whole-table columns).
+  const size_t base = f.col_base;
   if (f.kind == BoundResidual::Kind::kSelectionEq) {
     if (f.constant.type() != lcol.type()) {
       RefineSelection(batch, [](size_t) { return false; });
@@ -200,13 +238,15 @@ void ApplyResidualBatch(const BoundResidual& f, Batch* batch) {
       case ValueType::kInt64: {
         const int64_t want = f.constant.AsInt64();
         const int64_t* data = lcol.Int64Data();
-        RefineSelection(batch, [&](size_t row) { return data[row] == want; });
+        RefineSelection(batch,
+                        [&](size_t row) { return data[row - base] == want; });
         return;
       }
       case ValueType::kDouble: {
         const double want = f.constant.AsDouble();
         const double* data = lcol.DoubleData();
-        RefineSelection(batch, [&](size_t row) { return data[row] == want; });
+        RefineSelection(batch,
+                        [&](size_t row) { return data[row - base] == want; });
         return;
       }
       case ValueType::kString: {
@@ -215,7 +255,7 @@ void ApplyResidualBatch(const BoundResidual& f, Batch* batch) {
         const uint64_t* hashes = lcol.HashData();
         const std::string* strs = lcol.StringData();
         RefineSelection(batch, [&](size_t row) {
-          return hashes[row] == want_hash && strs[row] == want;
+          return hashes[row - base] == want_hash && strs[row - base] == want;
         });
         return;
       }
@@ -233,15 +273,17 @@ void ApplyResidualBatch(const BoundResidual& f, Batch* batch) {
     case ValueType::kInt64: {
       const int64_t* a = lcol.Int64Data();
       const int64_t* b = rcol.Int64Data();
-      RefineSelection(
-          batch, [&](size_t row) { return (a[row] == b[row]) == keep_equal; });
+      RefineSelection(batch, [&](size_t row) {
+        return (a[row - base] == b[row - base]) == keep_equal;
+      });
       return;
     }
     case ValueType::kDouble: {
       const double* a = lcol.DoubleData();
       const double* b = rcol.DoubleData();
-      RefineSelection(
-          batch, [&](size_t row) { return (a[row] == b[row]) == keep_equal; });
+      RefineSelection(batch, [&](size_t row) {
+        return (a[row - base] == b[row - base]) == keep_equal;
+      });
       return;
     }
     case ValueType::kString: {
@@ -250,7 +292,8 @@ void ApplyResidualBatch(const BoundResidual& f, Batch* batch) {
       const std::string* sa = lcol.StringData();
       const std::string* sb = rcol.StringData();
       RefineSelection(batch, [&](size_t row) {
-        return (ha[row] == hb[row] && sa[row] == sb[row]) == keep_equal;
+        return (ha[row - base] == hb[row - base] &&
+                sa[row - base] == sb[row - base]) == keep_equal;
       });
       return;
     }
@@ -315,10 +358,12 @@ class GatherOperator : public PipelineOperator {
 /// unbox ahead of time).
 class SigmaOperator : public PipelineOperator {
  public:
+  /// `col_base` is the cached columns' index of absolute row 0 (the
+  /// shard's first row for shard-scoped columns, 0 for whole-table ones).
   SigmaOperator(const std::vector<std::pair<int, BoundTerm>>* terms,
                 const std::vector<CachedUdfColumnPtr>* cols,
-                std::vector<HyperLogLog>* sketches)
-      : terms_(terms), cols_(cols), sketches_(sketches) {}
+                std::vector<HyperLogLog>* sketches, size_t col_base = 0)
+      : terms_(terms), cols_(cols), sketches_(sketches), col_base_(col_base) {}
   const char* name() const override { return "sigma"; }
 
   Status ProcessBatch(Batch* batch, ExecContext* /*ctx*/) override {
@@ -333,7 +378,9 @@ class SigmaOperator : public PipelineOperator {
       const CachedUdfColumnPtr& col = (*cols_)[t];
       if (col != nullptr) {
         const FlatView v = FlatView::Of(*col);
-        for (size_t row = b; row < e; ++row) sketch.AddHash(v.HashAt(row));
+        for (size_t row = b; row < e; ++row) {
+          sketch.AddHash(v.HashAt(row - col_base_));
+        }
       } else {
         const BoundTerm& bound = (*terms_)[t].second;
         for (size_t row = b; row < e; ++row) {
@@ -348,6 +395,7 @@ class SigmaOperator : public PipelineOperator {
   const std::vector<std::pair<int, BoundTerm>>* terms_;
   const std::vector<CachedUdfColumnPtr>* cols_;
   std::vector<HyperLogLog>* sketches_;
+  size_t col_base_;
 };
 
 /// acc[i] = HashCombine(acc[i], hash of view[(begin + i) - base]) for i in
@@ -734,17 +782,27 @@ StatusOr<MaterializedExpr> Executor::ExecuteLeaf(const PlanNode::Ptr& node,
     return *source;
   }
 
+  const bool sharded = ctx->num_shards() > 1;
   std::vector<BoundResidual> filters;
   filters.reserve(node->pred_ids().size());
+  // (left, right-or--1) term ids per filter: the sharded path looks up
+  // shard-scoped cached columns inside each shard body.
+  std::vector<std::pair<int, int>> filter_terms;
+  filter_terms.reserve(node->pred_ids().size());
   for (int pred_id : node->pred_ids()) {
     const Predicate& pred = query_.predicate(pred_id);
     MONSOON_ASSIGN_OR_RETURN(BoundResidual residual,
                              BindResidual(pred, source->schema, *registry_));
+    filter_terms.emplace_back(
+        pred.left.term_id,
+        pred.kind == Predicate::Kind::kSelection ? -1 : pred.right->term_id);
     // Leaf residuals evaluate over the source expression itself, so the
     // store's evaluate-once columns apply positionally. Join-kind filters
-    // need both sides cached to skip per-row evaluation.
+    // need both sides cached to skip per-row evaluation. Sharded scans
+    // bind their columns per shard instead (inside the supervised body,
+    // so a killed attempt's partial fills are discarded with it).
     UdfColumnCache* cache = store->udf_cache();
-    if (cache->enabled()) {
+    if (!sharded && cache->enabled()) {
       MONSOON_ASSIGN_OR_RETURN(
           residual.left_col,
           TolerateCacheFault(
@@ -772,7 +830,68 @@ StatusOr<MaterializedExpr> Executor::ExecuteLeaf(const PlanNode::Ptr& node,
   // index as its coordinate, so the firing site is the same at every
   // thread count and batch size.
   FilterOperator filter_op(&filters);
-  if (WorthParallel(ctx, in.num_rows())) {
+  shard::ShardMapPtr out_map;
+  if (sharded) {
+    // Sharded scan under the shard supervisor: each shard drives its own
+    // pipeline (with shard-scoped evaluate-once columns) into a local
+    // table committed only when the attempt succeeds. Locals merge in
+    // shard order, so the output is a fixed function of shard contents —
+    // independent of thread count and of any recovered kill.
+    shard::ShardMapPtr map =
+        ResolveShardMap(source->shards, in.num_rows(), ctx->num_shards());
+    std::vector<Table> locals(map->num_shards(), Table(source->schema));
+    UdfColumnCache* cache = store->udf_cache();
+    shard::ShardRunStats stats;
+    Status run = shard::RunSharded(
+        ctx->pool(), ctx->cancel_token(), *map, shard::kShardExecPoint,
+        [&](size_t s, size_t begin, size_t end, uint32_t attempt) -> Status {
+          std::vector<BoundResidual> local_filters = filters;
+          if (cache->enabled()) {
+            for (size_t f = 0; f < local_filters.size(); ++f) {
+              BoundResidual& lf = local_filters[f];
+              MONSOON_ASSIGN_OR_RETURN(
+                  lf.left_col,
+                  TolerateCacheFault(
+                      ctx, cache->GetOrBuildShard(
+                               source->sig, filter_terms[f].first, lf.left,
+                               source->table, begin, end, ctx->cancel_token())));
+              if (lf.kind != BoundResidual::Kind::kSelectionEq &&
+                  lf.left_col != nullptr) {
+                MONSOON_ASSIGN_OR_RETURN(
+                    lf.right_col,
+                    TolerateCacheFault(
+                        ctx, cache->GetOrBuildShard(source->sig,
+                                                    filter_terms[f].second,
+                                                    lf.right, source->table,
+                                                    begin, end,
+                                                    ctx->cancel_token())));
+                if (lf.right_col == nullptr) lf.left_col = nullptr;
+              }
+              lf.col_base = begin;
+            }
+          }
+          FilterOperator shard_filter_op(&local_filters);
+          Table attempt_local(source->schema);
+          GatherOperator gather(&attempt_local);
+          Pipeline pipeline;
+          pipeline.Add(&shard_filter_op).Add(&gather);
+          const size_t mid = begin + (end - begin) / 2;
+          MONSOON_RETURN_IF_ERROR(pipeline.Run(in, begin, mid, ctx));
+          // Mid-pass kill site: a fired fault discards attempt_local (and
+          // the attempt's un-published cache fills) before anything
+          // commits, so the retry re-reads exactly this shard.
+          MONSOON_RETURN_IF_ERROR(
+              fault::FireAttempt(shard::kShardExecPoint, s, attempt));
+          MONSOON_RETURN_IF_ERROR(pipeline.Run(in, mid, end, ctx));
+          locals[s] = std::move(attempt_local);
+          return Status::OK();
+        },
+        &stats);
+    ctx->AddShardStats(stats);
+    MONSOON_RETURN_IF_ERROR(run);
+    out_map = MapFromShardOutputs(locals);
+    for (Table& local : locals) out->TakeRowsFrom(&local);
+  } else if (WorthParallel(ctx, in.num_rows())) {
     // Morsel-driven scan: each morsel drives its own pipeline into a local
     // table; the barrier concatenates them in morsel order, so the output
     // row order is identical to the serial scan's.
@@ -798,6 +917,7 @@ StatusOr<MaterializedExpr> Executor::ExecuteLeaf(const PlanNode::Ptr& node,
   result.sig = node->output_sig();
   result.schema = source->schema;
   result.table = std::move(out);
+  result.shards = std::move(out_map);
   return result;
 }
 
@@ -904,6 +1024,7 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
   auto out = std::make_shared<Table>(out_schema);
   const Table& lt = *left.table;
   const Table& rt = *right.table;
+  shard::ShardMapPtr out_map;
 
   if (equi.empty()) {
     // Cross product with residual filters (multi-table UDF predicates and
@@ -1079,6 +1200,161 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
       li = lend;
       ri = rend;
     }
+  } else if (ctx->num_shards() > 1) {
+    // Sharded hash join: build and probe both run per-shard under the
+    // shard supervisor (kill → discard that shard's partials → bounded
+    // retry of only that shard). Key columns stay whole-side — the
+    // probe's confirm step random-accesses arbitrary build rows — so a
+    // recovered shard recomputes only its key hashes (absolute disjoint
+    // slots, idempotent across attempts) and its probes (commit-on-success
+    // locals). The scatter/index/Bloom merge between the two passes is the
+    // same serial-row-order code as the parallel join, so the index is a
+    // function of build contents only.
+    algo = "hash-sharded";
+    obs::TraceSpan build_span("exec", "join.build");
+    bool build_left = lt.num_rows() <= rt.num_rows();
+    const Table& build = build_left ? lt : rt;
+    const Table& probe = build_left ? rt : lt;
+    size_t nkeys = equi.size();
+
+    std::vector<const BoundTerm*> build_terms;
+    std::vector<const BoundTerm*> probe_terms;
+    build_terms.reserve(nkeys);
+    probe_terms.reserve(nkeys);
+    for (const auto& pair : equi) {
+      build_terms.push_back(build_left ? &pair.left_key : &pair.right_key);
+      probe_terms.push_back(build_left ? &pair.right_key : &pair.left_key);
+    }
+    const auto& build_cols = build_left ? left_cols : right_cols;
+    const auto& probe_cols = build_left ? right_cols : left_cols;
+
+    std::vector<FlatColumn> build_flat;
+    std::vector<FlatView> build_views(nkeys);
+    if (keys_cached) {
+      for (size_t k = 0; k < nkeys; ++k) {
+        build_views[k] = FlatView::Of(*build_cols[k]);
+      }
+    } else {
+      build_flat.resize(nkeys);
+      for (size_t k = 0; k < nkeys; ++k) {
+        build_flat[k].Resize(build_terms[k]->result_type(), build.num_rows());
+        build_views[k] = FlatView::Of(build_flat[k]);
+      }
+    }
+    std::vector<uint64_t> build_hashes(build.num_rows());
+    HashBuildOperator build_op(&build_terms, keys_cached, &build_flat,
+                               &build_views, &build_hashes);
+    shard::ShardMapPtr build_map =
+        ResolveShardMap(build_left ? left.shards : right.shards,
+                        build.num_rows(), ctx->num_shards());
+    {
+      shard::ShardRunStats stats;
+      Status run = shard::RunSharded(
+          ctx->pool(), ctx->cancel_token(), *build_map, shard::kShardExecPoint,
+          [&](size_t s, size_t begin, size_t end, uint32_t attempt) -> Status {
+            Pipeline pipeline;
+            pipeline.Add(&build_op);
+            const size_t mid = begin + (end - begin) / 2;
+            MONSOON_RETURN_IF_ERROR(pipeline.Run(build, begin, mid, ctx));
+            MONSOON_RETURN_IF_ERROR(
+                fault::FireAttempt(shard::kShardExecPoint, s, attempt));
+            return pipeline.Run(build, mid, end, ctx);
+          },
+          &stats);
+      ctx->AddShardStats(stats);
+      MONSOON_RETURN_IF_ERROR(run);
+    }
+
+    std::vector<std::vector<size_t>> partition_rows(kBuildPartitions);
+    for (auto& rows : partition_rows) {
+      rows.reserve(build.num_rows() / kBuildPartitions + 1);
+    }
+    // A shift and a pointer append per row, bracketed by polling shard /
+    // ParallelFor passes (see the parallel join's scatter).
+    for (size_t row = 0; row < build.num_rows(); ++row) {  // NOLINT(monsoon-analyze-must-poll)
+      size_t p = build_hashes[row] >> kBuildPartitionShift;
+      MONSOON_DCHECK(p < kBuildPartitions);
+      partition_rows[p].push_back(row);
+    }
+    std::vector<std::unordered_multimap<uint64_t, size_t>> partitions(
+        kBuildPartitions);
+    MONSOON_RETURN_IF_ERROR(parallel::ParallelFor(
+        ctx->pool(), kBuildPartitions, 1, ctx->cancel_token(),
+        [&](size_t p, size_t, size_t) {
+          partitions[p].reserve(partition_rows[p].size() * 2);
+          for (size_t row : partition_rows[p]) {
+            partitions[p].emplace(build_hashes[row], row);
+          }
+          return Status::OK();
+        }));
+    std::unique_ptr<JoinBloomFilter> bloom;
+    if (ctx->batch_size() > 1) {
+      bloom = std::make_unique<JoinBloomFilter>(build.num_rows());
+      for (uint64_t h : build_hashes) bloom->AddHash(h);
+    }
+    MONSOON_RETURN_IF_ERROR(ctx->ChargeWork(build.num_rows()));
+    build_span.Arg("rows", static_cast<uint64_t>(build.num_rows()));
+    build_span.End();
+
+    // Probe: one supervised body per probe-side shard, emitting into a
+    // local table with a local work tally, both committed only on success
+    // — a killed attempt's rows and tally die with it, so the shared
+    // tally counts every shard exactly once and the merged output equals
+    // the unsharded row multiset at any thread count.
+    obs::TraceSpan probe_span("exec", "join.probe");
+    probe_span.Arg("rows", static_cast<uint64_t>(probe.num_rows()));
+    shard::ShardMapPtr probe_map =
+        ResolveShardMap(build_left ? right.shards : left.shards,
+                        probe.num_rows(), ctx->num_shards());
+    std::vector<Table> locals(probe_map->num_shards(), Table(out_schema));
+    std::atomic<uint64_t> shared_work{0};
+    const uint64_t work_limit = ctx->RemainingWork();
+    std::vector<FlatView> probe_views(keys_cached ? nkeys : 0);
+    for (size_t k = 0; k < probe_views.size(); ++k) {
+      probe_views[k] = FlatView::Of(*probe_cols[k]);
+    }
+    HashProbeOperator::Spec spec;
+    spec.lt = &lt;
+    spec.rt = &rt;
+    spec.build_left = build_left;
+    spec.keys_cached = keys_cached;
+    spec.probe_terms = &probe_terms;
+    spec.build_views = &build_views;
+    spec.probe_views = &probe_views;
+    spec.partitions = &partitions;
+    spec.bloom = bloom.get();
+    spec.residual = &residual;
+    spec.out_schema = &out_schema;
+    {
+      shard::ShardRunStats stats;
+      Status run = shard::RunSharded(
+          ctx->pool(), ctx->cancel_token(), *probe_map, shard::kShardExecPoint,
+          [&](size_t s, size_t begin, size_t end, uint32_t attempt) -> Status {
+            uint64_t local_work = 0;
+            Table attempt_local(out_schema);
+            HashProbeOperator probe_op(spec, &attempt_local, &local_work);
+            Pipeline pipeline;
+            pipeline.Add(&probe_op);
+            const size_t mid = begin + (end - begin) / 2;
+            MONSOON_RETURN_IF_ERROR(pipeline.Run(probe, begin, mid, ctx));
+            MONSOON_RETURN_IF_ERROR(
+                fault::FireAttempt(shard::kShardExecPoint, s, attempt));
+            MONSOON_RETURN_IF_ERROR(pipeline.Run(probe, mid, end, ctx));
+            uint64_t before = shared_work.fetch_add(local_work);
+            if (before + local_work > work_limit) {
+              return Status::ResourceExhausted("work budget exceeded");
+            }
+            locals[s] = std::move(attempt_local);
+            return Status::OK();
+          },
+          &stats);
+      ctx->AddShardStats(stats);
+      Status charged = ctx->ChargeWork(shared_work.load());
+      MONSOON_RETURN_IF_ERROR(run);
+      MONSOON_RETURN_IF_ERROR(charged);
+    }
+    out_map = MapFromShardOutputs(locals);
+    for (Table& local : locals) out->TakeRowsFrom(&local);
   } else if (WorthParallel(ctx, std::max(lt.num_rows(), rt.num_rows()))) {
     // Parallel hash join: partitioned build + morsel-driven probe.
     algo = "hash-parallel";
@@ -1304,6 +1580,7 @@ StatusOr<MaterializedExpr> Executor::ExecuteJoin(const PlanNode::Ptr& node,
   result.sig = node->output_sig();
   result.schema = std::move(out_schema);
   result.table = std::move(out);
+  result.shards = std::move(out_map);
   return result;
 }
 
@@ -1345,8 +1622,11 @@ Status Executor::CollectStats(const MaterializedExpr& expr,
   // materialized expression (the plan → Σ → re-plan loop) hit the cache
   // and feed precomputed hashes straight into the sketches. Terms whose
   // column is unavailable fall back per-row, independently of the rest.
+  // Sharded passes build shard-scoped columns inside each supervised body
+  // instead, so a killed shard's partial fills die with the attempt.
+  const bool sharded = ctx->num_shards() > 1;
   std::vector<CachedUdfColumnPtr> term_cols(terms.size());
-  if (store != nullptr && store->udf_cache()->enabled() &&
+  if (!sharded && store != nullptr && store->udf_cache()->enabled() &&
       StoreResident(*store, expr)) {
     for (size_t t = 0; t < terms.size(); ++t) {
       MONSOON_ASSIGN_OR_RETURN(
@@ -1365,7 +1645,63 @@ Status Executor::CollectStats(const MaterializedExpr& expr,
   std::vector<HyperLogLog> sketches(terms.size(),
                                     HyperLogLog(options_.hll_precision));
   const Table& table = *expr.table;
-  if (WorthParallel(ctx, table.num_rows())) {
+  if (sharded) {
+    // Sharded Σ: each shard folds its rows into a fresh sketch set per
+    // attempt (with shard-scoped evaluate-once columns) and commits the
+    // set only on success. The register-wise max merge in shard order is
+    // exact and order-independent, so the distinct counts are
+    // bit-identical to the serial pass — including across a recovered
+    // shard kill. A shard failed past the retry budget propagates its
+    // (shard-naming) transient status, which the caller degrades to
+    // prior-only planning for this relation.
+    shard::ShardMapPtr map =
+        ResolveShardMap(expr.shards, table.num_rows(), ctx->num_shards());
+    std::vector<std::vector<HyperLogLog>> shard_sketches(
+        map->num_shards(),
+        std::vector<HyperLogLog>(terms.size(),
+                                 HyperLogLog(options_.hll_precision)));
+    const bool cache_on = store != nullptr && store->udf_cache()->enabled() &&
+                          StoreResident(*store, expr);
+    shard::ShardRunStats stats;
+    Status run = shard::RunSharded(
+        ctx->pool(), ctx->cancel_token(), *map, shard::kShardExecPoint,
+        [&](size_t s, size_t begin, size_t end, uint32_t attempt) -> Status {
+          std::vector<CachedUdfColumnPtr> local_cols(terms.size());
+          if (cache_on) {
+            for (size_t t = 0; t < terms.size(); ++t) {
+              MONSOON_ASSIGN_OR_RETURN(
+                  local_cols[t],
+                  TolerateCacheFault(
+                      ctx, store->udf_cache()->GetOrBuildShard(
+                               expr.sig, terms[t].first, terms[t].second,
+                               expr.table, begin, end, ctx->cancel_token())));
+            }
+          }
+          std::vector<HyperLogLog> local(terms.size(),
+                                         HyperLogLog(options_.hll_precision));
+          SigmaOperator sigma_op(&terms, &local_cols, &local,
+                                 /*col_base=*/begin);
+          Pipeline pipeline;
+          pipeline.Add(&sigma_op);
+          const size_t mid = begin + (end - begin) / 2;
+          MONSOON_RETURN_IF_ERROR(pipeline.Run(table, begin, mid, ctx));
+          MONSOON_RETURN_IF_ERROR(
+              fault::FireAttempt(shard::kShardExecPoint, s, attempt));
+          MONSOON_RETURN_IF_ERROR(pipeline.Run(table, mid, end, ctx));
+          shard_sketches[s] = std::move(local);
+          return Status::OK();
+        },
+        &stats);
+    ctx->AddShardStats(stats);
+    MONSOON_RETURN_IF_ERROR(run);
+    // Merge iterates sketch sets, not rows (register-wise max).
+    for (const std::vector<HyperLogLog>& local : shard_sketches) {  // NOLINT(monsoon-analyze-must-poll)
+      MONSOON_DCHECK(local.size() == sketches.size());
+      for (size_t t = 0; t < terms.size(); ++t) {
+        MONSOON_RETURN_IF_ERROR(sketches[t].Merge(local[t]));
+      }
+    }
+  } else if (WorthParallel(ctx, table.num_rows())) {
     // One sketch set per morsel, merged at the barrier. The HLL merge is
     // register-wise max — exact, order- and grouping-independent — so the
     // observed distinct counts are bit-identical to the serial pass. Σ

@@ -9,6 +9,7 @@
 #include "exec/udf_cache.h"
 #include "plan/plan_node.h"
 #include "query/query_spec.h"
+#include "shard/shard.h"
 #include "storage/table.h"
 
 namespace monsoon {
@@ -16,10 +17,14 @@ namespace monsoon {
 /// A materialized RA expression: data plus the alias-qualified schema used
 /// to resolve UDF arguments against it. The table's own schema carries the
 /// same column order; only the names differ (qualified per query alias).
+/// `shards` is the table's hash-range shard layout (shard/shard.h), or
+/// null when unsharded — the executor falls back to an even contiguous
+/// split for shard-less tables, which preserves the accounting invariant.
 struct MaterializedExpr {
   ExprSig sig;
   TablePtr table;
   Schema schema;
+  shard::ShardMapPtr shards;
 };
 
 /// The R_e of the MDP state, with actual data attached: every expression

@@ -32,6 +32,15 @@ struct RunResult {
   uint64_t udf_cache_hits = 0;
   uint64_t udf_cache_misses = 0;
   uint64_t udf_cache_bytes = 0;
+  // Recovery accounting: fault-injector retries attributed to this run
+  // (registry delta around the run) and shard-supervisor activity (from
+  // ExecContext). A run with any of these non-zero completed by RECOVERING
+  // from transient faults — distinguishable at the server surface from a
+  // clean run (.health counters, slow-log reason "retried").
+  uint64_t fault_retries = 0;
+  uint64_t shard_retries = 0;
+  uint64_t shard_failures = 0;
+  uint64_t shard_recoveries = 0;
   std::vector<std::string> action_log;
 
   // Graceful degradation: true when at least one Σ statistics pass failed

@@ -51,7 +51,7 @@ StatusOr<CachedUdfColumnPtr> UdfColumnCache::GetOrBuild(
     const ExprSig& sig, int term_id, const BoundTerm& bound,
     const TablePtr& table, parallel::ThreadPool* pool, size_t morsel_size,
     fault::CancellationToken* token) {
-  Key key{sig.rels, sig.preds, term_id};
+  Key key{sig.rels, sig.preds, term_id, 0, table->num_rows()};
   {
     MutexLock lock(mu_);
     if (byte_budget_ == 0) return CachedUdfColumnPtr();
@@ -159,6 +159,105 @@ StatusOr<CachedUdfColumnPtr> UdfColumnCache::GetOrBuild(
   // caller's shared_ptr pins it for the current operator) but the next
   // lookup will rebuild it. A concurrent builder may have published the
   // same key while we were filling — its entry is replaced, not leaked.
+  if (bytes <= byte_budget_) {
+    auto existing = entries_.find(key);
+    if (existing != entries_.end()) Evict(existing);
+    EvictToFit(bytes);
+    lru_.push_front(key);
+    entries_[key] = Entry{table, column, lru_.begin()};
+    stats_.bytes_in_use += bytes;
+  }
+  return CachedUdfColumnPtr(column);
+}
+
+StatusOr<CachedUdfColumnPtr> UdfColumnCache::GetOrBuildShard(
+    const ExprSig& sig, int term_id, const BoundTerm& bound,
+    const TablePtr& table, size_t begin, size_t end,
+    fault::CancellationToken* token) {
+  MONSOON_DCHECK(begin <= end && end <= table->num_rows())
+      << "shard range out of bounds";
+  Key key{sig.rels, sig.preds, term_id, begin, end};
+  {
+    MutexLock lock(mu_);
+    if (byte_budget_ == 0) return CachedUdfColumnPtr();
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (it->second.table.lock().get() == table.get()) {
+        MONSOON_DCHECK(it->second.column->size() == end - begin)
+            << "cached shard column rows diverged from its key range";
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        return it->second.column;
+      }
+      Evict(it);
+    }
+  }
+  // Miss: serial per-row fill into local slots [0, end - begin). The
+  // caller IS a pool task (one shard body); fanning out again would only
+  // fight siblings for workers. A retried shard attempt re-enters here and
+  // rebuilds from scratch — the previous attempt's partial column was a
+  // local that died with the failed fill, never published.
+  auto column = std::make_shared<CachedUdfColumn>();
+  const Table& t = *table;
+  const size_t n = end - begin;
+  column->type_ = bound.result_type();
+  column->size_ = n;
+  switch (column->type_) {
+    case ValueType::kInt64:
+      column->int64s_.resize(n);
+      break;
+    case ValueType::kDouble:
+      column->doubles_.resize(n);
+      break;
+    case ValueType::kString:
+      column->strings_.resize(n);
+      column->hashes_.resize(n);
+      break;
+  }
+  for (size_t row = begin; row < end; ++row) {
+    if (token != nullptr) {
+      MONSOON_RETURN_IF_ERROR(token->Check());
+    }
+    // Absolute row coordinate: the injected failure site must not move
+    // when the same rows are filled shard-by-shard instead of whole.
+    MONSOON_FAULT_POINT("exec.udf_cache.fill", row);
+    Value v = bound.Eval(t, row);
+    if (v.type() != column->type_) {
+      return Status::Internal("UDF produced a value of unexpected type");
+    }
+    const size_t slot = row - begin;
+    switch (column->type_) {
+      case ValueType::kInt64:
+        column->int64s_[slot] = v.AsInt64();
+        break;
+      case ValueType::kDouble:
+        column->doubles_[slot] = v.AsDouble();
+        break;
+      case ValueType::kString:
+        column->strings_[slot] = v.AsString();
+        column->hashes_[slot] = HashString(column->strings_[slot]);
+        break;
+    }
+  }
+
+  size_t bytes = sizeof(CachedUdfColumn);
+  switch (column->type_) {
+    case ValueType::kInt64:
+      bytes += n * sizeof(int64_t);
+      break;
+    case ValueType::kDouble:
+      bytes += n * sizeof(double);
+      break;
+    case ValueType::kString:
+      bytes += n * (sizeof(std::string) + sizeof(uint64_t));
+      for (const std::string& s : column->strings_) bytes += s.capacity();
+      break;
+  }
+  column->bytes_ = bytes;
+
+  MutexLock lock(mu_);
+  ++stats_.misses;
+  stats_.bytes_built += bytes;
   if (bytes <= byte_budget_) {
     auto existing = entries_.find(key);
     if (existing != entries_.end()) Evict(existing);

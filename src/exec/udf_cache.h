@@ -163,6 +163,21 @@ class UdfColumnCache {
                                           size_t morsel_size,
                                           fault::CancellationToken* token = nullptr);
 
+  /// Shard-scoped variant: the column for rows [begin, end) of `table`,
+  /// stored at LOCAL indexes (slot row - begin), so per-shard operators
+  /// index it with their shard-relative offsets. Keyed by the shard's row
+  /// range on top of (sig, term_id) — a whole-table column is simply the
+  /// range [0, num_rows), so shard keys never collide with whole-column
+  /// keys across shard counts. Fills serially (callers are shard bodies
+  /// already running as pool tasks), polling `token` per row and firing
+  /// exec.udf_cache.fill at the ABSOLUTE row coordinate, so the injected
+  /// failure site is identical to the unsharded fill. A failed fill
+  /// publishes nothing.
+  StatusOr<CachedUdfColumnPtr> GetOrBuildShard(
+      const ExprSig& sig, int term_id, const BoundTerm& bound,
+      const TablePtr& table, size_t begin, size_t end,
+      fault::CancellationToken* token = nullptr);
+
   /// Snapshot of the activity counters (by value: the counters are
   /// guarded, and a reference would escape the lock).
   UdfCacheStats stats() const {
@@ -175,7 +190,9 @@ class UdfColumnCache {
   }
 
  private:
-  using Key = std::tuple<uint64_t, uint64_t, int>;  // (rels, preds, term_id)
+  // (rels, preds, term_id, row_begin, row_end): one bound term over one
+  // row range of one expression. Whole columns use [0, num_rows).
+  using Key = std::tuple<uint64_t, uint64_t, int, size_t, size_t>;
 
   struct Entry {
     std::weak_ptr<const Table> table;  // the exact table the column indexes

@@ -311,4 +311,60 @@ Status FirePoint(const char* name, uint64_t coord) {
   return Status::OK();
 }
 
+Status FireAttempt(const char* name, uint64_t coord, uint32_t attempt) {
+  const FaultConfig* config = InstalledConfig();
+  if (config == nullptr) return Status::OK();
+  for (const PointSpec& point : config->points) {
+    if (!Matches(point.pattern, name)) continue;
+    switch (point.kind) {
+      case FaultKind::kTransient:
+        if (ShouldFire(config->seed, name, coord, attempt,
+                       point.probability)) {
+          FiredCounter()->Add(1);
+          return Status::Unavailable(
+              std::string("injected transient fault at ") + name + " coord=" +
+              std::to_string(coord) + " attempt=" + std::to_string(attempt));
+        }
+        break;
+      case FaultKind::kPermanent:
+        // Armed by the attempt-0 draw; once armed it fires on every
+        // attempt, so the caller's retry budget exhausts deterministically.
+        if (ShouldFire(config->seed, name, coord, 0, point.probability)) {
+          FiredCounter()->Add(1);
+          return Status::Unavailable(
+              std::string("injected permanent fault at ") + name +
+              " coord=" + std::to_string(coord));
+        }
+        break;
+      case FaultKind::kDelay:
+        if (attempt == 0 &&
+            ShouldFire(config->seed, name, coord, 0, point.probability)) {
+          FiredCounter()->Add(1);
+          DelayCounter()->Add(1);
+          if (config->udf_timeout_ms > 0 &&
+              point.param_ms >= config->udf_timeout_ms) {
+            BusyWaitUs(config->udf_timeout_ms * 1000);
+            TimeoutCounter()->Add(1);
+            return Status::DeadlineExceeded(
+                std::string("injected delay at ") + name + " coord=" +
+                std::to_string(coord) + " (" + std::to_string(point.param_ms) +
+                "ms) exceeded per-UDF timeout of " +
+                std::to_string(config->udf_timeout_ms) + "ms");
+          }
+          BusyWaitUs(point.param_ms * 1000);
+        }
+        break;
+      case FaultKind::kThrow:
+        if (attempt == 0 &&
+            ShouldFire(config->seed, name, coord, 0, point.probability)) {
+          FiredCounter()->Add(1);
+          throw std::runtime_error(std::string("injected exception at ") +
+                                   name + " coord=" + std::to_string(coord));
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace monsoon::fault

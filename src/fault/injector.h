@@ -74,6 +74,18 @@ const FaultConfig* InstalledConfig();
 /// firing site is identical at every thread count.
 Status FirePoint(const char* name, uint64_t coord);
 
+/// Single-draw variant for callers that own their OWN retry schedule (the
+/// shard supervisor): makes exactly one firing decision for `attempt` and
+/// returns the verdict without retrying or backing off internally. A
+/// kTransient point draws at the given attempt, so a kill at attempt 0 can
+/// recover on re-execution when the attempt-1 draw misses. A kPermanent
+/// point draws at attempt 0 and, once armed, fires on EVERY attempt — a
+/// dead shard stays dead until the caller's retry budget exhausts. kDelay
+/// and kThrow behave like FirePoint but only on attempt 0. Bumps only the
+/// faults.fired counter (and faults.delays/udf_timeouts for kDelay);
+/// retry/failure accounting belongs to the caller.
+Status FireAttempt(const char* name, uint64_t coord, uint32_t attempt);
+
 /// Pure function of (seed, point, coord, attempt): whether the fault at
 /// `point` fires on this attempt. Exposed for the determinism tests.
 bool ShouldFire(uint64_t seed, const char* point, uint64_t coord,

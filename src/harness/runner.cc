@@ -12,6 +12,7 @@
 #include "obs/slowlog.h"
 #include "obs/trace.h"
 #include "parallel/runtime.h"
+#include "shard/shard.h"
 
 namespace monsoon {
 
@@ -35,6 +36,10 @@ obs::QueryReport MakeQueryReport(const QueryRecord& record) {
   report.udf_cache_bytes = r.udf_cache_bytes;
   report.degraded = r.degraded;
   report.degraded_reasons = r.degraded_reasons;
+  report.fault_retries = r.fault_retries;
+  report.shard_retries = r.shard_retries;
+  report.shard_failures = r.shard_failures;
+  report.shard_recoveries = r.shard_recoveries;
   report.metrics = record.metrics_delta;
   return report;
 }
@@ -80,6 +85,11 @@ Status BenchRunner::RunAll(const Workload& workload) {
   if (options_.udf_cache_bytes >= 0) {
     SetDefaultUdfCacheBytes(static_cast<size_t>(options_.udf_cache_bytes));
   }
+  // Shard count: flag > MONSOON_SHARDS env (already the default's source)
+  // > leave as-is.
+  if (options_.shards > 0) {
+    shard::SetDefaultShardCount(options_.shards);
+  }
   // Fault injection: an explicit spec wins, MONSOON_FAULTS is the ambient
   // knob, and with neither set the installed state is left alone (tests
   // install their own specs directly).
@@ -120,15 +130,20 @@ Status BenchRunner::RunAll(const Workload& workload) {
       verdict.faulted = !r.ok() && !verdict.cancelled;
       obs::QueryTraceDecision decision =
           obs::EndQueryTrace(tail_serial, verdict);
+      // Recovered-but-clean records log with reason "retried" (precedence
+      // cancelled > error > degraded > retried > slow), so a run that only
+      // finished by riding the retry budget is visible in the slow log.
+      bool retried = r.fault_retries > 0 || r.shard_retries > 0;
       if (slow_log != nullptr &&
           slow_log->Eligible(elapsed_us, r.ok(), r.degraded,
-                             verdict.cancelled)) {
+                             verdict.cancelled, retried)) {
         obs::SlowLogEntry entry;
         entry.sql = query.name;
         entry.fingerprint = name;
         entry.reason = verdict.cancelled ? "cancelled"
                        : !r.ok()         ? "error"
                        : r.degraded      ? "degraded"
+                       : retried         ? "retried"
                                          : "slow";
         entry.status = r.ok() ? "ok" : (r.timed_out() ? "timeout" : "error");
         entry.elapsed_us = elapsed_us;

@@ -35,6 +35,11 @@ struct HarnessOptions {
   /// (1 = row-at-a-time ablation); 0 honors the MONSOON_BATCH_SIZE
   /// environment knob already folded into the default config.
   int batch_size = 0;
+  /// Hash-range shards per table (shard/shard.h). > 0 installs the value
+  /// as the process-wide shard::DefaultShardCount() before running
+  /// (1 = unsharded, the exact pre-shard code path); 0 honors the
+  /// MONSOON_SHARDS environment knob already folded into the default.
+  int shards = 0;
   /// UDF column cache byte budget per MaterializedStore. >= 0 installs the
   /// value as the process-wide default before running (0 disables the
   /// cache entirely); < 0 leaves the current default, which itself honors

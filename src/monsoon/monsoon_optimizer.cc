@@ -22,6 +22,14 @@ MonsoonOptimizer::MonsoonOptimizer(const Catalog* catalog, Options options)
 RunResult MonsoonOptimizer::Run(const QuerySpec& query) const {
   RunResult result;
   WallTimer total;
+  // Fault-point retries are invisible to ExecContext (the injector retries
+  // inside FirePoint), so the run's share is a registry-counter delta.
+  // Concurrent sessions can attribute each other's retries here; that only
+  // over-reports "this query recovered from faults", which is the
+  // conservative direction for the slow log's `retried` reason.
+  obs::Counter* const retries_metric =
+      obs::Registry::Global().GetCounter("faults.retries");
+  const uint64_t retries_before = retries_metric->Value();
   // Exceptions (kThrow fault injections, rethrown task-group failures)
   // are contained here so a faulty UDF can never unwind past the harness.
   try {
@@ -30,6 +38,7 @@ RunResult MonsoonOptimizer::Run(const QuerySpec& query) const {
     result.status =
         Status::Internal(std::string("uncaught exception: ") + e.what());
   }
+  result.fault_retries = retries_metric->Value() - retries_before;
   result.total_seconds = total.Seconds();
   return result;
 }

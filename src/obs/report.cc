@@ -95,6 +95,13 @@ void WriteRunReport(std::ostream& out, const std::vector<QueryReport>& queries,
                   : static_cast<double>(q.udf_cache_hits) /
                         static_cast<double>(lookups));
     writer.EndObject();
+    writer.Key("recovery");
+    writer.BeginObject();
+    writer.KV("fault_retries", q.fault_retries);
+    writer.KV("shard_retries", q.shard_retries);
+    writer.KV("shard_failures", q.shard_failures);
+    writer.KV("shard_recoveries", q.shard_recoveries);
+    writer.EndObject();
     writer.Key("metrics");
     WriteMetricsJson(writer, q.metrics);
     writer.EndObject();

@@ -36,6 +36,16 @@ struct QueryReport {
   uint64_t udf_cache_misses = 0;
   uint64_t udf_cache_bytes = 0;
 
+  /// Recovery accounting: transient faults retried mid-run (fault layer and
+  /// shard supervisor), shards that exhausted their retry budget, and shards
+  /// that succeeded after at least one retry. All zero on a clean run, so
+  /// CI can assert a fault-injected run both recovered (recoveries > 0,
+  /// failures == 0) and produced clean-run-identical accounting.
+  uint64_t fault_retries = 0;
+  uint64_t shard_retries = 0;
+  uint64_t shard_failures = 0;
+  uint64_t shard_recoveries = 0;
+
   /// Graceful degradation: true when the run completed but one or more Σ
   /// statistics passes were skipped on transient faults, with one
   /// human-readable reason per skipped pass. Reported in the JSON run

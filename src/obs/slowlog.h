@@ -22,7 +22,9 @@ namespace monsoon::obs {
 struct SlowLogEntry {
   std::string sql;          // the request text (query name in the harness)
   std::string fingerprint;  // spec fingerprint / strategy label
-  std::string reason;       // "slow" | "degraded" | "cancelled" | "error"
+  // "cancelled" | "error" | "degraded" | "retried" | "slow", in that
+  // precedence order (a cancelled query that also retried logs "cancelled").
+  std::string reason;
   std::string status;       // "ok" | "timeout" | "error" | "cancelled"
 
   uint64_t elapsed_us = 0;
@@ -57,9 +59,13 @@ class SlowQueryLog {
   const std::string& path() const { return path_; }
 
   /// The logging predicate, exposed so callers can skip building an entry.
-  bool Eligible(uint64_t elapsed_us, bool ok, bool degraded,
-                bool cancelled) const {
-    if (degraded || cancelled || !ok) return true;
+  /// `retried` marks a query that completed only by recovering from
+  /// injected/transient faults (fault-point or shard retries) — always
+  /// log-worthy: a fleet quietly riding its retry budget is the exact
+  /// signal this log exists to surface.
+  bool Eligible(uint64_t elapsed_us, bool ok, bool degraded, bool cancelled,
+                bool retried = false) const {
+    if (degraded || cancelled || !ok || retried) return true;
     return slow_us_ > 0 && elapsed_us >= slow_us_;
   }
 

@@ -96,6 +96,13 @@ WindowSummary TimeSeriesRing::Window(double seconds) const {
   return summary;
 }
 
+void TimeSeriesRing::Clear() {
+  MutexLock lock(ring_mu_);
+  slots_.clear();
+  next_ = 0;
+  ticks_ = 0;
+}
+
 size_t TimeSeriesRing::size() const {
   MutexLock lock(ring_mu_);
   return slots_.size();
@@ -118,6 +125,11 @@ void MetricsSampler::SampleOnce() {
   primed_ = true;
   last_ = std::move(now);
   last_time_ = now_time;
+}
+
+void MetricsSampler::Reset() {
+  primed_ = false;
+  last_ = MetricsSnapshot();
 }
 
 }  // namespace monsoon::obs

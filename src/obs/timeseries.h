@@ -70,6 +70,12 @@ class TimeSeriesRing {
   /// (fewer while warming up).
   WindowSummary Window(double seconds) const;
 
+  /// Drops every slot and resets the tick count, returning the ring to its
+  /// just-constructed state. Used when a stopped sampler restarts: stale
+  /// buckets from the previous sampling epoch must not bleed into the new
+  /// window (their intervals no longer abut the new ticks).
+  void Clear();
+
   size_t size() const;
   size_t capacity() const { return capacity_; }
   /// Total slots ever recorded (ticks), including overwritten ones.
@@ -103,6 +109,11 @@ class MetricsSampler {
 
   /// Snapshot + diff + record. Not thread-safe: one driver at a time.
   void SampleOnce();
+
+  /// Forgets the primed baseline so the next SampleOnce re-primes instead
+  /// of recording a delta spanning the stopped gap. Call together with
+  /// TimeSeriesRing::Clear when restarting a stopped sampler.
+  void Reset();
 
  private:
   TimeSeriesRing* ring_;

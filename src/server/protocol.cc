@@ -146,6 +146,11 @@ std::string RenderHealthResponse(uint64_t id, const HealthInfo& health) {
   w.KV("slow_queries", health.slow_queries);
   w.KV("tail_sampled", health.tail_sampled);
   w.KV("tail_dropped", health.tail_dropped);
+  w.KV("fault_retries", health.fault_retries);
+  w.KV("fault_failures", health.fault_failures);
+  w.KV("shard_retries", health.shard_retries);
+  w.KV("shard_failures", health.shard_failures);
+  w.KV("shard_recoveries", health.shard_recoveries);
   w.KV("draining", health.draining);
   w.Key("window");
   w.BeginObject();

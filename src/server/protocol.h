@@ -78,6 +78,15 @@ struct HealthInfo {
   uint64_t slow_queries = 0;
   uint64_t tail_sampled = 0;
   uint64_t tail_dropped = 0;
+  // Fault-layer recovery counters (process-wide totals): fault-point
+  // retries/failures from the injector, and the shard supervisor's
+  // retried / failed-past-budget / recovered shard counts. A fleet
+  // operator reads "retries high, failures zero" as healthy recovery.
+  uint64_t fault_retries = 0;
+  uint64_t fault_failures = 0;
+  uint64_t shard_retries = 0;
+  uint64_t shard_failures = 0;
+  uint64_t shard_recoveries = 0;
   bool draining = false;
   double window_seconds = 0;
   double qps = 0;

@@ -117,6 +117,11 @@ Status QueryServer::Start() {
   MONSOON_ASSIGN_OR_RETURN(listen_fd_, ListenOn(options_.port));
   MONSOON_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_));
   if (options_.telemetry_interval_ms > 0) {
+    // Fresh sampling epoch: drop any slots recorded before this start and
+    // force the sampler to re-prime, so the first window after (re)start
+    // never merges stale buckets whose intervals span a stopped gap.
+    telemetry_ring_.Clear();
+    sampler_.Reset();
     {
       MutexLock lock(telemetry_mu_);
       telemetry_running_ = true;
@@ -344,6 +349,14 @@ std::string QueryServer::RenderHealthNow(uint64_t request_id) const {
   health.slow_queries = Metrics().slow->Value();
   health.tail_sampled = Metrics().tail_sampled->Value();
   health.tail_dropped = Metrics().tail_dropped->Value();
+  // Recovery counters straight from the registry: the injector and the
+  // shard supervisor own these, the server only surfaces them.
+  obs::Registry& reg = obs::Registry::Global();
+  health.fault_retries = reg.GetCounter("faults.retries")->Value();
+  health.fault_failures = reg.GetCounter("faults.failures")->Value();
+  health.shard_retries = reg.GetCounter("monsoon.shard.retries")->Value();
+  health.shard_failures = reg.GetCounter("monsoon.shard.failures")->Value();
+  health.shard_recoveries = reg.GetCounter("monsoon.shard.recoveries")->Value();
   health.draining = draining();
   obs::WindowSummary window =
       telemetry_ring_.Window(options_.telemetry_window_seconds);
@@ -388,16 +401,22 @@ std::string QueryServer::RunSession(const std::string& sql,
           ->Add(1);
     }
 
+    // A query that completed only by recovering (fault-point or shard
+    // retries) is log-worthy even when fast and clean; precedence keeps
+    // the most actionable label: cancelled > error > degraded > retried >
+    // slow.
+    bool retried = result.fault_retries > 0 || result.shard_retries > 0;
     if (slow_log_ != nullptr &&
         slow_log_->Eligible(elapsed_us, result.ok(), result.degraded,
-                            cancelled)) {
+                            cancelled, retried)) {
       obs::SlowLogEntry entry;
       entry.sql = sql;
       entry.fingerprint = spec_fp;
       entry.reason = cancelled ? "cancelled"
                      : !result.ok() ? "error"
                      : result.degraded ? "degraded"
-                                       : "slow";
+                     : retried ? "retried"
+                               : "slow";
       entry.status = cancelled ? "cancelled"
                      : result.ok() ? "ok"
                      : result.timed_out() ? "timeout"

@@ -1,0 +1,128 @@
+#ifndef MONSOON_SHARD_SHARD_H_
+#define MONSOON_SHARD_SHARD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace monsoon::parallel {
+class ThreadPool;
+}  // namespace monsoon::parallel
+
+namespace monsoon::fault {
+class CancellationToken;
+}  // namespace monsoon::fault
+
+namespace monsoon::shard {
+
+/// Fault point the shard supervisor's bodies poll mid-pass; the injector
+/// kills one shard's attempt by arming e.g. "shard.exec=1:transient".
+inline constexpr char kShardExecPoint[] = "shard.exec";
+
+/// Hash-range shard layout over ONE partitioned Table: shard s owns the
+/// contiguous row range [offsets[s], offsets[s+1]). Keeping the shards as
+/// ranges of a single table (rather than N separate Tables) means every
+/// existing per-range operator — Pipeline::Run, FlatColumn::Fill,
+/// CombineKeyHashes — works on a shard unchanged, and shards=1 is
+/// bit-for-bit today's layout (the original table, untouched).
+struct ShardMap {
+  std::vector<size_t> offsets;  // num_shards() + 1 entries, monotone
+
+  size_t num_shards() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+  size_t begin(size_t s) const { return offsets[s]; }
+  size_t end(size_t s) const { return offsets[s + 1]; }
+  size_t rows(size_t s) const { return offsets[s + 1] - offsets[s]; }
+  size_t total_rows() const { return offsets.empty() ? 0 : offsets.back(); }
+};
+
+using ShardMapPtr = std::shared_ptr<const ShardMap>;
+
+/// One shard covering [0, rows).
+ShardMapPtr TrivialMap(size_t rows);
+
+/// `num_shards` contiguous near-equal ranges over [0, rows). Used for
+/// intermediates that have no hash-range map: the per-shard accounting
+/// invariant holds for ANY contiguous decomposition (every pinned counter
+/// is permutation/partition-invariant), so an even split is always a
+/// correct fallback.
+ShardMapPtr EvenMap(size_t rows, size_t num_shards);
+
+/// Multiply-shift range partition of a 64-bit hash into [0, num_shards).
+/// Uses the high bits (the well-mixed ones for Mix64-finalized hashes).
+inline size_t ShardOfHash(uint64_t hash, size_t num_shards) {
+  return static_cast<size_t>(
+      (static_cast<unsigned __int128>(hash) * num_shards) >> 64);
+}
+
+/// Deterministic content hash of one row: HashCombine chain of the same
+/// per-type mixers Value::Hash() uses, finalized with Mix64. Row→shard
+/// assignment therefore depends only on row *content*, never on position,
+/// thread count, or shard count history.
+uint64_t RowContentHash(const Table& table, size_t row);
+
+/// A table physically reordered into hash-range shards plus its layout.
+/// `map` is null when the table is unsharded (num_shards <= 1 pass-through).
+struct PartitionResult {
+  TablePtr table;
+  ShardMapPtr map;
+};
+
+/// Reorders `table` into `num_shards` hash-range shards (stable within a
+/// shard). num_shards <= 1 or an empty table returns the ORIGINAL table
+/// pointer with a null map — shards=1 is not a copy, it is today's layout.
+PartitionResult Partition(const TablePtr& table, size_t num_shards);
+
+/// Process-wide memoized Partition keyed on (table identity, num_shards),
+/// validated by weak_ptr so a recycled address never aliases a dead table.
+/// Returning a STABLE partitioned-table identity for a given base table is
+/// what keeps the cross-session UDF column cache hitting under sharding.
+PartitionResult GetOrPartition(const TablePtr& table, size_t num_shards);
+
+/// Process default shard count: explicit SetDefaultShardCount (the
+/// --shards flag) > MONSOON_SHARDS env > 1. Values < 1 clamp to 1.
+int DefaultShardCount();
+void SetDefaultShardCount(int num_shards);
+
+/// Per-run recovery accounting filled by RunSharded; the executor folds it
+/// into ExecContext so RunResult (and from there .health / the slow log)
+/// can tell a recovered query from a clean one.
+struct ShardRunStats {
+  uint64_t retries = 0;     // transient shard attempts that were retried
+  uint64_t failures = 0;    // shards failed past the retry budget
+  uint64_t recoveries = 0;  // shards that succeeded after >= 1 retry
+};
+
+/// Per-shard work item. Runs over the shard's row range [begin, end) and
+/// must COMMIT results to caller-owned per-shard slots only on success —
+/// on any non-OK return the supervisor assumes nothing was published and
+/// re-executes the same shard with `attempt + 1`. Bodies poll
+/// fault::FireAttempt(kShardExecPoint, shard, attempt) mid-pass so the
+/// injector can kill a specific attempt of a specific shard.
+using ShardBody =
+    std::function<Status(size_t shard, size_t begin, size_t end, uint32_t attempt)>;
+
+/// Shard supervisor: runs `body` once per shard of `map` as TaskGroup
+/// tasks on `pool` (inline when the pool is null or has no workers).
+///
+/// Recovery protocol: a transient failure (Status::IsTransient) of one
+/// shard is retried — only that shard — under the installed fault
+/// config's deterministic bounded-retry/backoff schedule
+/// (BackoffUs(seed, point_name, shard, attempt)); past the retry budget
+/// the shard's error (with context naming the shard) becomes the pass
+/// verdict. The supervisor deliberately does NOT cancel `token` on shard
+/// failure: the query token stays live so the caller can degrade
+/// gracefully (a failed Σ pass skips the relation instead of killing the
+/// query). `token` is only POLLED, so an externally cancelled query stops
+/// claiming shard attempts. The lowest-indexed failed shard's Status wins,
+/// independent of thread interleaving.
+Status RunSharded(parallel::ThreadPool* pool, fault::CancellationToken* token,
+                  const ShardMap& map, const char* point_name,
+                  const ShardBody& body, ShardRunStats* stats);
+
+}  // namespace monsoon::shard
+
+#endif  // MONSOON_SHARD_SHARD_H_

@@ -162,6 +162,29 @@ TEST(TimeSeriesRingTest, HistogramsMergeAcrossSlots) {
   EXPECT_GT(window.Percentile("lat", 0.99), 512.0);
 }
 
+TEST(TimeSeriesRingTest, EmptyTrailingWindowAfterClear) {
+  // A ring that held data and was cleared must behave exactly like a
+  // freshly constructed one: empty window, zero rate, zero percentiles.
+  TimeSeriesRing ring(4);
+  for (uint64_t i = 1; i <= 6; ++i) {
+    MetricsSnapshot delta = SlotDelta(i, static_cast<int64_t>(i));
+    delta.histograms["lat"] = HistogramOf({i});
+    ring.Record(1.0, std::move(delta));
+  }
+  ASSERT_EQ(ring.size(), 4u);
+  ring.Clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.ticks(), 0u);
+  WindowSummary window = ring.Window(60.0);
+  EXPECT_EQ(window.slots, 0u);
+  EXPECT_EQ(window.window_seconds, 0);
+  EXPECT_EQ(window.CounterDelta("q"), 0u);
+  EXPECT_EQ(window.Rate("q"), 0);
+  EXPECT_EQ(window.Histogram("lat"), nullptr);
+  EXPECT_EQ(window.Percentile("lat", 0.99), 0);
+  EXPECT_TRUE(window.delta.gauges.empty());
+}
+
 TEST(MetricsSamplerTest, FirstSamplePrimesSecondRecords) {
   TimeSeriesRing ring(8);
   obs::MetricsSampler sampler(&ring);
@@ -172,6 +195,42 @@ TEST(MetricsSamplerTest, FirstSamplePrimesSecondRecords) {
   EXPECT_EQ(ring.ticks(), 1u);
   WindowSummary window = ring.Window(3600.0);
   EXPECT_EQ(window.CounterDelta("timeseries.test.sampled"), 7u);
+}
+
+TEST(MetricsSamplerTest, StopRestartResetsRingAndBaseline) {
+  // Simulates the server telemetry lifecycle: sample for a while, stop,
+  // then restart with Ring::Clear + Sampler::Reset. The restarted epoch
+  // must carry no stale buckets, and the first post-restart SampleOnce
+  // must re-prime (record nothing) rather than emit a delta spanning the
+  // stopped gap.
+  TimeSeriesRing ring(8);
+  obs::MetricsSampler sampler(&ring);
+  obs::Counter* counter =
+      obs::Registry::Global().GetCounter("timeseries.test.restart");
+  sampler.SampleOnce();  // prime
+  counter->Add(5);
+  sampler.SampleOnce();
+  ASSERT_EQ(ring.ticks(), 1u);
+  ASSERT_EQ(ring.Window(3600.0).CounterDelta("timeseries.test.restart"), 5u);
+
+  // Stop: counter keeps moving while telemetry is down.
+  counter->Add(100);
+
+  // Restart: fresh epoch.
+  ring.Clear();
+  sampler.Reset();
+  EXPECT_EQ(ring.ticks(), 0u);
+  sampler.SampleOnce();  // must re-prime, not record the 100-wide gap
+  EXPECT_EQ(ring.ticks(), 0u);
+  EXPECT_EQ(ring.Window(3600.0).slots, 0u);
+
+  counter->Add(3);
+  sampler.SampleOnce();
+  EXPECT_EQ(ring.ticks(), 1u);
+  WindowSummary window = ring.Window(3600.0);
+  EXPECT_EQ(window.slots, 1u);
+  // Only the post-restart increment appears — no stale pre-stop buckets.
+  EXPECT_EQ(window.CounterDelta("timeseries.test.restart"), 3u);
 }
 
 // ---------------------------------------------------------------------------
